@@ -1,0 +1,67 @@
+// F10 — Model ablations (analytic):
+//   (a) discrete frequency ladder vs continuous DVFS — the cost of
+//       P-state granularity;
+//   (b) always-on (the paper's model) vs utilization-gated dynamic power
+//       — how the gating assumption changes the optimum;
+//   (c) M/M/1-per-server vs M/M/c performance model — how much the
+//       conservative dispatch model over-provisions.
+//
+// Expected shape: the ladder penalty is a few percent (saw-tooth, worst
+// mid-step); gating the dynamic power devalues DVFS and shifts the optimum
+// towards fewer, faster servers; the M/M/c model provisions fewer servers
+// at equal load.
+#include <iostream>
+
+#include "core/provisioner.h"
+#include "exp/scenario.h"
+#include "util/table.h"
+
+int main() {
+  const gc::ClusterConfig base = gc::bench_cluster_config();
+
+  gc::ClusterConfig continuous = base;
+  continuous.ladder = gc::FrequencyLadder::continuous(0.1);
+
+  gc::ClusterConfig gated = base;
+  gated.power.utilization_gated = true;
+
+  gc::ClusterConfig mmc = base;
+  mmc.perf_model = gc::PerfModel::kMmcCluster;
+
+  const gc::Provisioner solver_base(base);
+  const gc::Provisioner solver_cont(continuous);
+  const gc::Provisioner solver_gated(gated);
+  const gc::Provisioner solver_mmc(mmc);
+
+  gc::TablePrinter table("Fig 10: solver ablations (analytic, M=16)");
+  table.column("load", {.precision = 1, .unit = "jobs/s"})
+      .column("ladder W", {.precision = 0})
+      .column("contin W", {.precision = 0})
+      .column("ladder pen", {.precision = 1, .unit = "%"})
+      .column("gated W", {.precision = 0})
+      .column("gated m", {.precision = 0})
+      .column("base m", {.precision = 0})
+      .column("mmc m", {.precision = 0})
+      .column("mmc W", {.precision = 0});
+
+  const double max_rate = base.max_feasible_arrival_rate();
+  for (double frac = 0.1; frac <= 1.0001; frac += 0.1) {
+    const double lambda = frac * max_rate;
+    const gc::OperatingPoint ladder_pt = solver_base.solve(lambda);
+    const gc::OperatingPoint cont_pt = solver_cont.solve(lambda);
+    const gc::OperatingPoint gated_pt = solver_gated.solve(lambda);
+    const gc::OperatingPoint mmc_pt = solver_mmc.solve(lambda);
+    table.row()
+        .cell(lambda)
+        .cell(ladder_pt.power_watts)
+        .cell(cont_pt.power_watts)
+        .cell((ladder_pt.power_watts / cont_pt.power_watts - 1.0) * 100.0)
+        .cell(gated_pt.power_watts)
+        .cell(static_cast<long long>(gated_pt.servers))
+        .cell(static_cast<long long>(ladder_pt.servers))
+        .cell(static_cast<long long>(mmc_pt.servers))
+        .cell(mmc_pt.power_watts);
+  }
+  std::cout << table;
+  return 0;
+}

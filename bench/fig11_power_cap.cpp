@@ -1,0 +1,74 @@
+// F11 (extension) — Power-capped operation: the "quantitative control of
+// power consumption" the abstract promises, exercised as the dual problem.
+//
+//   (a) capacity curve: max supportable arrival rate vs power cap;
+//   (b) response-optimal operation under a cap at fixed load.
+//
+// Expected shape: (a) is the inverse of Fig 3's combined curve — concave,
+// saturating at the cluster's feasible maximum once the cap covers
+// full-speed operation; (b) response time degrades gracefully as the cap
+// tightens until the SLA becomes unattainable and the solver reports that
+// load shedding is required.
+#include <iostream>
+
+#include "core/power_cap.h"
+#include "exp/scenario.h"
+#include "util/format.h"
+#include "util/table.h"
+
+int main() {
+  const gc::ClusterConfig config = gc::bench_cluster_config();
+  const gc::Provisioner solver(config);
+  const gc::PowerCapSolver cap_solver(&solver);
+
+  {
+    gc::TablePrinter table("Fig 11a: max supportable load vs power cap (SLA held)");
+    table.column("cap", {.precision = 0, .unit = "W"})
+        .column("max load", {.precision = 1, .unit = "jobs/s"})
+        .column("load frac", {.precision = 2})
+        .column("m @ cap", {.precision = 0})
+        .column("s @ cap", {.precision = 2});
+    for (double cap = 250.0; cap <= 4250.0; cap += 400.0) {
+      const double rate = cap_solver.max_supportable_rate(cap);
+      const gc::OperatingPoint pt = solver.solve(rate);
+      table.row()
+          .cell(cap)
+          .cell(rate)
+          .cell(rate / config.max_feasible_arrival_rate())
+          .cell(static_cast<long long>(pt.servers))
+          .cell(pt.speed);
+    }
+    std::cout << table << '\n';
+  }
+
+  {
+    const double lambda = 0.5 * config.max_feasible_arrival_rate();
+    gc::TablePrinter table(gc::format(
+        "Fig 11b: response-optimal operation under a cap (load {:.0f} jobs/s)", lambda));
+    table.column("cap", {.precision = 0, .unit = "W"})
+        .column("m", {.precision = 0})
+        .column("s", {.precision = 2})
+        .column("power", {.precision = 0, .unit = "W"})
+        .column("mean T", {.precision = 0, .unit = "ms"})
+        .column("note");
+    for (double cap = 4000.0; cap >= 1200.0; cap -= 400.0) {
+      const auto pt = cap_solver.best_point_under_cap(lambda, cap);
+      table.row().cell(cap);
+      if (pt) {
+        table.cell(static_cast<long long>(pt->servers))
+            .cell(pt->speed)
+            .cell(pt->power_watts)
+            .cell(pt->response_time_s * 1e3)
+            .cell("ok");
+      } else {
+        table.cell(static_cast<long long>(0))
+            .cell(0.0)
+            .cell(0.0)
+            .cell(0.0)
+            .cell("SHED LOAD");
+      }
+    }
+    std::cout << table;
+  }
+  return 0;
+}

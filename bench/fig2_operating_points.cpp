@@ -1,0 +1,48 @@
+// F2 — Optimal operating points vs load.
+//
+// For a sweep of arrival rates, prints the jointly optimal number of
+// active servers m*, the common speed s*, the predicted cluster power and
+// the predicted mean response time, plus the continuous relaxation for
+// reference.  Expected shape: m* grows roughly linearly with load while s*
+// saw-tooths just above the SLA-minimal speed; predicted response pins at
+// t_ref (the solver runs exactly as slow as the guarantee allows).
+#include <iostream>
+
+#include "core/provisioner.h"
+#include "exp/scenario.h"
+#include "util/table.h"
+
+int main() {
+  const gc::ClusterConfig config = gc::bench_cluster_config();
+  const gc::Provisioner solver(config);
+
+  gc::TablePrinter table("Fig 2: optimal (m, s) operating points, M=16, t_ref=500 ms");
+  table.column("load", {.precision = 1, .unit = "jobs/s"})
+      .column("load frac", {.precision = 2})
+      .column("m*", {.precision = 0})
+      .column("s*", {.precision = 3})
+      .column("power", {.precision = 0, .unit = "W"})
+      .column("pred T", {.precision = 1, .unit = "ms"})
+      .column("util", {.precision = 2})
+      .column("relaxed m", {.precision = 2})
+      .column("relaxed power", {.precision = 0, .unit = "W"});
+
+  const double max_rate = config.max_feasible_arrival_rate();
+  for (double frac = 0.05; frac <= 1.0001; frac += 0.05) {
+    const double lambda = frac * max_rate;
+    const gc::OperatingPoint pt = solver.solve(lambda);
+    const gc::ContinuousSolution relaxed = solver.solve_continuous(lambda);
+    table.row()
+        .cell(lambda)
+        .cell(frac)
+        .cell(static_cast<long long>(pt.servers))
+        .cell(pt.speed)
+        .cell(pt.power_watts)
+        .cell(pt.response_time_s * 1e3)
+        .cell(pt.utilization)
+        .cell(relaxed.servers)
+        .cell(relaxed.power_watts);
+  }
+  std::cout << table;
+  return 0;
+}

@@ -1,0 +1,56 @@
+// F3 — Steady-state cluster power vs load for the four policies
+// (analytic, the paper's "model" figure).
+//
+// NPM:       M servers at s=1 (utilization-gated dynamic power).
+// DVFS-only: M servers at the SLA-minimal common speed.
+// VOVF-only: the fewest full-speed servers meeting the SLA.
+// Combined:  the joint optimum.
+//
+// Expected shape: combined <= min(dvfs, vovf) everywhere; vovf-only wins
+// over dvfs-only at low load (idle power dominates) and the curves
+// converge to NPM as load approaches feasibility.
+#include <iostream>
+
+#include "core/provisioner.h"
+#include "exp/scenario.h"
+#include "util/table.h"
+
+int main() {
+  const gc::ClusterConfig config = gc::bench_cluster_config();
+  const gc::Provisioner solver(config);
+  const unsigned m_all = config.max_servers;
+
+  gc::TablePrinter table("Fig 3: steady-state cluster power vs load (analytic)");
+  table.column("load", {.precision = 1, .unit = "jobs/s"})
+      .column("npm", {.precision = 0, .unit = "W"})
+      .column("dvfs-only", {.precision = 0, .unit = "W"})
+      .column("vovf-only", {.precision = 0, .unit = "W"})
+      .column("combined", {.precision = 0, .unit = "W"})
+      .column("combined saves", {.precision = 1, .unit = "% vs npm"});
+
+  const double max_rate = config.max_feasible_arrival_rate();
+  for (double frac = 0.05; frac <= 1.0001; frac += 0.05) {
+    const double lambda = frac * max_rate;
+    const double npm = solver.evaluate(lambda, m_all, 1.0).power_watts;
+    const double dvfs = solver.best_speed_for(lambda, m_all).power_watts;
+    // VOVF-only: fewest servers at full speed.
+    double vovf = npm;
+    for (unsigned m = 1; m <= m_all; ++m) {
+      const gc::OperatingPoint pt = solver.evaluate(lambda, m, 1.0);
+      if (pt.feasible) {
+        vovf = pt.power_watts;
+        break;
+      }
+    }
+    const double combined = solver.solve(lambda).power_watts;
+    table.row()
+        .cell(lambda)
+        .cell(npm)
+        .cell(dvfs)
+        .cell(vovf)
+        .cell(combined)
+        .cell((1.0 - combined / npm) * 100.0);
+  }
+  std::cout << table;
+  return 0;
+}

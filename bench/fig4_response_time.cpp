@@ -1,0 +1,62 @@
+// F4 — Simulated mean and p95 response time vs load, per policy.
+//
+// Constant-rate runs at increasing load levels.  Expected shape: every
+// power-managed policy rides just under the 500 ms guarantee (the solver
+// provisions for exactly t_ref); NPM sits far below it; nobody exceeds it
+// except transiently near feasibility.
+#include <iostream>
+
+#include "exp/runner.h"
+#include "util/table.h"
+
+int main() {
+  gc::RunSpec spec;
+  spec.config = gc::bench_cluster_config();
+  spec.policy_options.dcp = gc::bench_dcp_params();
+  spec.seed = 404;
+
+  const gc::PolicyKind policies[] = {
+      gc::PolicyKind::kNpm, gc::PolicyKind::kDvfsOnly, gc::PolicyKind::kVovfOnly,
+      gc::PolicyKind::kCombinedDcp};
+  const double levels[] = {0.2, 0.35, 0.5, 0.65, 0.8, 0.9};
+
+  // Build the full grid and run it in parallel.
+  std::vector<gc::Cell> cells;
+  for (const double level : levels) {
+    const gc::Scenario scenario = gc::make_scenario(gc::ScenarioKind::kConstant,
+                                                    spec.config, level, 17, 2400.0);
+    for (const gc::PolicyKind policy : policies) {
+      gc::Cell cell{scenario, spec};
+      cell.spec.policy = policy;
+      cells.push_back(std::move(cell));
+    }
+  }
+  const std::vector<gc::SimResult> results = gc::run_all(cells);
+
+  gc::TablePrinter table(
+      "Fig 4: simulated response time vs load (t_ref = 500 ms; mean / p95 in ms)");
+  table.column("load frac", {.precision = 2})
+      .column("npm mean", {.precision = 0})
+      .column("npm p95", {.precision = 0})
+      .column("dvfs mean", {.precision = 0})
+      .column("dvfs p95", {.precision = 0})
+      .column("vovf mean", {.precision = 0})
+      .column("vovf p95", {.precision = 0})
+      .column("comb mean", {.precision = 0})
+      .column("comb p95", {.precision = 0})
+      .column("SLA", {.precision = 0});
+
+  std::size_t i = 0;
+  for (const double level : levels) {
+    table.row().cell(level);
+    bool all_met = true;
+    for (std::size_t p = 0; p < 4; ++p) {
+      const gc::SimResult& r = results[i++];
+      table.cell(r.mean_response_s * 1e3).cell(r.p95_response_s * 1e3);
+      all_met = all_met && r.sla_met(spec.config.t_ref_s);
+    }
+    table.cell(all_met ? "met" : "miss");
+  }
+  std::cout << table;
+  return 0;
+}

@@ -1,0 +1,74 @@
+// F7 — Sensitivity to the control periods.
+//
+// Sweeps the short period T_S (with T_L pinned) and then the long period
+// T_L (with T_S pinned).  Expected shape: very short T_S buys little
+// (frequency already tracks well) while very long T_S lets the frequency
+// go stale between corrections; longer T_L saves boots but reacts slower,
+// raising the response time under the diurnal ramp.
+#include <iostream>
+
+#include "exp/runner.h"
+#include "util/table.h"
+
+namespace {
+
+void sweep(const char* title, const std::vector<gc::DcpParams>& grid,
+           const std::vector<double>& knob) {
+  std::vector<gc::Cell> cells;
+  for (const gc::DcpParams& dcp : grid) {
+    gc::RunSpec spec;
+    spec.config = gc::bench_cluster_config();
+    spec.policy = gc::PolicyKind::kCombinedDcp;
+    spec.policy_options.dcp = dcp;
+    spec.seed = 808;
+    const gc::Scenario scenario =
+        gc::make_scenario(gc::ScenarioKind::kDiurnal, spec.config, 0.7, 99, 3600.0);
+    cells.push_back({scenario, spec});
+  }
+  const auto results = gc::run_all(cells);
+
+  gc::TablePrinter table(title);
+  table.column("period", {.precision = 1, .unit = "s"})
+      .column("energy", {.precision = 3, .unit = "kWh"})
+      .column("mean T", {.precision = 0, .unit = "ms"})
+      .column("viol", {.precision = 2, .unit = "%"})
+      .column("boots", {.precision = 0});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    table.row()
+        .cell(knob[i])
+        .cell(results[i].energy.total_j() / 3.6e6)
+        .cell(results[i].mean_response_s * 1e3)
+        .cell(results[i].job_violation_ratio * 100.0)
+        .cell(static_cast<long long>(static_cast<long long>(results[i].boots)));
+  }
+  std::cout << table << '\n';
+}
+
+}  // namespace
+
+int main() {
+  {
+    std::vector<gc::DcpParams> grid;
+    std::vector<double> knob;
+    for (const double ts : {1.0, 2.5, 5.0, 12.5, 25.0}) {
+      gc::DcpParams dcp = gc::bench_dcp_params();
+      dcp.short_period_s = ts;
+      grid.push_back(dcp);
+      knob.push_back(ts);
+    }
+    sweep("Fig 7a: short period T_S sweep (T_L = 25 s)", grid, knob);
+  }
+  {
+    std::vector<gc::DcpParams> grid;
+    std::vector<double> knob;
+    for (const double tl : {10.0, 25.0, 50.0, 100.0, 200.0}) {
+      gc::DcpParams dcp = gc::bench_dcp_params();
+      dcp.long_period_s = tl;
+      dcp.short_period_s = std::min(dcp.short_period_s, tl);
+      grid.push_back(dcp);
+      knob.push_back(tl);
+    }
+    sweep("Fig 7b: long period T_L sweep (T_S = 5 s)", grid, knob);
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// T1 — Model parameters (the paper's "Table 1").
+//
+// Prints every parameter of the evaluation configuration at both the
+// bench scale (what the other benches run) and the paper scale (the
+// defaults of ClusterConfig, 2010-era server numbers).
+#include <iostream>
+
+#include "exp/scenario.h"
+#include "util/table.h"
+
+namespace {
+
+void print_config(const char* label, const gc::ClusterConfig& config,
+                  const gc::DcpParams& dcp) {
+  gc::TablePrinter table(label);
+  table.column("parameter").column("value", {.precision = 3, .fixed = false}).column("unit");
+  auto row = [&](const char* name, double value, const char* unit) {
+    table.row().cell(name).cell(value).cell(unit);
+  };
+  row("cluster size M", config.max_servers, "servers");
+  row("service rate mu_max", config.mu_max, "jobs/s @ s=1");
+  row("SLA t_ref (mean response)", config.t_ref_s * 1e3, "ms");
+  row("max feasible arrival rate", config.max_feasible_arrival_rate(), "jobs/s");
+  row("P_idle", config.power.p_idle_watts, "W");
+  row("P_max", config.power.p_max_watts, "W");
+  row("P_off", config.power.p_off_watts, "W");
+  row("alpha (dynamic power exponent)", config.power.alpha, "-");
+  row("utilization-gated dynamic power", config.power.utilization_gated ? 1.0 : 0.0,
+      "bool");
+  row("frequency levels", static_cast<double>(config.ladder.num_levels()), "P-states");
+  row("min speed s_min", config.ladder.min_speed(), "fraction of f_max");
+  row("boot delay D_on", config.transition.boot_delay_s, "s");
+  row("shutdown delay D_off", config.transition.shutdown_delay_s, "s");
+  row("long control period T_L", dcp.long_period_s, "s");
+  row("short control period T_S", dcp.short_period_s, "s");
+  row("safety margin", dcp.safety_margin, "x predicted load");
+  row("scale-down patience", dcp.scale_down_patience, "long periods");
+  std::cout << table << '\n';
+}
+
+}  // namespace
+
+int main() {
+  print_config("Table 1a: bench-scale configuration (used by fig4..fig10, tab2)",
+               gc::bench_cluster_config(), gc::bench_dcp_params());
+
+  gc::ClusterConfig paper;  // defaults: 64 servers, 250 W, 90 s boots
+  gc::DcpParams paper_dcp;  // 300 s / 30 s
+  print_config("Table 1b: paper-scale configuration (defaults; same code paths)",
+               paper, paper_dcp);
+  return 0;
+}

@@ -1,0 +1,111 @@
+// T3 — Micro-performance of the solver and the simulator core
+// (google-benchmark).  Not a figure of the paper; documents that the
+// "more boilerplate" solver+simulator stack is fast enough that every
+// other bench is workload-bound, not infrastructure-bound.
+#include <benchmark/benchmark.h>
+
+#include "core/provisioner.h"
+#include "exp/scenario.h"
+#include "sim/event_queue.h"
+#include "sim/simulation.h"
+#include "stats/rng.h"
+#include "workload/workload.h"
+
+namespace {
+
+gc::ClusterConfig config_of_size(unsigned m) {
+  gc::ClusterConfig config;
+  config.max_servers = m;
+  config.mu_max = 10.0;
+  config.t_ref_s = 0.5;
+  return config;
+}
+
+void BM_SolveScan(benchmark::State& state) {
+  const gc::Provisioner solver(config_of_size(static_cast<unsigned>(state.range(0))));
+  const double max_rate = solver.config().max_feasible_arrival_rate();
+  double lambda = 0.0;
+  for (auto _ : state) {
+    lambda += max_rate / 1000.0;
+    if (lambda > max_rate) lambda = 0.0;
+    benchmark::DoNotOptimize(solver.solve(lambda));
+  }
+}
+BENCHMARK(BM_SolveScan)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_SolveFast(benchmark::State& state) {
+  const gc::Provisioner solver(config_of_size(static_cast<unsigned>(state.range(0))));
+  const double max_rate = solver.config().max_feasible_arrival_rate();
+  double lambda = 0.0;
+  for (auto _ : state) {
+    lambda += max_rate / 1000.0;
+    if (lambda > max_rate) lambda = 0.0;
+    benchmark::DoNotOptimize(solver.solve_fast(lambda));
+  }
+}
+BENCHMARK(BM_SolveFast)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_SolveContinuous(benchmark::State& state) {
+  const gc::Provisioner solver(config_of_size(64));
+  double lambda = 0.0;
+  for (auto _ : state) {
+    lambda += 0.37;
+    if (lambda > 400.0) lambda = 0.0;
+    benchmark::DoNotOptimize(solver.solve_continuous(lambda));
+  }
+}
+BENCHMARK(BM_SolveContinuous);
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  gc::EventQueue queue;
+  gc::Rng rng(1);
+  double base = 0.0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      queue.schedule(base + rng.uniform01(), gc::EventType::kArrival);
+    }
+    for (int i = 0; i < 64; ++i) benchmark::DoNotOptimize(queue.pop());
+    base += 1.0;
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_EventQueueScheduleAndPop);
+
+class StaticController final : public gc::Controller {
+ public:
+  [[nodiscard]] double short_period_s() const override { return 1e9; }
+  [[nodiscard]] double long_period_s() const override { return 1e9; }
+  [[nodiscard]] gc::ControlAction on_short_tick(const gc::ControlContext&) override {
+    return {};
+  }
+  [[nodiscard]] gc::ControlAction on_long_tick(const gc::ControlContext&) override {
+    gc::ControlAction action;
+    action.active_target = 4;
+    action.speed = 1.0;
+    return action;
+  }
+  [[nodiscard]] const char* name() const override { return "static"; }
+};
+
+// End-to-end simulator throughput (jobs simulated per second of wall time).
+void BM_SimulatorThroughput(benchmark::State& state) {
+  std::uint64_t jobs = 0;
+  for (auto _ : state) {
+    gc::Workload workload = gc::Workload::poisson_exponential(24.0, 10.0, 2000.0, 3);
+    gc::ClusterOptions cluster;
+    cluster.num_servers = 4;
+    cluster.initial_active = 4;
+    StaticController controller;
+    gc::SimulationOptions sim;
+    sim.t_ref_s = 1.0;
+    const gc::SimResult result = run_simulation(workload, cluster, controller, sim);
+    jobs += result.completed_jobs;
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(jobs));
+}
+BENCHMARK(BM_SimulatorThroughput)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

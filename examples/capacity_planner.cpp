@@ -1,0 +1,100 @@
+// Capacity planner: turn an arrival trace into an operating schedule.
+//
+//   $ ./capacity_planner [trace.csv] [--bin S] [--config cluster.ini]
+//
+// Reads a trace (CSV with one `arrival_s` column; synthesizes a demo trace
+// when none is given), bins it into an empirical rate profile, and prints
+// the recommended (servers, frequency) schedule per bin together with the
+// predicted energy vs an always-on cluster — plus the power-cap view: how
+// much load each power budget could carry.  This is the "offline planning"
+// face of the same solver the online DCP controller uses.
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+
+#include "core/config_io.h"
+#include "core/power_cap.h"
+#include "core/provisioner.h"
+#include "exp/scenario.h"
+#include "util/cli.h"
+#include "util/format.h"
+#include "util/table.h"
+#include "workload/trace.h"
+
+int main(int argc, char** argv) {
+  const gc::CliArgs args(argc, argv);
+  const auto unknown = args.unknown_flags({"bin", "config"});
+  if (!unknown.empty()) {
+    std::cerr << "unknown flag --" << unknown[0]
+              << "\nusage: capacity_planner [trace.csv] [--bin S] [--config cluster.ini]\n";
+    return 2;
+  }
+  const gc::ClusterConfig config =
+      args.has("config")
+          ? gc::cluster_config_from_ini(gc::IniFile::load(args.get_or("config", "")))
+          : gc::bench_cluster_config();
+
+  gc::Trace trace;
+  const bool have_trace =
+      !args.positional().empty() && std::filesystem::exists(args.positional()[0]);
+  if (have_trace) {
+    trace = gc::Trace::load_csv(args.positional()[0]);
+    std::cout << gc::format("loaded {} arrivals from {}\n\n", trace.size(),
+                            args.positional()[0]);
+  } else {
+    const auto profile = gc::make_wc98_like_profile(
+        0.65 * config.max_feasible_arrival_rate(), /*days=*/1.0, /*seed=*/77,
+        /*day_s=*/3600.0);
+    trace = gc::Trace::from_profile(*profile, 3600.0, /*seed=*/77);
+    std::cout << gc::format("no trace given; synthesized {} arrivals (1 compressed day)\n\n",
+                            trace.size());
+  }
+  const double bin_s = args.get_double_or("bin", trace.duration() / 12.0);
+  const auto profile = trace.to_rate_profile(bin_s);
+
+  const gc::Provisioner solver(config);
+  gc::TablePrinter table(gc::format("operating schedule ({:.0f} s bins)", bin_s));
+  table.column("from", {.precision = 0, .unit = "s"})
+      .column("load", {.precision = 1, .unit = "jobs/s"})
+      .column("servers", {.precision = 0})
+      .column("speed", {.precision = 2})
+      .column("power", {.precision = 0, .unit = "W"})
+      .column("pred T", {.precision = 0, .unit = "ms"});
+
+  double plan_energy = 0.0;
+  const gc::OperatingPoint all_on = solver.evaluate(0.0, config.max_servers, 1.0);
+  double npm_energy = 0.0;
+  for (double t = 0.0; t < trace.duration(); t += bin_s) {
+    const double load = profile->average_rate(t, std::min(t + bin_s, trace.duration()));
+    const gc::OperatingPoint pt = solver.solve(load);
+    plan_energy += pt.power_watts * bin_s;
+    npm_energy += solver.evaluate(load, config.max_servers, 1.0).power_watts * bin_s;
+    table.row()
+        .cell(t)
+        .cell(load)
+        .cell(static_cast<long long>(pt.servers))
+        .cell(pt.speed)
+        .cell(pt.power_watts)
+        .cell(pt.response_time_s * 1e3);
+  }
+  std::cout << table;
+  std::cout << gc::format(
+      "\nplanned energy {:.3f} kWh vs always-on {:.3f} kWh -> {:.1f}% savings\n"
+      "(idle all-on cluster draws {:.0f} W)\n\n",
+      plan_energy / 3.6e6, npm_energy / 3.6e6, (1.0 - plan_energy / npm_energy) * 100.0,
+      all_on.power_watts);
+
+  // Power-budget view.
+  const gc::PowerCapSolver cap_solver(&solver);
+  gc::TablePrinter caps("what a power budget buys (SLA held)");
+  caps.column("budget", {.precision = 0, .unit = "W"})
+      .column("max load", {.precision = 1, .unit = "jobs/s"})
+      .column("share of trace peak", {.precision = 2});
+  const double peak = profile->max_rate(0.0, trace.duration());
+  for (double cap = 1000.0; cap <= 4000.0; cap += 1000.0) {
+    const double rate = cap_solver.max_supportable_rate(cap);
+    caps.row().cell(cap).cell(rate).cell(peak > 0.0 ? rate / peak : 0.0);
+  }
+  std::cout << caps;
+  return 0;
+}

@@ -1,0 +1,102 @@
+// A day in the life of a power-managed data center.
+//
+//   $ ./datacenter_day [policy] [--level F] [--day S] [--record S]
+//                      [--seed N] [--scenario diurnal|flash-crowd|wc98-like]
+//
+//   policy: npm | dvfs-only | vovf-only | combined-dcp | combined-single |
+//           threshold   (default combined-dcp)
+//
+// Runs the chosen policy over a compressed day and prints the timeline —
+// arrival rate, active servers, frequency, power — plus the end-of-day
+// summary.  This regenerates the kind of plot the paper's time-series
+// figure shows, as text.
+#include <cstring>
+#include <iostream>
+
+#include "exp/runner.h"
+#include "util/cli.h"
+#include "util/format.h"
+#include "util/table.h"
+
+namespace {
+
+gc::PolicyKind parse_policy(const std::string& arg) {
+  using gc::PolicyKind;
+  if (arg == "npm") return PolicyKind::kNpm;
+  if (arg == "dvfs-only") return PolicyKind::kDvfsOnly;
+  if (arg == "vovf-only") return PolicyKind::kVovfOnly;
+  if (arg == "combined-single") return PolicyKind::kCombinedSinglePeriod;
+  if (arg == "threshold") return PolicyKind::kThreshold;
+  if (arg == "oracle") return PolicyKind::kOracle;
+  return PolicyKind::kCombinedDcp;
+}
+
+gc::ScenarioKind parse_scenario(const std::string& arg) {
+  using gc::ScenarioKind;
+  if (arg == "flash-crowd") return ScenarioKind::kFlashCrowd;
+  if (arg == "wc98-like") return ScenarioKind::kWc98Like;
+  if (arg == "constant") return ScenarioKind::kConstant;
+  return ScenarioKind::kDiurnal;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const gc::CliArgs args(argc, argv);
+  const auto unknown =
+      args.unknown_flags({"level", "day", "record", "seed", "scenario"});
+  if (!unknown.empty()) {
+    std::cerr << "unknown flag --" << unknown[0]
+              << "\nusage: datacenter_day [policy] [--level F] [--day S] "
+                 "[--record S] [--seed N] [--scenario NAME]\n";
+    return 2;
+  }
+  const gc::PolicyKind policy =
+      args.positional().empty() ? gc::PolicyKind::kCombinedDcp
+                                : parse_policy(args.positional()[0]);
+  const double day_s = args.get_double_or("day", 7200.0);
+
+  gc::RunSpec spec;
+  spec.config = gc::bench_cluster_config();
+  spec.policy = policy;
+  spec.policy_options.dcp = gc::bench_dcp_params();
+  spec.sim.record_interval_s = args.get_double_or("record", day_s / 60.0);
+  spec.seed = static_cast<std::uint64_t>(args.get_int_or("seed", 2024));
+
+  const gc::Scenario scenario = gc::make_scenario(
+      parse_scenario(args.get_or("scenario", "diurnal")), spec.config,
+      args.get_double_or("level", 0.7), 99, day_s);
+  std::cout << gc::format("policy {} on scenario {} ({:.0f} s horizon)\n\n",
+                          to_string(policy), scenario.name, scenario.horizon_s);
+
+  const gc::SimResult result = gc::run_one(scenario, spec);
+
+  gc::TablePrinter table("timeline");
+  table.column("t", {.precision = 0, .unit = "s"})
+      .column("load", {.precision = 1, .unit = "jobs/s"})
+      .column("serving", {.precision = 0})
+      .column("speed", {.precision = 2})
+      .column("power", {.precision = 0, .unit = "W"})
+      .column("win mean T", {.precision = 1, .unit = "ms"});
+  for (const gc::TimelinePoint& p : result.timeline) {
+    table.row()
+        .cell(p.time)
+        .cell(p.arrival_rate)
+        .cell(static_cast<long long>(p.serving))
+        .cell(p.speed)
+        .cell(p.power_watts)
+        .cell(p.window_mean_response_s * 1e3);
+  }
+  std::cout << table << '\n';
+
+  std::cout << gc::format(
+      "day summary: {} jobs | energy {:.2f} kWh (busy {:.0f}% / idle {:.0f}% / "
+      "transition {:.0f}%) | mean T {:.1f} ms | p95 {:.1f} ms | boots {} | SLA {}\n",
+      result.completed_jobs, result.energy.total_j() / 3.6e6,
+      100.0 * result.energy.busy_j / result.energy.total_j(),
+      100.0 * result.energy.idle_j / result.energy.total_j(),
+      100.0 * result.energy.transition_j / result.energy.total_j(),
+      result.mean_response_s * 1e3, result.p95_response_s * 1e3, result.boots,
+      result.sla_met(spec.config.t_ref_s) ? "met" : "MISSED");
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Policy face-off: every policy against every scenario, one table.
+//
+//   $ ./policy_faceoff [level]    (peak load as a fraction of feasibility,
+//                                  default 0.7)
+//
+// This is the example-sized version of bench/tab2_energy_savings: it uses
+// the exp:: comparison harness end to end, running cells in parallel on
+// the process thread pool.
+#include <cstdlib>
+#include <iostream>
+
+#include "exp/comparison.h"
+
+int main(int argc, char** argv) {
+  const double level = argc > 1 ? std::atof(argv[1]) : 0.7;
+
+  gc::RunSpec spec;
+  spec.config = gc::bench_cluster_config();
+  spec.policy_options.dcp = gc::bench_dcp_params();
+  spec.seed = 31;
+
+  const std::vector<gc::PolicyKind> policies = {
+      gc::PolicyKind::kDvfsOnly, gc::PolicyKind::kVovfOnly, gc::PolicyKind::kCombinedDcp};
+
+  for (const auto kind : {gc::ScenarioKind::kDiurnal, gc::ScenarioKind::kFlashCrowd}) {
+    const gc::Scenario scenario =
+        gc::make_scenario(kind, spec.config, level, /*seed=*/41, /*day_s=*/3600.0);
+    const auto rows = gc::compare_policies(scenario, spec, policies);
+    std::cout << gc::comparison_table(scenario.name, rows) << '\n';
+  }
+  return 0;
+}

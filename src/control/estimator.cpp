@@ -1,0 +1,53 @@
+#include "control/estimator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gc {
+
+EwmaEstimator::EwmaEstimator(double alpha) : alpha_(alpha) {
+  if (!(alpha > 0.0 && alpha <= 1.0)) {
+    throw std::invalid_argument("EwmaEstimator: alpha must be in (0,1]");
+  }
+}
+
+void EwmaEstimator::observe(double value) noexcept {
+  if (!primed_) {
+    value_ = value;
+    primed_ = true;
+    return;
+  }
+  value_ = alpha_ * value + (1.0 - alpha_) * value_;
+}
+
+void EwmaEstimator::reset() noexcept {
+  value_ = 0.0;
+  primed_ = false;
+}
+
+SlidingWindowEstimator::SlidingWindowEstimator(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) throw std::invalid_argument("SlidingWindowEstimator: capacity 0");
+}
+
+void SlidingWindowEstimator::observe(double value) {
+  window_.push_back(value);
+  if (window_.size() > capacity_) window_.pop_front();
+}
+
+double SlidingWindowEstimator::mean() const noexcept {
+  if (window_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double v : window_) sum += v;
+  return sum / static_cast<double>(window_.size());
+}
+
+double SlidingWindowEstimator::max() const noexcept {
+  if (window_.empty()) return 0.0;
+  return *std::max_element(window_.begin(), window_.end());
+}
+
+double SlidingWindowEstimator::last() const noexcept {
+  return window_.empty() ? 0.0 : window_.back();
+}
+
+}  // namespace gc

@@ -1,0 +1,47 @@
+// Arrival-rate estimation from per-tick measurements.
+//
+// The simulator hands controllers a raw rate (arrivals / short period);
+// these estimators smooth it.  All are causal and O(1) or O(window).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+namespace gc {
+
+// Exponentially weighted moving average with smoothing factor `alpha`
+// (weight of the newest observation).
+class EwmaEstimator {
+ public:
+  explicit EwmaEstimator(double alpha);
+
+  void observe(double value) noexcept;
+  [[nodiscard]] double value() const noexcept { return value_; }
+  [[nodiscard]] bool primed() const noexcept { return primed_; }
+  void reset() noexcept;
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool primed_ = false;
+};
+
+// Sliding window keeping the last `capacity` observations; exposes mean and
+// max (the max is what a conservative provisioner wants).
+class SlidingWindowEstimator {
+ public:
+  explicit SlidingWindowEstimator(std::size_t capacity);
+
+  void observe(double value);
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+  [[nodiscard]] double last() const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return window_.size(); }
+  void reset() noexcept { window_.clear(); }
+
+ private:
+  std::size_t capacity_;
+  std::deque<double> window_;
+};
+
+}  // namespace gc

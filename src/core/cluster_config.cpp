@@ -1,0 +1,42 @@
+#include "core/cluster_config.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gc {
+
+const char* to_string(PerfModel model) noexcept {
+  switch (model) {
+    case PerfModel::kMm1PerServer: return "mm1-per-server";
+    case PerfModel::kMmcCluster: return "mmc-cluster";
+  }
+  return "?";
+}
+
+void ClusterConfig::validate() const {
+  if (max_servers == 0) throw std::invalid_argument("ClusterConfig: max_servers == 0");
+  if (min_servers == 0 || min_servers > max_servers) {
+    throw std::invalid_argument("ClusterConfig: need 1 <= min_servers <= max_servers");
+  }
+  if (!(mu_max > 0.0) || !std::isfinite(mu_max)) {
+    throw std::invalid_argument("ClusterConfig: mu_max must be > 0");
+  }
+  if (!(t_ref_s > 0.0) || !std::isfinite(t_ref_s)) {
+    throw std::invalid_argument("ClusterConfig: t_ref_s must be > 0");
+  }
+  if (1.0 / mu_max >= t_ref_s) {
+    // Even an idle server at full speed takes 1/mu_max on average; the SLA
+    // must leave some headroom or no operating point exists.
+    throw std::invalid_argument("ClusterConfig: t_ref must exceed 1/mu_max");
+  }
+  if (!(transition.boot_delay_s >= 0.0 && transition.shutdown_delay_s >= 0.0)) {
+    throw std::invalid_argument("ClusterConfig: transition delays must be >= 0");
+  }
+  (void)PowerModel(power);  // throws if inconsistent
+}
+
+double ClusterConfig::max_feasible_arrival_rate() const {
+  return static_cast<double>(max_servers) * (mu_max - 1.0 / t_ref_s);
+}
+
+}  // namespace gc

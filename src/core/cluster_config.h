@@ -1,0 +1,43 @@
+// Cluster-wide configuration shared by the solver, controllers and
+// simulator.  This is "Table 1" of the reproduced paper: every default is
+// recorded in DESIGN.md / EXPERIMENTS.md and printed by bench/tab1.
+#pragma once
+
+#include <cstdint>
+
+#include "power/frequency_ladder.h"
+#include "power/power_model.h"
+
+namespace gc {
+
+// Which analytic performance model the solver inverts.
+enum class PerfModel : int {
+  kMm1PerServer = 0,  // the paper's model: even split, M/M/1 per server
+  kMmcCluster = 1,    // M/M/c central-queue bound (less conservative)
+};
+[[nodiscard]] const char* to_string(PerfModel model) noexcept;
+
+struct ClusterConfig {
+  unsigned max_servers = 64;        // M: cluster size
+  double mu_max = 40.0;             // jobs/s one server completes at s = 1
+  double t_ref_s = 0.10;            // mean-response-time guarantee (100 ms)
+  PowerModelParams power = {};      // see power/power_model.h
+  FrequencyLadder ladder = FrequencyLadder::default_ladder();
+  TransitionModel transition = {};  // boot/shutdown delays
+  PerfModel perf_model = PerfModel::kMm1PerServer;
+  unsigned min_servers = 1;         // never shut the whole cluster down
+
+  // Validation: throws std::invalid_argument on inconsistent settings.
+  void validate() const;
+
+  // Largest arrival rate that is feasible at all (all M servers at s = 1
+  // while still meeting t_ref): λ_max = M (μ_max − 1/t_ref) under M/M/1.
+  [[nodiscard]] double max_feasible_arrival_rate() const;
+
+  // Shorthand: cluster capacity M·μ_max ignoring the SLA.
+  [[nodiscard]] double raw_capacity() const {
+    return static_cast<double>(max_servers) * mu_max;
+  }
+};
+
+}  // namespace gc

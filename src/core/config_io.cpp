@@ -1,0 +1,161 @@
+#include "core/config_io.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "core/hetero.h"
+#include "util/format.h"
+#include "util/string_util.h"
+
+namespace gc {
+
+ClusterConfig cluster_config_from_ini(const IniFile& ini) {
+  ClusterConfig config;
+  config.max_servers = static_cast<unsigned>(
+      ini.get_int_or("cluster", "max_servers", config.max_servers));
+  config.mu_max = ini.get_double_or("cluster", "mu_max", config.mu_max);
+  config.t_ref_s =
+      ini.get_double_or("cluster", "t_ref_ms", config.t_ref_s * 1e3) / 1e3;
+  config.min_servers = static_cast<unsigned>(
+      ini.get_int_or("cluster", "min_servers", config.min_servers));
+  const std::string model = to_lower(ini.get_or("cluster", "perf_model", "mm1"));
+  if (model == "mm1") {
+    config.perf_model = PerfModel::kMm1PerServer;
+  } else if (model == "mmc") {
+    config.perf_model = PerfModel::kMmcCluster;
+  } else {
+    throw std::runtime_error(gc::format("config: unknown perf_model '{}'", model));
+  }
+
+  config.power.p_idle_watts =
+      ini.get_double_or("power", "p_idle_w", config.power.p_idle_watts);
+  config.power.p_max_watts =
+      ini.get_double_or("power", "p_max_w", config.power.p_max_watts);
+  config.power.p_off_watts =
+      ini.get_double_or("power", "p_off_w", config.power.p_off_watts);
+  config.power.alpha = ini.get_double_or("power", "alpha", config.power.alpha);
+  config.power.utilization_gated =
+      ini.get_bool_or("power", "utilization_gated", config.power.utilization_gated);
+
+  if (const auto levels = ini.get("ladder", "levels_ghz")) {
+    std::vector<double> ghz;
+    for (const auto piece : split(*levels, ' ')) {
+      const auto trimmed = trim(piece);
+      if (trimmed.empty()) continue;
+      const auto value = parse_double(trimmed);
+      if (!value) {
+        throw std::runtime_error(
+            gc::format("config: bad ladder level '{}'", std::string(trimmed)));
+      }
+      ghz.push_back(*value);
+    }
+    config.ladder = FrequencyLadder(std::move(ghz));
+  } else if (const auto min_speed = ini.get("ladder", "continuous_min_speed")) {
+    const auto value = parse_double(*min_speed);
+    if (!value) throw std::runtime_error("config: bad continuous_min_speed");
+    config.ladder = FrequencyLadder::continuous(*value);
+  }
+
+  config.transition.boot_delay_s =
+      ini.get_double_or("transition", "boot_delay_s", config.transition.boot_delay_s);
+  config.transition.shutdown_delay_s = ini.get_double_or(
+      "transition", "shutdown_delay_s", config.transition.shutdown_delay_s);
+
+  config.validate();
+  return config;
+}
+
+DcpParams dcp_params_from_ini(const IniFile& ini) {
+  DcpParams dcp;
+  dcp.long_period_s = ini.get_double_or("dcp", "long_period_s", dcp.long_period_s);
+  dcp.short_period_s = ini.get_double_or("dcp", "short_period_s", dcp.short_period_s);
+  dcp.safety_margin = ini.get_double_or("dcp", "safety_margin", dcp.safety_margin);
+  dcp.scale_down_patience = static_cast<unsigned>(
+      ini.get_int_or("dcp", "scale_down_patience", dcp.scale_down_patience));
+  dcp.auto_patience_from_break_even = ini.get_bool_or(
+      "dcp", "auto_patience_from_break_even", dcp.auto_patience_from_break_even);
+  dcp.validate();
+  return dcp;
+}
+
+HeteroConfig hetero_config_from_ini(const IniFile& ini) {
+  HeteroConfig config;
+  config.t_ref_s = ini.get_double_or("cluster", "t_ref_ms", 100.0) / 1e3;
+  for (const std::string& section : ini.section_names()) {
+    if (!starts_with(section, "class ")) continue;
+    ServerClass sc;
+    sc.name = std::string(trim(std::string_view(section).substr(6)));
+    sc.count = static_cast<unsigned>(ini.get_int_or(section, "count", 0));
+    sc.mu_max = ini.get_double_or(section, "mu_max", sc.mu_max);
+    sc.power.p_idle_watts = ini.get_double_or(section, "p_idle_w", sc.power.p_idle_watts);
+    sc.power.p_max_watts = ini.get_double_or(section, "p_max_w", sc.power.p_max_watts);
+    sc.power.p_off_watts = ini.get_double_or(section, "p_off_w", sc.power.p_off_watts);
+    sc.power.alpha = ini.get_double_or(section, "alpha", sc.power.alpha);
+    sc.power.utilization_gated =
+        ini.get_bool_or(section, "utilization_gated", sc.power.utilization_gated);
+    if (const auto levels = ini.get(section, "levels_ghz")) {
+      std::vector<double> ghz;
+      for (const auto piece : split(*levels, ' ')) {
+        const auto trimmed = trim(piece);
+        if (trimmed.empty()) continue;
+        const auto value = parse_double(trimmed);
+        if (!value) {
+          throw std::runtime_error(
+              gc::format("config: bad ladder level '{}'", std::string(trimmed)));
+        }
+        ghz.push_back(*value);
+      }
+      sc.ladder = FrequencyLadder(std::move(ghz));
+    }
+    config.classes.push_back(std::move(sc));
+  }
+  if (config.classes.empty()) {
+    throw std::runtime_error("config: no [class NAME] sections for a hetero fleet");
+  }
+  config.validate();
+  return config;
+}
+
+IniFile to_ini(const ClusterConfig& config, const DcpParams& dcp) {
+  IniFile ini;
+  ini.set("cluster", "max_servers", gc::format("{}", config.max_servers));
+  ini.set("cluster", "mu_max", gc::format("{:.9g}", config.mu_max));
+  ini.set("cluster", "t_ref_ms", gc::format("{:.9g}", config.t_ref_s * 1e3));
+  ini.set("cluster", "min_servers", gc::format("{}", config.min_servers));
+  ini.set("cluster", "perf_model",
+          config.perf_model == PerfModel::kMm1PerServer ? "mm1" : "mmc");
+
+  ini.set("power", "p_idle_w", gc::format("{:.9g}", config.power.p_idle_watts));
+  ini.set("power", "p_max_w", gc::format("{:.9g}", config.power.p_max_watts));
+  ini.set("power", "p_off_w", gc::format("{:.9g}", config.power.p_off_watts));
+  ini.set("power", "alpha", gc::format("{:.9g}", config.power.alpha));
+  ini.set("power", "utilization_gated",
+          config.power.utilization_gated ? "true" : "false");
+
+  if (config.ladder.is_continuous()) {
+    ini.set("ladder", "continuous_min_speed",
+            gc::format("{:.9g}", config.ladder.min_speed()));
+  } else {
+    std::ostringstream levels;
+    for (std::size_t i = 0; i < config.ladder.num_levels(); ++i) {
+      if (i != 0) levels << ' ';
+      levels << gc::format("{:.9g}", config.ladder.levels_ghz()[i]);
+    }
+    ini.set("ladder", "levels_ghz", levels.str());
+  }
+
+  ini.set("transition", "boot_delay_s",
+          gc::format("{:.9g}", config.transition.boot_delay_s));
+  ini.set("transition", "shutdown_delay_s",
+          gc::format("{:.9g}", config.transition.shutdown_delay_s));
+
+  ini.set("dcp", "long_period_s", gc::format("{:.9g}", dcp.long_period_s));
+  ini.set("dcp", "short_period_s", gc::format("{:.9g}", dcp.short_period_s));
+  ini.set("dcp", "safety_margin", gc::format("{:.9g}", dcp.safety_margin));
+  ini.set("dcp", "scale_down_patience", gc::format("{}", dcp.scale_down_patience));
+  ini.set("dcp", "auto_patience_from_break_even",
+          dcp.auto_patience_from_break_even ? "true" : "false");
+  return ini;
+}
+
+}  // namespace gc

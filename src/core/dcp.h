@@ -1,0 +1,98 @@
+// Double Control Periods (DCP) planning math.
+//
+// VOVF transitions are slow (a server boot takes tens of seconds to
+// minutes) and costly (full power, zero service).  The paper's remedy is
+// two timescales:
+//
+//   * every long period T_L: re-provision the server count using the load
+//     *predicted* over the next horizon — which must include the boot
+//     delay, so capacity ordered now is ready when the load arrives — with
+//     a multiplicative safety margin and scale-down hysteresis;
+//   * every short period T_S (T_S << T_L): re-fit only the frequency to
+//     the currently observed load, with the server count pinned.
+//
+// `DcpPlanner` is stateless with respect to time; the hysteresis gate and
+// period bookkeeping live in the controller (control/policies.h).
+#pragma once
+
+#include "core/cluster_config.h"
+#include "core/operating_point.h"
+#include "core/provisioner.h"
+
+namespace gc {
+
+struct DcpParams {
+  double long_period_s = 300.0;
+  double short_period_s = 30.0;
+  // Predicted load is multiplied by this before solving; absorbs predictor
+  // error and the mean-vs-peak gap inside a long period.
+  double safety_margin = 1.15;
+  // Number of consecutive long periods that must request a smaller m
+  // before any server is switched off (1 = shrink immediately).
+  unsigned scale_down_patience = 2;
+  // When true, the patience is raised (never lowered) to cover the VOVF
+  // break-even time ceil(t_be / T_L): a downturn must persist long enough
+  // that shutting down actually saves energy (power/power_model.h).
+  bool auto_patience_from_break_even = false;
+
+  void validate() const;
+};
+
+// The patience a controller should actually use: the configured value,
+// optionally raised to the break-even horizon.
+[[nodiscard]] unsigned effective_patience(const DcpParams& params,
+                                          const TransitionModel& transition,
+                                          const PowerModel& power_model);
+
+class DcpPlanner {
+ public:
+  DcpPlanner(const Provisioner* provisioner, DcpParams params);
+
+  [[nodiscard]] const DcpParams& params() const noexcept { return params_; }
+
+  // The prediction horizon a long-period decision must cover: the period
+  // itself plus the boot delay of the capacity it orders.
+  [[nodiscard]] double prediction_horizon() const noexcept;
+
+  // Long-period decision: target active-server count for predicted rate
+  // `predicted_rate` (already a per-horizon aggregate, e.g. the predictor's
+  // max or mean — the caller chooses the predictor).
+  [[nodiscard]] unsigned plan_servers(double predicted_rate) const;
+
+  // Short-period decision: cheapest feasible common speed for the servers
+  // that are actually serving right now.
+  [[nodiscard]] OperatingPoint plan_speed(double current_rate, unsigned serving) const;
+
+  // Backlog-aware variant: also budgets capacity to drain excess queued
+  // work within `drain_horizon_s`.  Under the M/M/1 design model, Little's
+  // law puts the on-target job count at rate * t_ref; anything above that
+  // is backlog the plain short tick would ignore (it only sees the arrival
+  // rate), which is how a reactive controller stays saturated after a
+  // burst.  The effective planning rate becomes
+  //     rate + max(0, jobs_in_system - rate * t_ref) / drain_horizon_s.
+  [[nodiscard]] OperatingPoint plan_speed_with_backlog(double current_rate,
+                                                       unsigned serving,
+                                                       double jobs_in_system,
+                                                       double drain_horizon_s) const;
+
+ private:
+  const Provisioner* provisioner_;  // non-owning; outlives the planner
+  DcpParams params_;
+};
+
+// Scale-down hysteresis: `propose` returns the gated target.  Increases
+// pass through immediately (the guarantee is at risk); decreases must be
+// proposed `patience` consecutive times.
+class HysteresisGate {
+ public:
+  explicit HysteresisGate(unsigned patience);
+
+  [[nodiscard]] unsigned propose(unsigned current, unsigned target);
+  void reset() noexcept { streak_ = 0; }
+
+ private:
+  unsigned patience_;
+  unsigned streak_ = 0;
+};
+
+}  // namespace gc

@@ -1,0 +1,25 @@
+// The solver's output: a cluster operating point (m active servers, common
+// normalized speed s) with its predicted steady-state cost and performance.
+#pragma once
+
+namespace gc {
+
+struct OperatingPoint {
+  unsigned servers = 0;          // m: active (ON) servers
+  double speed = 1.0;            // s = f/f_max, common to all active servers
+  double power_watts = 0.0;      // expected cluster power incl. (M-m) off draw
+  double response_time_s = 0.0;  // predicted mean response time
+  double utilization = 0.0;      // per-server ρ = λ/(m·s·μ_max)
+  bool feasible = false;         // meets the t_ref guarantee and stability
+
+  // Strict-weak-order on cost used by the solvers: lower power wins; ties
+  // prefer fewer servers (less VOVF churn), then lower speed.
+  [[nodiscard]] bool better_than(const OperatingPoint& other) const noexcept {
+    if (feasible != other.feasible) return feasible;
+    if (power_watts != other.power_watts) return power_watts < other.power_watts;
+    if (servers != other.servers) return servers < other.servers;
+    return speed < other.speed;
+  }
+};
+
+}  // namespace gc

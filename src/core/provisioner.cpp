@@ -1,0 +1,266 @@
+#include "core/provisioner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "queueing/mm1.h"
+#include "queueing/mmc.h"
+#include "util/assert.h"
+
+namespace gc {
+
+Provisioner::Provisioner(ClusterConfig config)
+    : config_(std::move(config)), power_model_(config_.power) {
+  config_.validate();
+}
+
+double Provisioner::response_time(double lambda, unsigned m, double s) const {
+  const double mu = s * config_.mu_max;
+  switch (config_.perf_model) {
+    case PerfModel::kMm1PerServer: {
+      const double per_server = lambda / static_cast<double>(m);
+      if (!mm1::stable(per_server, mu)) return std::numeric_limits<double>::infinity();
+      return mm1::mean_response_time(per_server, mu);
+    }
+    case PerfModel::kMmcCluster: {
+      if (!mmc::stable(lambda, mu, m)) return std::numeric_limits<double>::infinity();
+      return mmc::mean_response_time(lambda, mu, m);
+    }
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+std::optional<double> Provisioner::min_speed(double lambda, unsigned m) const {
+  GC_CHECK(m >= 1 && m <= config_.max_servers, "min_speed: m out of range");
+  GC_CHECK(lambda >= 0.0, "min_speed: negative arrival rate");
+  switch (config_.perf_model) {
+    case PerfModel::kMm1PerServer: {
+      // Closed form: s ≥ (λ/m + 1/t_ref) / μ_max.
+      const double s = (lambda / static_cast<double>(m) + 1.0 / config_.t_ref_s) /
+                       config_.mu_max;
+      if (s > 1.0 + 1e-12) return std::nullopt;
+      return std::min(s, 1.0);
+    }
+    case PerfModel::kMmcCluster: {
+      // Response time is strictly decreasing in s; bisect.
+      if (response_time(lambda, m, 1.0) > config_.t_ref_s) return std::nullopt;
+      double lo = 0.0;
+      double hi = 1.0;
+      for (int it = 0; it < 64; ++it) {
+        const double mid = 0.5 * (lo + hi);
+        if (mid <= 0.0) break;
+        if (response_time(lambda, m, mid) <= config_.t_ref_s) {
+          hi = mid;
+        } else {
+          lo = mid;
+        }
+      }
+      return hi;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<unsigned> Provisioner::min_feasible_servers(double lambda) const {
+  unsigned lo = config_.min_servers;
+  if (config_.perf_model == PerfModel::kMm1PerServer) {
+    // Closed form start: m ≥ λ / (μ_max − 1/t_ref).
+    const double denom = config_.mu_max - 1.0 / config_.t_ref_s;
+    const double m_real = lambda / denom;
+    lo = std::max(lo, static_cast<unsigned>(std::ceil(m_real - 1e-9)));
+  }
+  for (unsigned m = std::max(lo, 1u); m <= config_.max_servers; ++m) {
+    if (min_speed(lambda, m).has_value()) return m;
+  }
+  return std::nullopt;
+}
+
+OperatingPoint Provisioner::evaluate(double lambda, unsigned m, double s) const {
+  GC_CHECK(m >= 1 && m <= config_.max_servers, "evaluate: m out of range");
+  GC_CHECK(s > 0.0 && s <= 1.0 + 1e-12, "evaluate: speed out of (0,1]");
+  OperatingPoint pt;
+  pt.servers = m;
+  pt.speed = std::min(s, 1.0);
+  const double capacity = static_cast<double>(m) * pt.speed * config_.mu_max;
+  pt.utilization = capacity > 0.0 ? std::min(lambda / capacity, 1.0) : 1.0;
+  pt.response_time_s = response_time(lambda, m, pt.speed);
+  pt.feasible = std::isfinite(pt.response_time_s) &&
+                pt.response_time_s <= config_.t_ref_s * (1.0 + 1e-9);
+  const double active = static_cast<double>(m) *
+                        power_model_.expected_power(pt.speed, pt.utilization);
+  const double off = static_cast<double>(config_.max_servers - m) *
+                     power_model_.off_power();
+  pt.power_watts = active + off;
+  return pt;
+}
+
+OperatingPoint Provisioner::best_speed_for(double lambda, unsigned m) const {
+  const auto s_cont = min_speed(lambda, m);
+  if (!s_cont) {
+    OperatingPoint pt = evaluate(lambda, m, 1.0);
+    pt.feasible = false;
+    return pt;
+  }
+  return evaluate(lambda, m, config_.ladder.round_up(*s_cont));
+}
+
+OperatingPoint Provisioner::best_effort(double lambda) const {
+  OperatingPoint pt = evaluate(lambda, config_.max_servers, 1.0);
+  pt.feasible = false;
+  return pt;
+}
+
+OperatingPoint Provisioner::scan_range(double lambda, unsigned lo, unsigned hi) const {
+  OperatingPoint best;
+  bool have_best = false;
+  for (unsigned m = lo; m <= hi; ++m) {
+    const auto s = min_speed(lambda, m);
+    if (!s) continue;
+    const OperatingPoint pt = evaluate(lambda, m, config_.ladder.round_up(*s));
+    if (!pt.feasible) continue;  // ladder floor can overshoot only upward, but guard
+    if (!have_best || pt.better_than(best)) {
+      best = pt;
+      have_best = true;
+    }
+  }
+  if (!have_best) return best_effort(lambda);
+  return best;
+}
+
+OperatingPoint Provisioner::solve(double lambda) const {
+  GC_CHECK(lambda >= 0.0 && std::isfinite(lambda), "solve: bad lambda");
+  const auto m_min = min_feasible_servers(lambda);
+  if (!m_min) return best_effort(lambda);
+  return scan_range(lambda, *m_min, config_.max_servers);
+}
+
+double Provisioner::relaxed_power(double lambda, double m_real) const {
+  GC_CHECK(config_.perf_model == PerfModel::kMm1PerServer,
+           "relaxed_power: M/M/1 model only");
+  GC_CHECK(m_real > 0.0, "relaxed_power: m must be positive");
+  const double s =
+      std::clamp((lambda / m_real + 1.0 / config_.t_ref_s) / config_.mu_max,
+                 config_.ladder.min_speed(), 1.0);
+  const PowerModelParams& p = config_.power;
+  const double dyn_range = p.p_max_watts - p.p_idle_watts;
+  double active;
+  if (p.utilization_gated) {
+    // m · [P_idle + ΔP s^α ρ] with ρ = λ/(m s μ):
+    //   = m P_idle + ΔP (λ/μ) s^(α-1).
+    active = m_real * p.p_idle_watts +
+             dyn_range * (lambda / config_.mu_max) * std::pow(s, p.alpha - 1.0);
+  } else {
+    active = m_real * (p.p_idle_watts + dyn_range * std::pow(s, p.alpha));
+  }
+  const double off = (static_cast<double>(config_.max_servers) - m_real) * p.p_off_watts;
+  return active + off;
+}
+
+ContinuousSolution Provisioner::solve_continuous(double lambda) const {
+  ContinuousSolution sol;
+  if (config_.perf_model != PerfModel::kMm1PerServer) {
+    const OperatingPoint pt = solve(lambda);
+    sol.servers = static_cast<double>(pt.servers);
+    sol.speed = pt.speed;
+    sol.power_watts = pt.power_watts;
+    sol.feasible = pt.feasible;
+    return sol;
+  }
+  // Feasible m range in the reals: s_min(m) <= 1 requires
+  // m >= λ / (μ_max − 1/t_ref); cap at M.
+  const double denom = config_.mu_max - 1.0 / config_.t_ref_s;
+  const double m_lo = std::max(lambda / denom, static_cast<double>(config_.min_servers));
+  const double m_hi = static_cast<double>(config_.max_servers);
+  if (m_lo > m_hi + 1e-9) {
+    sol.feasible = false;
+    const OperatingPoint pt = best_effort(lambda);
+    sol.servers = static_cast<double>(pt.servers);
+    sol.speed = pt.speed;
+    sol.power_watts = pt.power_watts;
+    return sol;
+  }
+  // The relaxation is convex in m (DESIGN.md §1.1): golden-section search.
+  constexpr double kPhi = 0.6180339887498949;
+  double a = std::min(m_lo, m_hi);
+  double b = m_hi;
+  double x1 = b - kPhi * (b - a);
+  double x2 = a + kPhi * (b - a);
+  double f1 = relaxed_power(lambda, x1);
+  double f2 = relaxed_power(lambda, x2);
+  for (int it = 0; it < 200 && (b - a) > 1e-10 * std::max(1.0, b); ++it) {
+    if (f1 <= f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kPhi * (b - a);
+      f1 = relaxed_power(lambda, x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kPhi * (b - a);
+      f2 = relaxed_power(lambda, x2);
+    }
+  }
+  sol.servers = 0.5 * (a + b);
+  sol.speed = std::clamp(
+      (lambda / sol.servers + 1.0 / config_.t_ref_s) / config_.mu_max,
+      config_.ladder.min_speed(), 1.0);
+  sol.power_watts = relaxed_power(lambda, sol.servers);
+  sol.feasible = true;
+  return sol;
+}
+
+OperatingPoint Provisioner::solve_fast(double lambda) const {
+  GC_CHECK(lambda >= 0.0 && std::isfinite(lambda), "solve_fast: bad lambda");
+  const auto m_min = min_feasible_servers(lambda);
+  if (!m_min) return best_effort(lambda);
+  if (config_.perf_model != PerfModel::kMm1PerServer) {
+    // No closed form for m(s) under the Erlang-C model; the full scan is
+    // already O(M log M)-ish and M is small in practice.
+    return scan_range(lambda, *m_min, config_.max_servers);
+  }
+  if (config_.ladder.is_continuous()) {
+    // Convex relaxation + integer neighborhood (the clamped objective is
+    // convex in m, so floor/ceil of the relaxed optimum bracket it; a ±3
+    // window also absorbs the golden-section tolerance).
+    const ContinuousSolution relaxed = solve_continuous(lambda);
+    const auto center = static_cast<long>(std::llround(relaxed.servers));
+    const long lo = std::max<long>(static_cast<long>(*m_min), center - 3);
+    const long hi = std::min<long>(static_cast<long>(config_.max_servers), center + 3);
+    return scan_range(lambda, static_cast<unsigned>(lo), static_cast<unsigned>(hi));
+  }
+  // Discrete ladder: the optimum runs at some level s_k, and for a fixed
+  // speed the cluster cost is increasing in m (both gated and ungated
+  // power laws), so the best m for level k is the *smallest* feasible one:
+  //     s_min(m) <= s_k  <=>  m >= lambda / (s_k * mu_max - 1/t_ref).
+  // Evaluating one candidate per level is exact and O(K).
+  OperatingPoint best;
+  bool found = false;
+  for (std::size_t k = 0; k < config_.ladder.num_levels(); ++k) {
+    const double s = config_.ladder.speed_of_level(k);
+    const double slack = s * config_.mu_max - 1.0 / config_.t_ref_s;
+    unsigned m = config_.min_servers;
+    if (lambda > 0.0) {
+      if (!(slack > 0.0)) continue;  // this level cannot meet t_ref at any m
+      const double m_real = lambda / slack;
+      if (m_real > static_cast<double>(config_.max_servers)) continue;
+      m = std::max(config_.min_servers,
+                   static_cast<unsigned>(std::ceil(m_real - 1e-9)));
+    } else if (!(slack >= 0.0)) {
+      continue;  // even an empty server misses t_ref at this speed
+    }
+    if (m > config_.max_servers) continue;
+    const OperatingPoint pt = evaluate(lambda, m, s);
+    if (!pt.feasible) continue;
+    if (!found || pt.better_than(best)) {
+      best = pt;
+      found = true;
+    }
+  }
+  if (!found) return best_effort(lambda);
+  return best;
+}
+
+}  // namespace gc

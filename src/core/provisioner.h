@@ -1,0 +1,88 @@
+// The joint DVFS + VOVF solver — the paper's core contribution.
+//
+// Problem: given arrival rate λ, pick the number of active servers m and a
+// common normalized speed s minimizing expected cluster power subject to
+// the mean-response-time guarantee E[T] <= t_ref.
+//
+// Structure exploited (DESIGN.md §1.1): for any feasible m, expected power
+// is increasing in s, so the optimum runs at the *minimal feasible speed*
+//
+//     s_min(m) = (λ/m + 1/t_ref) / μ_max          (M/M/1 model)
+//
+// leaving a one-dimensional problem over m whose continuous relaxation is
+// convex.  Three solvers are provided and cross-checked by property tests:
+//
+//   * solve()            — exact linear scan over m (the reference),
+//   * solve_fast()       — ternary search on the relaxation + local exact
+//                          refinement (O(log M) evaluations),
+//   * solve_continuous() — the continuous relaxation itself (analysis).
+//
+// Discrete frequency ladders are handled by rounding s_min up to the next
+// level before costing (round-up preserves feasibility; power
+// monotonicity in s makes it optimal among ladder points for that m).
+#pragma once
+
+#include <optional>
+
+#include "core/cluster_config.h"
+#include "core/operating_point.h"
+
+namespace gc {
+
+struct ContinuousSolution {
+  double servers = 0.0;  // relaxed m*
+  double speed = 0.0;    // s_min(m*)
+  double power_watts = 0.0;
+  bool feasible = false;
+};
+
+class Provisioner {
+ public:
+  // Validates the config (throws std::invalid_argument on bad settings).
+  explicit Provisioner(ClusterConfig config);
+
+  [[nodiscard]] const ClusterConfig& config() const noexcept { return config_; }
+
+  // Minimal continuous speed for m active servers to meet t_ref under the
+  // configured performance model; nullopt if infeasible even at s = 1.
+  [[nodiscard]] std::optional<double> min_speed(double lambda, unsigned m) const;
+
+  // Smallest m that is feasible at s = 1 (respecting config.min_servers).
+  // nullopt if even m = max_servers cannot meet the guarantee.
+  [[nodiscard]] std::optional<unsigned> min_feasible_servers(double lambda) const;
+
+  // Predicted steady state at a given (m, s); `feasible` reflects both
+  // stability and the t_ref guarantee.  Power includes the off draw of the
+  // (M - m) inactive servers.
+  [[nodiscard]] OperatingPoint evaluate(double lambda, unsigned m, double s) const;
+
+  // Cheapest feasible speed (on the ladder) for a *fixed* m — the
+  // short-period DVFS step.  If no feasible speed exists the point is
+  // returned with s = 1 and feasible = false (best effort under overload).
+  [[nodiscard]] OperatingPoint best_speed_for(double lambda, unsigned m) const;
+
+  // Exact solver: scans every m in [m_min, M].  Falls back to the
+  // best-effort point (all servers, s = 1) when λ exceeds cluster
+  // feasibility.
+  [[nodiscard]] OperatingPoint solve(double lambda) const;
+
+  // O(log M) solver; agrees with solve() (see tests/test_provisioner.cpp).
+  [[nodiscard]] OperatingPoint solve_fast(double lambda) const;
+
+  // Continuous relaxation over real-valued m (M/M/1 model only; the MMC
+  // model has no smooth relaxation and falls back to the scan result).
+  [[nodiscard]] ContinuousSolution solve_continuous(double lambda) const;
+
+  // Expected cluster power at the relaxed objective, exposed for tests.
+  [[nodiscard]] double relaxed_power(double lambda, double m_real) const;
+
+ private:
+  [[nodiscard]] double response_time(double lambda, unsigned m, double s) const;
+  [[nodiscard]] OperatingPoint best_effort(double lambda) const;
+  [[nodiscard]] OperatingPoint scan_range(double lambda, unsigned lo, unsigned hi) const;
+
+  ClusterConfig config_;
+  PowerModel power_model_;
+};
+
+}  // namespace gc

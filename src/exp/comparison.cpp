@@ -1,0 +1,92 @@
+#include "exp/comparison.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace gc {
+
+ComparisonRow make_row(const std::string& scenario_name, PolicyKind policy,
+                       const SimResult& result, double npm_energy_j, double t_ref_s) {
+  ComparisonRow row;
+  row.scenario = scenario_name;
+  row.policy = policy;
+  row.energy_kwh = result.energy.total_j() / 3.6e6;
+  row.savings_vs_npm_pct =
+      npm_energy_j > 0.0
+          ? (1.0 - result.energy.total_j() / npm_energy_j) * 100.0
+          : 0.0;
+  row.mean_response_ms = result.mean_response_s * 1e3;
+  row.p95_response_ms = result.p95_response_s * 1e3;
+  row.job_violation_pct = result.job_violation_ratio * 100.0;
+  row.sla_met = result.sla_met(t_ref_s);
+  row.mean_serving = result.mean_serving;
+  row.mean_speed = result.mean_speed;
+  row.boots_per_hour =
+      result.sim_time_s > 0.0
+          ? static_cast<double>(result.boots) / (result.sim_time_s / 3600.0)
+          : 0.0;
+  return row;
+}
+
+std::vector<ComparisonRow> compare_policies(const Scenario& scenario,
+                                            const RunSpec& base_spec,
+                                            const std::vector<PolicyKind>& policies) {
+  std::vector<PolicyKind> all = policies;
+  if (std::find(all.begin(), all.end(), PolicyKind::kNpm) == all.end()) {
+    all.insert(all.begin(), PolicyKind::kNpm);
+  }
+  std::vector<Cell> cells;
+  cells.reserve(all.size());
+  for (const PolicyKind policy : all) {
+    Cell cell{scenario, base_spec};
+    cell.spec.policy = policy;
+    cells.push_back(std::move(cell));
+  }
+  const std::vector<SimResult> results = run_all(cells);
+
+  double npm_energy = 0.0;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (all[i] == PolicyKind::kNpm) npm_energy = results[i].energy.total_j();
+  }
+
+  std::vector<ComparisonRow> rows;
+  rows.reserve(all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    rows.push_back(make_row(scenario.name, all[i], results[i], npm_energy,
+                            base_spec.config.t_ref_s));
+  }
+  return rows;
+}
+
+TablePrinter comparison_table(std::string title, const std::vector<ComparisonRow>& rows) {
+  TablePrinter table(std::move(title));
+  table.column("scenario")
+      .column("policy")
+      .column("energy", {.precision = 2, .unit = "kWh"})
+      .column("savings", {.precision = 1, .unit = "% vs NPM"})
+      .column("mean T", {.precision = 1, .unit = "ms"})
+      .column("p95 T", {.precision = 1, .unit = "ms"})
+      .column("viol", {.precision = 2, .unit = "% jobs"})
+      .column("SLA")
+      .column("avg m", {.precision = 1})
+      .column("avg s", {.precision = 2})
+      .column("boots", {.precision = 1, .unit = "/h"});
+  for (const ComparisonRow& row : rows) {
+    table.row()
+        .cell(row.scenario)
+        .cell(to_string(row.policy))
+        .cell(row.energy_kwh)
+        .cell(row.savings_vs_npm_pct)
+        .cell(row.mean_response_ms)
+        .cell(row.p95_response_ms)
+        .cell(row.job_violation_pct)
+        .cell(row.sla_met ? "yes" : "NO")
+        .cell(row.mean_serving)
+        .cell(row.mean_speed)
+        .cell(row.boots_per_hour);
+  }
+  return table;
+}
+
+}  // namespace gc

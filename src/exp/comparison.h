@@ -1,0 +1,44 @@
+// Policy-comparison aggregation: turns SimResults into the rows the
+// paper-style tables report (energy, savings vs NPM, SLA compliance).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "control/policies.h"
+#include "exp/runner.h"
+#include "sim/metrics.h"
+#include "util/table.h"
+
+namespace gc {
+
+struct ComparisonRow {
+  std::string scenario;
+  PolicyKind policy = PolicyKind::kNpm;
+  double energy_kwh = 0.0;
+  double savings_vs_npm_pct = 0.0;  // 0 for NPM itself
+  double mean_response_ms = 0.0;
+  double p95_response_ms = 0.0;
+  double job_violation_pct = 0.0;
+  bool sla_met = false;
+  double mean_serving = 0.0;
+  double mean_speed = 0.0;
+  double boots_per_hour = 0.0;
+};
+
+// Runs every policy in `policies` on `scenario` (same seed: every policy
+// sees an identically distributed workload stream) and computes savings
+// against the NPM row, which is added automatically if absent.
+[[nodiscard]] std::vector<ComparisonRow> compare_policies(
+    const Scenario& scenario, const RunSpec& base_spec,
+    const std::vector<PolicyKind>& policies);
+
+// Renders rows into the standard comparison table.
+[[nodiscard]] TablePrinter comparison_table(std::string title,
+                                            const std::vector<ComparisonRow>& rows);
+
+[[nodiscard]] ComparisonRow make_row(const std::string& scenario_name, PolicyKind policy,
+                                     const SimResult& result, double npm_energy_j,
+                                     double t_ref_s);
+
+}  // namespace gc

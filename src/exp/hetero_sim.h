@@ -1,0 +1,43 @@
+// Simulation validation for the heterogeneous provisioner.
+//
+// Pins a HeteroOperatingPoint on a grouped simulated cluster — per-class
+// counts, per-class speeds, load split by weighted-random routing (the
+// random split keeps every class-c server an exact M/M/1 with rate
+// x_c / n_c, matching the solver's model) — and measures what the solver
+// only predicted: per-class mean response time and cluster power.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/hetero.h"
+#include "sim/metrics.h"
+
+namespace gc {
+
+struct HeteroClassResult {
+  std::uint64_t completed = 0;
+  double mean_response_s = 0.0;
+  double predicted_response_s = 0.0;
+  double mean_power_w = 0.0;      // measured, including the class's off servers
+  double predicted_power_w = 0.0;
+};
+
+struct HeteroSimResult {
+  std::vector<HeteroClassResult> classes;
+  double mean_response_s = 0.0;   // overall
+  double mean_power_w = 0.0;      // cluster
+  std::uint64_t completed = 0;
+  std::uint64_t dropped = 0;
+  double sim_time_s = 0.0;
+};
+
+// Runs Poisson(λ) arrivals against the pinned operating point for
+// `horizon_s` seconds (after `warmup_s`).  `point` must be a feasible
+// solve(λ) result for `config`.
+[[nodiscard]] HeteroSimResult run_hetero_validation(const HeteroConfig& config,
+                                                    const HeteroOperatingPoint& point,
+                                                    double lambda, double horizon_s,
+                                                    double warmup_s, std::uint64_t seed);
+
+}  // namespace gc

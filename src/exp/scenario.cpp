@@ -1,0 +1,116 @@
+#include "exp/scenario.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/assert.h"
+#include "util/format.h"
+
+namespace gc {
+
+const char* to_string(ScenarioKind kind) noexcept {
+  switch (kind) {
+    case ScenarioKind::kConstant: return "constant";
+    case ScenarioKind::kDiurnal: return "diurnal";
+    case ScenarioKind::kFlashCrowd: return "flash-crowd";
+    case ScenarioKind::kWc98Like: return "wc98-like";
+  }
+  return "?";
+}
+
+Workload Scenario::make_workload(const ClusterConfig& config, std::uint64_t seed) const {
+  GC_CHECK(profile != nullptr, "Scenario: null profile");
+  return Workload::profile_exponential(profile, config.mu_max, horizon_s, seed);
+}
+
+Workload Scenario::make_workload_sized(Distribution job_size, std::uint64_t seed) const {
+  GC_CHECK(profile != nullptr, "Scenario: null profile");
+  return Workload::profile_sized(profile, std::move(job_size), horizon_s, seed);
+}
+
+Scenario make_scenario(ScenarioKind kind, const ClusterConfig& config, double level,
+                       std::uint64_t seed, double day_s) {
+  if (!(level > 0.0 && level <= 1.0)) {
+    throw std::invalid_argument("make_scenario: level must be in (0,1]");
+  }
+  if (!(day_s > 0.0)) throw std::invalid_argument("make_scenario: day_s must be > 0");
+  const double peak = level * config.max_feasible_arrival_rate();
+  const double kDay = day_s;
+
+  Scenario scenario;
+  switch (kind) {
+    case ScenarioKind::kConstant: {
+      scenario.profile = std::make_shared<ConstantRate>(peak);
+      scenario.horizon_s = kDay / 4.0;
+      break;
+    }
+    case ScenarioKind::kDiurnal: {
+      // Swings between ~10% and `level` of feasible capacity over a day.
+      const double lo = 0.1 * config.max_feasible_arrival_rate();
+      const double base = 0.5 * (peak + lo);
+      const double amplitude = 0.5 * (peak - lo);
+      // Phase T/4 puts sin(2π(0 - T/4)/T) = -1: the run starts at the
+      // trough (night) and climbs towards the midday peak.
+      scenario.profile = std::make_shared<SinusoidalRate>(
+          base, amplitude, kDay, /*phase_s=*/kDay * 0.25, /*floor=*/lo * 0.5);
+      scenario.horizon_s = kDay;
+      break;
+    }
+    case ScenarioKind::kFlashCrowd: {
+      const double lo = 0.1 * config.max_feasible_arrival_rate();
+      // Base sized so a 2.2x spike still stays near feasibility.
+      const double base_peak = peak / 2.2;
+      auto base = std::make_shared<SinusoidalRate>(
+          0.5 * (base_peak + lo), 0.5 * (base_peak - lo), kDay, kDay * 0.25, lo * 0.5);
+      std::vector<FlashCrowdRate::Spike> spikes;
+      Rng rng(seed, 21);
+      const double scale = kDay / 86400.0;
+      for (int i = 0; i < 3; ++i) {
+        FlashCrowdRate::Spike s;
+        s.start = (0.2 + 0.25 * i) * kDay + 600.0 * scale * rng.uniform01();
+        s.duration = (900.0 + 900.0 * rng.uniform01()) * scale;
+        s.factor = 2.2;
+        spikes.push_back(s);
+      }
+      scenario.profile = std::make_shared<FlashCrowdRate>(std::move(base), std::move(spikes));
+      scenario.horizon_s = kDay;
+      break;
+    }
+    case ScenarioKind::kWc98Like: {
+      scenario.profile = make_wc98_like_profile(peak, /*days=*/3.0, seed, kDay);
+      scenario.horizon_s = 3.0 * kDay;
+      break;
+    }
+  }
+  scenario.name = gc::format("{}@{:.0f}%", to_string(kind), level * 100.0);
+  return scenario;
+}
+
+ClusterConfig bench_cluster_config() {
+  ClusterConfig config;
+  config.max_servers = 16;
+  config.mu_max = 10.0;     // jobs/s at full speed
+  config.t_ref_s = 0.5;     // mean-response-time guarantee
+  config.min_servers = 1;
+  // The paper's power law: an ON server clocked at f draws c0 + c1·f^alpha
+  // regardless of instantaneous utilization (2010-era servers did not gate
+  // the clock).  Utilization-gated power is the F10 ablation.
+  config.power.utilization_gated = false;
+  // Transitions scaled with the compressed day (7200 s "day"): a 90 s boot
+  // on a real day corresponds to ~8 s here.
+  config.transition.boot_delay_s = 8.0;
+  config.transition.shutdown_delay_s = 2.0;
+  return config;
+}
+
+DcpParams bench_dcp_params() {
+  DcpParams dcp;
+  // 300 s / 30 s on a real day scale to 25 s / 5 s on the 7200 s day.
+  dcp.long_period_s = 25.0;
+  dcp.short_period_s = 5.0;
+  dcp.safety_margin = 1.15;
+  dcp.scale_down_patience = 2;
+  return dcp;
+}
+
+}  // namespace gc

@@ -1,0 +1,60 @@
+// Named workload scenarios used across the evaluation benches.
+//
+// Rates are expressed relative to the cluster's maximum feasible arrival
+// rate (ClusterConfig::max_feasible_arrival_rate) so that one scenario
+// definition works for any cluster size.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/cluster_config.h"
+#include "core/dcp.h"
+#include "workload/rate_profile.h"
+#include "workload/workload.h"
+
+namespace gc {
+
+enum class ScenarioKind : int {
+  kConstant = 0,    // flat load at `level` of feasible capacity
+  kDiurnal = 1,     // sinusoidal day: swings between ~10% and `level`
+  kFlashCrowd = 2,  // diurnal base plus 2x flash-crowd spikes
+  kWc98Like = 3,    // synthetic World-Cup-98-style multi-day trace
+};
+[[nodiscard]] const char* to_string(ScenarioKind kind) noexcept;
+
+struct Scenario {
+  std::string name;
+  std::shared_ptr<const RateProfile> profile;
+  double horizon_s = 0.0;
+
+  // Builds the NHPP-over-profile workload with exponential job sizes of
+  // rate config.mu_max (the model workload).
+  [[nodiscard]] Workload make_workload(const ClusterConfig& config,
+                                       std::uint64_t seed) const;
+
+  // Same arrivals, arbitrary job-size law (renormalized by the caller;
+  // usually Distribution::with_mean(1 / config.mu_max)).
+  [[nodiscard]] Workload make_workload_sized(Distribution job_size,
+                                             std::uint64_t seed) const;
+};
+
+// `level` in (0, 1]: peak load as a fraction of the maximum feasible rate.
+// `day_s` compresses the diurnal period (simulation-time scaling: control
+// periods and transition delays are scaled consistently by the bench
+// configs, so the dynamics are preserved while runs stay laptop-sized).
+[[nodiscard]] Scenario make_scenario(ScenarioKind kind, const ClusterConfig& config,
+                                     double level = 0.7, std::uint64_t seed = 1234,
+                                     double day_s = 7200.0);
+
+// The cluster configuration the bench harnesses use: 16 servers at
+// mu_max = 10 jobs/s with a 500 ms mean-response guarantee.  Small enough
+// that a compressed day simulates in seconds on one core; the *shapes* of
+// all results are scale-free (see EXPERIMENTS.md).
+[[nodiscard]] ClusterConfig bench_cluster_config();
+
+// DCP parameters matched to the compressed day of `make_scenario`.
+[[nodiscard]] DcpParams bench_dcp_params();
+
+}  // namespace gc

@@ -1,0 +1,51 @@
+// Energy accounting.
+//
+// The simulator reports *when* a server changes (state, speed, busy/idle);
+// the meter integrates power over the piecewise-constant segments and keeps
+// a per-category breakdown (busy / idle / transition / off) so the
+// experiment tables can attribute where the joules went.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "power/power_model.h"
+
+namespace gc {
+
+enum class PowerState : int { kOff = 0, kBooting = 1, kOn = 2, kShuttingDown = 3 };
+[[nodiscard]] const char* to_string(PowerState state) noexcept;
+
+class EnergyMeter {
+ public:
+  EnergyMeter(const PowerModel* model, double start_time);
+
+  // Accounts the interval [last_update, now) at the *previous* operating
+  // point, then records the new one.  `busy` means a job is executing.
+  void update(double now, PowerState state, double speed, bool busy);
+
+  // Finalizes accounting up to `now` without changing the operating point.
+  void flush(double now);
+
+  [[nodiscard]] double total_joules() const noexcept;
+  [[nodiscard]] double joules_busy() const noexcept { return by_class_[0]; }
+  [[nodiscard]] double joules_idle() const noexcept { return by_class_[1]; }
+  [[nodiscard]] double joules_transition() const noexcept { return by_class_[2]; }
+  [[nodiscard]] double joules_off() const noexcept { return by_class_[3]; }
+
+  [[nodiscard]] double last_update_time() const noexcept { return last_time_; }
+  [[nodiscard]] double instantaneous_power() const noexcept;
+
+ private:
+  void integrate(double now);
+
+  const PowerModel* model_;  // non-owning; outlives the meter
+  double last_time_;
+  PowerState state_ = PowerState::kOff;
+  double speed_ = 1.0;
+  bool busy_ = false;
+  // busy / idle / transition / off
+  std::array<double, 4> by_class_{};
+};
+
+}  // namespace gc

@@ -1,0 +1,66 @@
+#include "power/frequency_ladder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/assert.h"
+
+namespace gc {
+
+FrequencyLadder::FrequencyLadder(std::vector<double> levels_ghz)
+    : levels_(std::move(levels_ghz)) {
+  if (levels_.empty()) throw std::invalid_argument("FrequencyLadder: no levels");
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    if (!(levels_[i] > 0.0) || !std::isfinite(levels_[i])) {
+      throw std::invalid_argument("FrequencyLadder: levels must be positive finite");
+    }
+    if (i > 0 && !(levels_[i] > levels_[i - 1])) {
+      throw std::invalid_argument("FrequencyLadder: levels must be strictly increasing");
+    }
+  }
+  speeds_.reserve(levels_.size());
+  const double fmax = levels_.back();
+  for (const double f : levels_) speeds_.push_back(f / fmax);
+  min_speed_ = speeds_.front();
+}
+
+FrequencyLadder::FrequencyLadder(ContinuousTag, double min_speed)
+    : min_speed_(min_speed), continuous_(true) {}
+
+FrequencyLadder FrequencyLadder::continuous(double min_speed) {
+  if (!(min_speed > 0.0 && min_speed <= 1.0)) {
+    throw std::invalid_argument("FrequencyLadder::continuous: min_speed in (0,1]");
+  }
+  return FrequencyLadder(ContinuousTag{}, min_speed);
+}
+
+FrequencyLadder FrequencyLadder::default_ladder() {
+  return FrequencyLadder({0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 2.2, 2.4});
+}
+
+double FrequencyLadder::speed_of_level(std::size_t i) const {
+  GC_CHECK(!continuous_, "speed_of_level on a continuous ladder");
+  GC_CHECK(i < speeds_.size(), "ladder level out of range");
+  return speeds_[i];
+}
+
+double FrequencyLadder::round_up(double s) const noexcept {
+  if (continuous_) return std::clamp(s, min_speed_, 1.0);
+  const auto it = std::lower_bound(speeds_.begin(), speeds_.end(), s - 1e-12);
+  return it == speeds_.end() ? 1.0 : *it;
+}
+
+double FrequencyLadder::round_down(double s) const noexcept {
+  if (continuous_) return std::clamp(s, min_speed_, 1.0);
+  const auto it = std::upper_bound(speeds_.begin(), speeds_.end(), s + 1e-12);
+  return it == speeds_.begin() ? speeds_.front() : *(it - 1);
+}
+
+bool FrequencyLadder::contains(double s, double tol) const noexcept {
+  if (continuous_) return s >= min_speed_ - tol && s <= 1.0 + tol;
+  return std::any_of(speeds_.begin(), speeds_.end(),
+                     [&](double level) { return std::abs(level - s) <= tol; });
+}
+
+}  // namespace gc

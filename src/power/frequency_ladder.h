@@ -1,0 +1,55 @@
+// Discrete DVFS frequency ladder.
+//
+// Real processors expose a small set of P-states; the solver works in
+// normalized speed s = f / f_max and rounds its continuous optimum up to
+// the next available level.  A ladder with `continuous()` semantics is also
+// supported for the relaxation analysis (ablation F10).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace gc {
+
+class FrequencyLadder {
+ public:
+  // `levels_ghz` must be strictly increasing and positive; the last entry
+  // is f_max.  Throws std::invalid_argument otherwise.
+  explicit FrequencyLadder(std::vector<double> levels_ghz);
+
+  // A ladder that admits any speed in [min_speed, 1].
+  [[nodiscard]] static FrequencyLadder continuous(double min_speed = 0.1);
+
+  // The default ladder used throughout the evaluation: 600 MHz – 2.4 GHz in
+  // 200 MHz steps (a typical 2010-era Intel speedstep table).
+  [[nodiscard]] static FrequencyLadder default_ladder();
+
+  [[nodiscard]] bool is_continuous() const noexcept { return continuous_; }
+  [[nodiscard]] double f_max_ghz() const noexcept { return levels_.empty() ? 0.0 : levels_.back(); }
+  [[nodiscard]] double min_speed() const noexcept { return min_speed_; }
+  [[nodiscard]] std::span<const double> levels_ghz() const noexcept { return levels_; }
+  [[nodiscard]] std::size_t num_levels() const noexcept { return levels_.size(); }
+
+  // Normalized speed of level i (level 0 is the slowest).
+  [[nodiscard]] double speed_of_level(std::size_t i) const;
+
+  // Smallest available speed >= s (clamped to 1.0 from above).  For a
+  // continuous ladder this is max(s, min_speed).
+  [[nodiscard]] double round_up(double s) const noexcept;
+
+  // Largest available speed <= s (clamped to min_speed from below).
+  [[nodiscard]] double round_down(double s) const noexcept;
+
+  [[nodiscard]] bool contains(double s, double tol = 1e-9) const noexcept;
+
+ private:
+  struct ContinuousTag {};
+  FrequencyLadder(ContinuousTag, double min_speed);
+
+  std::vector<double> levels_;   // GHz, ascending; empty when continuous
+  std::vector<double> speeds_;   // levels_ / f_max
+  double min_speed_ = 0.0;
+  bool continuous_ = false;
+};
+
+}  // namespace gc

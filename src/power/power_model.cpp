@@ -1,0 +1,26 @@
+#include "power/power_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gc {
+
+PowerModel::PowerModel(PowerModelParams params) : params_(params) {
+  const auto& p = params_;
+  const bool valid = p.p_idle_watts >= 0.0 && p.p_max_watts >= p.p_idle_watts &&
+                     p.alpha >= 1.0 && p.p_off_watts >= 0.0 &&
+                     p.p_off_watts <= p.p_idle_watts && std::isfinite(p.alpha);
+  if (!valid) {
+    throw std::invalid_argument(
+        "PowerModel: require 0 <= p_off <= p_idle <= p_max and alpha >= 1");
+  }
+}
+
+double PowerModel::power(double speed, double utilization) const noexcept {
+  const double s = speed < 0.0 ? 0.0 : (speed > 1.0 ? 1.0 : speed);
+  const double u = utilization < 0.0 ? 0.0 : (utilization > 1.0 ? 1.0 : utilization);
+  const double gate = params_.utilization_gated ? u : 1.0;
+  return params_.p_idle_watts + dynamic_range() * std::pow(s, params_.alpha) * gate;
+}
+
+}  // namespace gc

@@ -1,0 +1,59 @@
+#include "queueing/mmc.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gc {
+namespace mmc {
+namespace {
+
+void require(bool cond, const char* what) {
+  if (!cond) throw std::invalid_argument(what);
+}
+
+}  // namespace
+
+bool stable(double lambda, double mu, unsigned c) noexcept {
+  return lambda >= 0.0 && mu > 0.0 && c > 0 && lambda < mu * static_cast<double>(c);
+}
+
+double erlang_c(double lambda, double mu, unsigned c) {
+  require(stable(lambda, mu, c), "mmc: unstable or invalid parameters");
+  const double a = lambda / mu;
+  const double rho = a / static_cast<double>(c);
+  // Numerically robust recurrence on the Erlang-B blocking probability:
+  // B(0,a)=1, B(k,a) = a·B(k-1,a) / (k + a·B(k-1,a)); then
+  // C = B / (1 - ρ (1 - B)).
+  double b = 1.0;
+  for (unsigned k = 1; k <= c; ++k) {
+    b = a * b / (static_cast<double>(k) + a * b);
+  }
+  return b / (1.0 - rho * (1.0 - b));
+}
+
+double mean_waiting_time(double lambda, double mu, unsigned c) {
+  const double pc = erlang_c(lambda, mu, c);
+  return pc / (static_cast<double>(c) * mu - lambda);
+}
+
+double mean_response_time(double lambda, double mu, unsigned c) {
+  return mean_waiting_time(lambda, mu, c) + 1.0 / mu;
+}
+
+double mean_number_in_system(double lambda, double mu, unsigned c) {
+  return lambda * mean_response_time(lambda, mu, c);
+}
+
+unsigned min_servers_for_response_time(double lambda, double mu, double t_ref,
+                                       unsigned c_max) {
+  require(lambda >= 0.0 && mu > 0.0 && t_ref > 0.0 && c_max > 0, "mmc: invalid arguments");
+  if (1.0 / mu > t_ref) return 0;  // service time alone exceeds the target
+  for (unsigned c = 1; c <= c_max; ++c) {
+    if (!stable(lambda, mu, c)) continue;
+    if (mean_response_time(lambda, mu, c) <= t_ref) return c;
+  }
+  return 0;
+}
+
+}  // namespace mmc
+}  // namespace gc

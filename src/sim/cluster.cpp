@@ -1,0 +1,326 @@
+#include "sim/cluster.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "util/assert.h"
+
+namespace gc {
+
+Cluster::Cluster(const ClusterOptions& options, EventQueue* queue)
+    : queue_(queue), transition_(options.transition),
+      dispatcher_(options.dispatch, Rng(options.dispatch_seed, /*stream=*/3)),
+      group_rng_(options.dispatch_seed, /*stream=*/5), speed_(options.initial_speed) {
+  GC_CHECK(queue != nullptr, "Cluster: null event queue");
+
+  // Normalize to group form: the homogeneous fields describe one group.
+  std::vector<ServerGroupSpec> groups = options.groups;
+  if (groups.empty()) {
+    if (options.num_servers == 0) {
+      throw std::invalid_argument("ClusterOptions: num_servers == 0");
+    }
+    if (options.initial_active == 0 || options.initial_active > options.num_servers) {
+      throw std::invalid_argument(
+          "ClusterOptions: need 1 <= initial_active <= num_servers");
+    }
+    ServerGroupSpec spec;
+    spec.count = options.num_servers;
+    spec.power = options.power;
+    spec.rate_scale = 1.0;
+    spec.initial_active = options.initial_active;
+    spec.initial_speed = options.initial_speed;
+    groups.push_back(spec);
+  }
+
+  std::size_t total = 0;
+  for (const ServerGroupSpec& g : groups) {
+    if (g.count == 0) throw std::invalid_argument("ServerGroupSpec: empty group");
+    if (g.initial_active > g.count) {
+      throw std::invalid_argument("ServerGroupSpec: initial_active > count");
+    }
+    if (!(g.initial_speed > 0.0 && g.initial_speed <= 1.0)) {
+      throw std::invalid_argument("ServerGroupSpec: initial_speed out of (0,1]");
+    }
+    if (!(g.rate_scale > 0.0)) {
+      throw std::invalid_argument("ServerGroupSpec: rate_scale must be positive");
+    }
+    total += g.count;
+  }
+  bool any_active = false;
+  for (const ServerGroupSpec& g : groups) any_active |= g.initial_active > 0;
+  if (!any_active) {
+    throw std::invalid_argument("ClusterOptions: at least one server must start ON");
+  }
+
+  power_models_.reserve(groups.size());
+  group_sizes_.reserve(groups.size());
+  group_speeds_.reserve(groups.size());
+  server_group_.reserve(total);
+  servers_.reserve(total);
+  std::uint32_t index = 0;
+  std::uint32_t group_id = 0;
+  for (const ServerGroupSpec& g : groups) {
+    power_models_.emplace_back(g.power);  // reserved: addresses are stable
+    group_sizes_.push_back(g.count);
+    group_speeds_.push_back(g.initial_speed);
+    for (std::uint32_t i = 0; i < g.count; ++i, ++index) {
+      server_group_.push_back(group_id);
+      servers_.emplace_back(index, &power_models_.back(), g.initial_speed,
+                            /*initially_on=*/i < g.initial_active,
+                            /*start_time=*/0.0, g.rate_scale);
+    }
+    ++group_id;
+  }
+}
+
+std::pair<std::uint32_t, std::uint32_t> Cluster::group_range(std::size_t group) const {
+  GC_CHECK(group < group_sizes_.size(), "Cluster: group index out of range");
+  std::uint32_t begin = 0;
+  for (std::size_t g = 0; g < group; ++g) begin += group_sizes_[g];
+  return {begin, begin + group_sizes_[group]};
+}
+
+unsigned Cluster::group_size(std::size_t group) const {
+  GC_CHECK(group < group_sizes_.size(), "Cluster: group index out of range");
+  return group_sizes_[group];
+}
+
+std::uint32_t Cluster::group_of(std::uint32_t server) const {
+  GC_CHECK(server < server_group_.size(), "Cluster: server index out of range");
+  return server_group_[server];
+}
+
+unsigned Cluster::group_serving_count(std::size_t group) const {
+  const auto [begin, end] = group_range(group);
+  unsigned n = 0;
+  for (std::uint32_t i = begin; i < end; ++i) n += servers_[i].serving() ? 1 : 0;
+  return n;
+}
+
+void Cluster::set_group_speed(double now, std::size_t group, double speed) {
+  GC_CHECK(speed > 0.0 && speed <= 1.0, "set_group_speed: speed out of (0,1]");
+  const auto [begin, end] = group_range(group);
+  group_speeds_[group] = speed;
+  for (std::uint32_t i = begin; i < end; ++i) {
+    const auto eta = servers_[i].set_speed(now, speed);
+    if (eta) reschedule_departure(now, servers_[i], *eta);
+  }
+}
+
+bool Cluster::route_job_to_group(double now, std::size_t group, const Job& job) {
+  const auto [begin, end] = group_range(group);
+  // Random pick among the group's serving servers (matches the per-class
+  // random-split M/M/1 model the hetero solver assumes).
+  std::uint32_t serving_count = 0;
+  for (std::uint32_t i = begin; i < end; ++i) {
+    serving_count += servers_[i].serving() ? 1 : 0;
+  }
+  if (serving_count == 0) {
+    ++jobs_dropped_;
+    return false;
+  }
+  std::uint64_t pick = group_rng_.uniform_below(serving_count);
+  for (std::uint32_t i = begin; i < end; ++i) {
+    if (!servers_[i].serving()) continue;
+    if (pick == 0) {
+      const auto eta = servers_[i].enqueue(now, job);
+      if (eta) reschedule_departure(now, servers_[i], *eta);
+      ++jobs_in_system_;
+      return true;
+    }
+    --pick;
+  }
+  GC_CHECK(false, "route_job_to_group: pick out of range");
+  return false;
+}
+
+const Server& Cluster::server(std::uint32_t index) const {
+  GC_CHECK(index < servers_.size(), "Cluster: server index out of range");
+  return servers_[index];
+}
+
+unsigned Cluster::serving_count() const noexcept {
+  unsigned n = 0;
+  for (const Server& s : servers_) n += s.serving() ? 1 : 0;
+  return n;
+}
+
+unsigned Cluster::committed_count() const noexcept {
+  unsigned n = 0;
+  for (const Server& s : servers_) {
+    n += (s.serving() || s.state() == PowerState::kBooting) ? 1 : 0;
+  }
+  return n;
+}
+
+unsigned Cluster::powered_count() const noexcept {
+  unsigned n = 0;
+  for (const Server& s : servers_) n += s.state() != PowerState::kOff ? 1 : 0;
+  return n;
+}
+
+void Cluster::reschedule_departure(double now, Server& server, double eta) {
+  if (server.pending_departure != kInvalidEventId) {
+    queue_->cancel(server.pending_departure);
+  }
+  server.pending_departure = queue_->schedule(eta, EventType::kDeparture, server.index());
+  (void)now;
+}
+
+void Cluster::set_group_active_target(double now, std::size_t group, unsigned target) {
+  const auto [begin, end] = group_range(group);
+  reconcile_range(now, begin, end, std::min(target, group_sizes_[group]));
+}
+
+void Cluster::set_active_target(double now, unsigned target) {
+  target = std::clamp(target, 1u, num_servers());
+  reconcile_range(now, 0, static_cast<std::uint32_t>(servers_.size()), target);
+}
+
+void Cluster::reconcile_range(double now, std::uint32_t begin, std::uint32_t end,
+                              unsigned target) {
+  unsigned committed = 0;
+  for (std::uint32_t i = begin; i < end; ++i) {
+    const Server& s = servers_[i];
+    committed += (s.serving() || s.state() == PowerState::kBooting) ? 1 : 0;
+  }
+
+  if (target > committed) {
+    // 1) Revive draining servers — they are still hot.
+    for (std::uint32_t i = begin; i < end && committed < target; ++i) {
+      Server& s = servers_[i];
+      if (s.state() == PowerState::kOn && s.draining()) {
+        s.set_draining(now, false);
+        ++committed;
+      }
+    }
+    // 2) Boot OFF servers.
+    for (std::uint32_t i = begin; i < end && committed < target; ++i) {
+      Server& s = servers_[i];
+      if (s.state() == PowerState::kOff) {
+        s.start_boot(now);
+        queue_->schedule(now + transition_.boot_delay_s, EventType::kBootComplete,
+                         s.index());
+        ++boots_started_;
+        ++committed;
+      }
+    }
+    // If we ran out of OFF servers the remainder are SHUTTING_DOWN; they
+    // will be re-booted by a later decision once OFF.  Nothing to do.
+    return;
+  }
+
+  if (target < committed) {
+    unsigned excess = committed - target;
+    // Drain serving servers with the least outstanding work first, but
+    // never below one serving server cluster-wide (a reduction to zero in
+    // one *group* of a hetero cluster is allowed when target == 0 there,
+    // as long as another group still serves).
+    while (excess > 0) {
+      // Never drain the last serving server: booting capacity cannot take
+      // traffic yet, and a cluster with zero serving servers drops jobs.
+      if (serving_count() <= 1) break;
+      Server* victim = nullptr;
+      double least_work = std::numeric_limits<double>::infinity();
+      for (std::uint32_t i = begin; i < end; ++i) {
+        Server& s = servers_[i];
+        if (!s.serving()) continue;
+        const double work = s.outstanding_work(now);
+        if (work < least_work) {
+          least_work = work;
+          victim = &s;
+        }
+      }
+      if (victim == nullptr) break;  // only booting servers left; let them land
+      victim->set_draining(now, true);
+      maybe_begin_shutdown(now, *victim);
+      --excess;
+    }
+  }
+}
+
+void Cluster::maybe_begin_shutdown(double now, Server& server) {
+  if (server.state() == PowerState::kOn && server.draining() && !server.busy() &&
+      server.queue_length() == 0) {
+    server.begin_shutdown(now);
+    queue_->schedule(now + transition_.shutdown_delay_s, EventType::kShutdownComplete,
+                     server.index());
+    ++shutdowns_started_;
+  }
+}
+
+void Cluster::set_all_speeds(double now, double speed) {
+  GC_CHECK(speed > 0.0 && speed <= 1.0, "set_all_speeds: speed out of (0,1]");
+  speed_ = speed;
+  for (double& s : group_speeds_) s = speed;
+  for (Server& s : servers_) {
+    const auto eta = s.set_speed(now, speed);
+    if (eta) reschedule_departure(now, s, *eta);
+  }
+}
+
+bool Cluster::route_job(double now, const Job& job) {
+  const long target = dispatcher_.pick(now, servers_);
+  if (target < 0) {
+    ++jobs_dropped_;
+    return false;
+  }
+  Server& s = servers_[static_cast<std::size_t>(target)];
+  const auto eta = s.enqueue(now, job);
+  if (eta) reschedule_departure(now, s, *eta);
+  ++jobs_in_system_;
+  return true;
+}
+
+Job Cluster::handle_departure(double now, std::uint32_t server) {
+  GC_CHECK(server < servers_.size(), "departure for unknown server");
+  Server& s = servers_[server];
+  s.pending_departure = kInvalidEventId;
+  const Server::Completion completion = s.complete_current(now);
+  if (completion.next_eta) {
+    reschedule_departure(now, s, *completion.next_eta);
+  } else {
+    maybe_begin_shutdown(now, s);
+  }
+  GC_CHECK(jobs_in_system_ > 0, "departure with no jobs in system");
+  --jobs_in_system_;
+  return completion.finished;
+}
+
+void Cluster::handle_boot_complete(double now, std::uint32_t server) {
+  GC_CHECK(server < servers_.size(), "boot completion for unknown server");
+  Server& s = servers_[server];
+  s.finish_boot(now);
+  // Booted servers adopt their group's current speed.
+  const auto eta = s.set_speed(now, group_speeds_[server_group_[server]]);
+  GC_CHECK(!eta.has_value(), "freshly booted server cannot have work");
+}
+
+void Cluster::handle_shutdown_complete(double now, std::uint32_t server) {
+  GC_CHECK(server < servers_.size(), "shutdown completion for unknown server");
+  servers_[server].finish_shutdown(now);
+}
+
+void Cluster::flush_energy(double now) {
+  for (Server& s : servers_) s.flush_energy(now);
+}
+
+EnergyBreakdown Cluster::energy() const {
+  EnergyBreakdown sum;
+  for (const Server& s : servers_) {
+    sum.busy_j += s.meter().joules_busy();
+    sum.idle_j += s.meter().joules_idle();
+    sum.transition_j += s.meter().joules_transition();
+    sum.off_j += s.meter().joules_off();
+  }
+  return sum;
+}
+
+double Cluster::instantaneous_power() const {
+  double watts = 0.0;
+  for (const Server& s : servers_) watts += s.instantaneous_power();
+  return watts;
+}
+
+}  // namespace gc

@@ -1,0 +1,146 @@
+// The simulated cluster: N servers, a dispatcher, and the VOVF transition
+// choreography.
+//
+// The cluster owns all event *scheduling* for its servers (departures,
+// boot/shutdown completions) on an EventQueue provided by the simulation
+// loop, which in turn routes those events back into the cluster's handlers.
+//
+// Control plane semantics (see DESIGN.md §1.2):
+//   * set_active_target(m): reconciles towards m servers that are either
+//     serving or booting.  To grow, draining servers are revived first
+//     (free), then OFF servers are booted (boot_delay, full power, no
+//     service).  To shrink, serving servers with the least outstanding
+//     work are put into draining; a draining server shuts down as soon as
+//     its queue empties (possibly immediately).
+//   * set_all_speeds(s): applied to every powered server; in-flight work is
+//     re-timed (departure events rescheduled).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "power/energy_meter.h"
+#include "power/power_model.h"
+#include "sim/dispatcher.h"
+#include "sim/event_queue.h"
+#include "sim/job.h"
+#include "sim/server.h"
+
+namespace gc {
+
+// A homogeneous slice of a (possibly heterogeneous) cluster.
+struct ServerGroupSpec {
+  unsigned count = 0;
+  PowerModelParams power = {};
+  double rate_scale = 1.0;       // work-seconds per wall second at s = 1
+  unsigned initial_active = 0;   // servers of this group ON at t = 0
+  double initial_speed = 1.0;
+};
+
+struct ClusterOptions {
+  unsigned num_servers = 64;
+  PowerModelParams power = {};
+  TransitionModel transition = {};
+  DispatchPolicy dispatch = DispatchPolicy::kJoinShortestQueue;
+  unsigned initial_active = 64;  // servers ON at t = 0
+  double initial_speed = 1.0;
+  std::uint64_t dispatch_seed = 42;
+  // Heterogeneous mode: when non-empty, `groups` supersedes num_servers /
+  // power / initial_active / initial_speed (the homogeneous fields above
+  // describe group 0 of a single-group cluster).
+  std::vector<ServerGroupSpec> groups;
+};
+
+struct EnergyBreakdown {
+  double busy_j = 0.0;
+  double idle_j = 0.0;
+  double transition_j = 0.0;
+  double off_j = 0.0;
+  [[nodiscard]] double total_j() const noexcept {
+    return busy_j + idle_j + transition_j + off_j;
+  }
+};
+
+class Cluster {
+ public:
+  // `queue` must outlive the cluster.
+  Cluster(const ClusterOptions& options, EventQueue* queue);
+
+  // -- control plane --------------------------------------------------------
+  void set_active_target(double now, unsigned target);
+  void set_all_speeds(double now, double speed);
+
+  // Group-level control (heterogeneous clusters).  Groups are indexed in
+  // ClusterOptions::groups order; a homogeneous cluster is group 0.
+  [[nodiscard]] std::size_t num_groups() const noexcept { return group_sizes_.size(); }
+  [[nodiscard]] unsigned group_size(std::size_t group) const;
+  [[nodiscard]] unsigned group_serving_count(std::size_t group) const;
+  [[nodiscard]] std::uint32_t group_of(std::uint32_t server) const;
+  void set_group_active_target(double now, std::size_t group, unsigned target);
+  void set_group_speed(double now, std::size_t group, double speed);
+  // Routes within one group (serving servers only, random pick); used by
+  // weighted hetero dispatchers.  Returns false if the group has no
+  // serving server (the job is dropped).
+  bool route_job_to_group(double now, std::size_t group, const Job& job);
+
+  [[nodiscard]] unsigned serving_count() const noexcept;
+  // Serving + booting: the capacity already committed.
+  [[nodiscard]] unsigned committed_count() const noexcept;
+  // Anything not OFF.
+  [[nodiscard]] unsigned powered_count() const noexcept;
+  [[nodiscard]] unsigned num_servers() const noexcept {
+    return static_cast<unsigned>(servers_.size());
+  }
+  [[nodiscard]] double current_speed() const noexcept { return speed_; }
+
+  // -- data plane (called by the simulation loop) ---------------------------
+  // Routes an arrival; returns false if dropped (no serving server — only
+  // possible if the controller drove the cluster to zero, which
+  // set_active_target prevents by keeping >= 1 serving/booting).
+  bool route_job(double now, const Job& job);
+
+  // Departure event for `server`: returns the finished job.
+  [[nodiscard]] Job handle_departure(double now, std::uint32_t server);
+  void handle_boot_complete(double now, std::uint32_t server);
+  void handle_shutdown_complete(double now, std::uint32_t server);
+
+  // -- accounting -----------------------------------------------------------
+  void flush_energy(double now);
+  [[nodiscard]] EnergyBreakdown energy() const;
+  [[nodiscard]] double instantaneous_power() const;
+  [[nodiscard]] std::size_t jobs_in_system() const noexcept { return jobs_in_system_; }
+  [[nodiscard]] std::uint64_t jobs_dropped() const noexcept { return jobs_dropped_; }
+  [[nodiscard]] std::uint64_t boots_started() const noexcept { return boots_started_; }
+  [[nodiscard]] std::uint64_t shutdowns_started() const noexcept {
+    return shutdowns_started_;
+  }
+
+  [[nodiscard]] const Server& server(std::uint32_t index) const;
+
+ private:
+  void reschedule_departure(double now, Server& server, double eta);
+  void maybe_begin_shutdown(double now, Server& server);
+  // Reconciles active servers towards `target` within [begin, end).
+  void reconcile_range(double now, std::uint32_t begin, std::uint32_t end,
+                       unsigned target);
+  [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> group_range(
+      std::size_t group) const;
+
+  std::vector<Server> servers_;
+  EventQueue* queue_;  // non-owning
+  std::vector<PowerModel> power_models_;  // one per group; stable addresses
+  std::vector<unsigned> group_sizes_;
+  std::vector<double> group_speeds_;      // current common speed per group
+  std::vector<std::uint32_t> server_group_;
+  TransitionModel transition_;
+  Dispatcher dispatcher_;
+  Rng group_rng_;  // used by route_job_to_group
+  double speed_;
+  std::size_t jobs_in_system_ = 0;
+  std::uint64_t jobs_dropped_ = 0;
+  std::uint64_t boots_started_ = 0;
+  std::uint64_t shutdowns_started_ = 0;
+};
+
+}  // namespace gc

@@ -1,0 +1,69 @@
+#include "sim/dispatcher.h"
+
+#include <limits>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace gc {
+
+const char* to_string(DispatchPolicy policy) noexcept {
+  switch (policy) {
+    case DispatchPolicy::kRoundRobin: return "round-robin";
+    case DispatchPolicy::kRandom: return "random";
+    case DispatchPolicy::kJoinShortestQueue: return "jsq";
+    case DispatchPolicy::kLeastWork: return "least-work";
+  }
+  return "?";
+}
+
+Dispatcher::Dispatcher(DispatchPolicy policy, Rng rng) : policy_(policy), rng_(rng) {}
+
+long Dispatcher::pick(double now, std::span<const Server> servers) {
+  // Collect serving candidates once; all policies need them.
+  std::vector<std::uint32_t> serving;
+  serving.reserve(servers.size());
+  for (const Server& s : servers) {
+    if (s.serving()) serving.push_back(s.index());
+  }
+  if (serving.empty()) return -1;
+
+  switch (policy_) {
+    case DispatchPolicy::kRoundRobin: {
+      const std::uint32_t chosen = serving[rr_cursor_ % serving.size()];
+      ++rr_cursor_;
+      return static_cast<long>(chosen);
+    }
+    case DispatchPolicy::kRandom: {
+      return static_cast<long>(serving[rng_.uniform_below(serving.size())]);
+    }
+    case DispatchPolicy::kJoinShortestQueue: {
+      std::uint32_t best = serving.front();
+      std::size_t best_len = std::numeric_limits<std::size_t>::max();
+      for (const std::uint32_t idx : serving) {
+        const std::size_t len = servers[idx].queue_length();
+        if (len < best_len) {
+          best_len = len;
+          best = idx;
+        }
+      }
+      return static_cast<long>(best);
+    }
+    case DispatchPolicy::kLeastWork: {
+      std::uint32_t best = serving.front();
+      double best_work = std::numeric_limits<double>::infinity();
+      for (const std::uint32_t idx : serving) {
+        const double work = servers[idx].outstanding_work(now);
+        if (work < best_work) {
+          best_work = work;
+          best = idx;
+        }
+      }
+      return static_cast<long>(best);
+    }
+  }
+  GC_CHECK(false, "unreachable dispatch policy");
+  return -1;
+}
+
+}  // namespace gc

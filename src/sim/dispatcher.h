@@ -1,0 +1,42 @@
+// Load-balancing policies for routing arrivals to serving servers.
+//
+// The paper's model assumes an even split (which join-shortest-queue
+// approximates closely at these utilizations); round-robin and random are
+// provided for the dispatch-sensitivity ablation, least-work as the
+// strongest practical policy.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "stats/rng.h"
+#include "sim/server.h"
+
+namespace gc {
+
+enum class DispatchPolicy : int {
+  kRoundRobin = 0,
+  kRandom = 1,
+  kJoinShortestQueue = 2,
+  kLeastWork = 3,
+};
+[[nodiscard]] const char* to_string(DispatchPolicy policy) noexcept;
+
+class Dispatcher {
+ public:
+  Dispatcher(DispatchPolicy policy, Rng rng);
+
+  // Picks a target among `servers` restricted to serving() ones.
+  // Returns the server index, or -1 if no server is serving.
+  [[nodiscard]] long pick(double now, std::span<const Server> servers);
+
+  [[nodiscard]] DispatchPolicy policy() const noexcept { return policy_; }
+
+ private:
+  DispatchPolicy policy_;
+  Rng rng_;
+  std::uint32_t rr_cursor_ = 0;
+};
+
+}  // namespace gc

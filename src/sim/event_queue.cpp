@@ -1,0 +1,46 @@
+#include "sim/event_queue.h"
+
+#include "util/assert.h"
+
+namespace gc {
+
+const char* to_string(EventType type) noexcept {
+  switch (type) {
+    case EventType::kArrival: return "arrival";
+    case EventType::kDeparture: return "departure";
+    case EventType::kBootComplete: return "boot_complete";
+    case EventType::kShutdownComplete: return "shutdown_complete";
+    case EventType::kShortTick: return "short_tick";
+    case EventType::kLongTick: return "long_tick";
+    case EventType::kRecord: return "record";
+    case EventType::kWarmupEnd: return "warmup_end";
+  }
+  return "?";
+}
+
+EventId EventQueue::schedule(double time, EventType type, std::uint32_t subject) {
+  GC_CHECK(time >= now_, "EventQueue: scheduling into the past");
+  ++next_seq_;
+  const EventId id = next_seq_;  // ids start at 1; 0 is kInvalidEventId
+  heap_.push(Entry{time, next_seq_, type, subject, id});
+  pending_.insert(id);
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  // Cancelling an already-fired, already-cancelled or unknown id is a no-op.
+  return pending_.erase(id) != 0;
+}
+
+std::optional<Event> EventQueue::pop() {
+  while (!heap_.empty()) {
+    const Entry top = heap_.top();
+    heap_.pop();
+    if (pending_.erase(top.id) == 0) continue;  // cancelled: skip tombstone
+    now_ = top.time;
+    return Event{top.time, top.type, top.subject, top.id};
+  }
+  return std::nullopt;
+}
+
+}  // namespace gc

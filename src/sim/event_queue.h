@@ -1,0 +1,79 @@
+// Discrete-event calendar with lazy cancellation.
+//
+// Events are ordered by (time, sequence number): ties break in schedule
+// order, which makes runs fully deterministic.  Cancellation is lazy — a
+// cancelled id is skipped at pop — because the dominant pattern (a server's
+// pending departure being invalidated by a speed change) cancels events
+// near the head of the heap.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace gc {
+
+enum class EventType : int {
+  kArrival = 0,          // subject: unused (job data lives in the simulation)
+  kDeparture = 1,        // subject: server index
+  kBootComplete = 2,     // subject: server index
+  kShutdownComplete = 3, // subject: server index
+  kShortTick = 4,
+  kLongTick = 5,
+  kRecord = 6,
+  kWarmupEnd = 7,
+};
+[[nodiscard]] const char* to_string(EventType type) noexcept;
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+struct Event {
+  double time = 0.0;
+  EventType type = EventType::kArrival;
+  std::uint32_t subject = 0;
+  EventId id = kInvalidEventId;
+};
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  // `time` must be >= the time of the last popped event.
+  EventId schedule(double time, EventType type, std::uint32_t subject = 0);
+
+  // Cancels a pending event; cancelling an already-fired or unknown id is a
+  // no-op (returns false).
+  bool cancel(EventId id);
+
+  // Next live event, or nullopt when drained.
+  [[nodiscard]] std::optional<Event> pop();
+
+  [[nodiscard]] bool empty() const noexcept { return pending_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return pending_.size(); }
+  // Time of the last popped event (0 before any pop).
+  [[nodiscard]] double now() const noexcept { return now_; }
+  [[nodiscard]] std::uint64_t scheduled_total() const noexcept { return next_seq_; }
+
+ private:
+  struct Entry {
+    double time;
+    std::uint64_t seq;
+    EventType type;
+    std::uint32_t subject;
+    EventId id;
+    [[nodiscard]] bool operator>(const Entry& other) const noexcept {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_set<EventId> pending_;  // scheduled, not yet fired/cancelled
+  std::uint64_t next_seq_ = 0;
+  double now_ = 0.0;
+};
+
+}  // namespace gc

@@ -1,0 +1,18 @@
+// A unit of work flowing through the simulated cluster.
+#pragma once
+
+#include <cstdint>
+
+namespace gc {
+
+struct Job {
+  std::uint64_t id = 0;
+  double arrival_time = 0.0;  // seconds since simulation start
+  double size = 0.0;          // work seconds at full speed (s = 1)
+  double remaining = 0.0;     // work seconds left (at s = 1)
+  double start_service_time = -1.0;  // -1 until service begins
+
+  [[nodiscard]] bool started() const noexcept { return start_service_time >= 0.0; }
+};
+
+}  // namespace gc

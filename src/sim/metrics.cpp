@@ -1,0 +1,28 @@
+#include "sim/metrics.h"
+
+#include "util/assert.h"
+
+namespace gc {
+
+MetricsCollector::MetricsCollector(double t_ref_s)
+    : t_ref_(t_ref_s), p95_(0.95), p99_(0.99) {
+  GC_CHECK(t_ref_s > 0.0, "MetricsCollector: t_ref must be positive");
+}
+
+void MetricsCollector::on_job_completed(double now, const Job& job) {
+  const double response = now - job.arrival_time;
+  GC_DCHECK(response >= 0.0, "negative response time");
+  response_.add(response);
+  window_response_.add(response);
+  p95_.add(response);
+  p99_.add(response);
+  violations_.add(response > t_ref_);
+}
+
+double MetricsCollector::take_window_mean_response() noexcept {
+  const double mean = window_response_.count() > 0 ? window_response_.mean() : 0.0;
+  window_response_ = MeanVarAccumulator();
+  return mean;
+}
+
+}  // namespace gc

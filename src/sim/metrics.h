@@ -1,0 +1,80 @@
+// Simulation output: response-time statistics, SLA accounting, energy and
+// an optional sampled timeline for the figure benches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/cluster.h"
+#include "sim/job.h"
+#include "stats/accumulators.h"
+#include "stats/quantile.h"
+
+namespace gc {
+
+struct TimelinePoint {
+  double time = 0.0;
+  double arrival_rate = 0.0;  // measured over the last record interval
+  unsigned serving = 0;
+  unsigned powered = 0;
+  double speed = 1.0;
+  double power_watts = 0.0;     // instantaneous
+  double jobs_in_system = 0.0;
+  double window_mean_response_s = 0.0;  // mean response over the interval
+};
+
+class MetricsCollector {
+ public:
+  explicit MetricsCollector(double t_ref_s);
+
+  // Called for every completed job past warmup.
+  void on_job_completed(double now, const Job& job);
+
+  // Rolls the per-window response aggregate (used by the timeline).
+  [[nodiscard]] double take_window_mean_response() noexcept;
+
+  [[nodiscard]] const MeanVarAccumulator& response() const noexcept { return response_; }
+  [[nodiscard]] double p95() const noexcept { return p95_.value(); }
+  [[nodiscard]] double p99() const noexcept { return p99_.value(); }
+  // Fraction of jobs whose individual response time exceeded t_ref.  (The
+  // paper guarantees the *mean*; per-job tail violations are reported as a
+  // stricter secondary metric.)
+  [[nodiscard]] double job_violation_ratio() const noexcept { return violations_.ratio(); }
+  [[nodiscard]] std::uint64_t completed() const noexcept { return response_.count(); }
+  [[nodiscard]] double t_ref() const noexcept { return t_ref_; }
+
+ private:
+  double t_ref_;
+  MeanVarAccumulator response_;
+  MeanVarAccumulator window_response_;
+  P2Quantile p95_;
+  P2Quantile p99_;
+  RatioAccumulator violations_;
+};
+
+struct SimResult {
+  std::uint64_t completed_jobs = 0;
+  std::uint64_t dropped_jobs = 0;
+  double sim_time_s = 0.0;      // measured horizon (post-warmup)
+  double mean_response_s = 0.0;
+  double p95_response_s = 0.0;
+  double p99_response_s = 0.0;
+  double max_response_s = 0.0;
+  double job_violation_ratio = 0.0;   // per-job tail violations
+  double window_violation_ratio = 0.0;  // fraction of windows with mean > t_ref
+  EnergyBreakdown energy;
+  double mean_power_w = 0.0;    // energy / sim_time
+  std::uint64_t boots = 0;
+  std::uint64_t shutdowns = 0;
+  double mean_serving = 0.0;    // time-average serving servers
+  double mean_speed = 0.0;      // time-average speed (over serving time)
+  double mean_jobs_in_system = 0.0;  // time-average L (Little's law: L = λT)
+  std::vector<TimelinePoint> timeline;
+
+  // True when the mean-response-time guarantee held over the whole run.
+  [[nodiscard]] bool sla_met(double t_ref_s) const noexcept {
+    return mean_response_s <= t_ref_s;
+  }
+};
+
+}  // namespace gc

@@ -1,0 +1,114 @@
+// One simulated server: a frequency-scalable FCFS queue with a VOVF power
+// state machine.
+//
+// State machine (PowerState plus a `draining` flag while ON):
+//
+//   OFF --start_boot--> BOOTING --finish_boot--> ON
+//   ON(draining, idle) --begin_shutdown--> SHUTTING_DOWN --finish--> OFF
+//
+// Work accounting: a job of size w runs at `speed` work-seconds per second,
+// so it completes after remaining/speed seconds *at constant speed*.  When
+// the speed changes mid-service, `sync_progress` first banks the work done
+// at the old speed; the cluster then reschedules the departure event from
+// the new `completion_eta`.
+//
+// The server never touches the event queue itself — the Cluster owns event
+// scheduling — but it remembers the EventId of its pending departure so the
+// cluster can cancel/reschedule it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "power/energy_meter.h"
+#include "sim/event_queue.h"
+#include "sim/job.h"
+
+namespace gc {
+
+class Server {
+ public:
+  // Starts life OFF (or ON at `initial_speed` if `initially_on`).
+  // `rate_scale` models heterogeneous hardware: this server executes
+  // rate_scale work-seconds per wall second at s = 1 (1.0 = the reference
+  // class job sizes are expressed in).
+  Server(std::uint32_t index, const PowerModel* power, double initial_speed,
+         bool initially_on, double start_time, double rate_scale = 1.0);
+
+  [[nodiscard]] std::uint32_t index() const noexcept { return index_; }
+  [[nodiscard]] PowerState state() const noexcept { return state_; }
+  [[nodiscard]] bool draining() const noexcept { return draining_; }
+  // ON and accepting new work.
+  [[nodiscard]] bool serving() const noexcept {
+    return state_ == PowerState::kOn && !draining_;
+  }
+  [[nodiscard]] double speed() const noexcept { return speed_; }
+  [[nodiscard]] double rate_scale() const noexcept { return rate_scale_; }
+  // Work-seconds executed per wall second right now.
+  [[nodiscard]] double effective_rate() const noexcept { return speed_ * rate_scale_; }
+  [[nodiscard]] bool busy() const noexcept { return current_.has_value(); }
+  [[nodiscard]] std::size_t queue_length() const noexcept {
+    return queue_.size() + (current_ ? 1 : 0);
+  }
+  // Remaining work (at s = 1) across the in-flight job and the queue,
+  // with in-flight progress synced to `now`.
+  [[nodiscard]] double outstanding_work(double now) const;
+
+  // -- power state transitions (driven by the Cluster) ---------------------
+  void start_boot(double now);
+  void finish_boot(double now);
+  void set_draining(double now, bool draining);
+  // Allowed only when ON, draining and empty.
+  void begin_shutdown(double now);
+  void finish_shutdown(double now);
+
+  // -- data plane -----------------------------------------------------------
+  // Accepts a job (requires serving()).  Returns the completion ETA if this
+  // job went straight into service (i.e. a departure must be scheduled).
+  [[nodiscard]] std::optional<double> enqueue(double now, const Job& job);
+
+  // Completes the in-flight job (requires busy()); returns the finished job
+  // and, if another job started service, its completion ETA.
+  struct Completion {
+    Job finished;
+    std::optional<double> next_eta;
+  };
+  [[nodiscard]] Completion complete_current(double now);
+
+  // Changes speed; returns the new ETA of the in-flight job if any (the
+  // cluster must reschedule the departure event).
+  [[nodiscard]] std::optional<double> set_speed(double now, double new_speed);
+
+  // ETA of the in-flight job at the current speed.
+  [[nodiscard]] double completion_eta(double now) const;
+
+  // -- energy ---------------------------------------------------------------
+  void flush_energy(double now) { meter_.flush(now); }
+  [[nodiscard]] const EnergyMeter& meter() const noexcept { return meter_; }
+  [[nodiscard]] double instantaneous_power() const noexcept {
+    return meter_.instantaneous_power();
+  }
+
+  // Pending departure event bookkeeping (owned by the Cluster).
+  EventId pending_departure = kInvalidEventId;
+
+ private:
+  // Banks work done since `progress_anchor_` at the current speed.
+  void sync_progress(double now);
+  void start_next(double now);
+  void meter_update(double now);
+
+  std::uint32_t index_;
+  const PowerModel* power_;  // non-owning
+  PowerState state_;
+  bool draining_ = false;
+  double speed_;
+  double rate_scale_;
+  std::optional<Job> current_;
+  std::deque<Job> queue_;
+  double progress_anchor_ = 0.0;  // time at which current_->remaining was exact
+  EnergyMeter meter_;
+};
+
+}  // namespace gc

@@ -1,0 +1,256 @@
+#include "sim/simulation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/accumulators.h"
+#include "util/assert.h"
+
+namespace gc {
+namespace {
+
+// Applies a control action at `now`.  Order matters: grow capacity before
+// raising speed so freshly revived servers adopt the new speed too.
+void apply_action(Cluster& cluster, double now, const ControlAction& action) {
+  if (action.active_target) cluster.set_active_target(now, *action.active_target);
+  if (action.speed) cluster.set_all_speeds(now, *action.speed);
+}
+
+}  // namespace
+
+SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_options,
+                         Controller& controller, const SimulationOptions& options) {
+  GC_CHECK(options.t_ref_s > 0.0, "SimulationOptions: t_ref must be positive");
+  GC_CHECK(options.warmup_s >= 0.0, "SimulationOptions: warmup must be >= 0");
+  const double t_short = controller.short_period_s();
+  const double t_long = controller.long_period_s();
+  GC_CHECK(t_short > 0.0 && t_long > 0.0, "controller periods must be positive");
+
+  EventQueue queue;
+  Cluster cluster(cluster_options, &queue);
+  MetricsCollector metrics(options.t_ref_s);
+
+  // Pending arrival: exactly one kArrival event is outstanding at a time.
+  std::optional<JobArrival> pending = workload.next();
+  std::uint64_t next_job_id = 1;
+  if (pending) queue.schedule(pending->time, EventType::kArrival);
+
+  // Ticks: long scheduled before short at t = 0 so the provisioning
+  // decision precedes the frequency decision on ties.
+  queue.schedule(0.0, EventType::kLongTick);
+  queue.schedule(0.0, EventType::kShortTick);
+  if (options.record_interval_s > 0.0) {
+    queue.schedule(options.record_interval_s, EventType::kRecord);
+  }
+  if (options.warmup_s > 0.0) queue.schedule(options.warmup_s, EventType::kWarmupEnd);
+
+  // Rate measurement between short ticks.
+  std::uint64_t arrivals_in_window = 0;
+  double last_short_tick = 0.0;
+  // Rate measurement between record points.
+  std::uint64_t arrivals_in_record = 0;
+  double last_record = 0.0;
+
+  // Time-weighted serving count / speed / queue length.
+  TimeWeightedAccumulator serving_avg(0.0);
+  TimeWeightedAccumulator speed_avg(0.0);
+  TimeWeightedAccumulator jobs_avg(0.0);
+
+  // Warmup snapshots.
+  EnergyBreakdown warmup_energy;
+  double measure_start = 0.0;
+  std::uint64_t warmup_completed = 0;
+  std::uint64_t warmup_dropped = 0;
+  std::uint64_t warmup_boots = 0;
+  std::uint64_t warmup_shutdowns = 0;
+  bool in_warmup = options.warmup_s > 0.0;
+  MeanVarAccumulator response_post;  // post-warmup responses
+  P2Quantile p95_post(0.95), p99_post(0.99);
+  RatioAccumulator violations_post;
+  RatioAccumulator window_violations;
+
+  SimResult result;
+  double now = 0.0;
+  bool workload_done = !pending.has_value();
+
+  auto record_timeline = [&](double t) {
+    TimelinePoint point;
+    point.time = t;
+    const double dt = t - last_record;
+    point.arrival_rate = dt > 0.0 ? static_cast<double>(arrivals_in_record) / dt : 0.0;
+    arrivals_in_record = 0;
+    last_record = t;
+    point.serving = cluster.serving_count();
+    point.powered = cluster.powered_count();
+    point.speed = cluster.current_speed();
+    point.power_watts = cluster.instantaneous_power();
+    point.jobs_in_system = static_cast<double>(cluster.jobs_in_system());
+    point.window_mean_response_s = metrics.take_window_mean_response();
+    result.timeline.push_back(point);
+  };
+
+  while (auto event = queue.pop()) {
+    // The run is over once the workload is exhausted and every job has
+    // departed; pending ticks/completions past that point would only
+    // stretch the horizon with idle time.
+    if (workload_done && !pending && cluster.jobs_in_system() == 0 &&
+        event->type != EventType::kDeparture && event->type != EventType::kArrival) {
+      break;
+    }
+    now = event->time;
+    if (options.hard_stop_s > 0.0 && now > options.hard_stop_s) break;
+
+    serving_avg.advance(now, static_cast<double>(cluster.serving_count()));
+    speed_avg.advance(now, cluster.current_speed());
+    jobs_avg.advance(now, static_cast<double>(cluster.jobs_in_system()));
+
+    switch (event->type) {
+      case EventType::kArrival: {
+        GC_CHECK(pending.has_value(), "arrival event without pending job");
+        Job job;
+        job.id = next_job_id++;
+        job.arrival_time = pending->time;
+        job.size = pending->size;
+        job.remaining = pending->size;
+        cluster.route_job(now, job);
+        ++arrivals_in_window;
+        ++arrivals_in_record;
+        pending = workload.next();
+        if (pending) {
+          GC_CHECK(pending->time >= now, "workload produced non-monotone arrivals");
+          queue.schedule(pending->time, EventType::kArrival);
+        } else {
+          workload_done = true;
+        }
+        break;
+      }
+      case EventType::kDeparture: {
+        const Job finished = cluster.handle_departure(now, event->subject);
+        metrics.on_job_completed(now, finished);
+        if (!in_warmup) {
+          const double response = now - finished.arrival_time;
+          response_post.add(response);
+          p95_post.add(response);
+          p99_post.add(response);
+          violations_post.add(response > options.t_ref_s);
+        }
+        break;
+      }
+      case EventType::kBootComplete:
+        cluster.handle_boot_complete(now, event->subject);
+        break;
+      case EventType::kShutdownComplete:
+        cluster.handle_shutdown_complete(now, event->subject);
+        break;
+      case EventType::kShortTick: {
+        const double elapsed = now - last_short_tick;
+        ControlContext ctx;
+        ctx.now = now;
+        ctx.measured_rate =
+            elapsed > 0.0 ? static_cast<double>(arrivals_in_window) / elapsed : 0.0;
+        ctx.serving = cluster.serving_count();
+        ctx.committed = cluster.committed_count();
+        ctx.powered = cluster.powered_count();
+        ctx.jobs_in_system = cluster.jobs_in_system();
+        arrivals_in_window = 0;
+        last_short_tick = now;
+        apply_action(cluster, now, controller.on_short_tick(ctx));
+        // Keep ticking while there is anything left to happen.
+        if (!workload_done || cluster.jobs_in_system() > 0) {
+          queue.schedule(now + t_short, EventType::kShortTick);
+        }
+        break;
+      }
+      case EventType::kLongTick: {
+        ControlContext ctx;
+        ctx.now = now;
+        const double elapsed = now - last_short_tick;
+        ctx.measured_rate =
+            elapsed > 0.0 ? static_cast<double>(arrivals_in_window) / elapsed : 0.0;
+        ctx.serving = cluster.serving_count();
+        ctx.committed = cluster.committed_count();
+        ctx.powered = cluster.powered_count();
+        ctx.jobs_in_system = cluster.jobs_in_system();
+        apply_action(cluster, now, controller.on_long_tick(ctx));
+        if (!workload_done || cluster.jobs_in_system() > 0) {
+          queue.schedule(now + t_long, EventType::kLongTick);
+        }
+        break;
+      }
+      case EventType::kRecord: {
+        record_timeline(now);
+        if (!workload_done || cluster.jobs_in_system() > 0) {
+          queue.schedule(now + options.record_interval_s, EventType::kRecord);
+        }
+        break;
+      }
+      case EventType::kWarmupEnd: {
+        in_warmup = false;
+        serving_avg = TimeWeightedAccumulator(now);
+        speed_avg = TimeWeightedAccumulator(now);
+        jobs_avg = TimeWeightedAccumulator(now);
+        cluster.flush_energy(now);
+        warmup_energy = cluster.energy();
+        measure_start = now;
+        warmup_completed = metrics.completed();
+        warmup_dropped = cluster.jobs_dropped();
+        warmup_boots = cluster.boots_started();
+        warmup_shutdowns = cluster.shutdowns_started();
+        break;
+      }
+    }
+  }
+
+  cluster.flush_energy(now);
+  if (in_warmup) {
+    // The workload drained before the warmup ended: there is no measured
+    // interval at all.  Report an empty (not a warmup-polluted) result.
+    warmup_energy = cluster.energy();
+    warmup_completed = metrics.completed();
+    warmup_dropped = cluster.jobs_dropped();
+    warmup_boots = cluster.boots_started();
+    warmup_shutdowns = cluster.shutdowns_started();
+    measure_start = now;
+  }
+  const EnergyBreakdown total = cluster.energy();
+  result.energy.busy_j = total.busy_j - warmup_energy.busy_j;
+  result.energy.idle_j = total.idle_j - warmup_energy.idle_j;
+  result.energy.transition_j = total.transition_j - warmup_energy.transition_j;
+  result.energy.off_j = total.off_j - warmup_energy.off_j;
+
+  result.sim_time_s = now - measure_start;
+  result.completed_jobs = metrics.completed() - warmup_completed;
+  result.dropped_jobs = cluster.jobs_dropped() - warmup_dropped;
+  result.boots = cluster.boots_started() - warmup_boots;
+  result.shutdowns = cluster.shutdowns_started() - warmup_shutdowns;
+
+  if (options.warmup_s > 0.0) {
+    result.mean_response_s = response_post.mean();
+    result.p95_response_s = p95_post.value();
+    result.p99_response_s = p99_post.value();
+    result.max_response_s = response_post.count() > 0 ? response_post.max() : 0.0;
+    result.job_violation_ratio = violations_post.ratio();
+  } else {
+    result.mean_response_s = metrics.response().mean();
+    result.p95_response_s = metrics.p95();
+    result.p99_response_s = metrics.p99();
+    result.max_response_s = metrics.response().count() > 0 ? metrics.response().max() : 0.0;
+    result.job_violation_ratio = metrics.job_violation_ratio();
+  }
+  // Window violations from the recorded timeline (mean response per window
+  // vs the guarantee); without a timeline this stays 0.
+  for (const TimelinePoint& p : result.timeline) {
+    if (p.time <= measure_start) continue;
+    window_violations.add(p.window_mean_response_s > options.t_ref_s);
+  }
+  result.window_violation_ratio = window_violations.ratio();
+
+  result.mean_power_w =
+      result.sim_time_s > 0.0 ? result.energy.total_j() / result.sim_time_s : 0.0;
+  result.mean_serving = serving_avg.time_average();
+  result.mean_speed = speed_avg.time_average();
+  result.mean_jobs_in_system = jobs_avg.time_average();
+  return result;
+}
+
+}  // namespace gc

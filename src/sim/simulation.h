@@ -1,0 +1,74 @@
+// The simulation loop: wires a Workload, a Cluster and a Controller
+// together over one EventQueue and produces a SimResult.
+//
+// Event choreography per step:
+//   * kArrival        — route the pending job, pull the next one from the
+//                       workload and schedule it;
+//   * kDeparture      — complete the job on its server, record metrics;
+//   * kShortTick      — measure the arrival rate over the elapsed short
+//                       period, ask the controller, apply speed changes;
+//   * kLongTick       — ask the controller, apply server-count changes
+//                       (scheduled before the short tick at equal times so
+//                       a long decision wins the tie);
+//   * kRecord         — sample the timeline;
+//   * kWarmupEnd      — reset metrics and snapshot energy so reported
+//                       numbers exclude the transient.
+//
+// The run ends when the workload is exhausted AND all jobs have departed,
+// or at `hard_stop_s` if configured (overload protection).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "sim/cluster.h"
+#include "sim/event_queue.h"
+#include "sim/metrics.h"
+#include "workload/workload.h"
+
+namespace gc {
+
+// What the controller observes at a tick.
+struct ControlContext {
+  double now = 0.0;
+  // Arrivals / elapsed time since the previous short tick.
+  double measured_rate = 0.0;
+  unsigned serving = 0;
+  unsigned committed = 0;  // serving + booting
+  unsigned powered = 0;
+  std::size_t jobs_in_system = 0;
+};
+
+// What the controller requests.  Unset fields mean "leave unchanged".
+struct ControlAction {
+  std::optional<unsigned> active_target;
+  std::optional<double> speed;
+};
+
+// Implemented by the policies in control/policies.h.  Kept here so the
+// simulator does not depend on the solver modules.
+class Controller {
+ public:
+  virtual ~Controller() = default;
+  [[nodiscard]] virtual double short_period_s() const = 0;
+  [[nodiscard]] virtual double long_period_s() const = 0;
+  [[nodiscard]] virtual ControlAction on_short_tick(const ControlContext& ctx) = 0;
+  [[nodiscard]] virtual ControlAction on_long_tick(const ControlContext& ctx) = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+struct SimulationOptions {
+  double t_ref_s = 0.10;
+  double warmup_s = 0.0;
+  // 0 disables timeline recording.
+  double record_interval_s = 0.0;
+  // Safety stop even if jobs are still in flight (0 = run to drain).
+  double hard_stop_s = 0.0;
+};
+
+// Runs one simulation.  The workload is consumed (reset it to reuse).
+[[nodiscard]] SimResult run_simulation(Workload& workload, const ClusterOptions& cluster,
+                                       Controller& controller,
+                                       const SimulationOptions& options);
+
+}  // namespace gc

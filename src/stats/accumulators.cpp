@@ -1,0 +1,53 @@
+#include "stats/accumulators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace gc {
+
+void MeanVarAccumulator::add(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void MeanVarAccumulator::merge(const MeanVarAccumulator& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  // Chan et al. parallel variance combination.
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double MeanVarAccumulator::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double MeanVarAccumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+double MeanVarAccumulator::sem() const noexcept {
+  return n_ < 2 ? 0.0 : stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+void TimeWeightedAccumulator::advance(double now, double value_since_last) noexcept {
+  GC_DCHECK(now >= last_time_, "time must be nondecreasing");
+  integral_ += (now - last_time_) * value_since_last;
+  last_time_ = now;
+}
+
+}  // namespace gc

@@ -1,0 +1,80 @@
+#include "stats/histogram.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/assert.h"
+
+namespace gc {
+
+Histogram::Histogram(double lo, double hi, std::size_t num_bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(num_bins)),
+      counts_(num_bins, 0) {
+  if (!(lo < hi) || num_bins == 0) {
+    throw std::invalid_argument("Histogram: need lo < hi and num_bins > 0");
+  }
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  if (idx >= counts_.size()) idx = counts_.size() - 1;  // float edge case at hi
+  ++counts_[idx];
+}
+
+std::uint64_t Histogram::bin_count(std::size_t i) const {
+  GC_CHECK(i < counts_.size(), "bin index out of range");
+  return counts_[i];
+}
+
+double Histogram::bin_lower(std::size_t i) const {
+  GC_CHECK(i < counts_.size(), "bin index out of range");
+  return lo_ + static_cast<double>(i) * width_;
+}
+
+double Histogram::bin_upper(std::size_t i) const { return bin_lower(i) + width_; }
+
+double Histogram::cdf_at_bin(std::size_t i) const {
+  GC_CHECK(i < counts_.size(), "bin index out of range");
+  const std::uint64_t in_range = total_ - underflow_ - overflow_;
+  if (in_range == 0) return 0.0;
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b <= i; ++b) cum += counts_[b];
+  return static_cast<double>(cum) / static_cast<double>(in_range);
+}
+
+double Histogram::quantile(double p) const {
+  GC_CHECK(total_ > 0, "quantile of empty histogram");
+  GC_CHECK(p >= 0.0 && p <= 1.0, "quantile: p out of range");
+  const double target = p * static_cast<double>(total_);
+  double cum = static_cast<double>(underflow_);
+  if (target <= cum) return lo_;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const double next = cum + static_cast<double>(counts_[b]);
+    if (target <= next && counts_[b] > 0) {
+      const double frac = (target - cum) / static_cast<double>(counts_[b]);
+      return bin_lower(b) + frac * width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  GC_CHECK(counts_.size() == other.counts_.size() && lo_ == other.lo_ && hi_ == other.hi_,
+           "merging incompatible histograms");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
+}  // namespace gc

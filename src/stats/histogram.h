@@ -1,0 +1,46 @@
+// Fixed-width histogram with under/overflow bins.
+//
+// Used for response-time distributions in reports and for goodness-of-fit
+// style property tests of the variate generators.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gc {
+
+class Histogram {
+ public:
+  // Bins of equal width over [lo, hi); values outside land in the
+  // underflow/overflow counters.
+  Histogram(double lo, double hi, std::size_t num_bins);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t num_bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin_count(std::size_t i) const;
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_lower(std::size_t i) const;
+  [[nodiscard]] double bin_upper(std::size_t i) const;
+  [[nodiscard]] double bin_width() const noexcept { return width_; }
+
+  // Fraction of in-range mass at or below the upper edge of bin i.
+  [[nodiscard]] double cdf_at_bin(std::size_t i) const;
+
+  // Approximate quantile by linear interpolation inside the bin containing
+  // the target mass.  Requires total() > 0.
+  [[nodiscard]] double quantile(double p) const;
+
+  void merge(const Histogram& other);
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace gc

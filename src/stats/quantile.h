@@ -1,0 +1,38 @@
+// Quantile estimation.
+//
+// `P2Quantile` is the Jain–Chlamtac P² streaming estimator: O(1) memory,
+// good for p50/p95/p99 over millions of response times.  `exact_quantile`
+// is the reference implementation used by tests and small samples.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace gc {
+
+class P2Quantile {
+ public:
+  // `p` in (0, 1), e.g. 0.95.
+  explicit P2Quantile(double p);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  // Current estimate; for fewer than 5 samples falls back to the exact
+  // value over the samples seen so far.
+  [[nodiscard]] double value() const noexcept;
+
+ private:
+  double p_;
+  std::uint64_t count_ = 0;
+  std::array<double, 5> heights_{};   // marker heights
+  std::array<double, 5> positions_{}; // actual marker positions (1-based)
+  std::array<double, 5> desired_{};   // desired marker positions
+  std::array<double, 5> increments_{};
+};
+
+// Exact quantile with linear interpolation (type-7, the numpy default).
+// `p` in [0, 1].  The input need not be sorted; it is copied.
+[[nodiscard]] double exact_quantile(std::span<const double> samples, double p);
+
+}  // namespace gc

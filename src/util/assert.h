@@ -1,0 +1,38 @@
+// Always-on invariant checks.
+//
+// The simulator and solver maintain nontrivial invariants (event ordering,
+// energy conservation, feasibility).  These checks stay enabled in release
+// builds: a silently corrupted simulation is worse than an abort, and the
+// cost is negligible next to the floating-point work around them.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gc {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "GC_CHECK failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace gc
+
+// Check `cond`; on failure print `msg` and abort.  Enabled in all builds.
+#define GC_CHECK(cond, msg)                                 \
+  do {                                                      \
+    if (!(cond)) [[unlikely]] {                             \
+      ::gc::assert_fail(#cond, __FILE__, __LINE__, (msg));  \
+    }                                                       \
+  } while (false)
+
+// Debug-only variant for hot paths.
+#ifdef NDEBUG
+#define GC_DCHECK(cond, msg) \
+  do {                       \
+  } while (false)
+#else
+#define GC_DCHECK(cond, msg) GC_CHECK(cond, msg)
+#endif

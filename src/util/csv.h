@@ -1,0 +1,34 @@
+// Tiny CSV reader/writer.
+//
+// Only what the trace layer needs: comma separation, '#' comment lines,
+// numeric cells, a single header line.  Not a general CSV implementation
+// (no quoting) — traces are machine-generated.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace gc {
+
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<double>> rows;
+
+  // Index of a header column, or -1.
+  [[nodiscard]] int column_index(const std::string& name) const noexcept;
+};
+
+// Parses CSV text.  Throws std::runtime_error on malformed numeric cells or
+// ragged rows.  Lines starting with '#' and blank lines are skipped; the
+// first remaining line is the header.
+[[nodiscard]] CsvTable parse_csv(const std::string& text);
+
+// Reads a file and parses it.  Throws std::runtime_error if unreadable.
+[[nodiscard]] CsvTable read_csv_file(const std::filesystem::path& path);
+
+// Serializes and writes.  Throws std::runtime_error on I/O failure.
+[[nodiscard]] std::string to_csv_text(const CsvTable& table);
+void write_csv_file(const std::filesystem::path& path, const CsvTable& table);
+
+}  // namespace gc

@@ -1,0 +1,73 @@
+#include "util/format.h"
+
+namespace gc {
+namespace detail {
+
+std::string printf_spec(std::string_view spec, std::string_view length_mod,
+                        char default_conv) {
+  // Validate: optional flags/width/precision digits and '.', '-', '+', then
+  // an optional conversion letter.
+  std::string body;
+  char conv = 0;
+  for (const char c : spec) {
+    const bool digit = c >= '0' && c <= '9';
+    if (digit || c == '.' || c == '-' || c == '+' || c == ' ') {
+      body += c;
+    } else if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')) {
+      if (conv != 0) throw std::invalid_argument("gc::format: bad spec");
+      conv = c;
+    } else {
+      throw std::invalid_argument("gc::format: bad spec char");
+    }
+  }
+  if (conv == 0) conv = default_conv;
+  std::string out = "%";
+  out += body;
+  // Length modifier only applies to integer conversions.
+  if (conv == 'd' || conv == 'u' || conv == 'x' || conv == 'X' || conv == 'o') {
+    out += length_mod;
+  }
+  out += conv;
+  return out;
+}
+
+std::string format_impl(
+    std::string_view fmt,
+    const std::vector<std::function<std::string(std::string_view)>>& renderers) {
+  std::string out;
+  out.reserve(fmt.size() + renderers.size() * 8);
+  std::size_t arg = 0;
+  for (std::size_t i = 0; i < fmt.size(); ++i) {
+    const char c = fmt[i];
+    if (c == '{') {
+      if (i + 1 < fmt.size() && fmt[i + 1] == '{') {
+        out += '{';
+        ++i;
+        continue;
+      }
+      const std::size_t close = fmt.find('}', i);
+      if (close == std::string_view::npos) {
+        throw std::invalid_argument("gc::format: unterminated '{'");
+      }
+      std::string_view spec = fmt.substr(i + 1, close - i - 1);
+      if (!spec.empty() && spec.front() == ':') spec.remove_prefix(1);
+      if (arg >= renderers.size()) {
+        throw std::invalid_argument("gc::format: more placeholders than arguments");
+      }
+      out += renderers[arg++](spec);
+      i = close;
+    } else if (c == '}') {
+      if (i + 1 < fmt.size() && fmt[i + 1] == '}') ++i;
+      out += '}';
+    } else {
+      out += c;
+    }
+  }
+  if (arg != renderers.size()) {
+    throw std::invalid_argument("gc::format: unused arguments");
+  }
+  return out;
+}
+
+}  // namespace detail
+}  // namespace gc

@@ -1,0 +1,93 @@
+// Minimal std::format stand-in for GCC 12 (no <format> in libstdc++ 12).
+//
+// Supports the subset this project uses:
+//   * "{}"          — default rendering (%g for floating point, decimal for
+//                     integers, "true"/"false" for bool, pass-through for
+//                     strings)
+//   * "{:SPEC}"     — SPEC is handed to snprintf as "%SPEC" for arithmetic
+//                     arguments (e.g. "{:g}", "{:.3f}", "{:.9g}", "{:x}");
+//                     for strings, ">N" / "<N" pads to width N.
+//
+// This is cold-path code (logs, table rendering, names); clarity over
+// speed.  Errors (too few/many args, bad spec) throw std::invalid_argument
+// so tests catch misuse immediately.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace gc {
+namespace detail {
+
+[[nodiscard]] std::string printf_spec(std::string_view spec, std::string_view length_mod,
+                                      char default_conv);
+
+template <typename T>
+[[nodiscard]] std::string render_arg(const T& value, std::string_view spec) {
+  char buf[128];
+  if constexpr (std::is_same_v<T, bool>) {
+    return value ? "true" : "false";
+  } else if constexpr (std::is_floating_point_v<T>) {
+    const std::string f = printf_spec(spec, "", 'g');
+    std::snprintf(buf, sizeof buf, f.c_str(), static_cast<double>(value));
+    return buf;
+  } else if constexpr (std::is_integral_v<T>) {
+    if (!spec.empty() && (spec.back() == 'f' || spec.back() == 'g' || spec.back() == 'e')) {
+      // Integer formatted with a float spec: promote.
+      const std::string f = printf_spec(spec, "", 'g');
+      std::snprintf(buf, sizeof buf, f.c_str(), static_cast<double>(value));
+      return buf;
+    }
+    if constexpr (std::is_signed_v<T>) {
+      const std::string f = printf_spec(spec, "ll", 'd');
+      std::snprintf(buf, sizeof buf, f.c_str(), static_cast<long long>(value));
+    } else {
+      const std::string f = printf_spec(spec, "ll", 'u');
+      std::snprintf(buf, sizeof buf, f.c_str(), static_cast<unsigned long long>(value));
+    }
+    return buf;
+  } else {
+    // String-like.
+    std::string text;
+    if constexpr (std::is_convertible_v<T, std::string_view>) {
+      text = std::string(std::string_view(value));
+    } else {
+      static_assert(std::is_convertible_v<T, std::string>,
+                    "gc::format: unsupported argument type");
+      text = std::string(value);
+    }
+    if (spec.empty()) return text;
+    if (spec.front() == '>' || spec.front() == '<') {
+      const std::size_t width = static_cast<std::size_t>(
+          std::strtoul(std::string(spec.substr(1)).c_str(), nullptr, 10));
+      if (text.size() >= width) return text;
+      const std::string pad(width - text.size(), ' ');
+      return spec.front() == '>' ? pad + text : text + pad;
+    }
+    throw std::invalid_argument("gc::format: bad string spec '" + std::string(spec) + "'");
+  }
+}
+
+[[nodiscard]] std::string format_impl(
+    std::string_view fmt,
+    const std::vector<std::function<std::string(std::string_view)>>& renderers);
+
+}  // namespace detail
+
+template <typename... Args>
+[[nodiscard]] std::string format(std::string_view fmt, const Args&... args) {
+  std::vector<std::function<std::string(std::string_view)>> renderers;
+  renderers.reserve(sizeof...(Args));
+  (renderers.emplace_back(
+       [&args](std::string_view spec) { return detail::render_arg(args, spec); }),
+   ...);
+  return detail::format_impl(fmt, renderers);
+}
+
+}  // namespace gc

@@ -1,0 +1,140 @@
+#include "util/ini.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/format.h"
+#include "util/string_util.h"
+
+namespace gc {
+
+IniFile IniFile::parse(const std::string& text) {
+  IniFile ini;
+  std::istringstream in(text);
+  std::string line;
+  std::string section;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view view = trim(line);
+    if (view.empty() || view.front() == '#' || view.front() == ';') continue;
+    if (view.front() == '[') {
+      if (view.back() != ']') {
+        throw std::runtime_error(gc::format("ini line {}: unterminated section", line_no));
+      }
+      section = std::string(trim(view.substr(1, view.size() - 2)));
+      if (section.empty()) {
+        throw std::runtime_error(gc::format("ini line {}: empty section name", line_no));
+      }
+      ini.sections_[section];  // section may be empty but present
+      continue;
+    }
+    const auto eq = view.find('=');
+    if (eq == std::string_view::npos) {
+      throw std::runtime_error(gc::format("ini line {}: expected key = value", line_no));
+    }
+    if (section.empty()) {
+      throw std::runtime_error(
+          gc::format("ini line {}: key outside any [section]", line_no));
+    }
+    const std::string key(trim(view.substr(0, eq)));
+    const std::string value(trim(view.substr(eq + 1)));
+    if (key.empty()) {
+      throw std::runtime_error(gc::format("ini line {}: empty key", line_no));
+    }
+    ini.sections_[section][key] = value;
+  }
+  return ini;
+}
+
+IniFile IniFile::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error(gc::format("cannot open '{}'", path));
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+bool IniFile::has_section(const std::string& section) const noexcept {
+  return sections_.find(section) != sections_.end();
+}
+
+std::vector<std::string> IniFile::section_names() const {
+  std::vector<std::string> names;
+  names.reserve(sections_.size());
+  for (const auto& [name, keys] : sections_) names.push_back(name);
+  return names;
+}
+
+std::optional<std::string> IniFile::get(const std::string& section,
+                                        const std::string& key) const {
+  const auto sit = sections_.find(section);
+  if (sit == sections_.end()) return std::nullopt;
+  const auto kit = sit->second.find(key);
+  if (kit == sit->second.end()) return std::nullopt;
+  return kit->second;
+}
+
+std::string IniFile::get_or(const std::string& section, const std::string& key,
+                            const std::string& fallback) const {
+  const auto value = get(section, key);
+  return value ? *value : fallback;
+}
+
+double IniFile::get_double_or(const std::string& section, const std::string& key,
+                              double fallback) const {
+  const auto value = get(section, key);
+  if (!value) return fallback;
+  const auto parsed = parse_double(*value);
+  if (!parsed) {
+    throw std::runtime_error(
+        gc::format("ini: [{}] {} = '{}' is not a number", section, key, *value));
+  }
+  return *parsed;
+}
+
+long long IniFile::get_int_or(const std::string& section, const std::string& key,
+                              long long fallback) const {
+  const auto value = get(section, key);
+  if (!value) return fallback;
+  const auto parsed = parse_int(*value);
+  if (!parsed) {
+    throw std::runtime_error(
+        gc::format("ini: [{}] {} = '{}' is not an integer", section, key, *value));
+  }
+  return *parsed;
+}
+
+bool IniFile::get_bool_or(const std::string& section, const std::string& key,
+                          bool fallback) const {
+  const auto value = get(section, key);
+  if (!value) return fallback;
+  const std::string lower = to_lower(*value);
+  if (lower == "true" || lower == "1" || lower == "yes" || lower == "on") return true;
+  if (lower == "false" || lower == "0" || lower == "no" || lower == "off") return false;
+  throw std::runtime_error(
+      gc::format("ini: [{}] {} = '{}' is not a boolean", section, key, *value));
+}
+
+void IniFile::set(const std::string& section, const std::string& key,
+                  const std::string& value) {
+  if (section.empty() || key.empty()) {
+    throw std::runtime_error("ini: section and key must be non-empty");
+  }
+  sections_[section][key] = value;
+}
+
+std::string IniFile::to_string() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [section, keys] : sections_) {
+    if (!first) os << '\n';
+    first = false;
+    os << '[' << section << "]\n";
+    for (const auto& [key, value] : keys) os << key << " = " << value << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace gc

@@ -1,0 +1,43 @@
+// Minimal INI parsing: `[section]` headers, `key = value` pairs, `#`/`;`
+// comments.  Used by core/config_io.h so cluster descriptions can live in
+// version-controlled files instead of code.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gc {
+
+class IniFile {
+ public:
+  // Parses INI text.  Throws std::runtime_error on malformed lines
+  // (content outside a section, '[' without ']', missing '=').
+  [[nodiscard]] static IniFile parse(const std::string& text);
+  [[nodiscard]] static IniFile load(const std::string& path);
+
+  [[nodiscard]] bool has_section(const std::string& section) const noexcept;
+  [[nodiscard]] std::vector<std::string> section_names() const;
+  [[nodiscard]] std::optional<std::string> get(const std::string& section,
+                                               const std::string& key) const;
+  [[nodiscard]] std::string get_or(const std::string& section, const std::string& key,
+                                   const std::string& fallback) const;
+  // Typed accessors; throw std::runtime_error when present but malformed.
+  [[nodiscard]] double get_double_or(const std::string& section, const std::string& key,
+                                     double fallback) const;
+  [[nodiscard]] long long get_int_or(const std::string& section, const std::string& key,
+                                     long long fallback) const;
+  [[nodiscard]] bool get_bool_or(const std::string& section, const std::string& key,
+                                 bool fallback) const;
+
+  void set(const std::string& section, const std::string& key, const std::string& value);
+
+  // Serializes back to INI text (sections and keys in sorted order).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::map<std::string, std::map<std::string, std::string>> sections_;
+};
+
+}  // namespace gc

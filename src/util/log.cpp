@@ -1,0 +1,38 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace gc {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_mutex;
+
+[[nodiscard]] const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(static_cast<int>(level)); }
+
+LogLevel log_level() noexcept { return static_cast<LogLevel>(g_level.load()); }
+
+void log_message(LogLevel level, std::string_view message) {
+  if (static_cast<int>(level) < g_level.load()) return;
+  const std::scoped_lock lock(g_mutex);
+  std::fprintf(stderr, "[%s] %.*s\n", level_name(level),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace gc

@@ -1,0 +1,46 @@
+// Minimal leveled logger.
+//
+// The library itself logs nothing above `kWarn` by default so that bench
+// harnesses produce clean, machine-diffable tables.  Examples raise the
+// level to `kInfo` to narrate what they do.
+#pragma once
+
+#include <string_view>
+
+#include "util/format.h"
+
+namespace gc {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Process-wide minimum level (not thread-safe to *change* concurrently with
+// logging; set it once at startup).
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+// Writes "[level] message\n" to stderr if `level` passes the filter.
+void log_message(LogLevel level, std::string_view message);
+
+template <typename... Args>
+void log_debug(std::string_view fmt, const Args&... args) {
+  if (log_level() <= LogLevel::kDebug)
+    log_message(LogLevel::kDebug, gc::format(fmt, args...));
+}
+
+template <typename... Args>
+void log_info(std::string_view fmt, const Args&... args) {
+  if (log_level() <= LogLevel::kInfo) log_message(LogLevel::kInfo, gc::format(fmt, args...));
+}
+
+template <typename... Args>
+void log_warn(std::string_view fmt, const Args&... args) {
+  if (log_level() <= LogLevel::kWarn) log_message(LogLevel::kWarn, gc::format(fmt, args...));
+}
+
+template <typename... Args>
+void log_error(std::string_view fmt, const Args&... args) {
+  if (log_level() <= LogLevel::kError)
+    log_message(LogLevel::kError, gc::format(fmt, args...));
+}
+
+}  // namespace gc

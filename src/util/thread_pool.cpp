@@ -1,0 +1,104 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+
+#include "util/assert.h"
+
+namespace gc {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    num_threads = hw == 0 ? 1 : hw;
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  // Join explicitly: workers_ is declared before mutex_/cv_/tasks_, so its
+  // implicit (last) destruction would let workers touch already-destroyed
+  // members.
+  workers_.clear();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for_index(std::size_t count,
+                                    const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (count == 1 || workers_.empty()) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  // Shared work-stealing counter: tasks grab the next index.  One queue
+  // entry per worker is enough; the caller also participates.
+  struct State {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<State>();
+  const std::size_t total = count;
+
+  auto drain = [state, total, &body] {
+    for (;;) {
+      const std::size_t i = state->next.fetch_add(1);
+      if (i >= total) break;
+      try {
+        body(i);
+      } catch (...) {
+        const std::scoped_lock lock(state->mu);
+        if (!state->error) state->error = std::current_exception();
+      }
+      if (state->done.fetch_add(1) + 1 == total) {
+        const std::scoped_lock lock(state->mu);
+        state->cv.notify_all();
+      }
+    }
+  };
+
+  const std::size_t helpers = std::min(workers_.size(), count - 1);
+  {
+    const std::scoped_lock lock(mutex_);
+    GC_CHECK(!stopping_, "parallel_for_index on a stopped pool");
+    for (std::size_t i = 0; i < helpers; ++i) tasks_.emplace(drain);
+  }
+  cv_.notify_all();
+
+  drain();  // caller participates
+
+  std::unique_lock lock(state->mu);
+  state->cv.wait(lock, [&] { return state->done.load() == total; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace gc

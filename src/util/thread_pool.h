@@ -1,0 +1,50 @@
+// Fixed-size worker pool for data-parallel sweeps.
+//
+// The discrete-event simulator is inherently sequential (one global clock),
+// so all parallelism in this project is *across* simulations: replications,
+// sweep points, policy × trace grids.  `parallel_for_index` hands out chunk
+// indices; determinism is preserved because every task owns its output slot
+// and derives its RNG stream from the task index, never from the thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace gc {
+
+class ThreadPool {
+ public:
+  // `num_threads == 0` means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  // Runs body(i) for i in [0, count).  Blocks until all iterations finish.
+  // Iterations may run in any order and on any thread, including the caller;
+  // the body must only write state owned by iteration i.  If any iteration
+  // throws, one of the exceptions is rethrown after all iterations complete.
+  void parallel_for_index(std::size_t count, const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::jthread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> tasks_;
+  bool stopping_ = false;
+};
+
+// Shared process-wide pool (lazily constructed with default size).
+[[nodiscard]] ThreadPool& global_pool();
+
+}  // namespace gc

@@ -1,0 +1,78 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/assert.h"
+#include "util/csv.h"
+#include "workload/arrival_process.h"
+
+namespace gc {
+
+Trace::Trace(std::vector<double> timestamps) : ts_(std::move(timestamps)) {
+  for (std::size_t i = 1; i < ts_.size(); ++i) {
+    if (ts_[i] < ts_[i - 1]) throw std::invalid_argument("Trace: timestamps must be sorted");
+  }
+  if (!ts_.empty() && ts_.front() < 0.0) {
+    throw std::invalid_argument("Trace: timestamps must be nonnegative");
+  }
+}
+
+double Trace::mean_rate() const noexcept {
+  if (ts_.size() < 2 || duration() <= 0.0) return 0.0;
+  return static_cast<double>(ts_.size()) / duration();
+}
+
+Trace Trace::from_profile(const RateProfile& profile, double horizon, std::uint64_t seed) {
+  // Own the profile through a non-deleting alias so NhppProcess can share it.
+  const std::shared_ptr<const RateProfile> alias(&profile, [](const RateProfile*) {});
+  NhppProcess process(alias, horizon, Rng(seed, /*stream=*/1));
+  std::vector<double> ts;
+  while (const auto t = process.next()) ts.push_back(*t);
+  return Trace(std::move(ts));
+}
+
+std::shared_ptr<const RateProfile> Trace::to_rate_profile(double bin_s) const {
+  GC_CHECK(bin_s > 0.0, "to_rate_profile: bin must be positive");
+  GC_CHECK(!ts_.empty(), "to_rate_profile: empty trace");
+  const auto num_bins = static_cast<std::size_t>(std::ceil(duration() / bin_s));
+  std::vector<std::size_t> counts(std::max<std::size_t>(num_bins, 1), 0);
+  for (const double t : ts_) {
+    auto b = static_cast<std::size_t>(t / bin_s);
+    if (b >= counts.size()) b = counts.size() - 1;
+    ++counts[b];
+  }
+  std::vector<PiecewiseLinearRate::Knot> knots;
+  knots.reserve(counts.size());
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    knots.push_back({(static_cast<double>(b) + 0.5) * bin_s,
+                     static_cast<double>(counts[b]) / bin_s});
+  }
+  if (knots.size() == 1) {
+    // A single bin cannot anchor interpolation; extend it flat.
+    knots.push_back({knots[0].time + bin_s, knots[0].rate});
+  }
+  return std::make_shared<PiecewiseLinearRate>(std::move(knots));
+}
+
+void Trace::save_csv(const std::filesystem::path& path) const {
+  CsvTable table;
+  table.header = {"arrival_s"};
+  table.rows.reserve(ts_.size());
+  for (const double t : ts_) table.rows.push_back({t});
+  write_csv_file(path, table);
+}
+
+Trace Trace::load_csv(const std::filesystem::path& path) {
+  const CsvTable table = read_csv_file(path);
+  const int col = table.column_index("arrival_s");
+  if (col < 0) throw std::runtime_error("trace csv: missing 'arrival_s' column");
+  std::vector<double> ts;
+  ts.reserve(table.rows.size());
+  for (const auto& row : table.rows) ts.push_back(row[static_cast<std::size_t>(col)]);
+  std::sort(ts.begin(), ts.end());
+  return Trace(std::move(ts));
+}
+
+}  // namespace gc

@@ -1,0 +1,46 @@
+// Arrival traces: recorded or synthesized timestamp lists.
+//
+// Traces bridge the generator and replay worlds: a profile can be sampled
+// into a trace (for exact repeatability across policies — every policy sees
+// the *same* arrivals), saved to CSV, binned back into an empirical rate
+// profile, and replayed through TraceProcess.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+#include "stats/rng.h"
+#include "workload/rate_profile.h"
+
+namespace gc {
+
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::vector<double> timestamps);
+
+  [[nodiscard]] const std::vector<double>& timestamps() const noexcept { return ts_; }
+  [[nodiscard]] std::size_t size() const noexcept { return ts_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return ts_.empty(); }
+  [[nodiscard]] double duration() const noexcept { return ts_.empty() ? 0.0 : ts_.back(); }
+  [[nodiscard]] double mean_rate() const noexcept;
+
+  // Samples a profile into concrete arrivals via NHPP thinning.
+  [[nodiscard]] static Trace from_profile(const RateProfile& profile, double horizon,
+                                          std::uint64_t seed);
+
+  // Counts arrivals per `bin_s`-second bin and returns the empirical rate
+  // as a piecewise-linear profile through the bin centers.
+  [[nodiscard]] std::shared_ptr<const RateProfile> to_rate_profile(double bin_s) const;
+
+  // CSV with a single `arrival_s` column.  Throws on I/O errors.
+  void save_csv(const std::filesystem::path& path) const;
+  [[nodiscard]] static Trace load_csv(const std::filesystem::path& path);
+
+ private:
+  std::vector<double> ts_;
+};
+
+}  // namespace gc

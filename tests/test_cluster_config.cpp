@@ -1,0 +1,72 @@
+#include "core/cluster_config.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace gc {
+namespace {
+
+TEST(ClusterConfig, DefaultsValidate) {
+  const ClusterConfig config;
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(ClusterConfig, RejectsZeroServers) {
+  ClusterConfig config;
+  config.max_servers = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(ClusterConfig, RejectsBadMinServers) {
+  ClusterConfig config;
+  config.min_servers = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.min_servers = config.max_servers + 1;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(ClusterConfig, RejectsNonPositiveMu) {
+  ClusterConfig config;
+  config.mu_max = 0.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(ClusterConfig, RejectsUnreachableSla) {
+  ClusterConfig config;
+  config.mu_max = 10.0;
+  config.t_ref_s = 0.05;  // < 1/mu: even an empty server misses it
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.t_ref_s = 0.1;  // equal: still impossible (needs strict headroom)
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(ClusterConfig, RejectsNegativeTransitions) {
+  ClusterConfig config;
+  config.transition.boot_delay_s = -1.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(ClusterConfig, RejectsBadPowerModel) {
+  ClusterConfig config;
+  config.power.p_idle_watts = 1000.0;  // > p_max
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(ClusterConfig, MaxFeasibleArrivalRate) {
+  ClusterConfig config;
+  config.max_servers = 10;
+  config.mu_max = 10.0;
+  config.t_ref_s = 0.5;
+  // Per server: mu - 1/t_ref = 8; cluster: 80.
+  EXPECT_DOUBLE_EQ(config.max_feasible_arrival_rate(), 80.0);
+  EXPECT_DOUBLE_EQ(config.raw_capacity(), 100.0);
+}
+
+TEST(PerfModelNames, ToString) {
+  EXPECT_STREQ(to_string(PerfModel::kMm1PerServer), "mm1-per-server");
+  EXPECT_STREQ(to_string(PerfModel::kMmcCluster), "mmc-cluster");
+}
+
+}  // namespace
+}  // namespace gc

@@ -1,0 +1,133 @@
+// Randomized invariant test: drive a cluster with a random interleaving of
+// arrivals, control actions and event processing, and check the global
+// invariants after every step:
+//   * job conservation: routed == completed + in flight (+ dropped);
+//   * server states partition the fleet;
+//   * the cluster never drops while a server is serving;
+//   * energy is finite, non-negative and non-decreasing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/cluster.h"
+#include "stats/rng.h"
+
+namespace gc {
+namespace {
+
+class ClusterPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClusterPropertyTest, RandomWalkKeepsInvariants) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+  EventQueue queue;
+  ClusterOptions options;
+  options.num_servers = 8;
+  options.initial_active = 4;
+  options.transition.boot_delay_s = 2.0;
+  options.transition.shutdown_delay_s = 0.5;
+  Cluster cluster(options, &queue);
+
+  double now = 0.0;
+  std::uint64_t next_job_id = 1;
+  std::uint64_t routed = 0;
+  std::uint64_t completed = 0;
+  double last_energy = 0.0;
+
+  auto check_invariants = [&] {
+    // State partition.
+    unsigned on = 0, booting = 0, shutting = 0, off = 0;
+    for (std::uint32_t i = 0; i < cluster.num_servers(); ++i) {
+      switch (cluster.server(i).state()) {
+        case PowerState::kOn: ++on; break;
+        case PowerState::kBooting: ++booting; break;
+        case PowerState::kShuttingDown: ++shutting; break;
+        case PowerState::kOff: ++off; break;
+      }
+    }
+    ASSERT_EQ(on + booting + shutting + off, cluster.num_servers());
+    ASSERT_EQ(cluster.powered_count(), on + booting + shutting);
+    ASSERT_LE(cluster.serving_count(), on);
+    // Job conservation.
+    ASSERT_EQ(routed, completed + cluster.jobs_in_system());
+    // Energy monotone.
+    cluster.flush_energy(now);
+    const double energy = cluster.energy().total_j();
+    ASSERT_GE(energy, last_energy - 1e-9);
+    ASSERT_TRUE(std::isfinite(energy));
+    last_energy = energy;
+  };
+
+  for (int step = 0; step < 5000; ++step) {
+    const double dice = rng.uniform01();
+    if (dice < 0.35) {
+      // Arrival.
+      Job job;
+      job.id = next_job_id++;
+      job.arrival_time = now;
+      job.size = 0.01 + rng.uniform01() * 0.5;
+      job.remaining = job.size;
+      if (cluster.route_job(now, job)) {
+        ++routed;
+      }
+    } else if (dice < 0.45) {
+      cluster.set_active_target(now, 1 + static_cast<unsigned>(rng.uniform_below(8)));
+    } else if (dice < 0.55) {
+      const double speeds[] = {0.25, 0.5, 0.75, 1.0};
+      cluster.set_all_speeds(now, speeds[rng.uniform_below(4)]);
+    } else {
+      // Process the next event (if any), advancing time.
+      const auto event = queue.pop();
+      if (event) {
+        now = event->time;
+        switch (event->type) {
+          case EventType::kDeparture: {
+            const Job job = cluster.handle_departure(now, event->subject);
+            ASSERT_GE(now, job.arrival_time);
+            ++completed;
+            break;
+          }
+          case EventType::kBootComplete:
+            cluster.handle_boot_complete(now, event->subject);
+            break;
+          case EventType::kShutdownComplete:
+            cluster.handle_shutdown_complete(now, event->subject);
+            break;
+          default:
+            break;
+        }
+      } else {
+        now += 0.1;  // idle tick
+      }
+    }
+    if (step % 50 == 0) check_invariants();
+  }
+
+  // Drain everything and verify total conservation.
+  while (const auto event = queue.pop()) {
+    now = event->time;
+    switch (event->type) {
+      case EventType::kDeparture:
+        (void)cluster.handle_departure(now, event->subject);
+        ++completed;
+        break;
+      case EventType::kBootComplete:
+        cluster.handle_boot_complete(now, event->subject);
+        break;
+      case EventType::kShutdownComplete:
+        cluster.handle_shutdown_complete(now, event->subject);
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_EQ(cluster.jobs_in_system(), 0u);
+  EXPECT_EQ(routed, completed);
+  // Dropped jobs only if the random walk drove serving to zero, which the
+  // guard forbids.
+  EXPECT_EQ(cluster.jobs_dropped(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClusterPropertyTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace gc

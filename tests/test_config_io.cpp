@@ -1,0 +1,184 @@
+#include "core/config_io.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace gc {
+namespace {
+
+TEST(ConfigIo, EmptyIniYieldsDefaults) {
+  const IniFile ini;
+  const ClusterConfig config = cluster_config_from_ini(ini);
+  const ClusterConfig defaults;
+  EXPECT_EQ(config.max_servers, defaults.max_servers);
+  EXPECT_DOUBLE_EQ(config.mu_max, defaults.mu_max);
+  EXPECT_DOUBLE_EQ(config.t_ref_s, defaults.t_ref_s);
+  const DcpParams dcp = dcp_params_from_ini(ini);
+  EXPECT_DOUBLE_EQ(dcp.long_period_s, DcpParams{}.long_period_s);
+}
+
+TEST(ConfigIo, ParsesFullConfig) {
+  const IniFile ini = IniFile::parse(R"(
+[cluster]
+max_servers = 8
+mu_max = 12.5
+t_ref_ms = 400
+min_servers = 2
+perf_model = mmc
+
+[power]
+p_idle_w = 120
+p_max_w = 260
+p_off_w = 3
+alpha = 2.5
+utilization_gated = true
+
+[ladder]
+levels_ghz = 1.0 2.0 4.0
+
+[transition]
+boot_delay_s = 30
+shutdown_delay_s = 4
+)");
+  const ClusterConfig config = cluster_config_from_ini(ini);
+  EXPECT_EQ(config.max_servers, 8u);
+  EXPECT_DOUBLE_EQ(config.mu_max, 12.5);
+  EXPECT_DOUBLE_EQ(config.t_ref_s, 0.4);
+  EXPECT_EQ(config.min_servers, 2u);
+  EXPECT_EQ(config.perf_model, PerfModel::kMmcCluster);
+  EXPECT_DOUBLE_EQ(config.power.p_idle_watts, 120.0);
+  EXPECT_DOUBLE_EQ(config.power.alpha, 2.5);
+  EXPECT_TRUE(config.power.utilization_gated);
+  EXPECT_EQ(config.ladder.num_levels(), 3u);
+  EXPECT_DOUBLE_EQ(config.ladder.min_speed(), 0.25);
+  EXPECT_DOUBLE_EQ(config.transition.boot_delay_s, 30.0);
+}
+
+TEST(ConfigIo, ContinuousLadder) {
+  const IniFile ini = IniFile::parse("[ladder]\ncontinuous_min_speed = 0.2\n");
+  const ClusterConfig config = cluster_config_from_ini(ini);
+  EXPECT_TRUE(config.ladder.is_continuous());
+  EXPECT_DOUBLE_EQ(config.ladder.min_speed(), 0.2);
+}
+
+TEST(ConfigIo, DcpSection) {
+  const IniFile ini = IniFile::parse(R"(
+[dcp]
+long_period_s = 120
+short_period_s = 15
+safety_margin = 1.3
+scale_down_patience = 4
+auto_patience_from_break_even = yes
+)");
+  const DcpParams dcp = dcp_params_from_ini(ini);
+  EXPECT_DOUBLE_EQ(dcp.long_period_s, 120.0);
+  EXPECT_DOUBLE_EQ(dcp.short_period_s, 15.0);
+  EXPECT_DOUBLE_EQ(dcp.safety_margin, 1.3);
+  EXPECT_EQ(dcp.scale_down_patience, 4u);
+  EXPECT_TRUE(dcp.auto_patience_from_break_even);
+}
+
+TEST(ConfigIo, RejectsInvalidConfigs) {
+  EXPECT_THROW((void)cluster_config_from_ini(IniFile::parse("[cluster]\nmax_servers = 0\n")),
+               std::invalid_argument);
+  EXPECT_THROW((void)cluster_config_from_ini(IniFile::parse("[cluster]\nperf_model = magic\n")),
+               std::runtime_error);
+  EXPECT_THROW((void)cluster_config_from_ini(IniFile::parse("[ladder]\nlevels_ghz = 1.0 oops\n")),
+               std::runtime_error);
+  // SLA below 1/mu is caught by validate().
+  EXPECT_THROW((void)cluster_config_from_ini(
+                   IniFile::parse("[cluster]\nmu_max = 10\nt_ref_ms = 50\n")),
+               std::invalid_argument);
+  EXPECT_THROW((void)dcp_params_from_ini(IniFile::parse("[dcp]\nsafety_margin = 0.5\n")),
+               std::invalid_argument);
+}
+
+TEST(ConfigIo, RoundTripPreservesEverything) {
+  ClusterConfig config;
+  config.max_servers = 24;
+  config.mu_max = 33.5;
+  config.t_ref_s = 0.125;
+  config.min_servers = 3;
+  config.perf_model = PerfModel::kMmcCluster;
+  config.power.p_idle_watts = 111.0;
+  config.power.utilization_gated = false;
+  config.ladder = FrequencyLadder({0.8, 1.6, 3.2});
+  config.transition.boot_delay_s = 45.0;
+  DcpParams dcp;
+  dcp.long_period_s = 200.0;
+  dcp.safety_margin = 1.25;
+  dcp.auto_patience_from_break_even = true;
+
+  const IniFile ini = IniFile::parse(to_ini(config, dcp).to_string());
+  const ClusterConfig back = cluster_config_from_ini(ini);
+  const DcpParams dcp_back = dcp_params_from_ini(ini);
+  EXPECT_EQ(back.max_servers, 24u);
+  EXPECT_DOUBLE_EQ(back.mu_max, 33.5);
+  EXPECT_DOUBLE_EQ(back.t_ref_s, 0.125);
+  EXPECT_EQ(back.min_servers, 3u);
+  EXPECT_EQ(back.perf_model, PerfModel::kMmcCluster);
+  EXPECT_DOUBLE_EQ(back.power.p_idle_watts, 111.0);
+  EXPECT_FALSE(back.power.utilization_gated);
+  ASSERT_EQ(back.ladder.num_levels(), 3u);
+  EXPECT_DOUBLE_EQ(back.ladder.f_max_ghz(), 3.2);
+  EXPECT_DOUBLE_EQ(back.transition.boot_delay_s, 45.0);
+  EXPECT_DOUBLE_EQ(dcp_back.long_period_s, 200.0);
+  EXPECT_DOUBLE_EQ(dcp_back.safety_margin, 1.25);
+  EXPECT_TRUE(dcp_back.auto_patience_from_break_even);
+}
+
+TEST(ConfigIo, HeteroFromIni) {
+  const IniFile ini = IniFile::parse(R"(
+[cluster]
+t_ref_ms = 500
+
+[class new]
+count = 8
+mu_max = 12
+p_idle_w = 100
+p_max_w = 200
+utilization_gated = false
+
+[class old]
+count = 4
+mu_max = 10
+p_idle_w = 180
+p_max_w = 300
+levels_ghz = 1.2 2.4
+)");
+  const HeteroConfig config = hetero_config_from_ini(ini);
+  ASSERT_EQ(config.classes.size(), 2u);
+  EXPECT_DOUBLE_EQ(config.t_ref_s, 0.5);
+  // Sections come back in sorted order: "class new" before "class old".
+  EXPECT_EQ(config.classes[0].name, "new");
+  EXPECT_EQ(config.classes[0].count, 8u);
+  EXPECT_DOUBLE_EQ(config.classes[0].mu_max, 12.0);
+  EXPECT_FALSE(config.classes[0].power.utilization_gated);
+  EXPECT_EQ(config.classes[1].name, "old");
+  EXPECT_EQ(config.classes[1].ladder.num_levels(), 2u);
+}
+
+TEST(ConfigIo, HeteroRequiresClassSections) {
+  EXPECT_THROW((void)hetero_config_from_ini(IniFile::parse("[cluster]\nt_ref_ms = 500\n")),
+               std::runtime_error);
+}
+
+TEST(ConfigIo, HeteroValidatesClasses) {
+  // t_ref below 1/mu of a class fails validation.
+  EXPECT_THROW((void)hetero_config_from_ini(IniFile::parse(
+                   "[cluster]\nt_ref_ms = 50\n[class a]\ncount = 2\nmu_max = 10\n")),
+               std::invalid_argument);
+}
+
+TEST(ConfigIo, RoundTripContinuousLadder) {
+  ClusterConfig config;
+  config.ladder = FrequencyLadder::continuous(0.15);
+  const ClusterConfig back =
+      cluster_config_from_ini(IniFile::parse(to_ini(config, {}).to_string()));
+  EXPECT_TRUE(back.ladder.is_continuous());
+  EXPECT_DOUBLE_EQ(back.ladder.min_speed(), 0.15);
+}
+
+}  // namespace
+}  // namespace gc

@@ -1,0 +1,82 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <stdexcept>
+
+namespace gc {
+namespace {
+
+TEST(CsvParse, HeaderAndRows) {
+  const CsvTable table = parse_csv("a,b\n1,2\n3.5,4\n");
+  ASSERT_EQ(table.header.size(), 2u);
+  EXPECT_EQ(table.header[0], "a");
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(table.rows[1][0], 3.5);
+}
+
+TEST(CsvParse, SkipsCommentsAndBlankLines) {
+  const CsvTable table = parse_csv("# comment\n\na\n# another\n1\n\n2\n");
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(table.rows[0][0], 1.0);
+}
+
+TEST(CsvParse, TrimsHeaderWhitespace) {
+  const CsvTable table = parse_csv(" a , b \n1,2\n");
+  EXPECT_EQ(table.header[0], "a");
+  EXPECT_EQ(table.header[1], "b");
+}
+
+TEST(CsvParse, RaggedRowThrows) {
+  EXPECT_THROW(parse_csv("a,b\n1\n"), std::runtime_error);
+}
+
+TEST(CsvParse, NonNumericCellThrows) {
+  EXPECT_THROW(parse_csv("a\nxyz\n"), std::runtime_error);
+}
+
+TEST(CsvParse, EmptyInputThrows) {
+  EXPECT_THROW(parse_csv(""), std::runtime_error);
+  EXPECT_THROW(parse_csv("# only comments\n"), std::runtime_error);
+}
+
+TEST(CsvTableApi, ColumnIndex) {
+  const CsvTable table = parse_csv("x,y,z\n1,2,3\n");
+  EXPECT_EQ(table.column_index("y"), 1);
+  EXPECT_EQ(table.column_index("missing"), -1);
+}
+
+TEST(CsvRoundTrip, FileIo) {
+  CsvTable table;
+  table.header = {"t", "v"};
+  table.rows = {{0.5, 1.25}, {1.0, -3.0}};
+  const auto path = std::filesystem::temp_directory_path() / "gc_test_roundtrip.csv";
+  write_csv_file(path, table);
+  const CsvTable loaded = read_csv_file(path);
+  ASSERT_EQ(loaded.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded.rows[0][1], 1.25);
+  EXPECT_DOUBLE_EQ(loaded.rows[1][1], -3.0);
+  std::filesystem::remove(path);
+}
+
+TEST(CsvRoundTrip, PreservesPrecision) {
+  CsvTable table;
+  table.header = {"v"};
+  table.rows = {{123456.789012}};
+  const CsvTable again = parse_csv(to_csv_text(table));
+  EXPECT_NEAR(again.rows[0][0], 123456.789012, 1e-6);
+}
+
+TEST(CsvFileErrors, MissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/path/file.csv"), std::runtime_error);
+}
+
+TEST(CsvFileErrors, UnwritablePathThrows) {
+  CsvTable table;
+  table.header = {"a"};
+  EXPECT_THROW(write_csv_file("/nonexistent/dir/file.csv", table), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gc

@@ -1,0 +1,97 @@
+#include "sim/dispatcher.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gc {
+namespace {
+
+class DispatcherTest : public ::testing::Test {
+ protected:
+  DispatcherTest() {
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      servers_.emplace_back(i, &pm_, 1.0, /*initially_on=*/true, 0.0);
+    }
+  }
+
+  Job make_job(double size) {
+    static std::uint64_t next_id = 1;
+    Job job;
+    job.id = next_id++;
+    job.size = size;
+    job.remaining = size;
+    return job;
+  }
+
+  PowerModel pm_;
+  std::vector<Server> servers_;
+};
+
+TEST_F(DispatcherTest, RoundRobinCycles) {
+  Dispatcher d(DispatchPolicy::kRoundRobin, Rng(1));
+  std::vector<long> picks;
+  for (int i = 0; i < 8; ++i) picks.push_back(d.pick(0.0, servers_));
+  EXPECT_EQ(picks, (std::vector<long>{0, 1, 2, 3, 0, 1, 2, 3}));
+}
+
+TEST_F(DispatcherTest, RoundRobinSkipsNonServing) {
+  servers_[1].set_draining(0.0, true);
+  Dispatcher d(DispatchPolicy::kRoundRobin, Rng(1));
+  for (int i = 0; i < 9; ++i) {
+    const long pick = d.pick(0.0, servers_);
+    EXPECT_NE(pick, 1);
+  }
+}
+
+TEST_F(DispatcherTest, RandomPicksOnlyServing) {
+  servers_[0].set_draining(0.0, true);
+  servers_[2].set_draining(0.0, true);
+  Dispatcher d(DispatchPolicy::kRandom, Rng(7));
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 2000; ++i) {
+    const long pick = d.pick(0.0, servers_);
+    ASSERT_GE(pick, 0);
+    ++counts[static_cast<std::size_t>(pick)];
+  }
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_EQ(counts[2], 0);
+  // Remaining two should split roughly evenly.
+  EXPECT_NEAR(counts[1], 1000, 150);
+  EXPECT_NEAR(counts[3], 1000, 150);
+}
+
+TEST_F(DispatcherTest, JsqPicksShortestQueue) {
+  (void)servers_[0].enqueue(0.0, make_job(10.0));
+  (void)servers_[0].enqueue(0.0, make_job(10.0));
+  (void)servers_[1].enqueue(0.0, make_job(10.0));
+  // server 2 and 3 empty; tie broken by lowest index.
+  Dispatcher d(DispatchPolicy::kJoinShortestQueue, Rng(1));
+  EXPECT_EQ(d.pick(0.0, servers_), 2);
+}
+
+TEST_F(DispatcherTest, LeastWorkConsidersJobSizes) {
+  (void)servers_[0].enqueue(0.0, make_job(1.0));   // little work
+  (void)servers_[1].enqueue(0.0, make_job(100.0)); // one big job
+  (void)servers_[2].enqueue(0.0, make_job(2.0));
+  (void)servers_[2].enqueue(0.0, make_job(2.0));
+  (void)servers_[3].enqueue(0.0, make_job(0.5));
+  Dispatcher d(DispatchPolicy::kLeastWork, Rng(1));
+  EXPECT_EQ(d.pick(0.0, servers_), 3);
+}
+
+TEST_F(DispatcherTest, NoServingServersReturnsMinusOne) {
+  for (auto& s : servers_) s.set_draining(0.0, true);
+  Dispatcher d(DispatchPolicy::kJoinShortestQueue, Rng(1));
+  EXPECT_EQ(d.pick(0.0, servers_), -1);
+}
+
+TEST(DispatchPolicyNames, ToString) {
+  EXPECT_STREQ(to_string(DispatchPolicy::kRoundRobin), "round-robin");
+  EXPECT_STREQ(to_string(DispatchPolicy::kJoinShortestQueue), "jsq");
+  EXPECT_STREQ(to_string(DispatchPolicy::kLeastWork), "least-work");
+  EXPECT_STREQ(to_string(DispatchPolicy::kRandom), "random");
+}
+
+}  // namespace
+}  // namespace gc

@@ -1,0 +1,78 @@
+#include "power/energy_meter.h"
+
+#include <gtest/gtest.h>
+
+namespace gc {
+namespace {
+
+class EnergyMeterTest : public ::testing::Test {
+ protected:
+  PowerModel pm_;  // idle 150, max 250, alpha 3, off 5, gated
+};
+
+TEST_F(EnergyMeterTest, StartsOffAndIntegratesOffPower) {
+  EnergyMeter meter(&pm_, 0.0);
+  meter.flush(10.0);
+  EXPECT_DOUBLE_EQ(meter.joules_off(), 50.0);
+  EXPECT_DOUBLE_EQ(meter.total_joules(), 50.0);
+}
+
+TEST_F(EnergyMeterTest, BusyIdleSplit) {
+  EnergyMeter meter(&pm_, 0.0);
+  meter.update(0.0, PowerState::kOn, 1.0, false);  // ON idle from t=0
+  meter.update(4.0, PowerState::kOn, 1.0, true);   // 4 s idle
+  meter.update(10.0, PowerState::kOn, 1.0, false); // 6 s busy
+  meter.flush(11.0);                               // 1 s idle
+  EXPECT_DOUBLE_EQ(meter.joules_idle(), 5.0 * 150.0);
+  EXPECT_DOUBLE_EQ(meter.joules_busy(), 6.0 * 250.0);
+}
+
+TEST_F(EnergyMeterTest, TransitionPower) {
+  EnergyMeter meter(&pm_, 0.0);
+  meter.update(0.0, PowerState::kBooting, 1.0, false);
+  meter.update(3.0, PowerState::kOn, 1.0, false);
+  meter.update(5.0, PowerState::kShuttingDown, 1.0, false);
+  meter.flush(6.0);
+  EXPECT_DOUBLE_EQ(meter.joules_transition(), 4.0 * 250.0);
+  EXPECT_DOUBLE_EQ(meter.joules_idle(), 2.0 * 150.0);
+}
+
+TEST_F(EnergyMeterTest, SpeedAffectsBusyPower) {
+  EnergyMeter meter(&pm_, 0.0);
+  meter.update(0.0, PowerState::kOn, 0.5, true);
+  meter.flush(10.0);
+  EXPECT_DOUBLE_EQ(meter.joules_busy(), 10.0 * (150.0 + 100.0 * 0.125));
+}
+
+TEST_F(EnergyMeterTest, InstantaneousPowerByState) {
+  EnergyMeter meter(&pm_, 0.0);
+  EXPECT_DOUBLE_EQ(meter.instantaneous_power(), 5.0);  // off
+  meter.update(0.0, PowerState::kOn, 1.0, true);
+  EXPECT_DOUBLE_EQ(meter.instantaneous_power(), 250.0);
+  meter.update(1.0, PowerState::kBooting, 1.0, false);
+  EXPECT_DOUBLE_EQ(meter.instantaneous_power(), 250.0);
+  meter.update(2.0, PowerState::kOn, 1.0, false);
+  EXPECT_DOUBLE_EQ(meter.instantaneous_power(), 150.0);
+}
+
+TEST_F(EnergyMeterTest, ZeroLengthUpdatesAddNothing) {
+  EnergyMeter meter(&pm_, 5.0);
+  meter.update(5.0, PowerState::kOn, 1.0, true);
+  meter.update(5.0, PowerState::kOn, 0.5, true);
+  EXPECT_DOUBLE_EQ(meter.total_joules(), 0.0);
+}
+
+TEST_F(EnergyMeterTest, TimeGoingBackwardsDies) {
+  EnergyMeter meter(&pm_, 10.0);
+  EXPECT_DEATH(meter.flush(9.0), "backwards");
+}
+
+TEST(PowerStateNames, ToString) {
+  EXPECT_STREQ(to_string(PowerState::kOff), "off");
+  EXPECT_STREQ(to_string(PowerState::kBooting), "booting");
+  EXPECT_STREQ(to_string(PowerState::kOn), "on");
+  EXPECT_STREQ(to_string(PowerState::kShuttingDown), "shutting_down");
+}
+
+}  // namespace
+}  // namespace gc

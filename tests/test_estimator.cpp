@@ -1,0 +1,93 @@
+#include "control/estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace gc {
+namespace {
+
+TEST(Ewma, RejectsBadAlpha) {
+  EXPECT_THROW(EwmaEstimator(0.0), std::invalid_argument);
+  EXPECT_THROW(EwmaEstimator(1.5), std::invalid_argument);
+}
+
+TEST(Ewma, FirstObservationPrimes) {
+  EwmaEstimator est(0.2);
+  EXPECT_FALSE(est.primed());
+  est.observe(10.0);
+  EXPECT_TRUE(est.primed());
+  EXPECT_DOUBLE_EQ(est.value(), 10.0);
+}
+
+TEST(Ewma, SmoothsTowardsNewValues) {
+  EwmaEstimator est(0.5);
+  est.observe(0.0);
+  est.observe(10.0);
+  EXPECT_DOUBLE_EQ(est.value(), 5.0);
+  est.observe(10.0);
+  EXPECT_DOUBLE_EQ(est.value(), 7.5);
+}
+
+TEST(Ewma, AlphaOneTracksExactly) {
+  EwmaEstimator est(1.0);
+  est.observe(3.0);
+  est.observe(9.0);
+  EXPECT_DOUBLE_EQ(est.value(), 9.0);
+}
+
+TEST(Ewma, ConvergesToConstant) {
+  EwmaEstimator est(0.3);
+  est.observe(0.0);
+  for (int i = 0; i < 100; ++i) est.observe(42.0);
+  EXPECT_NEAR(est.value(), 42.0, 1e-9);
+}
+
+TEST(Ewma, ResetClears) {
+  EwmaEstimator est(0.5);
+  est.observe(5.0);
+  est.reset();
+  EXPECT_FALSE(est.primed());
+  EXPECT_DOUBLE_EQ(est.value(), 0.0);
+}
+
+TEST(SlidingWindow, RejectsZeroCapacity) {
+  EXPECT_THROW(SlidingWindowEstimator(0), std::invalid_argument);
+}
+
+TEST(SlidingWindow, EmptyReturnsZero) {
+  SlidingWindowEstimator est(4);
+  EXPECT_DOUBLE_EQ(est.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(est.max(), 0.0);
+  EXPECT_DOUBLE_EQ(est.last(), 0.0);
+}
+
+TEST(SlidingWindow, MeanMaxLast) {
+  SlidingWindowEstimator est(4);
+  est.observe(1.0);
+  est.observe(5.0);
+  est.observe(3.0);
+  EXPECT_DOUBLE_EQ(est.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(est.max(), 5.0);
+  EXPECT_DOUBLE_EQ(est.last(), 3.0);
+}
+
+TEST(SlidingWindow, EvictsOldest) {
+  SlidingWindowEstimator est(2);
+  est.observe(100.0);
+  est.observe(1.0);
+  est.observe(2.0);  // evicts 100
+  EXPECT_DOUBLE_EQ(est.max(), 2.0);
+  EXPECT_DOUBLE_EQ(est.mean(), 1.5);
+  EXPECT_EQ(est.size(), 2u);
+}
+
+TEST(SlidingWindow, ResetClears) {
+  SlidingWindowEstimator est(3);
+  est.observe(1.0);
+  est.reset();
+  EXPECT_EQ(est.size(), 0u);
+}
+
+}  // namespace
+}  // namespace gc

@@ -1,0 +1,135 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace gc {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue queue;
+  queue.schedule(3.0, EventType::kArrival);
+  queue.schedule(1.0, EventType::kDeparture, 5);
+  queue.schedule(2.0, EventType::kRecord);
+  std::vector<double> times;
+  while (const auto e = queue.pop()) times.push_back(e->time);
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(EventQueue, TiesBreakInScheduleOrder) {
+  EventQueue queue;
+  queue.schedule(1.0, EventType::kLongTick);
+  queue.schedule(1.0, EventType::kShortTick);
+  queue.schedule(1.0, EventType::kArrival);
+  std::vector<EventType> types;
+  while (const auto e = queue.pop()) types.push_back(e->type);
+  EXPECT_EQ(types, (std::vector<EventType>{EventType::kLongTick, EventType::kShortTick,
+                                           EventType::kArrival}));
+}
+
+TEST(EventQueue, CancelSkipsEvent) {
+  EventQueue queue;
+  queue.schedule(1.0, EventType::kArrival);
+  const EventId id = queue.schedule(2.0, EventType::kDeparture);
+  queue.schedule(3.0, EventType::kRecord);
+  EXPECT_TRUE(queue.cancel(id));
+  std::vector<EventType> types;
+  while (const auto e = queue.pop()) types.push_back(e->type);
+  EXPECT_EQ(types, (std::vector<EventType>{EventType::kArrival, EventType::kRecord}));
+}
+
+TEST(EventQueue, CancelIsIdempotent) {
+  EventQueue queue;
+  const EventId id = queue.schedule(1.0, EventType::kArrival);
+  EXPECT_TRUE(queue.cancel(id));
+  EXPECT_FALSE(queue.cancel(id));
+  EXPECT_FALSE(queue.cancel(kInvalidEventId));
+  EXPECT_FALSE(queue.cancel(9999));
+}
+
+TEST(EventQueue, CancelAfterFireIsNoop) {
+  EventQueue queue;
+  const EventId id = queue.schedule(1.0, EventType::kArrival);
+  queue.schedule(2.0, EventType::kRecord);
+  ASSERT_TRUE(queue.pop().has_value());
+  EXPECT_FALSE(queue.cancel(id));       // already fired
+  EXPECT_TRUE(queue.pop().has_value()); // the record event survives
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue queue;
+  EXPECT_TRUE(queue.empty());
+  const EventId a = queue.schedule(1.0, EventType::kArrival);
+  queue.schedule(2.0, EventType::kRecord);
+  EXPECT_EQ(queue.size(), 2u);
+  queue.cancel(a);
+  EXPECT_EQ(queue.size(), 1u);
+  (void)queue.pop();
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(EventQueue, NowAdvancesWithPops) {
+  EventQueue queue;
+  queue.schedule(1.5, EventType::kArrival);
+  queue.schedule(4.0, EventType::kRecord);
+  EXPECT_DOUBLE_EQ(queue.now(), 0.0);
+  (void)queue.pop();
+  EXPECT_DOUBLE_EQ(queue.now(), 1.5);
+  (void)queue.pop();
+  EXPECT_DOUBLE_EQ(queue.now(), 4.0);
+}
+
+TEST(EventQueue, SchedulingIntoThePastDies) {
+  EventQueue queue;
+  queue.schedule(5.0, EventType::kArrival);
+  (void)queue.pop();
+  EXPECT_DEATH(queue.schedule(4.0, EventType::kArrival), "past");
+}
+
+TEST(EventQueue, SchedulingAtNowIsAllowed) {
+  EventQueue queue;
+  queue.schedule(5.0, EventType::kArrival);
+  (void)queue.pop();
+  EXPECT_NO_FATAL_FAILURE(queue.schedule(5.0, EventType::kRecord));
+  const auto e = queue.pop();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_DOUBLE_EQ(e->time, 5.0);
+}
+
+TEST(EventQueue, SubjectAndIdRoundTrip) {
+  EventQueue queue;
+  const EventId id = queue.schedule(1.0, EventType::kDeparture, 42);
+  const auto e = queue.pop();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->subject, 42u);
+  EXPECT_EQ(e->id, id);
+  EXPECT_EQ(e->type, EventType::kDeparture);
+}
+
+TEST(EventQueue, ManyEventsStressOrdering) {
+  EventQueue queue;
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    queue.schedule(rng.uniform01() * 1000.0, EventType::kArrival);
+  }
+  double prev = -1.0;
+  std::size_t count = 0;
+  while (const auto e = queue.pop()) {
+    EXPECT_GE(e->time, prev);
+    prev = e->time;
+    ++count;
+  }
+  EXPECT_EQ(count, 10000u);
+}
+
+TEST(EventTypeNames, ToString) {
+  EXPECT_STREQ(to_string(EventType::kArrival), "arrival");
+  EXPECT_STREQ(to_string(EventType::kWarmupEnd), "warmup_end");
+}
+
+}  // namespace
+}  // namespace gc

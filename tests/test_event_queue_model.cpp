@@ -1,0 +1,102 @@
+// Model-based property test: the EventQueue against a reference
+// implementation (std::multimap ordered by (time, seq)) under a random
+// stream of schedule / cancel / pop operations.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "stats/rng.h"
+
+namespace gc {
+namespace {
+
+class ReferenceQueue {
+ public:
+  EventId schedule(double time, EventType type, std::uint32_t subject) {
+    ++seq_;
+    entries_.emplace(std::make_pair(time, seq_), Event{time, type, subject, seq_});
+    return seq_;
+  }
+
+  bool cancel(EventId id) {
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.id == id) {
+        entries_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::optional<Event> pop() {
+    if (entries_.empty()) return std::nullopt;
+    const Event event = entries_.begin()->second;
+    entries_.erase(entries_.begin());
+    now_ = event.time;
+    return event;
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] double now() const { return now_; }
+
+ private:
+  std::map<std::pair<double, std::uint64_t>, Event> entries_;
+  std::uint64_t seq_ = 0;
+  double now_ = 0.0;
+};
+
+class EventQueueModelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EventQueueModelTest, RandomOperationStreamsAgree) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  EventQueue real;
+  ReferenceQueue reference;
+  std::vector<EventId> live_ids;
+
+  for (int step = 0; step < 20000; ++step) {
+    const double dice = rng.uniform01();
+    if (dice < 0.5) {
+      // Schedule at or after `now`.
+      const double time = real.now() + rng.uniform01() * 10.0;
+      const auto type = static_cast<EventType>(rng.uniform_below(8));
+      const auto subject = static_cast<std::uint32_t>(rng.uniform_below(64));
+      const EventId a = real.schedule(time, type, subject);
+      const EventId b = reference.schedule(time, type, subject);
+      ASSERT_EQ(a, b);
+      live_ids.push_back(a);
+    } else if (dice < 0.65 && !live_ids.empty()) {
+      // Cancel a random (possibly already-fired) id.
+      const std::size_t pick = rng.uniform_below(live_ids.size());
+      const EventId id = live_ids[pick];
+      ASSERT_EQ(real.cancel(id), reference.cancel(id)) << "id " << id;
+    } else {
+      const auto a = real.pop();
+      const auto b = reference.pop();
+      ASSERT_EQ(a.has_value(), b.has_value());
+      if (a) {
+        ASSERT_DOUBLE_EQ(a->time, b->time);
+        ASSERT_EQ(a->id, b->id);
+        ASSERT_EQ(a->type, b->type);
+        ASSERT_EQ(a->subject, b->subject);
+      }
+    }
+    ASSERT_EQ(real.size(), reference.size()) << "step " << step;
+  }
+
+  // Drain both completely and compare the tails.
+  for (;;) {
+    const auto a = real.pop();
+    const auto b = reference.pop();
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (!a) break;
+    ASSERT_EQ(a->id, b->id);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueModelTest, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace gc

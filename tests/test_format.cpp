@@ -1,0 +1,76 @@
+#include "util/format.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace gc {
+namespace {
+
+TEST(Format, PlainPassthrough) {
+  EXPECT_EQ(format("hello"), "hello");
+  EXPECT_EQ(format(""), "");
+}
+
+TEST(Format, DefaultPlaceholders) {
+  EXPECT_EQ(format("{} {}", 1, 2), "1 2");
+  EXPECT_EQ(format("x={}", 3.5), "x=3.5");
+  EXPECT_EQ(format("{}", std::string("abc")), "abc");
+  EXPECT_EQ(format("{}", "literal"), "literal");
+  EXPECT_EQ(format("{}", true), "true");
+  EXPECT_EQ(format("{}", false), "false");
+}
+
+TEST(Format, IntegerTypes) {
+  EXPECT_EQ(format("{}", static_cast<std::size_t>(42)), "42");
+  EXPECT_EQ(format("{}", -7), "-7");
+  EXPECT_EQ(format("{}", 1234567890123456789LL), "1234567890123456789");
+  EXPECT_EQ(format("{}", static_cast<unsigned long long>(18446744073709551615ULL)),
+            "18446744073709551615");
+}
+
+TEST(Format, FloatSpecs) {
+  EXPECT_EQ(format("{:.2f}", 3.14159), "3.14");
+  EXPECT_EQ(format("{:.0f}", 2.7), "3");
+  EXPECT_EQ(format("{:g}", 1000000.0), "1e+06");
+  EXPECT_EQ(format("{:.9g}", 0.125), "0.125");
+}
+
+TEST(Format, IntegerWithFloatSpecPromotes) {
+  EXPECT_EQ(format("{:.1f}", 5), "5.0");
+}
+
+TEST(Format, StringAlignment) {
+  EXPECT_EQ(format("{:>5}", std::string("ab")), "   ab");
+  EXPECT_EQ(format("{:<5}", std::string("ab")), "ab   ");
+  EXPECT_EQ(format("{:>2}", std::string("abcd")), "abcd");  // never truncates
+}
+
+TEST(Format, EscapedBraces) {
+  EXPECT_EQ(format("{{}}"), "{}");
+  EXPECT_EQ(format("{{{}}}", 7), "{7}");
+}
+
+TEST(Format, TooFewArgumentsThrows) {
+  EXPECT_THROW((void)format("{} {}", 1), std::invalid_argument);
+}
+
+TEST(Format, TooManyArgumentsThrows) {
+  EXPECT_THROW((void)format("{}", 1, 2), std::invalid_argument);
+}
+
+TEST(Format, UnterminatedBraceThrows) {
+  EXPECT_THROW((void)format("{", 1), std::invalid_argument);
+}
+
+TEST(Format, BadSpecThrows) {
+  EXPECT_THROW((void)format("{:%%}", 1.0), std::invalid_argument);
+}
+
+TEST(Format, NegativeAndSpecialFloats) {
+  EXPECT_EQ(format("{:.1f}", -2.25), "-2.2");
+  EXPECT_EQ(format("{}", 0.0), "0");
+}
+
+}  // namespace
+}  // namespace gc

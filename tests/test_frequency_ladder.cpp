@@ -1,0 +1,108 @@
+#include "power/frequency_ladder.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace gc {
+namespace {
+
+TEST(FrequencyLadder, RejectsBadLevels) {
+  EXPECT_THROW(FrequencyLadder({}), std::invalid_argument);
+  EXPECT_THROW(FrequencyLadder({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(FrequencyLadder({2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(FrequencyLadder({0.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(FrequencyLadder({-1.0, 1.0}), std::invalid_argument);
+}
+
+TEST(FrequencyLadder, DefaultLadderShape) {
+  const FrequencyLadder ladder = FrequencyLadder::default_ladder();
+  EXPECT_EQ(ladder.num_levels(), 10u);
+  EXPECT_DOUBLE_EQ(ladder.f_max_ghz(), 2.4);
+  EXPECT_DOUBLE_EQ(ladder.min_speed(), 0.25);
+  EXPECT_DOUBLE_EQ(ladder.speed_of_level(9), 1.0);
+  EXPECT_FALSE(ladder.is_continuous());
+}
+
+TEST(FrequencyLadder, RoundUpBasics) {
+  const FrequencyLadder ladder({1.0, 2.0, 4.0});
+  // speeds: 0.25, 0.5, 1.0
+  EXPECT_DOUBLE_EQ(ladder.round_up(0.1), 0.25);
+  EXPECT_DOUBLE_EQ(ladder.round_up(0.25), 0.25);
+  EXPECT_DOUBLE_EQ(ladder.round_up(0.26), 0.5);
+  EXPECT_DOUBLE_EQ(ladder.round_up(0.7), 1.0);
+  EXPECT_DOUBLE_EQ(ladder.round_up(1.5), 1.0);  // clamps
+}
+
+TEST(FrequencyLadder, RoundDownBasics) {
+  const FrequencyLadder ladder({1.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(ladder.round_down(0.1), 0.25);  // clamps to slowest
+  EXPECT_DOUBLE_EQ(ladder.round_down(0.49), 0.25);
+  EXPECT_DOUBLE_EQ(ladder.round_down(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(ladder.round_down(0.99), 0.5);
+  EXPECT_DOUBLE_EQ(ladder.round_down(1.0), 1.0);
+}
+
+TEST(FrequencyLadder, Contains) {
+  const FrequencyLadder ladder({1.2, 2.4});
+  EXPECT_TRUE(ladder.contains(0.5));
+  EXPECT_TRUE(ladder.contains(1.0));
+  EXPECT_FALSE(ladder.contains(0.75));
+}
+
+TEST(FrequencyLadder, ContinuousLadder) {
+  const FrequencyLadder ladder = FrequencyLadder::continuous(0.2);
+  EXPECT_TRUE(ladder.is_continuous());
+  EXPECT_DOUBLE_EQ(ladder.round_up(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(ladder.round_up(0.05), 0.2);
+  EXPECT_DOUBLE_EQ(ladder.round_up(1.7), 1.0);
+  EXPECT_DOUBLE_EQ(ladder.round_down(0.05), 0.2);
+  EXPECT_TRUE(ladder.contains(0.77));
+  EXPECT_FALSE(ladder.contains(0.1));
+}
+
+TEST(FrequencyLadder, ContinuousRejectsBadMinSpeed) {
+  EXPECT_THROW(FrequencyLadder::continuous(0.0), std::invalid_argument);
+  EXPECT_THROW(FrequencyLadder::continuous(1.5), std::invalid_argument);
+}
+
+// Property sweep: for every target speed s, round_up(s) is the smallest
+// ladder speed >= s, and round_down(s) the largest <= s (within clamps).
+class LadderRoundingProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(LadderRoundingProperty, RoundUpIsTightMajorant) {
+  const FrequencyLadder ladder = FrequencyLadder::default_ladder();
+  const double s = GetParam();
+  const double up = ladder.round_up(s);
+  EXPECT_TRUE(ladder.contains(up));
+  if (s <= 1.0) {
+    EXPECT_GE(up, s - 1e-9);
+    // No ladder level strictly between s and up.
+    for (std::size_t i = 0; i < ladder.num_levels(); ++i) {
+      const double level = ladder.speed_of_level(i);
+      EXPECT_FALSE(level >= s + 1e-9 && level < up - 1e-9)
+          << "level " << level << " between " << s << " and " << up;
+    }
+  }
+}
+
+TEST_P(LadderRoundingProperty, RoundDownIsTightMinorant) {
+  const FrequencyLadder ladder = FrequencyLadder::default_ladder();
+  const double s = GetParam();
+  const double down = ladder.round_down(s);
+  EXPECT_TRUE(ladder.contains(down));
+  if (s >= ladder.min_speed()) {
+    EXPECT_LE(down, s + 1e-9);
+    for (std::size_t i = 0; i < ladder.num_levels(); ++i) {
+      const double level = ladder.speed_of_level(i);
+      EXPECT_FALSE(level > down + 1e-9 && level <= s - 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SpeedSweep, LadderRoundingProperty,
+                         ::testing::Values(0.01, 0.2, 0.25, 0.3, 0.41666, 0.5, 0.58,
+                                           0.7499, 0.75, 0.9, 0.999, 1.0, 1.2));
+
+}  // namespace
+}  // namespace gc

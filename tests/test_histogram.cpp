@@ -1,0 +1,93 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "stats/rng.h"
+
+namespace gc {
+namespace {
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BinsValuesCorrectly) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.99);
+  h.add(5.0);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.bin_count(5), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, UnderOverflow) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-0.1);
+  h.add(1.0);   // hi is exclusive
+  h.add(2.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(2.0, 4.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lower(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_upper(0), 2.5);
+  EXPECT_DOUBLE_EQ(h.bin_lower(3), 3.5);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 0.5);
+}
+
+TEST(Histogram, CdfMonotone) {
+  Histogram h(0.0, 1.0, 10);
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) h.add(rng.uniform01());
+  double prev = 0.0;
+  for (std::size_t b = 0; b < h.num_bins(); ++b) {
+    const double c = h.cdf_at_bin(b);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_NEAR(prev, 1.0, 1e-12);
+}
+
+TEST(Histogram, QuantileOfUniform) {
+  Histogram h(0.0, 1.0, 100);
+  Rng rng(5);
+  for (int i = 0; i < 100000; ++i) h.add(rng.uniform01());
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+}
+
+TEST(Histogram, QuantileEmptyDies) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DEATH((void)h.quantile(0.5), "empty");
+}
+
+TEST(Histogram, Merge) {
+  Histogram a(0.0, 1.0, 4);
+  Histogram b(0.0, 1.0, 4);
+  a.add(0.1);
+  b.add(0.9);
+  b.add(-1.0);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.bin_count(0), 1u);
+  EXPECT_EQ(a.bin_count(3), 1u);
+  EXPECT_EQ(a.underflow(), 1u);
+}
+
+TEST(Histogram, MergeIncompatibleDies) {
+  Histogram a(0.0, 1.0, 4);
+  Histogram b(0.0, 2.0, 4);
+  EXPECT_DEATH(a.merge(b), "incompatible");
+}
+
+}  // namespace
+}  // namespace gc

@@ -1,0 +1,78 @@
+#include "util/ini.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace gc {
+namespace {
+
+TEST(Ini, ParsesSectionsAndKeys) {
+  const IniFile ini = IniFile::parse("[a]\nx = 1\ny = hello\n[b]\nz=2\n");
+  EXPECT_TRUE(ini.has_section("a"));
+  EXPECT_TRUE(ini.has_section("b"));
+  EXPECT_FALSE(ini.has_section("c"));
+  EXPECT_EQ(ini.get("a", "x").value(), "1");
+  EXPECT_EQ(ini.get("a", "y").value(), "hello");
+  EXPECT_EQ(ini.get("b", "z").value(), "2");
+  EXPECT_FALSE(ini.get("a", "missing").has_value());
+}
+
+TEST(Ini, CommentsAndBlankLines) {
+  const IniFile ini = IniFile::parse("# header\n[s]\n; comment\n\nk = v # not stripped\n");
+  // Inline comments are not supported (values may contain '#').
+  EXPECT_EQ(ini.get("s", "k").value(), "v # not stripped");
+}
+
+TEST(Ini, TrimsWhitespace) {
+  const IniFile ini = IniFile::parse("[ s ]\n  key   =   value  \n");
+  EXPECT_EQ(ini.get("s", "key").value(), "value");
+}
+
+TEST(Ini, MalformedInputThrows) {
+  EXPECT_THROW(IniFile::parse("key = outside\n"), std::runtime_error);
+  EXPECT_THROW(IniFile::parse("[unterminated\n"), std::runtime_error);
+  EXPECT_THROW(IniFile::parse("[]\n"), std::runtime_error);
+  EXPECT_THROW(IniFile::parse("[s]\nno equals sign\n"), std::runtime_error);
+  EXPECT_THROW(IniFile::parse("[s]\n= value\n"), std::runtime_error);
+}
+
+TEST(Ini, TypedAccessors) {
+  const IniFile ini =
+      IniFile::parse("[t]\nd = 2.5\ni = 7\nb1 = true\nb2 = off\nbad = xyz\n");
+  EXPECT_DOUBLE_EQ(ini.get_double_or("t", "d", 0.0), 2.5);
+  EXPECT_EQ(ini.get_int_or("t", "i", 0), 7);
+  EXPECT_TRUE(ini.get_bool_or("t", "b1", false));
+  EXPECT_FALSE(ini.get_bool_or("t", "b2", true));
+  EXPECT_DOUBLE_EQ(ini.get_double_or("t", "missing", 9.0), 9.0);
+  EXPECT_THROW((void)ini.get_double_or("t", "bad", 0.0), std::runtime_error);
+  EXPECT_THROW((void)ini.get_int_or("t", "d", 0), std::runtime_error);
+  EXPECT_THROW((void)ini.get_bool_or("t", "bad", false), std::runtime_error);
+}
+
+TEST(Ini, SetAndRoundTrip) {
+  IniFile ini;
+  ini.set("z", "k2", "v2");
+  ini.set("a", "k1", "v1");
+  const IniFile again = IniFile::parse(ini.to_string());
+  EXPECT_EQ(again.get("a", "k1").value(), "v1");
+  EXPECT_EQ(again.get("z", "k2").value(), "v2");
+}
+
+TEST(Ini, SetRejectsEmptyNames) {
+  IniFile ini;
+  EXPECT_THROW(ini.set("", "k", "v"), std::runtime_error);
+  EXPECT_THROW(ini.set("s", "", "v"), std::runtime_error);
+}
+
+TEST(Ini, LoadMissingFileThrows) {
+  EXPECT_THROW(IniFile::load("/nonexistent/gc.ini"), std::runtime_error);
+}
+
+TEST(Ini, LastValueWinsOnDuplicates) {
+  const IniFile ini = IniFile::parse("[s]\nk = 1\nk = 2\n");
+  EXPECT_EQ(ini.get("s", "k").value(), "2");
+}
+
+}  // namespace
+}  // namespace gc

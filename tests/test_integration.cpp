@@ -1,0 +1,166 @@
+// End-to-end behavioural checks: the paper's qualitative claims must hold
+// on the simulated cluster (these are the "shape" assertions of
+// EXPERIMENTS.md in test form).
+#include <gtest/gtest.h>
+
+#include "exp/comparison.h"
+#include "exp/runner.h"
+
+namespace gc {
+namespace {
+
+RunSpec base_spec() {
+  RunSpec spec;
+  spec.config = bench_cluster_config();
+  spec.policy_options.dcp = bench_dcp_params();
+  spec.seed = 11;
+  return spec;
+}
+
+SimResult run_policy(const Scenario& scenario, PolicyKind policy,
+                     RunSpec spec = base_spec()) {
+  spec.policy = policy;
+  return run_one(scenario, spec);
+}
+
+TEST(Integration, CombinedMeetsSlaOnDiurnalDay) {
+  const Scenario scenario =
+      make_scenario(ScenarioKind::kDiurnal, base_spec().config, 0.7, 21, 3600.0);
+  const SimResult result = run_policy(scenario, PolicyKind::kCombinedDcp);
+  EXPECT_TRUE(result.sla_met(base_spec().config.t_ref_s))
+      << "mean T = " << result.mean_response_s;
+  EXPECT_EQ(result.dropped_jobs, 0u);
+}
+
+TEST(Integration, EnergyOrderingOnDiurnalDay) {
+  // The paper's headline: combined <= min(dvfs-only, vovf-only) <= npm.
+  const Scenario scenario =
+      make_scenario(ScenarioKind::kDiurnal, base_spec().config, 0.7, 22, 3600.0);
+  const SimResult npm = run_policy(scenario, PolicyKind::kNpm);
+  const SimResult dvfs = run_policy(scenario, PolicyKind::kDvfsOnly);
+  const SimResult vovf = run_policy(scenario, PolicyKind::kVovfOnly);
+  const SimResult combined = run_policy(scenario, PolicyKind::kCombinedDcp);
+
+  EXPECT_LT(dvfs.energy.total_j(), npm.energy.total_j());
+  EXPECT_LT(vovf.energy.total_j(), npm.energy.total_j());
+  // A small tolerance: combined pays boot/transition overhead the
+  // steady-state analysis ignores.
+  EXPECT_LT(combined.energy.total_j(), dvfs.energy.total_j() * 1.02);
+  EXPECT_LT(combined.energy.total_j(), vovf.energy.total_j() * 1.02);
+}
+
+TEST(Integration, NpmHasLowestResponseTime) {
+  const Scenario scenario =
+      make_scenario(ScenarioKind::kDiurnal, base_spec().config, 0.7, 23, 3600.0);
+  const SimResult npm = run_policy(scenario, PolicyKind::kNpm);
+  const SimResult combined = run_policy(scenario, PolicyKind::kCombinedDcp);
+  EXPECT_LT(npm.mean_response_s, combined.mean_response_s);
+  // NPM is wildly over-provisioned: far below the guarantee.
+  EXPECT_LT(npm.mean_response_s, 0.5 * base_spec().config.t_ref_s);
+}
+
+TEST(Integration, CombinedUsesFewerServersAtNight) {
+  const Scenario scenario =
+      make_scenario(ScenarioKind::kDiurnal, base_spec().config, 0.7, 24, 3600.0);
+  RunSpec spec = base_spec();
+  spec.policy = PolicyKind::kCombinedDcp;
+  spec.sim.record_interval_s = 30.0;
+  const SimResult result = run_one(scenario, spec);
+  ASSERT_FALSE(result.timeline.empty());
+  unsigned min_serving = 1000, max_serving = 0;
+  for (const TimelinePoint& p : result.timeline) {
+    if (p.time < spec.effective_sim_options().warmup_s) continue;
+    min_serving = std::min(min_serving, p.serving);
+    max_serving = std::max(max_serving, p.serving);
+  }
+  EXPECT_LT(min_serving, 6u);   // night: a handful of servers
+  EXPECT_GT(max_serving, 10u);  // peak: most of the cluster
+}
+
+TEST(Integration, DcpBeatsSinglePeriodUnderSlowBoots) {
+  // With long boot delays, the reactive single-period controller misses
+  // ramps; DCP's prediction horizon covers the boot delay.
+  ClusterConfig config = bench_cluster_config();
+  config.transition.boot_delay_s = 60.0;  // very slow boots vs 25 s period
+  RunSpec spec = base_spec();
+  spec.config = config;
+  const Scenario scenario = make_scenario(ScenarioKind::kDiurnal, config, 0.75, 25, 3600.0);
+  const SimResult dcp = run_policy(scenario, PolicyKind::kCombinedDcp, spec);
+  const SimResult single = run_policy(scenario, PolicyKind::kCombinedSinglePeriod, spec);
+  EXPECT_LT(dcp.mean_response_s, single.mean_response_s);
+  EXPECT_LE(dcp.job_violation_ratio, single.job_violation_ratio);
+}
+
+TEST(Integration, VovfOnlyBeatsDvfsOnlyAtLowLoad) {
+  // At low load, idle power dominates: turning servers off wins.
+  const Scenario scenario =
+      make_scenario(ScenarioKind::kConstant, base_spec().config, 0.15, 26, 2400.0);
+  const SimResult dvfs = run_policy(scenario, PolicyKind::kDvfsOnly);
+  const SimResult vovf = run_policy(scenario, PolicyKind::kVovfOnly);
+  EXPECT_LT(vovf.energy.total_j(), dvfs.energy.total_j());
+}
+
+TEST(Integration, SavingsShrinkAsLoadApproachesCapacity) {
+  std::vector<double> savings;
+  for (const double level : {0.3, 0.6, 0.9}) {
+    const Scenario scenario =
+        make_scenario(ScenarioKind::kConstant, base_spec().config, level, 27, 1600.0);
+    const SimResult npm = run_policy(scenario, PolicyKind::kNpm);
+    const SimResult combined = run_policy(scenario, PolicyKind::kCombinedDcp);
+    savings.push_back(1.0 - combined.energy.total_j() / npm.energy.total_j());
+  }
+  EXPECT_GT(savings[0], savings[1]);
+  EXPECT_GT(savings[1], savings[2]);
+  EXPECT_GT(savings[0], 0.4);  // big savings at 30% load
+}
+
+TEST(Integration, FlashCrowdHandledWithoutDrops) {
+  const Scenario scenario =
+      make_scenario(ScenarioKind::kFlashCrowd, base_spec().config, 0.85, 28, 3600.0);
+  const SimResult result = run_policy(scenario, PolicyKind::kCombinedDcp);
+  EXPECT_EQ(result.dropped_jobs, 0u);
+  // Flash crowds may transiently violate, but the mean must stay sane
+  // (within 2x of the guarantee).
+  EXPECT_LT(result.mean_response_s, 2.0 * base_spec().config.t_ref_s);
+}
+
+TEST(Integration, BootsAreBoundedByHysteresis) {
+  const Scenario scenario =
+      make_scenario(ScenarioKind::kDiurnal, base_spec().config, 0.7, 29, 3600.0);
+  const SimResult result = run_policy(scenario, PolicyKind::kCombinedDcp);
+  // A 1-hour compressed day has 144 long periods; churn must be far below
+  // one boot per period.
+  EXPECT_LT(result.boots, 60u);
+}
+
+TEST(Integration, OracleBeatsCausalPredictorsUnderFlashCrowds) {
+  const Scenario scenario =
+      make_scenario(ScenarioKind::kFlashCrowd, base_spec().config, 0.8, 31, 3600.0);
+  const SimResult causal = run_policy(scenario, PolicyKind::kCombinedDcp);
+  const SimResult oracle = run_policy(scenario, PolicyKind::kOracle);
+  EXPECT_LT(oracle.mean_response_s, causal.mean_response_s);
+  EXPECT_LT(oracle.job_violation_ratio, causal.job_violation_ratio);
+  EXPECT_TRUE(oracle.sla_met(base_spec().config.t_ref_s));
+}
+
+TEST(Integration, ThresholdAutoscalerSavesButLagsCombined) {
+  const Scenario scenario =
+      make_scenario(ScenarioKind::kDiurnal, base_spec().config, 0.7, 32, 3600.0);
+  const SimResult npm = run_policy(scenario, PolicyKind::kNpm);
+  const SimResult threshold = run_policy(scenario, PolicyKind::kThreshold);
+  const SimResult combined = run_policy(scenario, PolicyKind::kCombinedDcp);
+  EXPECT_LT(threshold.energy.total_j(), npm.energy.total_j());
+  EXPECT_LT(combined.energy.total_j(), threshold.energy.total_j());
+}
+
+TEST(Integration, MeanSpeedBelowOneForCombined) {
+  const Scenario scenario =
+      make_scenario(ScenarioKind::kDiurnal, base_spec().config, 0.6, 30, 3600.0);
+  const SimResult combined = run_policy(scenario, PolicyKind::kCombinedDcp);
+  const SimResult vovf = run_policy(scenario, PolicyKind::kVovfOnly);
+  EXPECT_LT(combined.mean_speed, 0.95);
+  EXPECT_NEAR(vovf.mean_speed, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace gc

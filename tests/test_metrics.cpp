@@ -1,0 +1,65 @@
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace gc {
+namespace {
+
+Job make_job(double arrival) {
+  Job job;
+  job.arrival_time = arrival;
+  return job;
+}
+
+TEST(MetricsCollector, RejectsBadTref) {
+  EXPECT_DEATH(MetricsCollector(0.0), "positive");
+}
+
+TEST(MetricsCollector, TracksResponseStatistics) {
+  MetricsCollector metrics(1.0);
+  metrics.on_job_completed(2.0, make_job(0.0));   // response 2.0 (violation)
+  metrics.on_job_completed(2.5, make_job(2.0));   // response 0.5
+  metrics.on_job_completed(3.0, make_job(2.9));   // response 0.1
+  EXPECT_EQ(metrics.completed(), 3u);
+  EXPECT_NEAR(metrics.response().mean(), (2.0 + 0.5 + 0.1) / 3.0, 1e-12);
+  EXPECT_NEAR(metrics.job_violation_ratio(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(MetricsCollector, WindowMeanResetsOnTake) {
+  MetricsCollector metrics(1.0);
+  metrics.on_job_completed(1.0, make_job(0.0));
+  EXPECT_DOUBLE_EQ(metrics.take_window_mean_response(), 1.0);
+  EXPECT_DOUBLE_EQ(metrics.take_window_mean_response(), 0.0);  // emptied
+  metrics.on_job_completed(5.0, make_job(4.5));
+  EXPECT_DOUBLE_EQ(metrics.take_window_mean_response(), 0.5);
+  // Global stats unaffected by window resets.
+  EXPECT_EQ(metrics.completed(), 2u);
+}
+
+TEST(MetricsCollector, PercentilesOrdered) {
+  MetricsCollector metrics(10.0);
+  for (int i = 1; i <= 1000; ++i) {
+    metrics.on_job_completed(i * 0.001, make_job(0.0));
+  }
+  EXPECT_LE(metrics.p95(), metrics.p99());
+  EXPECT_GT(metrics.p95(), 0.0);
+}
+
+TEST(SimResult, SlaCheck) {
+  SimResult result;
+  result.mean_response_s = 0.4;
+  EXPECT_TRUE(result.sla_met(0.5));
+  EXPECT_FALSE(result.sla_met(0.3));
+}
+
+TEST(EnergyBreakdownStruct, TotalSums) {
+  EnergyBreakdown e;
+  e.busy_j = 1.0;
+  e.idle_j = 2.0;
+  e.transition_j = 3.0;
+  e.off_j = 4.0;
+  EXPECT_DOUBLE_EQ(e.total_j(), 10.0);
+}
+
+}  // namespace
+}  // namespace gc

@@ -1,0 +1,95 @@
+#include "exp/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace gc {
+namespace {
+
+TEST(Scenario, BenchConfigValidates) {
+  const ClusterConfig config = bench_cluster_config();
+  EXPECT_NO_THROW(config.validate());
+  EXPECT_EQ(config.max_servers, 16u);
+  // Feasible rate: 16 * (10 - 2) = 128/s.
+  EXPECT_DOUBLE_EQ(config.max_feasible_arrival_rate(), 128.0);
+}
+
+TEST(Scenario, BenchDcpParamsValidate) {
+  EXPECT_NO_THROW(bench_dcp_params().validate());
+}
+
+TEST(Scenario, RejectsBadLevel) {
+  const ClusterConfig config = bench_cluster_config();
+  EXPECT_THROW(make_scenario(ScenarioKind::kDiurnal, config, 0.0), std::invalid_argument);
+  EXPECT_THROW(make_scenario(ScenarioKind::kDiurnal, config, 1.1), std::invalid_argument);
+  EXPECT_THROW(make_scenario(ScenarioKind::kDiurnal, config, 0.5, 1, -1.0),
+               std::invalid_argument);
+}
+
+TEST(Scenario, EveryKindProducesBoundedProfile) {
+  const ClusterConfig config = bench_cluster_config();
+  for (const auto kind : {ScenarioKind::kConstant, ScenarioKind::kDiurnal,
+                          ScenarioKind::kFlashCrowd, ScenarioKind::kWc98Like}) {
+    const Scenario scenario = make_scenario(kind, config, 0.7, 42, 7200.0);
+    ASSERT_NE(scenario.profile, nullptr) << to_string(kind);
+    EXPECT_GT(scenario.horizon_s, 0.0);
+    EXPECT_FALSE(scenario.name.empty());
+    // Rates stay within a flash-crowd factor of the feasible maximum.
+    for (double t = 0.0; t <= scenario.horizon_s; t += scenario.horizon_s / 50.0) {
+      const double r = scenario.profile->rate(t);
+      EXPECT_GE(r, 0.0);
+      EXPECT_LE(r, config.max_feasible_arrival_rate() * 1.05) << to_string(kind);
+    }
+  }
+}
+
+TEST(Scenario, DiurnalSwingsLowToHigh) {
+  const ClusterConfig config = bench_cluster_config();
+  const Scenario scenario = make_scenario(ScenarioKind::kDiurnal, config, 0.7, 1, 7200.0);
+  double lo = 1e18, hi = 0.0;
+  for (double t = 0.0; t <= scenario.horizon_s; t += 60.0) {
+    const double r = scenario.profile->rate(t);
+    lo = std::min(lo, r);
+    hi = std::max(hi, r);
+  }
+  EXPECT_LT(lo, 0.2 * config.max_feasible_arrival_rate());
+  EXPECT_GT(hi, 0.6 * config.max_feasible_arrival_rate());
+}
+
+TEST(Scenario, FlashCrowdHasSpikesAboveBase) {
+  const ClusterConfig config = bench_cluster_config();
+  const Scenario scenario =
+      make_scenario(ScenarioKind::kFlashCrowd, config, 0.7, 3, 7200.0);
+  // The global max over the day should clearly exceed the sinusoid-only max.
+  const Scenario plain = make_scenario(ScenarioKind::kDiurnal, config, 0.7 / 2.2, 3, 7200.0);
+  double spike_max = 0.0, plain_max = 0.0;
+  for (double t = 0.0; t <= 7200.0; t += 10.0) {
+    spike_max = std::max(spike_max, scenario.profile->rate(t));
+    plain_max = std::max(plain_max, plain.profile->rate(t));
+  }
+  EXPECT_GT(spike_max, plain_max * 1.5);
+}
+
+TEST(Scenario, MakeWorkloadProducesArrivals) {
+  const ClusterConfig config = bench_cluster_config();
+  const Scenario scenario = make_scenario(ScenarioKind::kConstant, config, 0.5, 5, 800.0);
+  Workload workload = scenario.make_workload(config, 77);
+  std::size_t count = 0;
+  while (const auto j = workload.next()) {
+    EXPECT_LE(j->time, scenario.horizon_s);
+    ++count;
+  }
+  // constant 0.5*128 = 64/s over 200 s -> ~12800 arrivals.
+  EXPECT_NEAR(static_cast<double>(count), 12800.0, 600.0);
+}
+
+TEST(Scenario, NamesIncludeKindAndLevel) {
+  const ClusterConfig config = bench_cluster_config();
+  const Scenario scenario = make_scenario(ScenarioKind::kDiurnal, config, 0.7);
+  EXPECT_NE(scenario.name.find("diurnal"), std::string::npos);
+  EXPECT_NE(scenario.name.find("70"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gc

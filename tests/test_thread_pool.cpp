@@ -1,0 +1,94 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace gc {
+namespace {
+
+TEST(ThreadPool, RunsEveryIterationExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for_index(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for_index(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, SingleIterationRunsInline) {
+  ThreadPool pool(2);
+  std::size_t got = 99;
+  pool.parallel_for_index(1, [&](std::size_t i) { got = i; });
+  EXPECT_EQ(got, 0u);
+}
+
+TEST(ThreadPool, ResultIndependentOfThreadCount) {
+  constexpr std::size_t kN = 257;
+  auto compute = [](std::size_t threads) {
+    ThreadPool pool(threads);
+    std::vector<double> out(kN);
+    pool.parallel_for_index(kN, [&](std::size_t i) {
+      out[i] = static_cast<double>(i) * 1.5 + 1.0;
+    });
+    return out;
+  };
+  EXPECT_EQ(compute(1), compute(7));
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.parallel_for_index(100,
+                              [&](std::size_t i) {
+                                if (i == 42) throw std::runtime_error("boom");
+                              }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, AllIterationsCompleteEvenWithException) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  try {
+    pool.parallel_for_index(64, [&](std::size_t i) {
+      count.fetch_add(1);
+      if (i == 0) throw std::runtime_error("x");
+    });
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(2);
+  std::atomic<long> sum{0};
+  for (int round = 0; round < 5; ++round) {
+    pool.parallel_for_index(100, [&](std::size_t i) {
+      sum.fetch_add(static_cast<long>(i));
+    });
+  }
+  EXPECT_EQ(sum.load(), 5 * (99 * 100 / 2));
+}
+
+TEST(ThreadPool, DefaultSizeAtLeastOne) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, GlobalPoolWorks) {
+  std::atomic<int> n{0};
+  global_pool().parallel_for_index(10, [&](std::size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 10);
+}
+
+}  // namespace
+}  // namespace gc

@@ -1,0 +1,93 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace gc {
+namespace {
+
+TEST(Trace, RejectsUnsortedOrNegative) {
+  EXPECT_THROW(Trace({2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Trace({-0.5, 1.0}), std::invalid_argument);
+}
+
+TEST(Trace, MeanRate) {
+  const Trace trace({0.0, 1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(trace.duration(), 4.0);
+  EXPECT_DOUBLE_EQ(trace.mean_rate(), 5.0 / 4.0);
+}
+
+TEST(Trace, EmptyTrace) {
+  const Trace trace;
+  EXPECT_TRUE(trace.empty());
+  EXPECT_DOUBLE_EQ(trace.duration(), 0.0);
+  EXPECT_DOUBLE_EQ(trace.mean_rate(), 0.0);
+}
+
+TEST(Trace, FromProfileApproximatesRate) {
+  const ConstantRate profile(25.0);
+  const Trace trace = Trace::from_profile(profile, 4000.0, 33);
+  EXPECT_NEAR(trace.mean_rate(), 25.0, 1.0);
+}
+
+TEST(Trace, FromProfileDeterministicInSeed) {
+  const ConstantRate profile(5.0);
+  const Trace a = Trace::from_profile(profile, 100.0, 1);
+  const Trace b = Trace::from_profile(profile, 100.0, 1);
+  EXPECT_EQ(a.timestamps(), b.timestamps());
+  const Trace c = Trace::from_profile(profile, 100.0, 2);
+  EXPECT_NE(a.timestamps(), c.timestamps());
+}
+
+TEST(Trace, CsvRoundTrip) {
+  const Trace trace({0.25, 1.5, 2.75});
+  const auto path = std::filesystem::temp_directory_path() / "gc_trace_test.csv";
+  trace.save_csv(path);
+  const Trace loaded = Trace::load_csv(path);
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_NEAR(loaded.timestamps()[1], 1.5, 1e-9);
+  std::filesystem::remove(path);
+}
+
+TEST(Trace, LoadCsvRequiresColumn) {
+  const auto path = std::filesystem::temp_directory_path() / "gc_trace_bad.csv";
+  {
+    std::ofstream out(path);
+    out << "wrong_column\n1.0\n";
+  }
+  EXPECT_THROW(Trace::load_csv(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Trace, ToRateProfileRecoversConstantRate) {
+  const ConstantRate profile(40.0);
+  const Trace trace = Trace::from_profile(profile, 2000.0, 11);
+  const auto empirical = trace.to_rate_profile(100.0);
+  // Mid-trace the empirical rate should track 40/s.
+  EXPECT_NEAR(empirical->rate(1000.0), 40.0, 4.0);
+}
+
+TEST(Trace, ToRateProfileTracksShape) {
+  const SinusoidalRate profile(50.0, 40.0, 2000.0);
+  const Trace trace = Trace::from_profile(profile, 2000.0, 13);
+  const auto empirical = trace.to_rate_profile(100.0);
+  // Peak (t=500) should be clearly above trough (t=1500).
+  EXPECT_GT(empirical->rate(500.0), empirical->rate(1500.0) + 20.0);
+}
+
+TEST(Trace, ToRateProfileValidatesBin) {
+  const Trace trace({1.0});
+  EXPECT_DEATH((void)trace.to_rate_profile(0.0), "bin");
+}
+
+TEST(Trace, SingleArrivalProfileIsFlat) {
+  const Trace trace({5.0});
+  const auto profile = trace.to_rate_profile(10.0);
+  EXPECT_GE(profile->rate(0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace gc
