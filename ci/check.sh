@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure, build and run the full test suite in the plain
+# Release configuration, then again under AddressSanitizer + UBSan
+# (GREENCLUSTER_SANITIZE).  Usage:
+#
+#   ci/check.sh            # both configurations
+#   ci/check.sh plain      # plain only
+#   ci/check.sh sanitize   # sanitizer only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+MODE="${1:-all}"
+
+run_config() {
+  local name="$1"
+  shift
+  local dir="build-ci-${name}"
+  echo "==> [${name}] configure"
+  cmake -B "${dir}" -S . "$@" >/dev/null
+  echo "==> [${name}] build"
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "==> [${name}] ctest"
+  (cd "${dir}" && ctest --output-on-failure -j "${JOBS}")
+}
+
+case "${MODE}" in
+  plain)
+    run_config plain
+    ;;
+  sanitize)
+    run_config sanitize -DGREENCLUSTER_SANITIZE=ON
+    ;;
+  all)
+    run_config plain
+    run_config sanitize -DGREENCLUSTER_SANITIZE=ON
+    ;;
+  *)
+    echo "usage: $0 [plain|sanitize|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "==> all checks passed"

@@ -1,0 +1,174 @@
+#include "control/failure_aware.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/assert.h"
+
+namespace gc {
+
+void FailureAwareOptions::validate() const {
+  if (!(heartbeat_interval_s > 0.0) || !std::isfinite(heartbeat_interval_s)) {
+    throw std::invalid_argument(
+        "FailureAwareOptions: heartbeat_interval_s must be finite and > 0");
+  }
+  if (heartbeat_misses == 0) {
+    throw std::invalid_argument("FailureAwareOptions: heartbeat_misses must be >= 1");
+  }
+  if (!(spare_capacity_fraction >= 0.0 && spare_capacity_fraction <= 1.0)) {
+    throw std::invalid_argument(
+        "FailureAwareOptions: spare_capacity_fraction out of [0,1]");
+  }
+  if (boot_retry_budget == 0) {
+    throw std::invalid_argument("FailureAwareOptions: boot_retry_budget must be >= 1");
+  }
+  if (!(boot_retry_backoff_s >= 0.0) || !std::isfinite(boot_retry_backoff_s)) {
+    throw std::invalid_argument(
+        "FailureAwareOptions: boot_retry_backoff_s must be finite and >= 0");
+  }
+}
+
+// -- FailureDetector ---------------------------------------------------------
+
+FailureDetector::FailureDetector(double detection_delay_s, unsigned initial_available)
+    : delay_(detection_delay_s), detected_(initial_available) {
+  GC_CHECK(detection_delay_s >= 0.0, "FailureDetector: negative delay");
+  window_.push_back(Sample{0.0, initial_available});
+}
+
+unsigned FailureDetector::observe(double now, unsigned available) {
+  window_.push_back(Sample{now, available});
+  // Drop samples that aged out of the detection window, but always keep at
+  // least the newest one.
+  while (window_.size() > 1 && window_.front().time < now - delay_) {
+    window_.pop_front();
+  }
+  unsigned max_avail = 0;
+  for (const Sample& s : window_) max_avail = std::max(max_avail, s.available);
+  // Repairs are announced instantly: never report below the current truth.
+  detected_ = std::max(max_avail, available);
+  return detected_;
+}
+
+// -- BootRetryGate -----------------------------------------------------------
+
+BootRetryGate::BootRetryGate(unsigned budget, double backoff_s)
+    : budget_(budget), backoff_s_(backoff_s) {
+  GC_CHECK(budget >= 1, "BootRetryGate: budget must be >= 1");
+  GC_CHECK(backoff_s >= 0.0, "BootRetryGate: negative backoff");
+}
+
+unsigned BootRetryGate::propose(double now, unsigned committed, unsigned target) {
+  // Boots landing between proposals is progress: the deficit is a normal
+  // ramp (the target outruns the boot delay), not hung boot commands, so
+  // the episode resets.  Only a committed count that refuses to rise keeps
+  // the episode (and its backoff) alive.
+  const bool progressed = committed > last_committed_;
+  last_committed_ = committed;
+  if (target <= committed) {
+    // Deficit closed (or the plan shrank): episode over.
+    attempts_ = 0;
+    in_deficit_ = false;
+    return target;
+  }
+  if (progressed || !in_deficit_) {
+    // New shortfall: assert immediately, first retry after one backoff.
+    in_deficit_ = true;
+    attempts_ = 1;
+    next_retry_ = now + backoff_s_;
+    return target;
+  }
+  if (now + 1e-9 >= next_retry_) {
+    if (attempts_ >= budget_) return committed;  // budget spent: degrade
+    ++attempts_;
+    // Exponential backoff: the k-th retry waits 2^(k-1) backoffs.
+    const double wait =
+        backoff_s_ * static_cast<double>(1u << std::min(attempts_ - 1, 20u));
+    next_retry_ = now + wait;
+    return target;
+  }
+  return committed;  // between retries: no new boot commands
+}
+
+// -- FailureAwareDcpController ------------------------------------------------
+
+FailureAwareDcpController::FailureAwareDcpController(const Provisioner* provisioner,
+                                                     const DcpParams& dcp,
+                                                     PredictorKind predictor,
+                                                     const FailureAwareOptions& options)
+    : provisioner_(provisioner), planner_(provisioner, dcp),
+      predictor_(make_predictor(predictor, dcp.short_period_s)),
+      hysteresis_(effective_patience(dcp, provisioner->config().transition,
+                                     PowerModel(provisioner->config().power))),
+      options_(options),
+      detector_(options.detection_delay_s(), provisioner->config().max_servers),
+      retry_(options.boot_retry_budget,
+             options.boot_retry_backoff_s > 0.0 ? options.boot_retry_backoff_s
+                                                : dcp.long_period_s) {
+  GC_CHECK(provisioner != nullptr, "FailureAwareDcpController: null provisioner");
+  options_.validate();
+}
+
+double FailureAwareDcpController::short_period_s() const {
+  return planner_.params().short_period_s;
+}
+double FailureAwareDcpController::long_period_s() const {
+  return planner_.params().long_period_s;
+}
+
+ControlAction FailureAwareDcpController::on_short_tick(const ControlContext& ctx) {
+  predictor_->observe(ctx.measured_rate);
+  (void)detector_.observe(ctx.now, ctx.available);
+  const double padded = ctx.measured_rate * planner_.params().safety_margin;
+  unsigned serving = std::max(ctx.serving, 1u);
+  // Fit the frequency for the planned base fleet, not the spared one:
+  // speed sized for `base` servers spread over `serving >= base` servers
+  // leaves every queue strictly faster than the design point, so the
+  // spares buy latency headroom instead of diluting it.  When failures
+  // pull serving below the base the fit follows the real fleet.
+  if (planned_base_ > 0) serving = std::min(serving, planned_base_);
+  // Backlog-aware speed fitting drains failover bursts: a crash dumps its
+  // victims' queues onto the survivors, which the plain rate signal cannot
+  // see.
+  const OperatingPoint pt = planner_.plan_speed_with_backlog(
+      padded, serving, static_cast<double>(ctx.jobs_in_system),
+      planner_.params().short_period_s);
+  ControlAction action;
+  action.speed = pt.speed;
+  action.infeasible = !pt.feasible;
+  return action;
+}
+
+ControlAction FailureAwareDcpController::on_long_tick(const ControlContext& ctx) {
+  const unsigned detected = std::max(detector_.observe(ctx.now, ctx.available), 1u);
+  const double predicted =
+      std::max(predictor_->predict(planner_.prediction_horizon()), ctx.measured_rate);
+  // The spare already over-provisions by ~spare_capacity_fraction, and
+  // absent a crash it absorbs prediction error exactly like the
+  // multiplicative margin would — so the margin is relieved by the spare's
+  // share instead of stacking on top of it (clamped at 1: never plan below
+  // the prediction itself).
+  const double relieved_margin =
+      std::max(1.0, planner_.params().safety_margin /
+                        (1.0 + options_.spare_capacity_fraction));
+  const double padded = predicted * relieved_margin;
+
+  // Plan within the fleet the detector believes is alive.
+  const OperatingPoint pt = provisioner_->solve_capped(padded, detected);
+  planned_base_ = pt.servers;
+  unsigned target = pt.servers;
+  if (pt.feasible && options_.spare_capacity_fraction > 0.0) {
+    const auto spare = static_cast<unsigned>(std::ceil(
+        options_.spare_capacity_fraction * static_cast<double>(pt.servers)));
+    target = std::min(target + spare, detected);
+  }
+  target = hysteresis_.propose(ctx.committed, target);
+  target = retry_.propose(ctx.now, ctx.committed, target);
+
+  ControlAction action;
+  action.active_target = target;
+  action.infeasible = !pt.feasible;
+  return action;
+}
+
+}  // namespace gc

@@ -29,6 +29,7 @@ const char* to_string(PolicyKind kind) noexcept {
     case PolicyKind::kCombinedSinglePeriod: return "combined-single";
     case PolicyKind::kOracle: return "oracle";
     case PolicyKind::kThreshold: return "threshold";
+    case PolicyKind::kDcpFailureAware: return "dcp-failure-aware";
   }
   return "?";
 }
@@ -52,6 +53,9 @@ std::unique_ptr<Controller> make_policy(PolicyKind kind, const Provisioner* prov
           "make_policy: the oracle needs the profile; use make_oracle_policy");
     case PolicyKind::kThreshold:
       return std::make_unique<ThresholdController>(provisioner, options);
+    case PolicyKind::kDcpFailureAware:
+      return std::make_unique<FailureAwareDcpController>(
+          provisioner, options.dcp, options.predictor, options.failure);
   }
   throw std::invalid_argument("make_policy: unknown policy kind");
 }
@@ -98,8 +102,10 @@ ControlAction DvfsOnlyController::on_short_tick(const ControlContext& ctx) {
   smoother_.observe(ctx.measured_rate);
   const double padded = smoother_.predict(0.0) * dcp_.safety_margin;
   ControlAction action;
-  action.speed =
-      provisioner_->best_speed_for(padded, provisioner_->config().max_servers).speed;
+  const OperatingPoint pt =
+      provisioner_->best_speed_for(padded, provisioner_->config().max_servers);
+  action.speed = pt.speed;
+  action.infeasible = !pt.feasible;
   return action;
 }
 
@@ -133,10 +139,11 @@ ControlAction VovfOnlyController::on_short_tick(const ControlContext& ctx) {
 ControlAction VovfOnlyController::on_long_tick(const ControlContext& ctx) {
   const double predicted =
       std::max(predictor_->predict(planner_.prediction_horizon()), ctx.measured_rate);
-  const unsigned target = planner_.plan_servers(predicted);
+  const OperatingPoint pt = planner_.plan_point(predicted);
   ControlAction action;
-  action.active_target = hysteresis_.propose(ctx.committed, target);
+  action.active_target = hysteresis_.propose(ctx.committed, pt.servers);
   action.speed = 1.0;
+  action.infeasible = !pt.feasible;
   return action;
 }
 
@@ -163,24 +170,26 @@ ControlAction CombinedDcpController::on_short_tick(const ControlContext& ctx) {
   const double padded = ctx.measured_rate * planner_.params().safety_margin;
   const unsigned serving = std::max(ctx.serving, 1u);
   ControlAction action;
+  OperatingPoint pt;
   if (backlog_aware_) {
-    action.speed = planner_
-                       .plan_speed_with_backlog(padded, serving,
-                                                static_cast<double>(ctx.jobs_in_system),
-                                                planner_.params().short_period_s)
-                       .speed;
+    pt = planner_.plan_speed_with_backlog(padded, serving,
+                                          static_cast<double>(ctx.jobs_in_system),
+                                          planner_.params().short_period_s);
   } else {
-    action.speed = planner_.plan_speed(padded, serving).speed;
+    pt = planner_.plan_speed(padded, serving);
   }
+  action.speed = pt.speed;
+  action.infeasible = !pt.feasible;
   return action;
 }
 
 ControlAction CombinedDcpController::on_long_tick(const ControlContext& ctx) {
   const double predicted =
       std::max(predictor_->predict(planner_.prediction_horizon()), ctx.measured_rate);
-  const unsigned target = planner_.plan_servers(predicted);
+  const OperatingPoint pt = planner_.plan_point(predicted);
   ControlAction action;
-  action.active_target = hysteresis_.propose(ctx.committed, target);
+  action.active_target = hysteresis_.propose(ctx.committed, pt.servers);
+  action.infeasible = !pt.feasible;
   // Speed is corrected by the following short tick (same timestamp).
   return action;
 }
@@ -205,19 +214,20 @@ ControlAction OracleController::on_short_tick(const ControlContext& ctx) {
   // safety margin stays.
   const double truth = profile_->rate(ctx.now);
   ControlAction action;
-  action.speed =
-      planner_.plan_speed(truth * planner_.params().safety_margin,
-                          std::max(ctx.serving, 1u))
-          .speed;
+  const OperatingPoint pt = planner_.plan_speed(
+      truth * planner_.params().safety_margin, std::max(ctx.serving, 1u));
+  action.speed = pt.speed;
+  action.infeasible = !pt.feasible;
   return action;
 }
 
 ControlAction OracleController::on_long_tick(const ControlContext& ctx) {
   const double horizon = planner_.prediction_horizon();
   const double peak = profile_->max_rate(ctx.now, ctx.now + horizon);
-  const unsigned target = planner_.plan_servers(peak);
+  const OperatingPoint pt = planner_.plan_point(peak);
   ControlAction action;
-  action.active_target = hysteresis_.propose(ctx.committed, target);
+  action.active_target = hysteresis_.propose(ctx.committed, pt.servers);
+  action.infeasible = !pt.feasible;
   return action;
 }
 
@@ -300,6 +310,7 @@ ControlAction CombinedSinglePeriodController::on_long_tick(const ControlContext&
   ControlAction action;
   action.active_target = pt.servers;
   action.speed = pt.speed;
+  action.infeasible = !pt.feasible;
   return action;
 }
 

@@ -23,6 +23,7 @@
 
 #include "core/dcp.h"
 #include "core/provisioner.h"
+#include "control/failure_aware.h"
 #include "control/predictor.h"
 #include "sim/simulation.h"
 
@@ -40,6 +41,10 @@ enum class PolicyKind : int {
   // Rule-based threshold autoscaler (the classic reactive baseline: scale
   // out when utilization is high, in when low; no model, no solver).
   kThreshold = 6,
+  // Combined/DCP hardened against fail-stop faults: failure detection,
+  // capped provisioning with spare capacity, boot retries with backoff
+  // (control/failure_aware.h).
+  kDcpFailureAware = 7,
 };
 [[nodiscard]] const char* to_string(PolicyKind kind) noexcept;
 
@@ -50,6 +55,8 @@ struct PolicyOptions {
   // queued backlog (DcpPlanner::plan_speed_with_backlog).  Off by default
   // to match the paper's controller; quantified in bench/fig6.
   bool backlog_aware = false;
+  // kDcpFailureAware only: detector / spare capacity / boot retry knobs.
+  FailureAwareOptions failure = {};
 };
 
 // Factory: builds a controller of the given kind over a provisioner that

@@ -1,5 +1,7 @@
 #include "core/config_io.h"
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -8,16 +10,54 @@
 #include "util/string_util.h"
 
 namespace gc {
+namespace {
+
+// Typed INI reads with context in the error: a negative count must not be
+// silently cast to a huge unsigned, and a NaN must not leak into the solver
+// (where every comparison against it is quietly false).
+unsigned get_unsigned(const IniFile& ini, const std::string& section,
+                      const std::string& key, unsigned fallback) {
+  const long long value =
+      ini.get_int_or(section, key, static_cast<long long>(fallback));
+  if (value < 0) {
+    throw std::runtime_error(
+        gc::format("config: [{}] {} must be >= 0 (got {})", section, key, value));
+  }
+  if (value > static_cast<long long>(std::numeric_limits<unsigned>::max())) {
+    throw std::runtime_error(
+        gc::format("config: [{}] {} is out of range (got {})", section, key, value));
+  }
+  return static_cast<unsigned>(value);
+}
+
+double get_finite(const IniFile& ini, const std::string& section,
+                  const std::string& key, double fallback) {
+  const double value = ini.get_double_or(section, key, fallback);
+  if (!std::isfinite(value)) {
+    throw std::runtime_error(
+        gc::format("config: [{}] {} must be finite (got {})", section, key, value));
+  }
+  return value;
+}
+
+double get_positive(const IniFile& ini, const std::string& section,
+                    const std::string& key, double fallback) {
+  const double value = get_finite(ini, section, key, fallback);
+  if (!(value > 0.0)) {
+    throw std::runtime_error(
+        gc::format("config: [{}] {} must be > 0 (got {})", section, key, value));
+  }
+  return value;
+}
+
+}  // namespace
 
 ClusterConfig cluster_config_from_ini(const IniFile& ini) {
   ClusterConfig config;
-  config.max_servers = static_cast<unsigned>(
-      ini.get_int_or("cluster", "max_servers", config.max_servers));
-  config.mu_max = ini.get_double_or("cluster", "mu_max", config.mu_max);
-  config.t_ref_s =
-      ini.get_double_or("cluster", "t_ref_ms", config.t_ref_s * 1e3) / 1e3;
-  config.min_servers = static_cast<unsigned>(
-      ini.get_int_or("cluster", "min_servers", config.min_servers));
+  config.max_servers = get_unsigned(ini, "cluster", "max_servers", config.max_servers);
+  config.mu_max = get_positive(ini, "cluster", "mu_max", config.mu_max);
+  config.t_ref_s = get_positive(ini, "cluster", "t_ref_ms", config.t_ref_s * 1e3) / 1e3;
+  config.min_servers = get_unsigned(ini, "cluster", "min_servers", config.min_servers);
   const std::string model = to_lower(ini.get_or("cluster", "perf_model", "mm1"));
   if (model == "mm1") {
     config.perf_model = PerfModel::kMm1PerServer;
@@ -28,12 +68,12 @@ ClusterConfig cluster_config_from_ini(const IniFile& ini) {
   }
 
   config.power.p_idle_watts =
-      ini.get_double_or("power", "p_idle_w", config.power.p_idle_watts);
+      get_finite(ini, "power", "p_idle_w", config.power.p_idle_watts);
   config.power.p_max_watts =
-      ini.get_double_or("power", "p_max_w", config.power.p_max_watts);
+      get_finite(ini, "power", "p_max_w", config.power.p_max_watts);
   config.power.p_off_watts =
-      ini.get_double_or("power", "p_off_w", config.power.p_off_watts);
-  config.power.alpha = ini.get_double_or("power", "alpha", config.power.alpha);
+      get_finite(ini, "power", "p_off_w", config.power.p_off_watts);
+  config.power.alpha = get_finite(ini, "power", "alpha", config.power.alpha);
   config.power.utilization_gated =
       ini.get_bool_or("power", "utilization_gated", config.power.utilization_gated);
 
@@ -43,23 +83,27 @@ ClusterConfig cluster_config_from_ini(const IniFile& ini) {
       const auto trimmed = trim(piece);
       if (trimmed.empty()) continue;
       const auto value = parse_double(trimmed);
-      if (!value) {
+      if (!value || !std::isfinite(*value) || !(*value > 0.0)) {
         throw std::runtime_error(
-            gc::format("config: bad ladder level '{}'", std::string(trimmed)));
+            gc::format("config: bad ladder level '{}' (need a finite positive "
+                       "frequency)",
+                       std::string(trimmed)));
       }
       ghz.push_back(*value);
     }
     config.ladder = FrequencyLadder(std::move(ghz));
   } else if (const auto min_speed = ini.get("ladder", "continuous_min_speed")) {
     const auto value = parse_double(*min_speed);
-    if (!value) throw std::runtime_error("config: bad continuous_min_speed");
+    if (!value || !std::isfinite(*value)) {
+      throw std::runtime_error("config: bad continuous_min_speed");
+    }
     config.ladder = FrequencyLadder::continuous(*value);
   }
 
   config.transition.boot_delay_s =
-      ini.get_double_or("transition", "boot_delay_s", config.transition.boot_delay_s);
-  config.transition.shutdown_delay_s = ini.get_double_or(
-      "transition", "shutdown_delay_s", config.transition.shutdown_delay_s);
+      get_finite(ini, "transition", "boot_delay_s", config.transition.boot_delay_s);
+  config.transition.shutdown_delay_s = get_finite(
+      ini, "transition", "shutdown_delay_s", config.transition.shutdown_delay_s);
 
   config.validate();
   return config;
@@ -67,11 +111,11 @@ ClusterConfig cluster_config_from_ini(const IniFile& ini) {
 
 DcpParams dcp_params_from_ini(const IniFile& ini) {
   DcpParams dcp;
-  dcp.long_period_s = ini.get_double_or("dcp", "long_period_s", dcp.long_period_s);
-  dcp.short_period_s = ini.get_double_or("dcp", "short_period_s", dcp.short_period_s);
-  dcp.safety_margin = ini.get_double_or("dcp", "safety_margin", dcp.safety_margin);
-  dcp.scale_down_patience = static_cast<unsigned>(
-      ini.get_int_or("dcp", "scale_down_patience", dcp.scale_down_patience));
+  dcp.long_period_s = get_positive(ini, "dcp", "long_period_s", dcp.long_period_s);
+  dcp.short_period_s = get_positive(ini, "dcp", "short_period_s", dcp.short_period_s);
+  dcp.safety_margin = get_finite(ini, "dcp", "safety_margin", dcp.safety_margin);
+  dcp.scale_down_patience =
+      get_unsigned(ini, "dcp", "scale_down_patience", dcp.scale_down_patience);
   dcp.auto_patience_from_break_even = ini.get_bool_or(
       "dcp", "auto_patience_from_break_even", dcp.auto_patience_from_break_even);
   dcp.validate();
@@ -80,17 +124,17 @@ DcpParams dcp_params_from_ini(const IniFile& ini) {
 
 HeteroConfig hetero_config_from_ini(const IniFile& ini) {
   HeteroConfig config;
-  config.t_ref_s = ini.get_double_or("cluster", "t_ref_ms", 100.0) / 1e3;
+  config.t_ref_s = get_positive(ini, "cluster", "t_ref_ms", 100.0) / 1e3;
   for (const std::string& section : ini.section_names()) {
     if (!starts_with(section, "class ")) continue;
     ServerClass sc;
     sc.name = std::string(trim(std::string_view(section).substr(6)));
-    sc.count = static_cast<unsigned>(ini.get_int_or(section, "count", 0));
-    sc.mu_max = ini.get_double_or(section, "mu_max", sc.mu_max);
-    sc.power.p_idle_watts = ini.get_double_or(section, "p_idle_w", sc.power.p_idle_watts);
-    sc.power.p_max_watts = ini.get_double_or(section, "p_max_w", sc.power.p_max_watts);
-    sc.power.p_off_watts = ini.get_double_or(section, "p_off_w", sc.power.p_off_watts);
-    sc.power.alpha = ini.get_double_or(section, "alpha", sc.power.alpha);
+    sc.count = get_unsigned(ini, section, "count", 0);
+    sc.mu_max = get_positive(ini, section, "mu_max", sc.mu_max);
+    sc.power.p_idle_watts = get_finite(ini, section, "p_idle_w", sc.power.p_idle_watts);
+    sc.power.p_max_watts = get_finite(ini, section, "p_max_w", sc.power.p_max_watts);
+    sc.power.p_off_watts = get_finite(ini, section, "p_off_w", sc.power.p_off_watts);
+    sc.power.alpha = get_finite(ini, section, "alpha", sc.power.alpha);
     sc.power.utilization_gated =
         ini.get_bool_or(section, "utilization_gated", sc.power.utilization_gated);
     if (const auto levels = ini.get(section, "levels_ghz")) {
@@ -99,9 +143,11 @@ HeteroConfig hetero_config_from_ini(const IniFile& ini) {
         const auto trimmed = trim(piece);
         if (trimmed.empty()) continue;
         const auto value = parse_double(trimmed);
-        if (!value) {
+        if (!value || !std::isfinite(*value) || !(*value > 0.0)) {
           throw std::runtime_error(
-              gc::format("config: bad ladder level '{}'", std::string(trimmed)));
+              gc::format("config: bad ladder level '{}' (need a finite positive "
+                         "frequency)",
+                         std::string(trimmed)));
         }
         ghz.push_back(*value);
       }

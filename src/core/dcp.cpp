@@ -33,12 +33,15 @@ double DcpPlanner::prediction_horizon() const noexcept {
   return params_.long_period_s + provisioner_->config().transition.boot_delay_s;
 }
 
-unsigned DcpPlanner::plan_servers(double predicted_rate) const {
+OperatingPoint DcpPlanner::plan_point(double predicted_rate) const {
   GC_CHECK(predicted_rate >= 0.0 && std::isfinite(predicted_rate),
-           "plan_servers: bad predicted rate");
+           "plan_point: bad predicted rate");
   const double padded = predicted_rate * params_.safety_margin;
-  const OperatingPoint pt = provisioner_->solve(padded);
-  return pt.servers;
+  return provisioner_->solve(padded);
+}
+
+unsigned DcpPlanner::plan_servers(double predicted_rate) const {
+  return plan_point(predicted_rate).servers;
 }
 
 OperatingPoint DcpPlanner::plan_speed(double current_rate, unsigned serving) const {

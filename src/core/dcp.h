@@ -59,6 +59,11 @@ class DcpPlanner {
   // max or mean — the caller chooses the predictor).
   [[nodiscard]] unsigned plan_servers(double predicted_rate) const;
 
+  // Same decision with the full solver verdict: controllers that must
+  // report infeasibility (ControlAction::infeasible) read `feasible` off
+  // the returned point instead of discarding it.
+  [[nodiscard]] OperatingPoint plan_point(double predicted_rate) const;
+
   // Short-period decision: cheapest feasible common speed for the servers
   // that are actually serving right now.
   [[nodiscard]] OperatingPoint plan_speed(double current_rate, unsigned serving) const;

@@ -135,6 +135,25 @@ OperatingPoint Provisioner::solve(double lambda) const {
   return scan_range(lambda, *m_min, config_.max_servers);
 }
 
+OperatingPoint Provisioner::solve_capped(double lambda, unsigned m_cap) const {
+  GC_CHECK(lambda >= 0.0 && std::isfinite(lambda), "solve_capped: bad lambda");
+  GC_CHECK(m_cap >= 1, "solve_capped: need at least one server in the cap");
+  m_cap = std::min(m_cap, config_.max_servers);
+  const auto m_min = min_feasible_servers(lambda);
+  if (!m_min || *m_min > m_cap) {
+    OperatingPoint pt = evaluate(lambda, m_cap, 1.0);
+    pt.feasible = false;
+    return pt;
+  }
+  OperatingPoint pt = scan_range(lambda, *m_min, m_cap);
+  if (!pt.feasible || pt.servers > m_cap) {
+    // scan_range's fallback is the *uncapped* best effort; re-cap it.
+    pt = evaluate(lambda, m_cap, 1.0);
+    pt.feasible = false;
+  }
+  return pt;
+}
+
 double Provisioner::relaxed_power(double lambda, double m_real) const {
   GC_CHECK(config_.perf_model == PerfModel::kMm1PerServer,
            "relaxed_power: M/M/1 model only");

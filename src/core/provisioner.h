@@ -66,6 +66,12 @@ class Provisioner {
   // feasibility.
   [[nodiscard]] OperatingPoint solve(double lambda) const;
 
+  // Exact solver restricted to m <= m_cap active servers: failure-aware
+  // control plans within the fleet its detector believes is alive.  When
+  // the guarantee cannot be met inside the cap the best-effort point is
+  // (m_cap, s = 1) with feasible = false — degraded, not over-committed.
+  [[nodiscard]] OperatingPoint solve_capped(double lambda, unsigned m_cap) const;
+
   // O(log M) solver; agrees with solve() (see tests/test_provisioner.cpp).
   [[nodiscard]] OperatingPoint solve_fast(double lambda) const;
 

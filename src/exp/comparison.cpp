@@ -26,6 +26,8 @@ ComparisonRow make_row(const std::string& scenario_name, PolicyKind policy,
       result.sim_time_s > 0.0
           ? static_cast<double>(result.boots) / (result.sim_time_s / 3600.0)
           : 0.0;
+  row.shed_pct = result.shed_ratio * 100.0;
+  row.unavailability_pct = result.unavailability * 100.0;
   return row;
 }
 
@@ -71,7 +73,9 @@ TablePrinter comparison_table(std::string title, const std::vector<ComparisonRow
       .column("SLA")
       .column("avg m", {.precision = 1})
       .column("avg s", {.precision = 2})
-      .column("boots", {.precision = 1, .unit = "/h"});
+      .column("boots", {.precision = 1, .unit = "/h"})
+      .column("shed", {.precision = 2, .unit = "%"})
+      .column("unavail", {.precision = 2, .unit = "%"});
   for (const ComparisonRow& row : rows) {
     table.row()
         .cell(row.scenario)
@@ -84,7 +88,9 @@ TablePrinter comparison_table(std::string title, const std::vector<ComparisonRow
         .cell(row.sla_met ? "yes" : "NO")
         .cell(row.mean_serving)
         .cell(row.mean_speed)
-        .cell(row.boots_per_hour);
+        .cell(row.boots_per_hour)
+        .cell(row.shed_pct)
+        .cell(row.unavailability_pct);
   }
   return table;
 }

@@ -24,6 +24,8 @@ struct ComparisonRow {
   double mean_serving = 0.0;
   double mean_speed = 0.0;
   double boots_per_hour = 0.0;
+  double shed_pct = 0.0;           // offered jobs turned away by admission control
+  double unavailability_pct = 0.0; // time-averaged fraction of the fleet failed
 };
 
 // Runs every policy in `policies` on `scenario` (same seed: every policy

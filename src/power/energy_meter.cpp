@@ -10,6 +10,7 @@ const char* to_string(PowerState state) noexcept {
     case PowerState::kBooting: return "booting";
     case PowerState::kOn: return "on";
     case PowerState::kShuttingDown: return "shutting_down";
+    case PowerState::kFailed: return "failed";
   }
   return "?";
 }
@@ -21,7 +22,8 @@ EnergyMeter::EnergyMeter(const PowerModel* model, double start_time)
 
 double EnergyMeter::instantaneous_power() const noexcept {
   switch (state_) {
-    case PowerState::kOff: return model_->off_power();
+    case PowerState::kOff:
+    case PowerState::kFailed: return model_->off_power();
     case PowerState::kBooting:
     case PowerState::kShuttingDown: return model_->transition_power();
     case PowerState::kOn: return model_->power(speed_, busy_ ? 1.0 : 0.0);
@@ -36,7 +38,8 @@ void EnergyMeter::integrate(double now) {
     case PowerState::kOn: by_class_[busy_ ? 0 : 1] += joules; break;
     case PowerState::kBooting:
     case PowerState::kShuttingDown: by_class_[2] += joules; break;
-    case PowerState::kOff: by_class_[3] += joules; break;
+    case PowerState::kOff:
+    case PowerState::kFailed: by_class_[3] += joules; break;
   }
   last_time_ = now;
 }

@@ -13,7 +13,10 @@
 
 namespace gc {
 
-enum class PowerState : int { kOff = 0, kBooting = 1, kOn = 2, kShuttingDown = 3 };
+// kFailed is a fail-stop crash state (fault injection): the server serves
+// nothing and draws off power (the PSU tripped / the host is fenced) until
+// a repair returns it to kOff.
+enum class PowerState : int { kOff = 0, kBooting = 1, kOn = 2, kShuttingDown = 3, kFailed = 4 };
 [[nodiscard]] const char* to_string(PowerState state) noexcept;
 
 class EnergyMeter {

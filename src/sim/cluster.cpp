@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "sim/fault_injector.h"
 #include "util/assert.h"
 
 namespace gc {
@@ -160,6 +161,18 @@ unsigned Cluster::powered_count() const noexcept {
   return n;
 }
 
+unsigned Cluster::available_count() const noexcept {
+  unsigned n = 0;
+  for (const Server& s : servers_) n += s.failed() ? 0 : 1;
+  return n;
+}
+
+unsigned Cluster::failed_count() const noexcept {
+  unsigned n = 0;
+  for (const Server& s : servers_) n += s.failed() ? 1 : 0;
+  return n;
+}
+
 void Cluster::reschedule_departure(double now, Server& server, double eta) {
   if (server.pending_departure != kInvalidEventId) {
     queue_->cancel(server.pending_departure);
@@ -200,8 +213,18 @@ void Cluster::reconcile_range(double now, std::uint32_t begin, std::uint32_t end
       Server& s = servers_[i];
       if (s.state() == PowerState::kOff) {
         s.start_boot(now);
-        queue_->schedule(now + transition_.boot_delay_s, EventType::kBootComplete,
-                         s.index());
+        // With fault injection, this individual boot may hang: instead of a
+        // completion it gets a watchdog timeout that fails the server.
+        const std::optional<double> hang =
+            faults_ ? faults_->sample_boot_hang(transition_.boot_delay_s)
+                    : std::nullopt;
+        if (hang) {
+          s.pending_transition =
+              queue_->schedule(now + *hang, EventType::kBootTimeout, s.index());
+        } else {
+          s.pending_transition = queue_->schedule(
+              now + transition_.boot_delay_s, EventType::kBootComplete, s.index());
+        }
         ++boots_started_;
         ++committed;
       }
@@ -244,8 +267,9 @@ void Cluster::maybe_begin_shutdown(double now, Server& server) {
   if (server.state() == PowerState::kOn && server.draining() && !server.busy() &&
       server.queue_length() == 0) {
     server.begin_shutdown(now);
-    queue_->schedule(now + transition_.shutdown_delay_s, EventType::kShutdownComplete,
-                     server.index());
+    server.pending_transition = queue_->schedule(
+        now + transition_.shutdown_delay_s, EventType::kShutdownComplete,
+        server.index());
     ++shutdowns_started_;
   }
 }
@@ -291,6 +315,7 @@ Job Cluster::handle_departure(double now, std::uint32_t server) {
 void Cluster::handle_boot_complete(double now, std::uint32_t server) {
   GC_CHECK(server < servers_.size(), "boot completion for unknown server");
   Server& s = servers_[server];
+  s.pending_transition = kInvalidEventId;
   s.finish_boot(now);
   // Booted servers adopt their group's current speed.
   const auto eta = s.set_speed(now, group_speeds_[server_group_[server]]);
@@ -299,7 +324,65 @@ void Cluster::handle_boot_complete(double now, std::uint32_t server) {
 
 void Cluster::handle_shutdown_complete(double now, std::uint32_t server) {
   GC_CHECK(server < servers_.size(), "shutdown completion for unknown server");
+  servers_[server].pending_transition = kInvalidEventId;
   servers_[server].finish_shutdown(now);
+}
+
+bool Cluster::fail_server(double now, std::uint32_t server) {
+  GC_CHECK(server < servers_.size(), "fail_server: unknown server");
+  Server& s = servers_[server];
+  if (s.state() == PowerState::kOff || s.failed()) return false;
+  // A crashed server's scheduled future is void: its in-flight departure
+  // and its boot/shutdown completion must not fire.
+  if (s.pending_departure != kInvalidEventId) {
+    queue_->cancel(s.pending_departure);
+    s.pending_departure = kInvalidEventId;
+  }
+  if (s.pending_transition != kInvalidEventId) {
+    queue_->cancel(s.pending_transition);
+    s.pending_transition = kInvalidEventId;
+  }
+  std::vector<Job> orphans = s.fail(now);
+  ++failures_;
+  // Fail the orphans over to surviving serving servers; with none left the
+  // jobs are lost (distinct from admission-time drops).
+  for (Job& job : orphans) {
+    // A job can be caught exactly at its completion instant (crash and
+    // departure tie on time); give it a vanishing sliver of work so the
+    // enqueue invariant (remaining > 0) holds and it finishes immediately
+    // on the failover server.
+    job.remaining = std::max(job.remaining, 1e-12);
+    const long target = dispatcher_.pick(now, servers_);
+    if (target < 0) {
+      ++jobs_lost_;
+      GC_CHECK(jobs_in_system_ > 0, "fail_server: losing an untracked job");
+      --jobs_in_system_;
+      continue;
+    }
+    Server& survivor = servers_[static_cast<std::size_t>(target)];
+    const auto eta = survivor.enqueue(now, job);
+    if (eta) reschedule_departure(now, survivor, *eta);
+    ++jobs_redispatched_;  // still counted in jobs_in_system_
+  }
+  return true;
+}
+
+void Cluster::timeout_boot(double now, std::uint32_t server) {
+  GC_CHECK(server < servers_.size(), "timeout_boot: unknown server");
+  Server& s = servers_[server];
+  GC_CHECK(s.state() == PowerState::kBooting, "timeout_boot: server not BOOTING");
+  // The timeout event that brought us here was the pending transition.
+  s.pending_transition = kInvalidEventId;
+  const std::vector<Job> orphans = s.fail(now);
+  GC_CHECK(orphans.empty(), "timeout_boot: booting server held jobs");
+  ++failures_;
+  ++boot_timeouts_;
+}
+
+void Cluster::repair_server(double now, std::uint32_t server) {
+  GC_CHECK(server < servers_.size(), "repair_server: unknown server");
+  servers_[server].finish_repair(now);
+  ++repairs_;
 }
 
 void Cluster::flush_energy(double now) {

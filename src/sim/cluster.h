@@ -29,6 +29,8 @@
 
 namespace gc {
 
+class FaultInjector;
+
 // A homogeneous slice of a (possibly heterogeneous) cluster.
 struct ServerGroupSpec {
   unsigned count = 0;
@@ -89,6 +91,9 @@ class Cluster {
   [[nodiscard]] unsigned committed_count() const noexcept;
   // Anything not OFF.
   [[nodiscard]] unsigned powered_count() const noexcept;
+  // Anything not FAILED: the fleet a failure-aware controller can draw on.
+  [[nodiscard]] unsigned available_count() const noexcept;
+  [[nodiscard]] unsigned failed_count() const noexcept;
   [[nodiscard]] unsigned num_servers() const noexcept {
     return static_cast<unsigned>(servers_.size());
   }
@@ -105,6 +110,22 @@ class Cluster {
   void handle_boot_complete(double now, std::uint32_t server);
   void handle_shutdown_complete(double now, std::uint32_t server);
 
+  // -- fault plane (driven by sim/fault_injector.h) -------------------------
+  // When set (before any boot command), every boot consults the injector
+  // for a sampled hang: hung boots get a kBootTimeout event instead of
+  // kBootComplete.  `injector` must outlive the cluster.
+  void set_fault_injector(FaultInjector* injector) noexcept { faults_ = injector; }
+
+  // Fail-stop crash of a powered server.  Cancels its pending events,
+  // re-dispatches the orphaned jobs to surviving serving servers (jobs
+  // that cannot be placed are lost and counted).  Returns false — a no-op —
+  // if the server is OFF or already FAILED.
+  bool fail_server(double now, std::uint32_t server);
+  // A hung boot hit its watchdog timeout: the BOOTING server fails.
+  void timeout_boot(double now, std::uint32_t server);
+  // FAILED -> OFF; a later reconcile may boot it again.
+  void repair_server(double now, std::uint32_t server);
+
   // -- accounting -----------------------------------------------------------
   void flush_energy(double now);
   [[nodiscard]] EnergyBreakdown energy() const;
@@ -115,6 +136,15 @@ class Cluster {
   [[nodiscard]] std::uint64_t shutdowns_started() const noexcept {
     return shutdowns_started_;
   }
+  [[nodiscard]] std::uint64_t failures() const noexcept { return failures_; }
+  [[nodiscard]] std::uint64_t repairs() const noexcept { return repairs_; }
+  [[nodiscard]] std::uint64_t boot_timeouts() const noexcept { return boot_timeouts_; }
+  // Jobs that survived a crash by moving to another serving server.
+  [[nodiscard]] std::uint64_t jobs_redispatched() const noexcept {
+    return jobs_redispatched_;
+  }
+  // Jobs destroyed by a crash (no surviving server could take them).
+  [[nodiscard]] std::uint64_t jobs_lost() const noexcept { return jobs_lost_; }
 
   [[nodiscard]] const Server& server(std::uint32_t index) const;
 
@@ -136,11 +166,17 @@ class Cluster {
   TransitionModel transition_;
   Dispatcher dispatcher_;
   Rng group_rng_;  // used by route_job_to_group
+  FaultInjector* faults_ = nullptr;  // non-owning; may be null
   double speed_;
   std::size_t jobs_in_system_ = 0;
   std::uint64_t jobs_dropped_ = 0;
   std::uint64_t boots_started_ = 0;
   std::uint64_t shutdowns_started_ = 0;
+  std::uint64_t failures_ = 0;
+  std::uint64_t repairs_ = 0;
+  std::uint64_t boot_timeouts_ = 0;
+  std::uint64_t jobs_redispatched_ = 0;
+  std::uint64_t jobs_lost_ = 0;
 };
 
 }  // namespace gc

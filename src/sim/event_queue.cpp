@@ -14,6 +14,9 @@ const char* to_string(EventType type) noexcept {
     case EventType::kLongTick: return "long_tick";
     case EventType::kRecord: return "record";
     case EventType::kWarmupEnd: return "warmup_end";
+    case EventType::kServerFail: return "server_fail";
+    case EventType::kServerRepair: return "server_repair";
+    case EventType::kBootTimeout: return "boot_timeout";
   }
   return "?";
 }

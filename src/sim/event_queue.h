@@ -24,6 +24,10 @@ enum class EventType : int {
   kLongTick = 5,
   kRecord = 6,
   kWarmupEnd = 7,
+  // Fault injection (sim/fault_injector.h).
+  kServerFail = 8,     // subject: server index (background fault process / script)
+  kServerRepair = 9,   // subject: server index
+  kBootTimeout = 10,   // subject: server index (a boot that hung instead of completing)
 };
 [[nodiscard]] const char* to_string(EventType type) noexcept;
 

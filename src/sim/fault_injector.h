@@ -1,0 +1,127 @@
+// Fault injection for the discrete-event simulator.
+//
+// Two fault sources, both driving the server lifecycle extensions in
+// sim/server.h ({BOOTING, ON, SHUTTING_DOWN} -> FAILED -> OFF):
+//
+//   * a background fail-stop process: per-server exponential time-to-failure
+//     (mean `mtbf_s`) while the server is powered, with exponential repair
+//     times (mean `mttr_s`).  A failure that lands on an OFF or already
+//     FAILED server is a no-op (machines that are not running do not
+//     crash) and the failure clock simply restarts;
+//   * boot hangs: each boot command independently hangs with probability
+//     `boot_hang_prob`; a hung boot never completes and is declared failed
+//     after `boot_timeout_s` (the firmware/watchdog timeout), then repaired
+//     like any other crash.
+//
+// Scripted faults make tests reproducible: each entry crashes a specific
+// server at a specific time, with an optional fixed repair delay
+// (defaulting to "never repaired").
+//
+// Determinism: every per-server failure clock draws from its own RNG
+// stream derived via the SplitMix64 scheme in stats/rng.h (Rng::split), so
+// fault sequences are independent of event interleaving and bitwise
+// reproducible across thread counts (replications parallelize above the
+// simulator; see exp/runner.h).
+//
+// The injector owns fault *scheduling*; the Cluster owns the state
+// machine.  The simulation loop routes kServerFail / kServerRepair /
+// kBootTimeout events back into the injector, which calls into the
+// cluster and schedules the follow-up event.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "stats/rng.h"
+
+namespace gc {
+
+class Cluster;
+
+struct ScriptedFault {
+  double time = 0.0;          // crash instant (simulation seconds)
+  std::uint32_t server = 0;   // victim
+  // Seconds from the crash until the repair completes; the default
+  // (infinity) means the server stays down for the rest of the run.
+  double repair_after_s = std::numeric_limits<double>::infinity();
+};
+
+struct FaultOptions {
+  // Mean time between failures of one powered server; 0 disables the
+  // background fault process.
+  double mtbf_s = 0.0;
+  // Mean time to repair a crashed server (exponential).
+  double mttr_s = 600.0;
+  // Probability that any individual boot command hangs instead of
+  // completing.
+  double boot_hang_prob = 0.0;
+  // How long a hung boot stays BOOTING before it is declared failed;
+  // 0 means three boot delays (a watchdog would not fire earlier than the
+  // expected boot time).
+  double boot_timeout_s = 0.0;
+  // Reproducible crash schedule, in addition to the processes above.
+  std::vector<ScriptedFault> script;
+  // RNG seed; 0 derives one from the cluster's dispatch seed so that
+  // replications (which re-seed the RunSpec) get independent fault
+  // histories automatically.
+  std::uint64_t seed = 0;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return mtbf_s > 0.0 || boot_hang_prob > 0.0 || !script.empty();
+  }
+  // Throws std::invalid_argument on inconsistent settings.
+  void validate() const;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(const FaultOptions& options, unsigned num_servers, std::uint64_t seed);
+
+  // Schedules the initial background failures and every scripted fault.
+  // Call once, before the first event is popped.
+  void arm(EventQueue& queue);
+
+  // kServerFail fired: crash the server (if it is powered) and schedule
+  // the repair / the next failure.  Returns true if the server crashed.
+  bool on_fail_event(double now, std::uint32_t server, Cluster& cluster,
+                     EventQueue& queue);
+
+  // kBootTimeout fired: the boot hung; declare the server failed and
+  // schedule its repair.
+  void on_boot_timeout(double now, std::uint32_t server, Cluster& cluster,
+                       EventQueue& queue);
+
+  // kServerRepair fired: return the server to OFF and restart its failure
+  // clock.
+  void on_repair_event(double now, std::uint32_t server, Cluster& cluster,
+                       EventQueue& queue);
+
+  // Called by the Cluster for every boot command: nullopt = the boot
+  // proceeds normally; a value = the boot hangs and the server must be
+  // declared failed after that many seconds.
+  [[nodiscard]] std::optional<double> sample_boot_hang(double boot_delay_s);
+
+ private:
+  [[nodiscard]] double sample_ttf(std::uint32_t server);
+  [[nodiscard]] double sample_ttr(std::uint32_t server);
+
+  FaultOptions options_;
+  unsigned num_servers_;
+  // Stream 0 of `rng_` drives boot-hang coin flips; each server's failure
+  // clock is an independent split so outcomes do not depend on the order
+  // in which other servers' events fire.
+  Rng boot_rng_;
+  std::vector<Rng> server_rngs_;
+  // Per-server scripted entries in firing order (matched FIFO as their
+  // kServerFail events fire); background failures track a pending flag so
+  // exactly one background event chain exists per server.
+  std::vector<std::vector<double>> scripted_repairs_;
+  std::vector<std::size_t> scripted_cursor_;
+  std::vector<std::vector<double>> scripted_times_;
+  std::vector<bool> background_pending_;
+};
+
+}  // namespace gc

@@ -17,10 +17,12 @@ struct TimelinePoint {
   double arrival_rate = 0.0;  // measured over the last record interval
   unsigned serving = 0;
   unsigned powered = 0;
+  unsigned available = 0;     // servers not FAILED
   double speed = 1.0;
   double power_watts = 0.0;     // instantaneous
   double jobs_in_system = 0.0;
   double window_mean_response_s = 0.0;  // mean response over the interval
+  double admit_probability = 1.0;  // < 1 while admission control sheds
 };
 
 class MetricsCollector {
@@ -55,6 +57,13 @@ class MetricsCollector {
 struct SimResult {
   std::uint64_t completed_jobs = 0;
   std::uint64_t dropped_jobs = 0;
+  // Graceful degradation / fault accounting (all post-warmup).
+  std::uint64_t shed_jobs = 0;          // rejected by admission control
+  std::uint64_t failures = 0;           // fail-stop crashes (incl. boot timeouts)
+  std::uint64_t repairs = 0;
+  std::uint64_t boot_timeouts = 0;
+  std::uint64_t jobs_redispatched = 0;  // crash survivors moved to another server
+  std::uint64_t jobs_lost = 0;          // destroyed by a crash
   double sim_time_s = 0.0;      // measured horizon (post-warmup)
   double mean_response_s = 0.0;
   double p95_response_s = 0.0;
@@ -69,6 +78,15 @@ struct SimResult {
   double mean_serving = 0.0;    // time-average serving servers
   double mean_speed = 0.0;      // time-average speed (over serving time)
   double mean_jobs_in_system = 0.0;  // time-average L (Little's law: L = λT)
+  double mean_available = 0.0;  // time-average servers not FAILED
+  // Time-average fraction of the fleet FAILED (0 without fault injection).
+  double unavailability = 0.0;
+  // shed / offered over the measured interval; offered = admitted + shed.
+  double shed_ratio = 0.0;
+  // Control ticks at which the active policy reported that the guarantee
+  // was unachievable (Provisioner infeasibility), and their fraction.
+  std::uint64_t infeasible_ticks = 0;
+  double infeasible_ratio = 0.0;
   std::vector<TimelinePoint> timeline;
 
   // True when the mean-response-time guarantee held over the whole run.

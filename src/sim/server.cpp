@@ -64,6 +64,34 @@ void Server::finish_shutdown(double now) {
   meter_update(now);
 }
 
+std::vector<Job> Server::fail(double now) {
+  GC_CHECK(state_ == PowerState::kBooting || state_ == PowerState::kOn ||
+               state_ == PowerState::kShuttingDown,
+           "fail: server must be powered to crash");
+  // Bank progress up to the crash instant so re-dispatched work is not
+  // redone from scratch (crash-consistent checkpointing would be the
+  // optimistic model; we keep the remaining-work the job actually had).
+  sync_progress(now);
+  std::vector<Job> orphans;
+  orphans.reserve(queue_.size() + (current_ ? 1 : 0));
+  if (current_) {
+    orphans.push_back(*current_);
+    current_.reset();
+  }
+  for (const Job& j : queue_) orphans.push_back(j);
+  queue_.clear();
+  state_ = PowerState::kFailed;
+  draining_ = false;
+  meter_update(now);
+  return orphans;
+}
+
+void Server::finish_repair(double now) {
+  GC_CHECK(state_ == PowerState::kFailed, "finish_repair: server not FAILED");
+  state_ = PowerState::kOff;
+  meter_update(now);
+}
+
 void Server::sync_progress(double now) {
   if (!current_) {
     progress_anchor_ = now;

@@ -5,6 +5,12 @@
 //
 //   OFF --start_boot--> BOOTING --finish_boot--> ON
 //   ON(draining, idle) --begin_shutdown--> SHUTTING_DOWN --finish--> OFF
+//   {BOOTING, ON, SHUTTING_DOWN} --fail--> FAILED --finish_repair--> OFF
+//
+// `fail` is a fail-stop crash (fault injection, sim/fault_injector.h): any
+// in-flight and queued jobs are returned to the caller (the Cluster
+// re-dispatches or drops them) and the server draws off power until the
+// repair completes.
 //
 // Work accounting: a job of size w runs at `speed` work-seconds per second,
 // so it completes after remaining/speed seconds *at constant speed*.  When
@@ -20,6 +26,7 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <vector>
 
 #include "power/energy_meter.h"
 #include "sim/event_queue.h"
@@ -43,6 +50,7 @@ class Server {
   [[nodiscard]] bool serving() const noexcept {
     return state_ == PowerState::kOn && !draining_;
   }
+  [[nodiscard]] bool failed() const noexcept { return state_ == PowerState::kFailed; }
   [[nodiscard]] double speed() const noexcept { return speed_; }
   [[nodiscard]] double rate_scale() const noexcept { return rate_scale_; }
   // Work-seconds executed per wall second right now.
@@ -62,6 +70,13 @@ class Server {
   // Allowed only when ON, draining and empty.
   void begin_shutdown(double now);
   void finish_shutdown(double now);
+
+  // Fail-stop crash.  Allowed from any powered state (BOOTING, ON —
+  // draining or not — and SHUTTING_DOWN); returns the in-flight job and
+  // queue contents (in service order) so the cluster can fail them over.
+  [[nodiscard]] std::vector<Job> fail(double now);
+  // FAILED -> OFF; the server can be booted again afterwards.
+  void finish_repair(double now);
 
   // -- data plane -----------------------------------------------------------
   // Accepts a job (requires serving()).  Returns the completion ETA if this
@@ -90,8 +105,11 @@ class Server {
     return meter_.instantaneous_power();
   }
 
-  // Pending departure event bookkeeping (owned by the Cluster).
+  // Pending event bookkeeping (owned by the Cluster): the in-flight
+  // departure, and the boot/shutdown/boot-timeout completion, so a crash
+  // can cancel them.
   EventId pending_departure = kInvalidEventId;
+  EventId pending_transition = kInvalidEventId;
 
  private:
   // Banks work done since `progress_anchor_` at the current speed.

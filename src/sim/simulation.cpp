@@ -30,6 +30,26 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
   Cluster cluster(cluster_options, &queue);
   MetricsCollector metrics(options.t_ref_s);
 
+  // Fault injection: armed before the first event so background failure
+  // clocks start at t = 0.  Seed 0 derives from the dispatch seed, keeping
+  // replications (which re-seed the spec) on independent fault histories.
+  std::optional<FaultInjector> injector;
+  if (options.faults.enabled()) {
+    const std::uint64_t fault_seed =
+        options.faults.seed != 0
+            ? options.faults.seed
+            : cluster_options.dispatch_seed ^ 0xfa7a17f00dULL;
+    injector.emplace(options.faults, cluster.num_servers(), fault_seed);
+    cluster.set_fault_injector(&*injector);
+    injector->arm(queue);
+  }
+
+  // Admission control draws from its own stream; with shedding never
+  // triggered the run is event-for-event identical to admission disabled.
+  AdmissionController admission(
+      options.admission, options.t_ref_s,
+      Rng(cluster_options.dispatch_seed, /*stream=*/7));
+
   // Pending arrival: exactly one kArrival event is outstanding at a time.
   std::optional<JobArrival> pending = workload.next();
   std::uint64_t next_job_id = 1;
@@ -50,11 +70,19 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
   // Rate measurement between record points.
   std::uint64_t arrivals_in_record = 0;
   double last_record = 0.0;
+  // Jobs past admission control (routed or dropped); offered = admitted + shed.
+  std::uint64_t admitted_total = 0;
+  // Control ticks and how many of them reported infeasibility.
+  std::uint64_t ticks_total = 0;
+  std::uint64_t infeasible_ticks = 0;
+  std::uint64_t warmup_ticks = 0;
+  std::uint64_t warmup_infeasible = 0;
 
-  // Time-weighted serving count / speed / queue length.
+  // Time-weighted serving count / speed / queue length / availability.
   TimeWeightedAccumulator serving_avg(0.0);
   TimeWeightedAccumulator speed_avg(0.0);
   TimeWeightedAccumulator jobs_avg(0.0);
+  TimeWeightedAccumulator available_avg(0.0);
 
   // Warmup snapshots.
   EnergyBreakdown warmup_energy;
@@ -63,6 +91,13 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
   std::uint64_t warmup_dropped = 0;
   std::uint64_t warmup_boots = 0;
   std::uint64_t warmup_shutdowns = 0;
+  std::uint64_t warmup_shed = 0;
+  std::uint64_t warmup_failures = 0;
+  std::uint64_t warmup_repairs = 0;
+  std::uint64_t warmup_boot_timeouts = 0;
+  std::uint64_t warmup_redispatched = 0;
+  std::uint64_t warmup_lost = 0;
+  std::uint64_t warmup_admitted = 0;
   bool in_warmup = options.warmup_s > 0.0;
   MeanVarAccumulator response_post;  // post-warmup responses
   P2Quantile p95_post(0.95), p99_post(0.99);
@@ -82,10 +117,12 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
     last_record = t;
     point.serving = cluster.serving_count();
     point.powered = cluster.powered_count();
+    point.available = cluster.available_count();
     point.speed = cluster.current_speed();
     point.power_watts = cluster.instantaneous_power();
     point.jobs_in_system = static_cast<double>(cluster.jobs_in_system());
     point.window_mean_response_s = metrics.take_window_mean_response();
+    point.admit_probability = admission.admit_probability();
     result.timeline.push_back(point);
   };
 
@@ -103,18 +140,25 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
     serving_avg.advance(now, static_cast<double>(cluster.serving_count()));
     speed_avg.advance(now, cluster.current_speed());
     jobs_avg.advance(now, static_cast<double>(cluster.jobs_in_system()));
+    available_avg.advance(now, static_cast<double>(cluster.available_count()));
 
     switch (event->type) {
       case EventType::kArrival: {
         GC_CHECK(pending.has_value(), "arrival event without pending job");
-        Job job;
-        job.id = next_job_id++;
-        job.arrival_time = pending->time;
-        job.size = pending->size;
-        job.remaining = pending->size;
-        cluster.route_job(now, job);
+        // Rate measurements see the *offered* load (before shedding) so the
+        // controller keeps planning against true demand and scales back up
+        // when capacity returns.
         ++arrivals_in_window;
         ++arrivals_in_record;
+        if (admission.admit()) {
+          Job job;
+          job.id = next_job_id++;
+          job.arrival_time = pending->time;
+          job.size = pending->size;
+          job.remaining = pending->size;
+          cluster.route_job(now, job);
+          ++admitted_total;
+        }
         pending = workload.next();
         if (pending) {
           GC_CHECK(pending->time >= now, "workload produced non-monotone arrivals");
@@ -142,6 +186,18 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
       case EventType::kShutdownComplete:
         cluster.handle_shutdown_complete(now, event->subject);
         break;
+      case EventType::kServerFail:
+        GC_CHECK(injector.has_value(), "fail event without an injector");
+        (void)injector->on_fail_event(now, event->subject, cluster, queue);
+        break;
+      case EventType::kServerRepair:
+        GC_CHECK(injector.has_value(), "repair event without an injector");
+        injector->on_repair_event(now, event->subject, cluster, queue);
+        break;
+      case EventType::kBootTimeout:
+        GC_CHECK(injector.has_value(), "boot timeout without an injector");
+        injector->on_boot_timeout(now, event->subject, cluster, queue);
+        break;
       case EventType::kShortTick: {
         const double elapsed = now - last_short_tick;
         ControlContext ctx;
@@ -151,10 +207,16 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
         ctx.serving = cluster.serving_count();
         ctx.committed = cluster.committed_count();
         ctx.powered = cluster.powered_count();
+        ctx.available = cluster.available_count();
         ctx.jobs_in_system = cluster.jobs_in_system();
         arrivals_in_window = 0;
         last_short_tick = now;
-        apply_action(cluster, now, controller.on_short_tick(ctx));
+        const ControlAction action = controller.on_short_tick(ctx);
+        apply_action(cluster, now, action);
+        ++ticks_total;
+        if (action.infeasible) ++infeasible_ticks;
+        admission.update(ctx.measured_rate, cluster.serving_count(),
+                         cluster.current_speed());
         // Keep ticking while there is anything left to happen.
         if (!workload_done || cluster.jobs_in_system() > 0) {
           queue.schedule(now + t_short, EventType::kShortTick);
@@ -170,8 +232,14 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
         ctx.serving = cluster.serving_count();
         ctx.committed = cluster.committed_count();
         ctx.powered = cluster.powered_count();
+        ctx.available = cluster.available_count();
         ctx.jobs_in_system = cluster.jobs_in_system();
-        apply_action(cluster, now, controller.on_long_tick(ctx));
+        const ControlAction action = controller.on_long_tick(ctx);
+        apply_action(cluster, now, action);
+        ++ticks_total;
+        if (action.infeasible) ++infeasible_ticks;
+        admission.update(ctx.measured_rate, cluster.serving_count(),
+                         cluster.current_speed());
         if (!workload_done || cluster.jobs_in_system() > 0) {
           queue.schedule(now + t_long, EventType::kLongTick);
         }
@@ -189,6 +257,7 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
         serving_avg = TimeWeightedAccumulator(now);
         speed_avg = TimeWeightedAccumulator(now);
         jobs_avg = TimeWeightedAccumulator(now);
+        available_avg = TimeWeightedAccumulator(now);
         cluster.flush_energy(now);
         warmup_energy = cluster.energy();
         measure_start = now;
@@ -196,6 +265,15 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
         warmup_dropped = cluster.jobs_dropped();
         warmup_boots = cluster.boots_started();
         warmup_shutdowns = cluster.shutdowns_started();
+        warmup_shed = admission.shed();
+        warmup_failures = cluster.failures();
+        warmup_repairs = cluster.repairs();
+        warmup_boot_timeouts = cluster.boot_timeouts();
+        warmup_redispatched = cluster.jobs_redispatched();
+        warmup_lost = cluster.jobs_lost();
+        warmup_admitted = admitted_total;
+        warmup_ticks = ticks_total;
+        warmup_infeasible = infeasible_ticks;
         break;
       }
     }
@@ -210,6 +288,15 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
     warmup_dropped = cluster.jobs_dropped();
     warmup_boots = cluster.boots_started();
     warmup_shutdowns = cluster.shutdowns_started();
+    warmup_shed = admission.shed();
+    warmup_failures = cluster.failures();
+    warmup_repairs = cluster.repairs();
+    warmup_boot_timeouts = cluster.boot_timeouts();
+    warmup_redispatched = cluster.jobs_redispatched();
+    warmup_lost = cluster.jobs_lost();
+    warmup_admitted = admitted_total;
+    warmup_ticks = ticks_total;
+    warmup_infeasible = infeasible_ticks;
     measure_start = now;
   }
   const EnergyBreakdown total = cluster.energy();
@@ -223,6 +310,23 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
   result.dropped_jobs = cluster.jobs_dropped() - warmup_dropped;
   result.boots = cluster.boots_started() - warmup_boots;
   result.shutdowns = cluster.shutdowns_started() - warmup_shutdowns;
+  result.shed_jobs = admission.shed() - warmup_shed;
+  result.failures = cluster.failures() - warmup_failures;
+  result.repairs = cluster.repairs() - warmup_repairs;
+  result.boot_timeouts = cluster.boot_timeouts() - warmup_boot_timeouts;
+  result.jobs_redispatched = cluster.jobs_redispatched() - warmup_redispatched;
+  result.jobs_lost = cluster.jobs_lost() - warmup_lost;
+  const std::uint64_t offered =
+      (admitted_total - warmup_admitted) + result.shed_jobs;
+  result.shed_ratio =
+      offered > 0 ? static_cast<double>(result.shed_jobs) / static_cast<double>(offered)
+                  : 0.0;
+  result.infeasible_ticks = infeasible_ticks - warmup_infeasible;
+  const std::uint64_t measured_ticks = ticks_total - warmup_ticks;
+  result.infeasible_ratio =
+      measured_ticks > 0 ? static_cast<double>(result.infeasible_ticks) /
+                               static_cast<double>(measured_ticks)
+                         : 0.0;
 
   if (options.warmup_s > 0.0) {
     result.mean_response_s = response_post.mean();
@@ -250,6 +354,11 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
   result.mean_serving = serving_avg.time_average();
   result.mean_speed = speed_avg.time_average();
   result.mean_jobs_in_system = jobs_avg.time_average();
+  result.mean_available = available_avg.time_average();
+  result.unavailability =
+      available_avg.elapsed() > 0.0
+          ? 1.0 - result.mean_available / static_cast<double>(cluster.num_servers())
+          : 0.0;
   return result;
 }
 

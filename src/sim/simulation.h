@@ -21,8 +21,10 @@
 #include <memory>
 #include <optional>
 
+#include "sim/admission.h"
 #include "sim/cluster.h"
 #include "sim/event_queue.h"
+#include "sim/fault_injector.h"
 #include "sim/metrics.h"
 #include "workload/workload.h"
 
@@ -36,6 +38,9 @@ struct ControlContext {
   unsigned serving = 0;
   unsigned committed = 0;  // serving + booting
   unsigned powered = 0;
+  // Ground-truth servers not FAILED; failure-aware controllers run their
+  // own (delayed) detector over this signal.
+  unsigned available = 0;
   std::size_t jobs_in_system = 0;
 };
 
@@ -43,6 +48,10 @@ struct ControlContext {
 struct ControlAction {
   std::optional<unsigned> active_target;
   std::optional<double> speed;
+  // The policy determined the guarantee is unachievable at the current
+  // capacity (solver infeasibility); recorded in SimResult and used to
+  // drive admission control.
+  bool infeasible = false;
 };
 
 // Implemented by the policies in control/policies.h.  Kept here so the
@@ -64,6 +73,10 @@ struct SimulationOptions {
   double record_interval_s = 0.0;
   // Safety stop even if jobs are still in flight (0 = run to drain).
   double hard_stop_s = 0.0;
+  // Fault injection; inert unless faults.enabled().
+  FaultOptions faults;
+  // Graceful degradation via probabilistic shedding; inert unless enabled.
+  AdmissionOptions admission;
 };
 
 // Runs one simulation.  The workload is consumed (reset it to reuse).

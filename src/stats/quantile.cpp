@@ -73,7 +73,13 @@ double P2Quantile::value() const noexcept {
   if (count_ == 0) return 0.0;
   if (count_ < 5) {
     std::array<double, 5> sorted = heights_;
+    // GCC 12 under -fsanitize instrumentation emits a bogus -Warray-bounds
+    // from std::sort's insertion-sort specialization here (count_ < 5 bounds
+    // the range inside the array).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Warray-bounds"
     std::sort(sorted.begin(), sorted.begin() + static_cast<long>(count_));
+#pragma GCC diagnostic pop
     const double h = p_ * static_cast<double>(count_ - 1);
     const auto lo = static_cast<std::size_t>(h);
     const std::size_t hi = std::min<std::size_t>(lo + 1, count_ - 1);

@@ -6,11 +6,21 @@
 
 #include "util/assert.h"
 #include "util/csv.h"
+#include "util/format.h"
 #include "workload/arrival_process.h"
 
 namespace gc {
 
 Trace::Trace(std::vector<double> timestamps) : ts_(std::move(timestamps)) {
+  // NaN must be rejected explicitly: every ordering comparison against it
+  // is false, so a NaN-laced trace would sail through the sortedness check
+  // and detonate later inside the event queue.
+  for (std::size_t i = 0; i < ts_.size(); ++i) {
+    if (!std::isfinite(ts_[i])) {
+      throw std::invalid_argument(
+          gc::format("Trace: timestamp #{} is not finite", i));
+    }
+  }
   for (std::size_t i = 1; i < ts_.size(); ++i) {
     if (ts_[i] < ts_[i - 1]) throw std::invalid_argument("Trace: timestamps must be sorted");
   }
@@ -70,7 +80,19 @@ Trace Trace::load_csv(const std::filesystem::path& path) {
   if (col < 0) throw std::runtime_error("trace csv: missing 'arrival_s' column");
   std::vector<double> ts;
   ts.reserve(table.rows.size());
-  for (const auto& row : table.rows) ts.push_back(row[static_cast<std::size_t>(col)]);
+  for (std::size_t r = 0; r < table.rows.size(); ++r) {
+    const double t = table.rows[r][static_cast<std::size_t>(col)];
+    // Validate before sorting: std::sort on NaN-contaminated data violates
+    // strict weak ordering (undefined behavior), and a negative arrival
+    // would otherwise only surface deep inside the simulator.
+    if (!std::isfinite(t) || t < 0.0) {
+      throw std::runtime_error(
+          gc::format("trace csv {} row {}: arrival_s must be finite and >= 0 "
+                     "(got {})",
+                     path.string(), r + 1, t));
+    }
+    ts.push_back(t);
+  }
   std::sort(ts.begin(), ts.end());
   return Trace(std::move(ts));
 }

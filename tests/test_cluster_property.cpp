@@ -35,16 +35,17 @@ TEST_P(ClusterPropertyTest, RandomWalkKeepsInvariants) {
 
   auto check_invariants = [&] {
     // State partition.
-    unsigned on = 0, booting = 0, shutting = 0, off = 0;
+    unsigned on = 0, booting = 0, shutting = 0, off = 0, failed = 0;
     for (std::uint32_t i = 0; i < cluster.num_servers(); ++i) {
       switch (cluster.server(i).state()) {
         case PowerState::kOn: ++on; break;
         case PowerState::kBooting: ++booting; break;
         case PowerState::kShuttingDown: ++shutting; break;
         case PowerState::kOff: ++off; break;
+        case PowerState::kFailed: ++failed; break;
       }
     }
-    ASSERT_EQ(on + booting + shutting + off, cluster.num_servers());
+    ASSERT_EQ(on + booting + shutting + off + failed, cluster.num_servers());
     ASSERT_EQ(cluster.powered_count(), on + booting + shutting);
     ASSERT_LE(cluster.serving_count(), on);
     // Job conservation.

@@ -94,6 +94,50 @@ TEST(ConfigIo, RejectsInvalidConfigs) {
                std::invalid_argument);
 }
 
+TEST(ConfigIo, RejectsNegativeCounts) {
+  // A negative count must error out, not wrap around to a huge unsigned.
+  EXPECT_THROW((void)cluster_config_from_ini(IniFile::parse("[cluster]\nmax_servers = -3\n")),
+               std::runtime_error);
+  EXPECT_THROW((void)cluster_config_from_ini(IniFile::parse("[cluster]\nmin_servers = -1\n")),
+               std::runtime_error);
+  EXPECT_THROW((void)dcp_params_from_ini(IniFile::parse("[dcp]\nscale_down_patience = -2\n")),
+               std::runtime_error);
+  EXPECT_THROW((void)hetero_config_from_ini(IniFile::parse(
+                   "[class a]\ncount = -4\nmu_max = 10\nt_ref_ms = 500\n")),
+               std::runtime_error);
+  try {
+    (void)cluster_config_from_ini(IniFile::parse("[cluster]\nmax_servers = -3\n"));
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& e) {
+    // The message names the offending section, key and value.
+    EXPECT_NE(std::string(e.what()).find("max_servers"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("-3"), std::string::npos);
+  }
+}
+
+TEST(ConfigIo, RejectsNonFiniteValues) {
+  EXPECT_THROW((void)cluster_config_from_ini(IniFile::parse("[cluster]\nmu_max = inf\n")),
+               std::runtime_error);
+  EXPECT_THROW((void)cluster_config_from_ini(IniFile::parse("[cluster]\nmu_max = -5\n")),
+               std::runtime_error);
+  EXPECT_THROW((void)cluster_config_from_ini(IniFile::parse("[power]\nalpha = nan\n")),
+               std::runtime_error);
+  EXPECT_THROW((void)cluster_config_from_ini(IniFile::parse("[ladder]\nlevels_ghz = 1.0 nan\n")),
+               std::runtime_error);
+  EXPECT_THROW((void)cluster_config_from_ini(IniFile::parse("[ladder]\nlevels_ghz = 1.0 -2.0\n")),
+               std::runtime_error);
+  EXPECT_THROW((void)cluster_config_from_ini(
+                   IniFile::parse("[ladder]\ncontinuous_min_speed = inf\n")),
+               std::runtime_error);
+  EXPECT_THROW((void)cluster_config_from_ini(
+                   IniFile::parse("[transition]\nboot_delay_s = nan\n")),
+               std::runtime_error);
+  EXPECT_THROW((void)dcp_params_from_ini(IniFile::parse("[dcp]\nlong_period_s = inf\n")),
+               std::runtime_error);
+  EXPECT_THROW((void)dcp_params_from_ini(IniFile::parse("[dcp]\nsafety_margin = nan\n")),
+               std::runtime_error);
+}
+
 TEST(ConfigIo, RoundTripPreservesEverything) {
   ClusterConfig config;
   config.max_servers = 24;

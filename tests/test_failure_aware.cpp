@@ -1,0 +1,201 @@
+// Unit tests for the failure-aware control pieces: the heartbeat failure
+// detector, the boot-retry gate and the FailureAwareDcpController's
+// capped/spared provisioning.
+#include "control/failure_aware.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "control/policies.h"
+
+namespace gc {
+namespace {
+
+ClusterConfig small_config() {
+  ClusterConfig config;
+  config.max_servers = 16;
+  config.mu_max = 10.0;
+  config.t_ref_s = 0.5;
+  return config;
+}
+
+ControlContext context(double now, double rate, unsigned serving,
+                       unsigned available) {
+  ControlContext ctx;
+  ctx.now = now;
+  ctx.measured_rate = rate;
+  ctx.serving = serving;
+  ctx.committed = serving;
+  ctx.powered = serving;
+  ctx.available = available;
+  return ctx;
+}
+
+TEST(FailureAwareOptions, ValidateRejectsBadParameters) {
+  FailureAwareOptions ok;
+  EXPECT_NO_THROW(ok.validate());
+
+  FailureAwareOptions bad = ok;
+  bad.heartbeat_interval_s = 0.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = ok;
+  bad.heartbeat_misses = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = ok;
+  bad.spare_capacity_fraction = 1.5;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = ok;
+  bad.boot_retry_budget = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = ok;
+  bad.boot_retry_backoff_s = -1.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(FailureAwareOptions, DetectionDelayIsIntervalTimesMisses) {
+  FailureAwareOptions options;
+  options.heartbeat_interval_s = 5.0;
+  options.heartbeat_misses = 3;
+  EXPECT_DOUBLE_EQ(options.detection_delay_s(), 15.0);
+}
+
+TEST(FailureDetector, FailuresSurfaceOnlyAfterTheWindow) {
+  FailureDetector detector(10.0, 8);
+  EXPECT_EQ(detector.detected(), 8u);
+  // A crash at t=1 stays hidden while the pre-crash sample is in-window.
+  EXPECT_EQ(detector.observe(1.0, 6), 8u);
+  EXPECT_EQ(detector.observe(5.0, 6), 8u);
+  // Once every >=8 sample aged past the 10 s window, the loss is seen.
+  EXPECT_EQ(detector.observe(11.5, 6), 6u);
+}
+
+TEST(FailureDetector, RepairsAreSeenInstantly) {
+  FailureDetector detector(10.0, 8);
+  (void)detector.observe(1.0, 6);
+  (void)detector.observe(11.5, 6);
+  ASSERT_EQ(detector.detected(), 6u);
+  // The repaired server announces itself: no detection lag upward.
+  EXPECT_EQ(detector.observe(12.0, 8), 8u);
+}
+
+TEST(BootRetryGate, AssertsImmediatelyThenBacksOff) {
+  BootRetryGate gate(2, 10.0);
+  EXPECT_EQ(gate.propose(0.0, 4, 6), 6u);  // new deficit: assert now
+  EXPECT_EQ(gate.attempts(), 1u);
+  EXPECT_EQ(gate.propose(5.0, 4, 6), 4u);   // before the retry deadline
+  EXPECT_EQ(gate.propose(10.0, 4, 6), 6u);  // first retry at t = backoff
+  EXPECT_EQ(gate.attempts(), 2u);
+  EXPECT_EQ(gate.propose(15.0, 4, 6), 4u);
+  EXPECT_EQ(gate.propose(30.0, 4, 6), 4u);  // budget of 2 spent: degrade
+  EXPECT_TRUE(gate.exhausted());
+}
+
+TEST(BootRetryGate, ReachingTheTargetResetsTheEpisode) {
+  BootRetryGate gate(2, 10.0);
+  (void)gate.propose(0.0, 4, 6);
+  (void)gate.propose(10.0, 4, 6);
+  (void)gate.propose(30.0, 4, 6);
+  ASSERT_TRUE(gate.exhausted());
+  EXPECT_EQ(gate.propose(40.0, 6, 6), 6u);  // deficit closed
+  EXPECT_FALSE(gate.exhausted());
+  EXPECT_EQ(gate.attempts(), 0u);
+  EXPECT_EQ(gate.propose(50.0, 4, 6), 6u);  // a fresh episode asserts again
+}
+
+TEST(BootRetryGate, LoweredTargetAlsoResets) {
+  BootRetryGate gate(4, 10.0);
+  (void)gate.propose(0.0, 4, 6);
+  EXPECT_EQ(gate.propose(1.0, 4, 3), 3u);  // plan shrank below committed
+  EXPECT_EQ(gate.attempts(), 0u);
+}
+
+TEST(BootRetryGate, BackoffDoublesPerRetry) {
+  BootRetryGate gate(4, 10.0);
+  EXPECT_EQ(gate.propose(0.0, 2, 5), 5u);   // attempt 1, next at 10
+  EXPECT_EQ(gate.propose(10.0, 2, 5), 5u);  // attempt 2, next at 10+20
+  EXPECT_EQ(gate.propose(29.0, 2, 5), 2u);
+  EXPECT_EQ(gate.propose(30.0, 2, 5), 5u);  // attempt 3, next at 30+40
+  EXPECT_EQ(gate.propose(69.0, 2, 5), 2u);
+  EXPECT_EQ(gate.propose(70.0, 2, 5), 5u);  // attempt 4 (budget)
+  EXPECT_EQ(gate.propose(150.0, 2, 5), 2u);
+  EXPECT_TRUE(gate.exhausted());
+}
+
+TEST(FailureAwareController, FactoryBuildsIt) {
+  const Provisioner provisioner(small_config());
+  PolicyOptions options;
+  const auto controller =
+      make_policy(PolicyKind::kDcpFailureAware, &provisioner, options);
+  ASSERT_NE(controller, nullptr);
+  EXPECT_STREQ(controller->name(), "dcp-failure-aware");
+  EXPECT_STREQ(to_string(PolicyKind::kDcpFailureAware), "dcp-failure-aware");
+  EXPECT_GT(controller->short_period_s(), 0.0);
+  EXPECT_GE(controller->long_period_s(), controller->short_period_s());
+}
+
+TEST(FailureAwareController, CapsTargetAtDetectedFleet) {
+  const Provisioner provisioner(small_config());
+  DcpParams dcp;
+  dcp.scale_down_patience = 1;
+  FailureAwareOptions options;  // detection delay 10 s
+  FailureAwareDcpController controller(&provisioner, dcp,
+                                       PredictorKind::kLastValue, options);
+  // 10 of 16 servers are gone and the observation is past the detection
+  // window: the plan must fit inside the surviving 6 even though the load
+  // wants far more.
+  const ControlAction action =
+      controller.on_long_tick(context(100.0, 120.0, 6, 6));
+  ASSERT_TRUE(action.active_target.has_value());
+  EXPECT_EQ(*action.active_target, 6u);
+  EXPECT_TRUE(action.infeasible);
+}
+
+TEST(FailureAwareController, AddsSpareCapacityOnTopOfThePlan) {
+  const Provisioner provisioner(small_config());
+  DcpParams dcp;
+  dcp.scale_down_patience = 1;
+  FailureAwareOptions none;
+  none.spare_capacity_fraction = 0.0;
+  FailureAwareOptions spared;
+  spared.spare_capacity_fraction = 0.25;
+  FailureAwareDcpController plain(&provisioner, dcp, PredictorKind::kLastValue,
+                                  none);
+  FailureAwareDcpController with_spares(&provisioner, dcp,
+                                        PredictorKind::kLastValue, spared);
+  // committed = 1 so both proposals are pure growth (no hysteresis hold).
+  const ControlAction base = plain.on_long_tick(context(100.0, 46.0, 1, 16));
+  const ControlAction padded =
+      with_spares.on_long_tick(context(100.0, 46.0, 1, 16));
+  ASSERT_TRUE(base.active_target.has_value());
+  ASSERT_TRUE(padded.active_target.has_value());
+  // The spared controller plans its base at the *relieved* margin
+  // (margin / (1 + fraction), clamped at 1), then adds ceil(fraction * m).
+  const double relieved = std::max(1.0, dcp.safety_margin / 1.25);
+  const unsigned spared_base = provisioner.solve(46.0 * relieved).servers;
+  const unsigned expected = std::min(
+      spared_base +
+          static_cast<unsigned>(std::ceil(0.25 * static_cast<double>(spared_base))),
+      16u);
+  EXPECT_EQ(*padded.active_target, expected);
+  EXPECT_GT(*padded.active_target, *base.active_target);
+}
+
+TEST(FailureAwareController, ShortTickFlagsInfeasibleLoad) {
+  const Provisioner provisioner(small_config());
+  DcpParams dcp;
+  FailureAwareOptions options;
+  FailureAwareDcpController controller(&provisioner, dcp,
+                                       PredictorKind::kLastValue, options);
+  const ControlAction calm = controller.on_short_tick(context(1.0, 10.0, 16, 16));
+  ASSERT_TRUE(calm.speed.has_value());
+  EXPECT_FALSE(calm.infeasible);
+  const ControlAction slammed =
+      controller.on_short_tick(context(2.0, 1000.0, 16, 16));
+  ASSERT_TRUE(slammed.speed.has_value());
+  EXPECT_TRUE(slammed.infeasible);
+}
+
+}  // namespace
+}  // namespace gc

@@ -33,7 +33,8 @@ class PoliciesTest : public ::testing::Test {
 TEST_F(PoliciesTest, FactoryBuildsEveryKind) {
   for (const auto kind :
        {PolicyKind::kNpm, PolicyKind::kDvfsOnly, PolicyKind::kVovfOnly,
-        PolicyKind::kCombinedDcp, PolicyKind::kCombinedSinglePeriod}) {
+        PolicyKind::kCombinedDcp, PolicyKind::kCombinedSinglePeriod,
+        PolicyKind::kDcpFailureAware}) {
     const auto controller = make_policy(kind, &provisioner_, options_);
     ASSERT_NE(controller, nullptr);
     EXPECT_STREQ(controller->name(), to_string(kind));
@@ -186,6 +187,34 @@ TEST_F(PoliciesTest, AutoPatienceFromBreakEvenSlowsScaleDown) {
   // One low period is not enough despite patience=1 in the params.
   const ControlAction first = combined.on_long_tick(context(5.0, 16));
   EXPECT_EQ(*first.active_target, 16u);
+}
+
+TEST_F(PoliciesTest, InfeasibleLoadIsFlagged) {
+  // 16 servers serve at most 16 * (mu - 1/t_ref) = 128/s; 2000/s cannot be
+  // planned for, and every solver-driven policy must say so.
+  const ControlContext overload = context(2000.0, 16);
+  CombinedDcpController combined(&provisioner_, options_);
+  EXPECT_TRUE(combined.on_short_tick(overload).infeasible);
+  EXPECT_TRUE(combined.on_long_tick(overload).infeasible);
+  DvfsOnlyController dvfs(&provisioner_, options_);
+  EXPECT_TRUE(dvfs.on_short_tick(overload).infeasible);
+  VovfOnlyController vovf(&provisioner_, options_);
+  (void)vovf.on_short_tick(overload);
+  EXPECT_TRUE(vovf.on_long_tick(overload).infeasible);
+  CombinedSinglePeriodController single(&provisioner_, options_);
+  EXPECT_TRUE(single.on_long_tick(overload).infeasible);
+  // NPM does not solve anything and never reports infeasibility.
+  NpmController npm(&provisioner_, options_);
+  EXPECT_FALSE(npm.on_long_tick(overload).infeasible);
+}
+
+TEST_F(PoliciesTest, FeasibleLoadIsNotFlagged) {
+  const ControlContext calm = context(10.0, 16);
+  CombinedDcpController combined(&provisioner_, options_);
+  EXPECT_FALSE(combined.on_short_tick(calm).infeasible);
+  EXPECT_FALSE(combined.on_long_tick(calm).infeasible);
+  DvfsOnlyController dvfs(&provisioner_, options_);
+  EXPECT_FALSE(dvfs.on_short_tick(calm).infeasible);
 }
 
 TEST_F(PoliciesTest, PolicyKindNames) {

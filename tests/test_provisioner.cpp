@@ -278,6 +278,53 @@ TEST(Provisioner, ZeroLoadUsesMinServersAtLowSpeed) {
   EXPECT_NEAR(pt.speed, 0.25, 1e-12);
 }
 
+TEST(Provisioner, SolveCappedMatchesSolveWhenTheCapIsLoose) {
+  const Provisioner solver(small_config());
+  for (double lambda : {0.0, 5.0, 20.0, 60.0, 100.0}) {
+    const OperatingPoint uncapped = solver.solve(lambda);
+    const OperatingPoint capped = solver.solve_capped(lambda, 16);
+    EXPECT_EQ(capped.servers, uncapped.servers) << lambda;
+    EXPECT_DOUBLE_EQ(capped.speed, uncapped.speed) << lambda;
+    EXPECT_EQ(capped.feasible, uncapped.feasible) << lambda;
+    // A cap beyond the fleet clamps to max_servers.
+    const OperatingPoint over = solver.solve_capped(lambda, 100);
+    EXPECT_EQ(over.servers, uncapped.servers) << lambda;
+  }
+}
+
+TEST(Provisioner, SolveCappedBindsAtTheCap) {
+  const Provisioner solver(small_config());
+  // 60/s needs at least ceil(60 / (mu - 1/t_ref)) = 8 servers.
+  const OperatingPoint at_min = solver.solve_capped(60.0, 8);
+  EXPECT_TRUE(at_min.feasible);
+  EXPECT_EQ(at_min.servers, 8u);
+  for (unsigned cap = 8; cap <= 16; ++cap) {
+    const OperatingPoint pt = solver.solve_capped(60.0, cap);
+    EXPECT_TRUE(pt.feasible) << cap;
+    EXPECT_LE(pt.servers, cap) << cap;
+  }
+}
+
+TEST(Provisioner, SolveCappedInfeasibleBelowMinServers) {
+  const Provisioner solver(small_config());
+  // 5 servers cannot carry 60/s within the SLA even at full speed.
+  const OperatingPoint pt = solver.solve_capped(60.0, 5);
+  EXPECT_FALSE(pt.feasible);
+  // Best effort: report the whole capped fleet at full tilt.
+  EXPECT_EQ(pt.servers, 5u);
+}
+
+TEST(Provisioner, SolveInfeasibleBeyondMaxRate) {
+  const Provisioner solver(small_config());
+  // The fleet tops out at 16 * (10 - 2) = 128/s.
+  EXPECT_TRUE(solver.solve(120.0).feasible);
+  const OperatingPoint pt = solver.solve(200.0);
+  EXPECT_FALSE(pt.feasible);
+  const OperatingPoint capped = solver.solve_capped(200.0, 16);
+  EXPECT_FALSE(capped.feasible);
+  EXPECT_EQ(capped.servers, 16u);
+}
+
 TEST(Provisioner, RejectsInvalidQueries) {
   const Provisioner solver(small_config());
   EXPECT_DEATH((void)solver.min_speed(1.0, 0), "out of range");

@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <stdexcept>
+#include <string>
 
 namespace gc {
 namespace {
@@ -12,6 +15,45 @@ namespace {
 TEST(Trace, RejectsUnsortedOrNegative) {
   EXPECT_THROW(Trace({2.0, 1.0}), std::invalid_argument);
   EXPECT_THROW(Trace({-0.5, 1.0}), std::invalid_argument);
+}
+
+TEST(Trace, RejectsNonFiniteTimestamps) {
+  // NaN slips past ordering comparisons, so it needs its own check.
+  EXPECT_THROW(Trace({0.0, std::nan(""), 2.0}), std::invalid_argument);
+  EXPECT_THROW(Trace({std::numeric_limits<double>::infinity()}),
+               std::invalid_argument);
+  try {
+    Trace({0.0, 1.0, std::nan("")});
+    FAIL() << "expected a throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("#2"), std::string::npos);
+  }
+}
+
+TEST(Trace, LoadCsvRejectsNaN) {
+  const auto path = std::filesystem::temp_directory_path() / "gc_trace_nan.csv";
+  {
+    std::ofstream out(path);
+    out << "arrival_s\n1.0\nnan\n3.0\n";
+  }
+  try {
+    (void)Trace::load_csv(path);
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("row 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("arrival_s"), std::string::npos);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Trace, LoadCsvRejectsNegativeArrivals) {
+  const auto path = std::filesystem::temp_directory_path() / "gc_trace_neg.csv";
+  {
+    std::ofstream out(path);
+    out << "arrival_s\n1.0\n-2.5\n";
+  }
+  EXPECT_THROW((void)Trace::load_csv(path), std::runtime_error);
+  std::filesystem::remove(path);
 }
 
 TEST(Trace, MeanRate) {
