@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 gate: configure, build and run the full test suite in the plain
 # Release configuration, then again under AddressSanitizer + UBSan
-# (GREENCLUSTER_SANITIZE).  Usage:
+# (GREENCLUSTER_SANITIZE).  The plain configuration also builds the bench
+# harnesses and runs bench/perf_smoke once, failing if it does not produce
+# a sane BENCH_core.json (the persisted perf trajectory; gitignored).
+# Usage:
 #
 #   ci/check.sh            # both configurations
 #   ci/check.sh plain      # plain only
@@ -24,15 +27,34 @@ run_config() {
   (cd "${dir}" && ctest --output-on-failure -j "${JOBS}")
 }
 
+# Runs perf_smoke from the given build dir and validates BENCH_core.json.
+# Wall-clock numbers are machine-dependent, so this only gates on the file
+# being present and structurally sane, not on absolute throughput.
+perf_smoke() {
+  local dir="$1"
+  echo "==> [${dir}] perf_smoke"
+  rm -f BENCH_core.json
+  "${dir}/bench/perf_smoke" BENCH_core.json
+  [ -s BENCH_core.json ] || { echo "perf_smoke: BENCH_core.json missing or empty" >&2; exit 1; }
+  jq -e '(.event_loop | length) == 3
+         and (.event_loop | all(.events_per_sec > 0))
+         and .solve_ns_per_call > 0
+         and (.solver_cache.hit_rate | . >= 0 and . <= 1)' \
+    BENCH_core.json >/dev/null \
+    || { echo "perf_smoke: BENCH_core.json malformed" >&2; exit 1; }
+}
+
 case "${MODE}" in
   plain)
-    run_config plain
+    run_config plain -DGC_BUILD_BENCH=ON
+    perf_smoke build-ci-plain
     ;;
   sanitize)
     run_config sanitize -DGREENCLUSTER_SANITIZE=ON
     ;;
   all)
-    run_config plain
+    run_config plain -DGC_BUILD_BENCH=ON
+    perf_smoke build-ci-plain
     run_config sanitize -DGREENCLUSTER_SANITIZE=ON
     ;;
   *)

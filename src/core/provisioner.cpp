@@ -9,10 +9,60 @@
 #include "util/assert.h"
 
 namespace gc {
+namespace {
+
+// Direct-mapped memo table: large enough that one DCP run's distinct
+// measured rates rarely collide, small enough (~512 KiB) to build per run.
+constexpr std::size_t kCacheSlots = 8192;
+
+}  // namespace
 
 Provisioner::Provisioner(ClusterConfig config)
     : config_(std::move(config)), power_model_(config_.power) {
   config_.validate();
+  cache_quantum_ =
+      std::max(config_.max_feasible_arrival_rate(), 1.0) / 65536.0;
+  cache_.resize(kCacheSlots);
+}
+
+void Provisioner::set_config(ClusterConfig config) {
+  config_ = std::move(config);
+  config_.validate();
+  power_model_ = PowerModel(config_.power);
+  cache_quantum_ =
+      std::max(config_.max_feasible_arrival_rate(), 1.0) / 65536.0;
+  invalidate_cache();
+}
+
+void Provisioner::invalidate_cache() noexcept {
+  for (CacheEntry& entry : cache_) entry.op = CacheOp::kEmpty;
+}
+
+std::size_t Provisioner::cache_slot(double lambda, unsigned m, CacheOp op) const {
+  // λ enters the slot hash *quantized*: nearby rates that round to the
+  // same bucket compete for one slot, exact equality is still required to
+  // hit (checked by the caller), so quantization never changes a result.
+  const auto bucket =
+      static_cast<std::uint64_t>(std::llround(lambda / cache_quantum_));
+  std::uint64_t h = bucket * 0x9e3779b97f4a7c15ULL;
+  h ^= (static_cast<std::uint64_t>(m) << 8) | static_cast<std::uint64_t>(op);
+  h *= 0xc2b2ae3d27d4eb4fULL;
+  h ^= h >> 29;
+  return static_cast<std::size_t>(h % kCacheSlots);
+}
+
+template <typename Fn>
+OperatingPoint Provisioner::cached(double lambda, unsigned m, CacheOp op,
+                                   Fn&& compute) const {
+  CacheEntry& entry = cache_[cache_slot(lambda, m, op)];
+  if (entry.op == op && entry.m == m && entry.lambda == lambda) {
+    ++cache_stats_.hits;
+    return entry.point;
+  }
+  ++cache_stats_.misses;
+  const OperatingPoint point = compute();
+  entry = CacheEntry{lambda, m, op, point};
+  return point;
 }
 
 double Provisioner::response_time(double lambda, unsigned m, double s) const {
@@ -96,6 +146,13 @@ OperatingPoint Provisioner::evaluate(double lambda, unsigned m, double s) const 
 }
 
 OperatingPoint Provisioner::best_speed_for(double lambda, unsigned m) const {
+  GC_CHECK(m >= 1 && m <= config_.max_servers, "best_speed_for: m out of range");
+  GC_CHECK(lambda >= 0.0 && std::isfinite(lambda), "best_speed_for: bad lambda");
+  return cached(lambda, m, CacheOp::kBestSpeedFor,
+                [&] { return best_speed_for_uncached(lambda, m); });
+}
+
+OperatingPoint Provisioner::best_speed_for_uncached(double lambda, unsigned m) const {
   const auto s_cont = min_speed(lambda, m);
   if (!s_cont) {
     OperatingPoint pt = evaluate(lambda, m, 1.0);
@@ -130,6 +187,10 @@ OperatingPoint Provisioner::scan_range(double lambda, unsigned lo, unsigned hi) 
 
 OperatingPoint Provisioner::solve(double lambda) const {
   GC_CHECK(lambda >= 0.0 && std::isfinite(lambda), "solve: bad lambda");
+  return cached(lambda, 0, CacheOp::kSolve, [&] { return solve_uncached(lambda); });
+}
+
+OperatingPoint Provisioner::solve_uncached(double lambda) const {
   const auto m_min = min_feasible_servers(lambda);
   if (!m_min) return best_effort(lambda);
   return scan_range(lambda, *m_min, config_.max_servers);
@@ -138,7 +199,13 @@ OperatingPoint Provisioner::solve(double lambda) const {
 OperatingPoint Provisioner::solve_capped(double lambda, unsigned m_cap) const {
   GC_CHECK(lambda >= 0.0 && std::isfinite(lambda), "solve_capped: bad lambda");
   GC_CHECK(m_cap >= 1, "solve_capped: need at least one server in the cap");
+  // Clamp before the lookup so caps beyond the fleet share one entry.
   m_cap = std::min(m_cap, config_.max_servers);
+  return cached(lambda, m_cap, CacheOp::kSolveCapped,
+                [&] { return solve_capped_uncached(lambda, m_cap); });
+}
+
+OperatingPoint Provisioner::solve_capped_uncached(double lambda, unsigned m_cap) const {
   const auto m_min = min_feasible_servers(lambda);
   if (!m_min || *m_min > m_cap) {
     OperatingPoint pt = evaluate(lambda, m_cap, 1.0);

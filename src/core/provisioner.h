@@ -20,14 +20,38 @@
 // Discrete frequency ladders are handled by rounding s_min up to the next
 // level before costing (round-up preserves feasibility; power
 // monotonicity in s makes it optimal among ladder points for that m).
+//
+// Memoization: solve() / solve_capped() / best_speed_for() consult a
+// direct-mapped cache keyed on (λ, m, operation).  λ is quantized only to
+// choose the slot; a hit additionally requires the stored λ to compare
+// *exactly* equal, so cached answers are bit-identical to recomputation
+// (zero approximation error — see DESIGN.md §"Performance engineering").
+// Controllers re-solve the same measured rates constantly (integer arrival
+// counts over fixed tick periods), which is what makes the cache pay.
+//
+// Thread-safety: the cache mutates under const solver calls, so a
+// Provisioner must not be shared across threads without external
+// synchronization (the experiment runner builds one per run).
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "core/cluster_config.h"
 #include "core/operating_point.h"
 
 namespace gc {
+
+struct SolverCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
 
 struct ContinuousSolution {
   double servers = 0.0;  // relaxed m*
@@ -42,6 +66,19 @@ class Provisioner {
   explicit Provisioner(ClusterConfig config);
 
   [[nodiscard]] const ClusterConfig& config() const noexcept { return config_; }
+
+  // Replaces the configuration (validated) and invalidates the memo cache:
+  // cached operating points are only meaningful against the config that
+  // produced them.
+  void set_config(ClusterConfig config);
+
+  // Drops every memoized operating point (hit/miss stats survive).
+  void invalidate_cache() noexcept;
+
+  [[nodiscard]] const SolverCacheStats& cache_stats() const noexcept {
+    return cache_stats_;
+  }
+  void reset_cache_stats() noexcept { cache_stats_ = {}; }
 
   // Minimal continuous speed for m active servers to meet t_ref under the
   // configured performance model; nullopt if infeasible even at s = 1.
@@ -87,8 +124,30 @@ class Provisioner {
   [[nodiscard]] OperatingPoint best_effort(double lambda) const;
   [[nodiscard]] OperatingPoint scan_range(double lambda, unsigned lo, unsigned hi) const;
 
+  // Uncached solver bodies (the public entry points wrap them in `cached`).
+  [[nodiscard]] OperatingPoint solve_uncached(double lambda) const;
+  [[nodiscard]] OperatingPoint solve_capped_uncached(double lambda, unsigned m_cap) const;
+  [[nodiscard]] OperatingPoint best_speed_for_uncached(double lambda, unsigned m) const;
+
+  // -- memo cache -----------------------------------------------------------
+  // Operation tag disambiguating entries that share (λ, m).
+  enum class CacheOp : std::uint8_t { kEmpty = 0, kSolve, kSolveCapped, kBestSpeedFor };
+  struct CacheEntry {
+    double lambda = 0.0;
+    std::uint32_t m = 0;
+    CacheOp op = CacheOp::kEmpty;
+    OperatingPoint point;
+  };
+  [[nodiscard]] std::size_t cache_slot(double lambda, unsigned m, CacheOp op) const;
+  template <typename Fn>
+  [[nodiscard]] OperatingPoint cached(double lambda, unsigned m, CacheOp op,
+                                      Fn&& compute) const;
+
   ClusterConfig config_;
   PowerModel power_model_;
+  double cache_quantum_ = 1.0;  // λ quantum for slot hashing only
+  mutable std::vector<CacheEntry> cache_;
+  mutable SolverCacheStats cache_stats_;
 };
 
 }  // namespace gc

@@ -34,7 +34,13 @@ SimResult run_one(const Scenario& scenario, const RunSpec& spec) {
   Workload workload = spec.job_size
                           ? scenario.make_workload_sized(*spec.job_size, spec.seed)
                           : scenario.make_workload(spec.config, spec.seed);
-  return run_simulation(workload, cluster, *controller, spec.effective_sim_options());
+  SimResult result =
+      run_simulation(workload, cluster, *controller, spec.effective_sim_options());
+  const SolverCacheStats& cache = provisioner.cache_stats();
+  result.solver_cache_hits = cache.hits;
+  result.solver_cache_misses = cache.misses;
+  result.solver_cache_hit_rate = cache.hit_rate();
+  return result;
 }
 
 std::vector<SimResult> run_all(const std::vector<Cell>& cells) {

@@ -59,6 +59,7 @@ Cluster::Cluster(const ClusterOptions& options, EventQueue* queue)
   group_speeds_.reserve(groups.size());
   server_group_.reserve(total);
   servers_.reserve(total);
+  group_booting_.assign(groups.size(), 0);
   std::uint32_t index = 0;
   std::uint32_t group_id = 0;
   for (const ServerGroupSpec& g : groups) {
@@ -73,6 +74,29 @@ Cluster::Cluster(const ClusterOptions& options, EventQueue* queue)
     }
     ++group_id;
   }
+
+  // Seed the incremental accounting from the initial states (ON or OFF).
+  serving_index_.reserve(total);
+  for (const Server& s : servers_) {
+    if (s.serving()) serving_index_.push_back(s.index());
+    if (s.state() != PowerState::kOff) ++powered_total_;
+  }
+}
+
+void Cluster::serving_insert(std::uint32_t index) {
+  const auto it =
+      std::lower_bound(serving_index_.begin(), serving_index_.end(), index);
+  GC_DCHECK(it == serving_index_.end() || *it != index,
+            "serving_insert: index already present");
+  serving_index_.insert(it, index);
+}
+
+void Cluster::serving_erase(std::uint32_t index) {
+  const auto it =
+      std::lower_bound(serving_index_.begin(), serving_index_.end(), index);
+  GC_CHECK(it != serving_index_.end() && *it == index,
+           "serving_erase: index not in serving set");
+  serving_index_.erase(it);
 }
 
 std::pair<std::uint32_t, std::uint32_t> Cluster::group_range(std::size_t group) const {
@@ -94,9 +118,11 @@ std::uint32_t Cluster::group_of(std::uint32_t server) const {
 
 unsigned Cluster::group_serving_count(std::size_t group) const {
   const auto [begin, end] = group_range(group);
-  unsigned n = 0;
-  for (std::uint32_t i = begin; i < end; ++i) n += servers_[i].serving() ? 1 : 0;
-  return n;
+  // The serving index is sorted and group ranges are contiguous, so the
+  // group's serving set is one subrange of it.
+  const auto lo = std::lower_bound(serving_index_.begin(), serving_index_.end(), begin);
+  const auto hi = std::lower_bound(lo, serving_index_.end(), end);
+  return static_cast<unsigned>(hi - lo);
 }
 
 void Cluster::set_group_speed(double now, std::size_t group, double speed) {
@@ -112,65 +138,27 @@ void Cluster::set_group_speed(double now, std::size_t group, double speed) {
 bool Cluster::route_job_to_group(double now, std::size_t group, const Job& job) {
   const auto [begin, end] = group_range(group);
   // Random pick among the group's serving servers (matches the per-class
-  // random-split M/M/1 model the hetero solver assumes).
-  std::uint32_t serving_count = 0;
-  for (std::uint32_t i = begin; i < end; ++i) {
-    serving_count += servers_[i].serving() ? 1 : 0;
-  }
+  // random-split M/M/1 model the hetero solver assumes).  The group's
+  // serving set is a contiguous subrange of the sorted serving index, so
+  // the k-th serving server is an O(log S) lookup instead of a range scan.
+  const auto lo = std::lower_bound(serving_index_.begin(), serving_index_.end(), begin);
+  const auto hi = std::lower_bound(lo, serving_index_.end(), end);
+  const auto serving_count = static_cast<std::uint64_t>(hi - lo);
   if (serving_count == 0) {
     ++jobs_dropped_;
     return false;
   }
-  std::uint64_t pick = group_rng_.uniform_below(serving_count);
-  for (std::uint32_t i = begin; i < end; ++i) {
-    if (!servers_[i].serving()) continue;
-    if (pick == 0) {
-      const auto eta = servers_[i].enqueue(now, job);
-      if (eta) reschedule_departure(now, servers_[i], *eta);
-      ++jobs_in_system_;
-      return true;
-    }
-    --pick;
-  }
-  GC_CHECK(false, "route_job_to_group: pick out of range");
-  return false;
+  const std::uint64_t pick = group_rng_.uniform_below(serving_count);
+  Server& chosen = servers_[*(lo + static_cast<std::ptrdiff_t>(pick))];
+  const auto eta = chosen.enqueue(now, job);
+  if (eta) reschedule_departure(now, chosen, *eta);
+  ++jobs_in_system_;
+  return true;
 }
 
 const Server& Cluster::server(std::uint32_t index) const {
   GC_CHECK(index < servers_.size(), "Cluster: server index out of range");
   return servers_[index];
-}
-
-unsigned Cluster::serving_count() const noexcept {
-  unsigned n = 0;
-  for (const Server& s : servers_) n += s.serving() ? 1 : 0;
-  return n;
-}
-
-unsigned Cluster::committed_count() const noexcept {
-  unsigned n = 0;
-  for (const Server& s : servers_) {
-    n += (s.serving() || s.state() == PowerState::kBooting) ? 1 : 0;
-  }
-  return n;
-}
-
-unsigned Cluster::powered_count() const noexcept {
-  unsigned n = 0;
-  for (const Server& s : servers_) n += s.state() != PowerState::kOff ? 1 : 0;
-  return n;
-}
-
-unsigned Cluster::available_count() const noexcept {
-  unsigned n = 0;
-  for (const Server& s : servers_) n += s.failed() ? 0 : 1;
-  return n;
-}
-
-unsigned Cluster::failed_count() const noexcept {
-  unsigned n = 0;
-  for (const Server& s : servers_) n += s.failed() ? 1 : 0;
-  return n;
 }
 
 void Cluster::reschedule_departure(double now, Server& server, double eta) {
@@ -183,28 +171,24 @@ void Cluster::reschedule_departure(double now, Server& server, double eta) {
 
 void Cluster::set_group_active_target(double now, std::size_t group, unsigned target) {
   const auto [begin, end] = group_range(group);
-  reconcile_range(now, begin, end, std::min(target, group_sizes_[group]));
+  const unsigned committed = group_serving_count(group) + group_booting_[group];
+  reconcile_range(now, begin, end, committed, std::min(target, group_sizes_[group]));
 }
 
 void Cluster::set_active_target(double now, unsigned target) {
   target = std::clamp(target, 1u, num_servers());
-  reconcile_range(now, 0, static_cast<std::uint32_t>(servers_.size()), target);
+  reconcile_range(now, 0, static_cast<std::uint32_t>(servers_.size()),
+                  committed_count(), target);
 }
 
 void Cluster::reconcile_range(double now, std::uint32_t begin, std::uint32_t end,
-                              unsigned target) {
-  unsigned committed = 0;
-  for (std::uint32_t i = begin; i < end; ++i) {
-    const Server& s = servers_[i];
-    committed += (s.serving() || s.state() == PowerState::kBooting) ? 1 : 0;
-  }
-
+                              unsigned committed, unsigned target) {
   if (target > committed) {
     // 1) Revive draining servers — they are still hot.
     for (std::uint32_t i = begin; i < end && committed < target; ++i) {
       Server& s = servers_[i];
       if (s.state() == PowerState::kOn && s.draining()) {
-        s.set_draining(now, false);
+        apply_transition(s, [&] { s.set_draining(now, false); });
         ++committed;
       }
     }
@@ -212,7 +196,7 @@ void Cluster::reconcile_range(double now, std::uint32_t begin, std::uint32_t end
     for (std::uint32_t i = begin; i < end && committed < target; ++i) {
       Server& s = servers_[i];
       if (s.state() == PowerState::kOff) {
-        s.start_boot(now);
+        apply_transition(s, [&] { s.start_boot(now); });
         // With fault injection, this individual boot may hang: instead of a
         // completion it gets a watchdog timeout that fails the server.
         const std::optional<double> hang =
@@ -239,16 +223,20 @@ void Cluster::reconcile_range(double now, std::uint32_t begin, std::uint32_t end
     // Drain serving servers with the least outstanding work first, but
     // never below one serving server cluster-wide (a reduction to zero in
     // one *group* of a hetero cluster is allowed when target == 0 there,
-    // as long as another group still serves).
+    // as long as another group still serves).  Candidates come off the
+    // serving index: same ascending order a full range scan would visit,
+    // without touching non-serving servers.
     while (excess > 0) {
       // Never drain the last serving server: booting capacity cannot take
       // traffic yet, and a cluster with zero serving servers drops jobs.
       if (serving_count() <= 1) break;
+      const auto lo =
+          std::lower_bound(serving_index_.begin(), serving_index_.end(), begin);
+      const auto hi = std::lower_bound(lo, serving_index_.end(), end);
       Server* victim = nullptr;
       double least_work = std::numeric_limits<double>::infinity();
-      for (std::uint32_t i = begin; i < end; ++i) {
-        Server& s = servers_[i];
-        if (!s.serving()) continue;
+      for (auto it = lo; it != hi; ++it) {
+        Server& s = servers_[*it];
         const double work = s.outstanding_work(now);
         if (work < least_work) {
           least_work = work;
@@ -256,7 +244,7 @@ void Cluster::reconcile_range(double now, std::uint32_t begin, std::uint32_t end
         }
       }
       if (victim == nullptr) break;  // only booting servers left; let them land
-      victim->set_draining(now, true);
+      apply_transition(*victim, [&] { victim->set_draining(now, true); });
       maybe_begin_shutdown(now, *victim);
       --excess;
     }
@@ -266,7 +254,7 @@ void Cluster::reconcile_range(double now, std::uint32_t begin, std::uint32_t end
 void Cluster::maybe_begin_shutdown(double now, Server& server) {
   if (server.state() == PowerState::kOn && server.draining() && !server.busy() &&
       server.queue_length() == 0) {
-    server.begin_shutdown(now);
+    apply_transition(server, [&] { server.begin_shutdown(now); });
     server.pending_transition = queue_->schedule(
         now + transition_.shutdown_delay_s, EventType::kShutdownComplete,
         server.index());
@@ -285,7 +273,7 @@ void Cluster::set_all_speeds(double now, double speed) {
 }
 
 bool Cluster::route_job(double now, const Job& job) {
-  const long target = dispatcher_.pick(now, servers_);
+  const long target = dispatcher_.pick(now, servers_, serving_index_);
   if (target < 0) {
     ++jobs_dropped_;
     return false;
@@ -316,7 +304,7 @@ void Cluster::handle_boot_complete(double now, std::uint32_t server) {
   GC_CHECK(server < servers_.size(), "boot completion for unknown server");
   Server& s = servers_[server];
   s.pending_transition = kInvalidEventId;
-  s.finish_boot(now);
+  apply_transition(s, [&] { s.finish_boot(now); });
   // Booted servers adopt their group's current speed.
   const auto eta = s.set_speed(now, group_speeds_[server_group_[server]]);
   GC_CHECK(!eta.has_value(), "freshly booted server cannot have work");
@@ -324,8 +312,9 @@ void Cluster::handle_boot_complete(double now, std::uint32_t server) {
 
 void Cluster::handle_shutdown_complete(double now, std::uint32_t server) {
   GC_CHECK(server < servers_.size(), "shutdown completion for unknown server");
-  servers_[server].pending_transition = kInvalidEventId;
-  servers_[server].finish_shutdown(now);
+  Server& s = servers_[server];
+  s.pending_transition = kInvalidEventId;
+  apply_transition(s, [&] { s.finish_shutdown(now); });
 }
 
 bool Cluster::fail_server(double now, std::uint32_t server) {
@@ -342,7 +331,8 @@ bool Cluster::fail_server(double now, std::uint32_t server) {
     queue_->cancel(s.pending_transition);
     s.pending_transition = kInvalidEventId;
   }
-  std::vector<Job> orphans = s.fail(now);
+  std::vector<Job> orphans;
+  apply_transition(s, [&] { orphans = s.fail(now); });
   ++failures_;
   // Fail the orphans over to surviving serving servers; with none left the
   // jobs are lost (distinct from admission-time drops).
@@ -352,7 +342,7 @@ bool Cluster::fail_server(double now, std::uint32_t server) {
     // enqueue invariant (remaining > 0) holds and it finishes immediately
     // on the failover server.
     job.remaining = std::max(job.remaining, 1e-12);
-    const long target = dispatcher_.pick(now, servers_);
+    const long target = dispatcher_.pick(now, servers_, serving_index_);
     if (target < 0) {
       ++jobs_lost_;
       GC_CHECK(jobs_in_system_ > 0, "fail_server: losing an untracked job");
@@ -373,7 +363,8 @@ void Cluster::timeout_boot(double now, std::uint32_t server) {
   GC_CHECK(s.state() == PowerState::kBooting, "timeout_boot: server not BOOTING");
   // The timeout event that brought us here was the pending transition.
   s.pending_transition = kInvalidEventId;
-  const std::vector<Job> orphans = s.fail(now);
+  std::vector<Job> orphans;
+  apply_transition(s, [&] { orphans = s.fail(now); });
   GC_CHECK(orphans.empty(), "timeout_boot: booting server held jobs");
   ++failures_;
   ++boot_timeouts_;
@@ -381,7 +372,8 @@ void Cluster::timeout_boot(double now, std::uint32_t server) {
 
 void Cluster::repair_server(double now, std::uint32_t server) {
   GC_CHECK(server < servers_.size(), "repair_server: unknown server");
-  servers_[server].finish_repair(now);
+  Server& s = servers_[server];
+  apply_transition(s, [&] { s.finish_repair(now); });
   ++repairs_;
 }
 

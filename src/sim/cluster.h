@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -86,14 +87,28 @@ class Cluster {
   // serving server (the job is dropped).
   bool route_job_to_group(double now, std::size_t group, const Job& job);
 
-  [[nodiscard]] unsigned serving_count() const noexcept;
+  // Fleet counts are maintained incrementally on every lifecycle
+  // transition (serve/boot/fail/shutdown), so all of these are O(1) —
+  // they are read on every event by the simulation loop.
+  [[nodiscard]] unsigned serving_count() const noexcept {
+    return static_cast<unsigned>(serving_index_.size());
+  }
   // Serving + booting: the capacity already committed.
-  [[nodiscard]] unsigned committed_count() const noexcept;
-  // Anything not OFF.
-  [[nodiscard]] unsigned powered_count() const noexcept;
+  [[nodiscard]] unsigned committed_count() const noexcept {
+    return serving_count() + booting_total_;
+  }
+  // Anything not OFF (including FAILED: a crashed machine is not off).
+  [[nodiscard]] unsigned powered_count() const noexcept { return powered_total_; }
   // Anything not FAILED: the fleet a failure-aware controller can draw on.
-  [[nodiscard]] unsigned available_count() const noexcept;
-  [[nodiscard]] unsigned failed_count() const noexcept;
+  [[nodiscard]] unsigned available_count() const noexcept {
+    return num_servers() - failed_total_;
+  }
+  [[nodiscard]] unsigned failed_count() const noexcept { return failed_total_; }
+  // The serving-set index: indices of serving() servers, ascending.  The
+  // dispatcher picks from this instead of scanning all M servers.
+  [[nodiscard]] std::span<const std::uint32_t> serving_index() const noexcept {
+    return serving_index_;
+  }
   [[nodiscard]] unsigned num_servers() const noexcept {
     return static_cast<unsigned>(servers_.size());
   }
@@ -151,13 +166,60 @@ class Cluster {
  private:
   void reschedule_departure(double now, Server& server, double eta);
   void maybe_begin_shutdown(double now, Server& server);
-  // Reconciles active servers towards `target` within [begin, end).
+  // Reconciles active servers towards `target` within [begin, end);
+  // `committed` is the serving+booting count of that range.
   void reconcile_range(double now, std::uint32_t begin, std::uint32_t end,
-                       unsigned target);
+                       unsigned committed, unsigned target);
   [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> group_range(
       std::size_t group) const;
 
+  // -- incremental fleet accounting ----------------------------------------
+  // Every server lifecycle mutation goes through apply_transition so the
+  // serving-set index and the per-state counters stay exact.  The invariant
+  // (checked by tests/test_cluster_property.cpp): counters and index always
+  // equal what a full scan of servers_ would produce.
+  void serving_insert(std::uint32_t index);
+  void serving_erase(std::uint32_t index);
+  template <typename Fn>
+  void apply_transition(Server& server, Fn&& mutate) {
+    const PowerState before = server.state();
+    const bool was_serving = server.serving();
+    mutate();
+    const PowerState after = server.state();
+    const std::uint32_t group = server_group_[server.index()];
+    if (before != after) {
+      if ((before != PowerState::kOff) != (after != PowerState::kOff)) {
+        if (after != PowerState::kOff) ++powered_total_; else --powered_total_;
+      }
+      if ((before == PowerState::kBooting) != (after == PowerState::kBooting)) {
+        if (after == PowerState::kBooting) {
+          ++booting_total_;
+          ++group_booting_[group];
+        } else {
+          --booting_total_;
+          --group_booting_[group];
+        }
+      }
+      if ((before == PowerState::kFailed) != (after == PowerState::kFailed)) {
+        if (after == PowerState::kFailed) ++failed_total_; else --failed_total_;
+      }
+    }
+    const bool is_serving = server.serving();
+    if (was_serving != is_serving) {
+      if (is_serving) serving_insert(server.index());
+      else serving_erase(server.index());
+    }
+  }
+
   std::vector<Server> servers_;
+  // Serving-set index: serving() servers' indices, ascending.  Updated in
+  // apply_transition; O(serving) insert/erase on the rare lifecycle
+  // transitions buys O(1)/O(serving) dispatch on every arrival.
+  std::vector<std::uint32_t> serving_index_;
+  std::vector<unsigned> group_booting_;
+  unsigned booting_total_ = 0;
+  unsigned powered_total_ = 0;
+  unsigned failed_total_ = 0;
   EventQueue* queue_;  // non-owning
   std::vector<PowerModel> power_models_;  // one per group; stable addresses
   std::vector<unsigned> group_sizes_;

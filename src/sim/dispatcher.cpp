@@ -1,7 +1,6 @@
 #include "sim/dispatcher.h"
 
 #include <limits>
-#include <vector>
 
 #include "util/assert.h"
 
@@ -19,13 +18,8 @@ const char* to_string(DispatchPolicy policy) noexcept {
 
 Dispatcher::Dispatcher(DispatchPolicy policy, Rng rng) : policy_(policy), rng_(rng) {}
 
-long Dispatcher::pick(double now, std::span<const Server> servers) {
-  // Collect serving candidates once; all policies need them.
-  std::vector<std::uint32_t> serving;
-  serving.reserve(servers.size());
-  for (const Server& s : servers) {
-    if (s.serving()) serving.push_back(s.index());
-  }
+long Dispatcher::pick(double now, std::span<const Server> servers,
+                      std::span<const std::uint32_t> serving) {
   if (serving.empty()) return -1;
 
   switch (policy_) {
@@ -64,6 +58,17 @@ long Dispatcher::pick(double now, std::span<const Server> servers) {
   }
   GC_CHECK(false, "unreachable dispatch policy");
   return -1;
+}
+
+long Dispatcher::pick(double now, std::span<const Server> servers) {
+  // Reference scan: collect the serving candidates in ascending order —
+  // exactly the set (and order) the incremental index maintains.
+  scratch_.clear();
+  scratch_.reserve(servers.size());
+  for (const Server& s : servers) {
+    if (s.serving()) scratch_.push_back(s.index());
+  }
+  return pick(now, servers, scratch_);
 }
 
 }  // namespace gc

@@ -4,11 +4,30 @@
 // approximates closely at these utilizations); round-robin and random are
 // provided for the dispatch-sensitivity ablation, least-work as the
 // strongest practical policy.
+//
+// Two entry points share one policy core and therefore one decision
+// sequence:
+//
+//   * pick(now, servers, serving) — the hot path.  `serving` is the
+//     cluster's incrementally-maintained index of serving() servers in
+//     ascending order (sim/cluster.h), so round-robin and random pick in
+//     O(1) and JSQ/least-work scan only the serving subset instead of all
+//     M servers.
+//   * pick(now, servers) — the retained reference implementation: rebuilds
+//     the serving set by scanning every server, exactly as the
+//     pre-index dispatcher did.  Kept as the equivalence oracle
+//     (tests/test_dispatcher_equivalence.cpp) and for callers without an
+//     index.
+//
+// Both produce identical pick sequences for the same (policy, rng) state
+// because the index lists the same candidates in the same ascending order
+// the scan would collect.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "stats/rng.h"
 #include "sim/server.h"
@@ -27,8 +46,13 @@ class Dispatcher {
  public:
   Dispatcher(DispatchPolicy policy, Rng rng);
 
-  // Picks a target among `servers` restricted to serving() ones.
-  // Returns the server index, or -1 if no server is serving.
+  // Hot path: picks among `serving` (indices of serving() servers in
+  // ascending order).  Returns the server index, or -1 if empty.
+  [[nodiscard]] long pick(double now, std::span<const Server> servers,
+                          std::span<const std::uint32_t> serving);
+
+  // Reference scan: collects the serving set from `servers` and delegates
+  // to the same core.  O(M) per call.
   [[nodiscard]] long pick(double now, std::span<const Server> servers);
 
   [[nodiscard]] DispatchPolicy policy() const noexcept { return policy_; }
@@ -37,6 +61,7 @@ class Dispatcher {
   DispatchPolicy policy_;
   Rng rng_;
   std::uint32_t rr_cursor_ = 0;
+  std::vector<std::uint32_t> scratch_;  // reference-scan candidate buffer
 };
 
 }  // namespace gc

@@ -1,8 +1,20 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+#include <bit>
+
 #include "util/assert.h"
 
 namespace gc {
+namespace {
+
+constexpr std::uint64_t kIdSlotMask = 0xffffffffULL;
+
+[[nodiscard]] EventId pack_id(std::uint32_t slot, std::uint32_t gen) noexcept {
+  return (static_cast<EventId>(gen) << 32) | (static_cast<EventId>(slot) + 1);
+}
+
+}  // namespace
 
 const char* to_string(EventType type) noexcept {
   switch (type) {
@@ -21,29 +33,109 @@ const char* to_string(EventType type) noexcept {
   return "?";
 }
 
+void EventQueue::sift_up(std::size_t index) {
+  const Entry entry = heap_[index];
+  while (index > 0) {
+    const std::size_t parent = (index - 1) / 4;
+    if (!before(entry, heap_[parent])) break;
+    place(index, heap_[parent]);
+    index = parent;
+  }
+  place(index, entry);
+}
+
+void EventQueue::sift_down(std::size_t index) {
+  const std::size_t n = heap_.size();
+  const Entry entry = heap_[index];
+  for (;;) {
+    const std::size_t first = 4 * index + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + 4, n);
+    for (std::size_t child = first + 1; child < last; ++child) {
+      if (before(heap_[child], heap_[best])) best = child;
+    }
+    if (!before(heap_[best], entry)) break;
+    place(index, heap_[best]);
+    index = best;
+  }
+  place(index, entry);
+}
+
+void EventQueue::erase_at(std::size_t index) {
+  const Entry tail = heap_.back();
+  heap_.pop_back();
+  if (index == heap_.size()) return;  // erased the last entry
+  place(index, tail);
+  // The tail can belong either above or below the hole; one of these is a
+  // no-op after its first comparison.
+  sift_down(index);
+  sift_up(index);
+}
+
+void EventQueue::retire_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.seq = kNoTenant;
+  ++s.gen;
+  free_slots_.push_back(slot);
+}
+
 EventId EventQueue::schedule(double time, EventType type, std::uint32_t subject) {
   GC_CHECK(time >= now_, "EventQueue: scheduling into the past");
-  ++next_seq_;
-  const EventId id = next_seq_;  // ids start at 1; 0 is kInvalidEventId
-  heap_.push(Entry{time, next_seq_, type, subject, id});
-  pending_.insert(id);
-  return id;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    GC_CHECK(slot <= kSlotMask, "EventQueue: too many concurrently pending events");
+    slots_.emplace_back();
+  }
+  const std::uint64_t seq = ++next_seq_;
+  GC_CHECK(seq <= (~0ULL >> kSlotBits), "EventQueue: sequence space exhausted");
+  Slot& s = slots_[slot];
+  s.seq = seq;
+  s.type = type;
+  s.subject = subject;
+  // `+ 0.0` canonicalizes -0.0, the one non-negative double whose bit
+  // pattern would misorder under the integer compare.
+  heap_.push_back(
+      Entry{std::bit_cast<std::uint64_t>(time + 0.0), (seq << kSlotBits) | slot});
+  s.pos = static_cast<std::uint32_t>(heap_.size() - 1);
+  sift_up(heap_.size() - 1);
+  return pack_id(slot, s.gen);
 }
 
 bool EventQueue::cancel(EventId id) {
-  // Cancelling an already-fired, already-cancelled or unknown id is a no-op.
-  return pending_.erase(id) != 0;
+  const std::uint64_t slot_plus_one = id & kIdSlotMask;
+  if (slot_plus_one == 0 || slot_plus_one > slots_.size()) return false;
+  const auto slot = static_cast<std::uint32_t>(slot_plus_one - 1);
+  // A fired, cancelled or recycled id carries a stale generation: no-op.
+  if (slots_[slot].gen != static_cast<std::uint32_t>(id >> 32)) return false;
+  const std::uint32_t pos = slots_[slot].pos;
+  GC_CHECK(pos < heap_.size() && (heap_[pos].key & kSlotMask) == slot,
+           "EventQueue: slot position index out of sync");
+  retire_slot(slot);
+  erase_at(pos);
+  return true;
 }
 
 std::optional<Event> EventQueue::pop() {
-  while (!heap_.empty()) {
-    const Entry top = heap_.top();
-    heap_.pop();
-    if (pending_.erase(top.id) == 0) continue;  // cancelled: skip tombstone
-    now_ = top.time;
-    return Event{top.time, top.type, top.subject, top.id};
+  if (heap_.empty()) return std::nullopt;
+  const Entry top = heap_.front();
+  const auto slot = static_cast<std::uint32_t>(top.key & kSlotMask);
+  const Slot& s = slots_[slot];
+  const double time = std::bit_cast<double>(top.time_bits);
+  const Event event{time, s.type, s.subject, pack_id(slot, s.gen)};
+  retire_slot(slot);
+  const Entry tail = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    place(0, tail);
+    sift_down(0);
   }
-  return std::nullopt;
+  now_ = time;
+  return event;
 }
 
 }  // namespace gc

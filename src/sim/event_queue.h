@@ -1,16 +1,37 @@
-// Discrete-event calendar with lazy cancellation.
+// Discrete-event calendar with O(1) generation-stamped cancellation.
 //
 // Events are ordered by (time, sequence number): ties break in schedule
-// order, which makes runs fully deterministic.  Cancellation is lazy — a
-// cancelled id is skipped at pop — because the dominant pattern (a server's
-// pending departure being invalidated by a speed change) cancels events
-// near the head of the heap.
+// order, which makes runs fully deterministic.
+//
+// Hot-path design (see DESIGN.md "Performance engineering"):
+//
+//   * EventIds are generation-stamped slot handles: the low 32 bits hold
+//     `slot + 1` (so 0 stays kInvalidEventId), the high 32 bits the slot's
+//     generation at schedule time.  Cancel validates the generation, then
+//     bumps it and returns the slot to a free list — O(1) lookup, no
+//     hashing.  A recycled slot hands out a fresh generation, so cancelling
+//     a stale id (fired, cancelled, or recycled) is always a detected
+//     no-op, never a false hit.  (A slot's generation would have to wrap
+//     all 2^32 values *and* land back on a live duplicate to confuse it.)
+//   * Heap entries are 16 bytes — the time bit-cast to an integer (valid
+//     for the non-negative times the schedule precondition guarantees, and
+//     branch-free to compare) and a packed (seq, slot) key — so sift
+//     compares touch half the cache lines a naive layout would;
+//     type/subject/generation live in a per-slot side array read only at
+//     pop and cancel.
+//   * Cancellation is indexed, not lazy: each slot records its entry's
+//     heap position (maintained by the sift loops), so cancel splices the
+//     entry out in O(log n).  The heap holds exactly the live events — no
+//     tombstones inflating its depth, and pop never has to shed stale
+//     entries.  This matters because cancellation is hot: every speed
+//     change cancels and reschedules the server's pending departure.
+//   * The heap is 4-ary: half the depth of a binary heap and four children
+//     per cache line of entries, which is where the per-event constant
+//     factor goes at cluster sizes in the hundreds.
 #pragma once
 
 #include <cstdint>
 #include <optional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 namespace gc {
@@ -45,37 +66,70 @@ class EventQueue {
  public:
   EventQueue() = default;
 
-  // `time` must be >= the time of the last popped event.
+  // `time` must be >= now() (the time of the last popped event); enforced
+  // with GC_CHECK — a violation aborts rather than corrupting causality.
   EventId schedule(double time, EventType type, std::uint32_t subject = 0);
 
-  // Cancels a pending event; cancelling an already-fired or unknown id is a
-  // no-op (returns false).
+  // Cancels a pending event; cancelling an already-fired, already-cancelled
+  // or recycled id is a no-op (returns false).
   bool cancel(EventId id);
 
   // Next live event, or nullopt when drained.
   [[nodiscard]] std::optional<Event> pop();
 
-  [[nodiscard]] bool empty() const noexcept { return pending_.empty(); }
-  [[nodiscard]] std::size_t size() const noexcept { return pending_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
   // Time of the last popped event (0 before any pop).
   [[nodiscard]] double now() const noexcept { return now_; }
   [[nodiscard]] std::uint64_t scheduled_total() const noexcept { return next_seq_; }
 
  private:
+  // Heap entry: 16 bytes.  `time_bits` is the event time bit-cast to an
+  // integer — valid because times are non-negative (enforced by the
+  // schedule precondition from now() = 0), where IEEE-754 doubles order
+  // identically to their bit patterns — so the heap predicate is pure
+  // integer arithmetic the compiler lowers branch-free.  `key` packs the
+  // schedule sequence number (high bits) over the slot index (low
+  // kSlotBits); comparing keys compares sequence numbers (unique), so the
+  // heap order is (time, seq) and the slot rides along for free.
   struct Entry {
-    double time;
-    std::uint64_t seq;
-    EventType type;
-    std::uint32_t subject;
-    EventId id;
-    [[nodiscard]] bool operator>(const Entry& other) const noexcept {
-      if (time != other.time) return time > other.time;
-      return seq > other.seq;
-    }
+    std::uint64_t time_bits;
+    std::uint64_t key;
   };
+  static constexpr unsigned kSlotBits = 22;  // up to ~4M concurrently pending
+  static constexpr std::uint64_t kSlotMask = (1ULL << kSlotBits) - 1;
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::unordered_set<EventId> pending_;  // scheduled, not yet fired/cancelled
+  // Per-slot metadata, read at cancel and pop.  `pos` is the heap index of
+  // the slot's entry, kept current by the sift loops so cancel can splice
+  // the entry out directly.
+  struct Slot {
+    std::uint64_t seq = 0;  // seq of the current tenant (kNoTenant if none)
+    std::uint32_t gen = 0;  // bumped on every fire/cancel
+    std::uint32_t pos = 0;  // heap index of the current tenant's entry
+    EventType type = EventType::kArrival;
+    std::uint32_t subject = 0;
+  };
+  static constexpr std::uint64_t kNoTenant = ~0ULL;
+
+  [[nodiscard]] static bool before(const Entry& a, const Entry& b) noexcept {
+    return a.time_bits < b.time_bits ||
+           (a.time_bits == b.time_bits && a.key < b.key);
+  }
+  void place(std::size_t index, const Entry& entry) noexcept {
+    heap_[index] = entry;
+    slots_[entry.key & kSlotMask].pos = static_cast<std::uint32_t>(index);
+  }
+  void sift_up(std::size_t index);
+  void sift_down(std::size_t index);
+  // Splices the entry at `index` out of the heap (fills the hole with the
+  // last entry and restores heap order around it).
+  void erase_at(std::size_t index);
+  // Marks the slot's current event dead and recycles the slot.
+  void retire_slot(std::uint32_t slot);
+
+  std::vector<Entry> heap_;  // 4-ary min-heap on (time, key), live events only
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_seq_ = 0;
   double now_ = 0.0;
 };

@@ -87,6 +87,12 @@ struct SimResult {
   // was unachievable (Provisioner infeasibility), and their fraction.
   std::uint64_t infeasible_ticks = 0;
   double infeasible_ratio = 0.0;
+  // Solver memo-cache counters (runner-filled; zero when the run was
+  // driven without a Provisioner).  Purely observational: cache hits are
+  // bit-identical to recomputation, so these never affect other outputs.
+  std::uint64_t solver_cache_hits = 0;
+  std::uint64_t solver_cache_misses = 0;
+  double solver_cache_hit_rate = 0.0;
   std::vector<TimelinePoint> timeline;
 
   // True when the mean-response-time guarantee held over the whole run.

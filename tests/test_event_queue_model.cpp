@@ -1,10 +1,15 @@
 // Model-based property test: the EventQueue against a reference
 // implementation (std::multimap ordered by (time, seq)) under a random
 // stream of schedule / cancel / pop operations.
+//
+// The real queue hands out generation-stamped slot ids, the reference a
+// plain monotone counter; a real<->reference id map translates between the
+// two so cancel hits/misses and pop order can still be compared exactly.
 #include <gtest/gtest.h>
 
 #include <map>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/event_queue.h"
@@ -54,7 +59,12 @@ TEST_P(EventQueueModelTest, RandomOperationStreamsAgree) {
   Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
   EventQueue real;
   ReferenceQueue reference;
-  std::vector<EventId> live_ids;
+  // Parallel vectors: issued_real[i] / issued_ref[i] are the ids the two
+  // queues returned for the i-th schedule call (fired or not — cancels are
+  // drawn from the full history to exercise stale-id behaviour).
+  std::vector<EventId> issued_real;
+  std::vector<EventId> issued_ref;
+  std::unordered_map<EventId, EventId> real_to_ref;
 
   for (int step = 0; step < 20000; ++step) {
     const double dice = rng.uniform01();
@@ -65,25 +75,30 @@ TEST_P(EventQueueModelTest, RandomOperationStreamsAgree) {
       const auto subject = static_cast<std::uint32_t>(rng.uniform_below(64));
       const EventId a = real.schedule(time, type, subject);
       const EventId b = reference.schedule(time, type, subject);
-      ASSERT_EQ(a, b);
-      live_ids.push_back(a);
-    } else if (dice < 0.65 && !live_ids.empty()) {
-      // Cancel a random (possibly already-fired) id.
-      const std::size_t pick = rng.uniform_below(live_ids.size());
-      const EventId id = live_ids[pick];
-      ASSERT_EQ(real.cancel(id), reference.cancel(id)) << "id " << id;
+      ASSERT_NE(a, kInvalidEventId);
+      // Generation stamping must make every issued id unique, even when a
+      // slot is recycled.
+      ASSERT_TRUE(real_to_ref.emplace(a, b).second) << "duplicate id " << a;
+      issued_real.push_back(a);
+      issued_ref.push_back(b);
+    } else if (dice < 0.65 && !issued_real.empty()) {
+      // Cancel a random (possibly already-fired or already-cancelled) id.
+      const std::size_t pick = rng.uniform_below(issued_real.size());
+      ASSERT_EQ(real.cancel(issued_real[pick]), reference.cancel(issued_ref[pick]))
+          << "schedule #" << pick;
     } else {
       const auto a = real.pop();
       const auto b = reference.pop();
       ASSERT_EQ(a.has_value(), b.has_value());
       if (a) {
         ASSERT_DOUBLE_EQ(a->time, b->time);
-        ASSERT_EQ(a->id, b->id);
+        ASSERT_EQ(real_to_ref.at(a->id), b->id);
         ASSERT_EQ(a->type, b->type);
         ASSERT_EQ(a->subject, b->subject);
       }
     }
     ASSERT_EQ(real.size(), reference.size()) << "step " << step;
+    ASSERT_DOUBLE_EQ(real.now(), reference.now()) << "step " << step;
   }
 
   // Drain both completely and compare the tails.
@@ -92,11 +107,62 @@ TEST_P(EventQueueModelTest, RandomOperationStreamsAgree) {
     const auto b = reference.pop();
     ASSERT_EQ(a.has_value(), b.has_value());
     if (!a) break;
-    ASSERT_EQ(a->id, b->id);
+    ASSERT_EQ(real_to_ref.at(a->id), b->id);
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueModelTest, ::testing::Range(0, 5));
+
+// -- generation-stamp specifics ---------------------------------------------
+
+TEST(EventQueueGenerationTest, CancelledSlotIsRecycledWithFreshGeneration) {
+  EventQueue q;
+  const EventId first = q.schedule(1.0, EventType::kArrival, 7);
+  ASSERT_TRUE(q.cancel(first));
+  // The freed slot is reused, so the new id shares the low slot bits but
+  // must differ in generation — and thus as a whole.
+  const EventId second = q.schedule(2.0, EventType::kDeparture, 8);
+  EXPECT_EQ(first & 0xffffffffULL, second & 0xffffffffULL);
+  EXPECT_NE(first, second);
+  // The stale id must not hit the recycled slot's new tenant.
+  EXPECT_FALSE(q.cancel(first));
+  EXPECT_EQ(q.size(), 1u);
+  const auto event = q.pop();
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->id, second);
+  EXPECT_EQ(event->type, EventType::kDeparture);
+}
+
+TEST(EventQueueGenerationTest, CancelAfterFireIsANoOp) {
+  EventQueue q;
+  const EventId id = q.schedule(1.0, EventType::kArrival, 0);
+  const auto event = q.pop();
+  ASSERT_TRUE(event.has_value());
+  ASSERT_EQ(event->id, id);
+  EXPECT_FALSE(q.cancel(id));
+  // ... including when the fired event's slot now hosts a live event.
+  const EventId next = q.schedule(2.0, EventType::kDeparture, 1);
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_TRUE(q.cancel(next));
+}
+
+TEST(EventQueueGenerationTest, ManyRecyclesNeverAliasLiveIds) {
+  EventQueue q;
+  EventId previous = kInvalidEventId;
+  for (int round = 0; round < 1000; ++round) {
+    const EventId id = q.schedule(static_cast<double>(round), EventType::kShortTick,
+                                  static_cast<std::uint32_t>(round));
+    ASSERT_NE(id, previous);
+    if (previous != kInvalidEventId) {
+      EXPECT_FALSE(q.cancel(previous)) << "round " << round;
+    }
+    ASSERT_TRUE(q.cancel(id));
+    previous = id;
+  }
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_FALSE(q.pop().has_value());
+}
 
 }  // namespace
 }  // namespace gc

@@ -325,6 +325,81 @@ TEST(Provisioner, SolveInfeasibleBeyondMaxRate) {
   EXPECT_EQ(capped.servers, 16u);
 }
 
+// -- memo cache -------------------------------------------------------------
+
+TEST(ProvisionerCache, RepeatQueriesHitAndMatchFirstAnswerExactly) {
+  const Provisioner solver(small_config());
+  Rng rng(321);
+  std::vector<double> lambdas;
+  for (int i = 0; i < 32; ++i) lambdas.push_back(rng.uniform01() * 120.0);
+
+  std::vector<OperatingPoint> first;
+  for (const double lambda : lambdas) first.push_back(solver.solve(lambda));
+  const std::uint64_t misses_after_first = solver.cache_stats().misses;
+
+  for (std::size_t i = 0; i < lambdas.size(); ++i) {
+    const OperatingPoint again = solver.solve(lambdas[i]);
+    // Bit-identical, not approximately equal: a hit replays the stored point.
+    EXPECT_EQ(again.servers, first[i].servers);
+    EXPECT_EQ(again.speed, first[i].speed);
+    EXPECT_EQ(again.power_watts, first[i].power_watts);
+    EXPECT_EQ(again.response_time_s, first[i].response_time_s);
+    EXPECT_EQ(again.feasible, first[i].feasible);
+  }
+  EXPECT_EQ(solver.cache_stats().misses, misses_after_first);
+  EXPECT_GE(solver.cache_stats().hits, lambdas.size());
+  EXPECT_GT(solver.cache_stats().hit_rate(), 0.45);
+}
+
+TEST(ProvisionerCache, OperationsAndCapsDoNotAliasEachOther) {
+  const Provisioner solver(small_config());
+  const double lambda = 40.0;
+  // λ = 40 needs m >= 5 (s_min(m) = (40/m + 2)/10 <= 1), so a cap of 3 is
+  // infeasible and pins capped.servers = 3 while solve() picks m >= 5.
+  const OperatingPoint full = solver.solve(lambda);
+  const OperatingPoint capped = solver.solve_capped(lambda, 3);
+  const OperatingPoint fixed = solver.best_speed_for(lambda, 3);
+  // Same λ, three different questions: the cache must keep them distinct.
+  EXPECT_NE(capped.servers, full.servers);
+  EXPECT_FALSE(capped.feasible);
+  EXPECT_EQ(fixed.servers, 3u);
+  EXPECT_EQ(solver.solve_capped(lambda, 3).servers, capped.servers);
+  EXPECT_EQ(solver.best_speed_for(lambda, 3).speed, fixed.speed);
+  // A cap at or beyond the fleet shares the clamped entry.
+  const OperatingPoint wide = solver.solve_capped(lambda, 16);
+  EXPECT_EQ(solver.solve_capped(lambda, 99).servers, wide.servers);
+}
+
+TEST(ProvisionerCache, SetConfigInvalidatesStaleEntries) {
+  Provisioner solver(small_config());
+  const OperatingPoint before = solver.solve(40.0);
+  ClusterConfig tighter = small_config();
+  tighter.t_ref_s = 0.2;  // tighter SLA: same λ needs more capacity
+  solver.set_config(tighter);
+  const OperatingPoint after = solver.solve(40.0);
+  const Provisioner fresh(tighter);
+  const OperatingPoint expected = fresh.solve(40.0);
+  EXPECT_EQ(after.servers, expected.servers);
+  EXPECT_EQ(after.speed, expected.speed);
+  EXPECT_EQ(after.power_watts, expected.power_watts);
+  // The stale answer must not have survived the config change.
+  EXPECT_TRUE(after.servers != before.servers || after.speed != before.speed);
+}
+
+TEST(ProvisionerCache, InvalidateKeepsStatsButDropsEntries) {
+  Provisioner solver(small_config());
+  (void)solver.solve(10.0);
+  (void)solver.solve(10.0);
+  EXPECT_EQ(solver.cache_stats().hits, 1u);
+  solver.invalidate_cache();
+  EXPECT_EQ(solver.cache_stats().hits, 1u);  // stats survive
+  (void)solver.solve(10.0);                  // but the entry is gone
+  EXPECT_EQ(solver.cache_stats().misses, 2u);
+  solver.reset_cache_stats();
+  EXPECT_EQ(solver.cache_stats().hits, 0u);
+  EXPECT_EQ(solver.cache_stats().misses, 0u);
+}
+
 TEST(Provisioner, RejectsInvalidQueries) {
   const Provisioner solver(small_config());
   EXPECT_DEATH((void)solver.min_speed(1.0, 0), "out of range");
