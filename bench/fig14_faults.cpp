@@ -22,6 +22,8 @@
 #include "exp/comparison.h"
 #include "exp/runner.h"
 #include "exp/scenario.h"
+#include "trace_out.h"
+#include "util/cli.h"
 #include "util/format.h"
 #include "util/table.h"
 
@@ -54,7 +56,10 @@ gc::RunSpec make_spec(const gc::ClusterConfig& config, const gc::DcpParams& dcp,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const gc::CliArgs args(argc, argv);
+  gcbench::TraceOut trace_out(args);
+
   const gc::ClusterConfig config = gc::bench_cluster_config();
   const gc::DcpParams dcp = gc::bench_dcp_params();
   const gc::Scenario scenario =
@@ -119,6 +124,7 @@ int main() {
       .column("unavail", {.precision = 2, .unit = "%"})
       .column("SLA");
 
+  gc::SimResult traced_result;
   for (const bool admit : {false, true}) {
     gc::RunSpec spec = make_spec(config, dcp, gc::PolicyKind::kDcpFailureAware,
                                  /*mtbf_s=*/0.0);
@@ -130,7 +136,11 @@ int main() {
     }
     // Without shedding the backlog never drains; bound the run.
     spec.sim.hard_stop_s = scenario.horizon_s * 1.25;
+    // The sinks watch the graceful-degradation run (admission on): the one
+    // with shedding instants and the failed-server lifecycle lanes.
+    if (admit) trace_out.attach(spec.sim);
     const gc::SimResult result = gc::run_one(scenario, spec);
+    if (admit) traced_result = result;
     demo.row()
         .cell(admit ? "on" : "off")
         .cell(result.mean_response_s * 1e3)
@@ -142,5 +152,6 @@ int main() {
         .cell(result.sla_met(config.t_ref_s) ? "yes" : "NO");
   }
   std::cout << demo;
+  trace_out.write(traced_result);
   return 0;
 }

@@ -8,20 +8,27 @@
 #include <iostream>
 
 #include "exp/runner.h"
+#include "trace_out.h"
+#include "util/cli.h"
 #include "util/format.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const gc::CliArgs args(argc, argv);
+  gcbench::TraceOut trace_out(args);
+
   gc::RunSpec spec;
   spec.config = gc::bench_cluster_config();
   spec.policy = gc::PolicyKind::kCombinedDcp;
   spec.policy_options.dcp = gc::bench_dcp_params();
   spec.sim.record_interval_s = 180.0;
   spec.seed = 505;
+  trace_out.attach(spec.sim);
 
   const gc::Scenario scenario =
       gc::make_scenario(gc::ScenarioKind::kDiurnal, spec.config, 0.7, 55, 7200.0);
   const gc::SimResult result = gc::run_one(scenario, spec);
+  trace_out.write(result);
 
   gc::TablePrinter table("Fig 5: combined-dcp timeline, diurnal day (7200 s compressed)");
   table.column("t", {.precision = 0, .unit = "s"})

@@ -1,0 +1,73 @@
+// Shared --trace-out plumbing for the figure benches.
+//
+// `--trace-out=PREFIX` attaches the observability sinks (obs/trace.h,
+// obs/audit.h) to one designated run of the bench and writes
+//   <PREFIX>.trace.json   Chrome trace_event JSON (chrome://tracing, Perfetto)
+//   <PREFIX>.audit.jsonl  one decision record per control period
+//   <PREFIX>.audit.csv    the same records as a spreadsheet-friendly table
+//   <PREFIX>.counters.json  the run's counter/gauge snapshot
+// Tracing stays strictly observational, so the printed tables are identical
+// with or without the flag.
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "obs/audit.h"
+#include "obs/trace.h"
+#include "sim/metrics.h"
+#include "sim/simulation.h"
+#include "util/cli.h"
+
+namespace gcbench {
+
+class TraceOut {
+ public:
+  explicit TraceOut(const gc::CliArgs& args) {
+    if (const auto prefix = args.get("trace-out")) {
+      if (prefix->empty()) {
+        throw std::invalid_argument("--trace-out needs a file prefix");
+      }
+      prefix_ = *prefix;
+    }
+  }
+
+  [[nodiscard]] bool enabled() const noexcept { return prefix_.has_value(); }
+
+  // Wires the sinks into one run's options.  Attach to exactly one run per
+  // bench invocation (the sinks are not shareable across parallel runs).
+  void attach(gc::SimulationOptions& sim) noexcept {
+    if (!prefix_) return;
+    sim.trace = &trace_;
+    sim.audit = &audit_;
+  }
+
+  void write(const gc::SimResult& result) const {
+    if (!prefix_) return;
+    trace_.write_chrome_json(*prefix_ + ".trace.json");
+    audit_.write_jsonl(*prefix_ + ".audit.jsonl");
+    audit_.write_csv(*prefix_ + ".audit.csv");
+    {
+      std::ofstream out(*prefix_ + ".counters.json");
+      out << result.counters.to_json() << '\n';
+      if (!out) {
+        throw std::runtime_error("trace-out: cannot write " + *prefix_ +
+                                 ".counters.json");
+      }
+    }
+    std::cerr << "trace-out: " << *prefix_ << ".{trace.json,audit.jsonl,audit.csv,"
+              << "counters.json} (" << trace_.size() << " trace records, "
+              << trace_.dropped() << " dropped; " << audit_.size()
+              << " audit records)\n";
+  }
+
+ private:
+  std::optional<std::string> prefix_;
+  gc::TraceCollector trace_;
+  gc::DecisionAuditLog audit_;
+};
+
+}  // namespace gcbench

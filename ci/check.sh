@@ -4,27 +4,38 @@
 # (GREENCLUSTER_SANITIZE).  The plain configuration also builds the bench
 # harnesses and runs bench/perf_smoke once, failing if it does not produce
 # a sane BENCH_core.json (the persisted perf trajectory; gitignored).
+# The lint mode runs the cheap static checks (clang-format via
+# ci/format.sh --check plus a tracing-compiled-out configure) without
+# running the suite.
 # Usage:
 #
-#   ci/check.sh            # both configurations
+#   ci/check.sh            # both build configurations
 #   ci/check.sh plain      # plain only
 #   ci/check.sh sanitize   # sanitizer only
+#   ci/check.sh lint       # format check + GC_TRACING=OFF configure/build
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 MODE="${1:-all}"
 
+# perf_smoke validation needs jq; fail fast with a clear message instead of
+# a confusing pipeline error halfway through the run.
+require_jq() {
+  command -v jq >/dev/null 2>&1 \
+    || { echo "ci/check.sh: jq is required (apt-get install jq)" >&2; exit 1; }
+}
+
 run_config() {
   local name="$1"
   shift
   local dir="build-ci-${name}"
   echo "==> [${name}] configure"
-  cmake -B "${dir}" -S . "$@" >/dev/null
+  cmake -B "${dir}" -S . -DGC_WERROR=ON "$@" >/dev/null
   echo "==> [${name}] build"
   cmake --build "${dir}" -j "${JOBS}"
   echo "==> [${name}] ctest"
-  (cd "${dir}" && ctest --output-on-failure -j "${JOBS}")
+  (cd "${dir}" && ctest --output-on-failure --timeout 120 -j "${JOBS}")
 }
 
 # Runs perf_smoke from the given build dir and validates BENCH_core.json.
@@ -44,21 +55,55 @@ perf_smoke() {
     || { echo "perf_smoke: BENCH_core.json malformed" >&2; exit 1; }
 }
 
+# Smoke-checks the --trace-out pipeline end to end: the fig8 replay must
+# produce a loadable Chrome trace and a non-empty audit log.
+trace_out_smoke() {
+  local dir="$1"
+  echo "==> [${dir}] trace-out smoke"
+  local prefix="${dir}/fig8"
+  "${dir}/bench/fig8_trace_replay" --trace-out="${prefix}" >/dev/null
+  jq -e '(.traceEvents | length) > 0' "${prefix}.trace.json" >/dev/null \
+    || { echo "trace-out: ${prefix}.trace.json malformed" >&2; exit 1; }
+  jq -es 'length > 0' "${prefix}.audit.jsonl" >/dev/null \
+    || { echo "trace-out: ${prefix}.audit.jsonl malformed" >&2; exit 1; }
+}
+
+lint() {
+  echo "==> [lint] clang-format"
+  ci/format.sh --check
+  # The zero-overhead claim only holds if the tracing-compiled-out build
+  # actually compiles; a call site using a helper outside trace.h would
+  # break exactly here.
+  echo "==> [lint] configure/build with GC_TRACING=OFF"
+  cmake -B build-ci-lint -S . -DGC_WERROR=ON -DGC_TRACING=OFF \
+        -DGC_BUILD_BENCH=OFF -DGC_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build build-ci-lint -j "${JOBS}"
+  (cd build-ci-lint && ctest --output-on-failure --timeout 120 -j "${JOBS}" \
+       -R "Obs|MetricRegistry|CountersSnapshot|TraceCollector|TraceHelpers|DecisionAuditLog")
+}
+
 case "${MODE}" in
   plain)
+    require_jq
     run_config plain -DGC_BUILD_BENCH=ON
     perf_smoke build-ci-plain
+    trace_out_smoke build-ci-plain
     ;;
   sanitize)
     run_config sanitize -DGREENCLUSTER_SANITIZE=ON
     ;;
+  lint)
+    lint
+    ;;
   all)
+    require_jq
     run_config plain -DGC_BUILD_BENCH=ON
     perf_smoke build-ci-plain
+    trace_out_smoke build-ci-plain
     run_config sanitize -DGREENCLUSTER_SANITIZE=ON
     ;;
   *)
-    echo "usage: $0 [plain|sanitize|all]" >&2
+    echo "usage: $0 [plain|sanitize|lint|all]" >&2
     exit 2
     ;;
 esac

@@ -118,7 +118,7 @@ double FailureAwareDcpController::long_period_s() const {
 
 ControlAction FailureAwareDcpController::on_short_tick(const ControlContext& ctx) {
   predictor_->observe(ctx.measured_rate);
-  (void)detector_.observe(ctx.now, ctx.available);
+  const unsigned detected = detector_.observe(ctx.now, ctx.available);
   const double padded = ctx.measured_rate * planner_.params().safety_margin;
   unsigned serving = std::max(ctx.serving, 1u);
   // Fit the frequency for the planned base fleet, not the spared one:
@@ -136,6 +136,10 @@ ControlAction FailureAwareDcpController::on_short_tick(const ControlContext& ctx
   ControlAction action;
   action.speed = pt.speed;
   action.infeasible = !pt.feasible;
+  action.explain.planning_rate = padded;
+  action.explain.safety_margin = planner_.params().safety_margin;
+  action.explain.planned_servers = serving;
+  action.explain.detected_available = detected;
   return action;
 }
 
@@ -168,6 +172,11 @@ ControlAction FailureAwareDcpController::on_long_tick(const ControlContext& ctx)
   ControlAction action;
   action.active_target = target;
   action.infeasible = !pt.feasible;
+  action.explain.predicted_rate = predicted;
+  action.explain.planning_rate = padded;
+  action.explain.safety_margin = relieved_margin;
+  action.explain.planned_servers = pt.servers;
+  action.explain.detected_available = detected;
   return action;
 }
 

@@ -84,6 +84,7 @@ ControlAction NpmController::on_long_tick(const ControlContext& /*ctx*/) {
   ControlAction action;
   action.active_target = provisioner_->config().max_servers;
   action.speed = 1.0;
+  action.explain.planned_servers = provisioner_->config().max_servers;
   return action;
 }
 
@@ -100,12 +101,17 @@ double DvfsOnlyController::long_period_s() const { return dcp_.long_period_s; }
 
 ControlAction DvfsOnlyController::on_short_tick(const ControlContext& ctx) {
   smoother_.observe(ctx.measured_rate);
-  const double padded = smoother_.predict(0.0) * dcp_.safety_margin;
+  const double predicted = smoother_.predict(0.0);
+  const double padded = predicted * dcp_.safety_margin;
   ControlAction action;
   const OperatingPoint pt =
       provisioner_->best_speed_for(padded, provisioner_->config().max_servers);
   action.speed = pt.speed;
   action.infeasible = !pt.feasible;
+  action.explain.predicted_rate = predicted;
+  action.explain.planning_rate = padded;
+  action.explain.safety_margin = dcp_.safety_margin;
+  action.explain.planned_servers = provisioner_->config().max_servers;
   return action;
 }
 
@@ -144,6 +150,10 @@ ControlAction VovfOnlyController::on_long_tick(const ControlContext& ctx) {
   action.active_target = hysteresis_.propose(ctx.committed, pt.servers);
   action.speed = 1.0;
   action.infeasible = !pt.feasible;
+  action.explain.predicted_rate = predicted;
+  action.explain.planning_rate = predicted * planner_.params().safety_margin;
+  action.explain.safety_margin = planner_.params().safety_margin;
+  action.explain.planned_servers = pt.servers;
   return action;
 }
 
@@ -180,6 +190,9 @@ ControlAction CombinedDcpController::on_short_tick(const ControlContext& ctx) {
   }
   action.speed = pt.speed;
   action.infeasible = !pt.feasible;
+  action.explain.planning_rate = padded;
+  action.explain.safety_margin = planner_.params().safety_margin;
+  action.explain.planned_servers = serving;
   return action;
 }
 
@@ -190,6 +203,10 @@ ControlAction CombinedDcpController::on_long_tick(const ControlContext& ctx) {
   ControlAction action;
   action.active_target = hysteresis_.propose(ctx.committed, pt.servers);
   action.infeasible = !pt.feasible;
+  action.explain.predicted_rate = predicted;
+  action.explain.planning_rate = predicted * planner_.params().safety_margin;
+  action.explain.safety_margin = planner_.params().safety_margin;
+  action.explain.planned_servers = pt.servers;
   // Speed is corrected by the following short tick (same timestamp).
   return action;
 }
@@ -218,6 +235,10 @@ ControlAction OracleController::on_short_tick(const ControlContext& ctx) {
       truth * planner_.params().safety_margin, std::max(ctx.serving, 1u));
   action.speed = pt.speed;
   action.infeasible = !pt.feasible;
+  action.explain.predicted_rate = truth;
+  action.explain.planning_rate = truth * planner_.params().safety_margin;
+  action.explain.safety_margin = planner_.params().safety_margin;
+  action.explain.planned_servers = std::max(ctx.serving, 1u);
   return action;
 }
 
@@ -228,6 +249,10 @@ ControlAction OracleController::on_long_tick(const ControlContext& ctx) {
   ControlAction action;
   action.active_target = hysteresis_.propose(ctx.committed, pt.servers);
   action.infeasible = !pt.feasible;
+  action.explain.predicted_rate = peak;
+  action.explain.planning_rate = peak * planner_.params().safety_margin;
+  action.explain.safety_margin = planner_.params().safety_margin;
+  action.explain.planned_servers = pt.servers;
   return action;
 }
 
@@ -268,6 +293,10 @@ ControlAction ThresholdController::on_long_tick(const ControlContext& ctx) {
     action.active_target = ctx.committed - 1;
   }
   action.speed = 1.0;
+  action.explain.predicted_rate = rate;
+  action.explain.planning_rate = rate;
+  action.explain.planned_servers =
+      action.active_target ? *action.active_target : ctx.committed;
   return action;
 }
 
@@ -311,6 +340,10 @@ ControlAction CombinedSinglePeriodController::on_long_tick(const ControlContext&
   action.active_target = pt.servers;
   action.speed = pt.speed;
   action.infeasible = !pt.feasible;
+  action.explain.predicted_rate = ctx.measured_rate;
+  action.explain.planning_rate = planning_rate;
+  action.explain.safety_margin = dcp_.safety_margin;
+  action.explain.planned_servers = pt.servers;
   return action;
 }
 

@@ -40,6 +40,11 @@ SimResult run_one(const Scenario& scenario, const RunSpec& spec) {
   result.solver_cache_hits = cache.hits;
   result.solver_cache_misses = cache.misses;
   result.solver_cache_hit_rate = cache.hit_rate();
+  // Fold the solver-side counters into the run's snapshot so one JSON dump
+  // carries the whole observability picture (DESIGN.md §7).
+  result.counters.add_counter("solver.cache.hits", cache.hits);
+  result.counters.add_counter("solver.cache.misses", cache.misses);
+  result.counters.add_gauge("solver.cache.hit_rate", cache.hit_rate());
   return result;
 }
 

@@ -1,0 +1,128 @@
+#include "obs/audit.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace gc {
+namespace {
+
+void append_kv(std::string& out, const char* key, double value, bool last = false) {
+  char buf[96];
+  // %.17g keeps doubles re-parse-exact; integers render without exponents.
+  std::snprintf(buf, sizeof buf, "\"%s\": %.17g%s", key, value, last ? "" : ", ");
+  out += buf;
+}
+
+void append_kv(std::string& out, const char* key, std::uint64_t value,
+               bool last = false) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "\"%s\": %llu%s", key,
+                static_cast<unsigned long long>(value), last ? "" : ", ");
+  out += buf;
+}
+
+void append_kv(std::string& out, const char* key, bool value, bool last = false) {
+  out += '"';
+  out += key;
+  out += value ? "\": true" : "\": false";
+  if (!last) out += ", ";
+}
+
+}  // namespace
+
+std::string DecisionAuditLog::to_jsonl() const {
+  std::string out;
+  out.reserve(records_.size() * 256);
+  for (const AuditRecord& r : records_) {
+    out += '{';
+    append_kv(out, "t", r.time_s);
+    out += r.long_tick ? "\"tick\": \"long\", " : "\"tick\": \"short\", ";
+    append_kv(out, "observed_rate", r.observed_rate);
+    append_kv(out, "serving", std::uint64_t{r.serving});
+    append_kv(out, "committed", std::uint64_t{r.committed});
+    append_kv(out, "powered", std::uint64_t{r.powered});
+    append_kv(out, "available", std::uint64_t{r.available});
+    append_kv(out, "jobs_in_system", r.jobs_in_system);
+    append_kv(out, "predicted_rate", r.predicted_rate);
+    append_kv(out, "planning_rate", r.planning_rate);
+    append_kv(out, "safety_margin", r.safety_margin);
+    append_kv(out, "planned_servers", std::uint64_t{r.planned_servers});
+    append_kv(out, "detected_available", std::uint64_t{r.detected_available});
+    append_kv(out, "target_set", r.target_set);
+    append_kv(out, "target_servers", std::uint64_t{r.target_servers});
+    append_kv(out, "delta_servers", static_cast<double>(r.delta_servers));
+    append_kv(out, "speed_set", r.speed_set);
+    append_kv(out, "speed", r.speed);
+    append_kv(out, "infeasible", r.infeasible);
+    append_kv(out, "admit_probability", r.admit_probability, /*last=*/true);
+    out += "}\n";
+  }
+  return out;
+}
+
+void DecisionAuditLog::write_jsonl(const std::filesystem::path& path) const {
+  const std::string text = to_jsonl();
+  std::FILE* f = std::fopen(path.string().c_str(), "w");
+  if (f == nullptr) {
+    throw std::runtime_error("DecisionAuditLog: cannot write " + path.string());
+  }
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const int rc = std::fclose(f);
+  if (written != text.size() || rc != 0) {
+    throw std::runtime_error("DecisionAuditLog: short write to " + path.string());
+  }
+}
+
+CsvTable DecisionAuditLog::to_csv_table() const {
+  CsvTable table;
+  table.header = {"t",
+                  "long_tick",
+                  "observed_rate",
+                  "serving",
+                  "committed",
+                  "powered",
+                  "available",
+                  "jobs_in_system",
+                  "predicted_rate",
+                  "planning_rate",
+                  "safety_margin",
+                  "planned_servers",
+                  "detected_available",
+                  "target_set",
+                  "target_servers",
+                  "delta_servers",
+                  "speed_set",
+                  "speed",
+                  "infeasible",
+                  "admit_probability"};
+  table.rows.reserve(records_.size());
+  for (const AuditRecord& r : records_) {
+    table.rows.push_back({r.time_s,
+                          r.long_tick ? 1.0 : 0.0,
+                          r.observed_rate,
+                          static_cast<double>(r.serving),
+                          static_cast<double>(r.committed),
+                          static_cast<double>(r.powered),
+                          static_cast<double>(r.available),
+                          static_cast<double>(r.jobs_in_system),
+                          r.predicted_rate,
+                          r.planning_rate,
+                          r.safety_margin,
+                          static_cast<double>(r.planned_servers),
+                          static_cast<double>(r.detected_available),
+                          r.target_set ? 1.0 : 0.0,
+                          static_cast<double>(r.target_servers),
+                          static_cast<double>(r.delta_servers),
+                          r.speed_set ? 1.0 : 0.0,
+                          r.speed,
+                          r.infeasible ? 1.0 : 0.0,
+                          r.admit_probability});
+  }
+  return table;
+}
+
+void DecisionAuditLog::write_csv(const std::filesystem::path& path) const {
+  write_csv_file(path, to_csv_table());
+}
+
+}  // namespace gc

@@ -1,0 +1,78 @@
+// Control-decision audit log: one structured record per DCP control tick.
+//
+// A SimResult is an aggregate; the audit log is the causal story behind it
+// — what the controller observed (measured/predicted load, fleet state),
+// what it planned (solver m before hysteresis/retry gating, the safety
+// margin actually applied), and what it commanded (server-count target,
+// speed, the implied transition plan).  This is what lets a run answer
+// "why did we boot three servers at t = 4200?" without re-deriving the
+// controller by hand.
+//
+// Records are appended by the simulation loop (sim/simulation.cpp) on
+// every short and long tick when SimulationOptions::audit is set; the
+// controllers fill ControlAction::explain with the planning internals the
+// loop cannot see.  Writers: JSON Lines (one object per record — jq/pandas
+// friendly) and CSV via util/csv (numeric columns only; the tick kind is
+// encoded 0 = short, 1 = long).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "util/csv.h"
+
+namespace gc {
+
+struct AuditRecord {
+  double time_s = 0.0;
+  bool long_tick = false;  // false = short (DVFS) tick, true = long (VOVF) tick
+  // -- observed --------------------------------------------------------------
+  double observed_rate = 0.0;   // measured arrival rate over the elapsed window
+  unsigned serving = 0;
+  unsigned committed = 0;       // serving + booting
+  unsigned powered = 0;
+  unsigned available = 0;       // ground truth (not FAILED)
+  std::uint64_t jobs_in_system = 0;
+  // -- planned (ControlAction::explain; 0 when the policy has no notion) -----
+  double predicted_rate = 0.0;   // predictor output over the horizon
+  double planning_rate = 0.0;    // rate actually handed to the solver
+  double safety_margin = 0.0;    // margin applied (after any spare relief)
+  unsigned planned_servers = 0;  // solver m before hysteresis/retry gating
+  unsigned detected_available = 0;  // failure-aware detector view
+  // -- commanded -------------------------------------------------------------
+  bool target_set = false;  // active_target present in the action
+  unsigned target_servers = 0;
+  // Transition plan implied by the target: >0 boots/revives, <0 drains.
+  int delta_servers = 0;
+  bool speed_set = false;
+  double speed = 0.0;
+  bool infeasible = false;
+  double admit_probability = 1.0;  // admission control state after the tick
+};
+
+class DecisionAuditLog {
+ public:
+  void append(const AuditRecord& record) { records_.push_back(record); }
+
+  [[nodiscard]] const std::vector<AuditRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+  void clear() noexcept { records_.clear(); }
+
+  // One JSON object per line, schema identical across records.
+  [[nodiscard]] std::string to_jsonl() const;
+  void write_jsonl(const std::filesystem::path& path) const;
+
+  // All-numeric CSV (booleans as 0/1) via the util/csv helpers.
+  [[nodiscard]] CsvTable to_csv_table() const;
+  void write_csv(const std::filesystem::path& path) const;
+
+ private:
+  std::vector<AuditRecord> records_;
+};
+
+}  // namespace gc

@@ -1,0 +1,112 @@
+// Named counters/gauges registry — the observability layer's metric plane.
+//
+// Design (DESIGN.md §7):
+//
+//   * Registration is the slow path: `MetricRegistry::counter(name)` /
+//     `gauge(name)` look the name up (or create it) and return a handle
+//     whose address is stable for the registry's lifetime.  Call it once,
+//     keep the handle.
+//   * The hot path is the handle: `Counter::inc()` is a single non-atomic
+//     64-bit add and `Gauge::set()` a single store.  A registry is owned by
+//     exactly one simulation run (the experiment runner builds one per run,
+//     mirroring the Provisioner), so there is no cross-thread sharing and
+//     therefore no lock and no atomic RMW on the hot path.  Do not share a
+//     registry across threads.
+//   * Counters are monotonic event counts (uint64); gauges are last-value
+//     doubles (rates, ratios, sizes).
+//   * `snapshot()` freezes everything into a plain CountersSnapshot that is
+//     copied into SimResult and can be dumped as (and re-parsed from) JSON.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gc {
+
+// Monotonic event count.  Handles are owned by a MetricRegistry; the
+// address is stable until the registry is destroyed.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  friend class MetricRegistry;
+  Counter() = default;
+  std::uint64_t value_ = 0;
+};
+
+// Last-value instrument for non-monotonic quantities.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  friend class MetricRegistry;
+  Gauge() = default;
+  double value_ = 0.0;
+};
+
+// A frozen view of a registry: plain data, cheap to copy into SimResult.
+// Entries keep registration order (deterministic across runs).
+struct CountersSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return counters.empty() && gauges.empty();
+  }
+  // Value lookups for tests and report code (linear scan; snapshots are
+  // small).
+  [[nodiscard]] std::uint64_t counter_or(std::string_view name,
+                                         std::uint64_t fallback) const noexcept;
+  [[nodiscard]] double gauge_or(std::string_view name, double fallback) const noexcept;
+
+  // Appends an entry directly (used by layers that keep their own counters,
+  // e.g. the solver memo cache, to merge into a run's snapshot).
+  void add_counter(std::string name, std::uint64_t value);
+  void add_gauge(std::string name, double value);
+
+  // JSON object {"counters": {...}, "gauges": {...}}.  Gauges are printed
+  // with %.17g so from_json(to_json(s)) == s bit-exactly.
+  [[nodiscard]] std::string to_json() const;
+
+  // Parses exactly the shape to_json emits (flat string->number maps under
+  // "counters"/"gauges"); throws std::runtime_error on malformed input.
+  [[nodiscard]] static CountersSnapshot from_json(std::string_view text);
+};
+
+[[nodiscard]] bool operator==(const CountersSnapshot& a, const CountersSnapshot& b);
+
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  // Returns the instrument registered under `name`, creating it on first
+  // use.  A name identifies exactly one instrument; registering the same
+  // name as both a counter and a gauge throws std::invalid_argument.
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return counters_.size() + gauges_.size();
+  }
+
+  [[nodiscard]] CountersSnapshot snapshot() const;
+
+ private:
+  // deque: stable element addresses under growth (handles are pointers).
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::vector<std::string> counter_names_;  // parallel to counters_
+  std::vector<std::string> gauge_names_;    // parallel to gauges_
+};
+
+}  // namespace gc

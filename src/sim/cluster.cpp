@@ -197,6 +197,7 @@ void Cluster::reconcile_range(double now, std::uint32_t begin, std::uint32_t end
       Server& s = servers_[i];
       if (s.state() == PowerState::kOff) {
         apply_transition(s, [&] { s.start_boot(now); });
+        trace_async_begin(trace_, now, "lifecycle", "boot", s.index());
         // With fault injection, this individual boot may hang: instead of a
         // completion it gets a watchdog timeout that fails the server.
         const std::optional<double> hang =
@@ -255,6 +256,7 @@ void Cluster::maybe_begin_shutdown(double now, Server& server) {
   if (server.state() == PowerState::kOn && server.draining() && !server.busy() &&
       server.queue_length() == 0) {
     apply_transition(server, [&] { server.begin_shutdown(now); });
+    trace_async_begin(trace_, now, "lifecycle", "shutdown", server.index());
     server.pending_transition = queue_->schedule(
         now + transition_.shutdown_delay_s, EventType::kShutdownComplete,
         server.index());
@@ -305,6 +307,7 @@ void Cluster::handle_boot_complete(double now, std::uint32_t server) {
   Server& s = servers_[server];
   s.pending_transition = kInvalidEventId;
   apply_transition(s, [&] { s.finish_boot(now); });
+  trace_async_end(trace_, now, "lifecycle", "boot", s.index());
   // Booted servers adopt their group's current speed.
   const auto eta = s.set_speed(now, group_speeds_[server_group_[server]]);
   GC_CHECK(!eta.has_value(), "freshly booted server cannot have work");
@@ -315,6 +318,7 @@ void Cluster::handle_shutdown_complete(double now, std::uint32_t server) {
   Server& s = servers_[server];
   s.pending_transition = kInvalidEventId;
   apply_transition(s, [&] { s.finish_shutdown(now); });
+  trace_async_end(trace_, now, "lifecycle", "shutdown", s.index());
 }
 
 bool Cluster::fail_server(double now, std::uint32_t server) {
@@ -331,9 +335,16 @@ bool Cluster::fail_server(double now, std::uint32_t server) {
     queue_->cancel(s.pending_transition);
     s.pending_transition = kInvalidEventId;
   }
+  // Close the interrupted transition's lane before opening the failed one.
+  if (s.state() == PowerState::kBooting) {
+    trace_async_end(trace_, now, "lifecycle", "boot", s.index());
+  } else if (s.state() == PowerState::kShuttingDown) {
+    trace_async_end(trace_, now, "lifecycle", "shutdown", s.index());
+  }
   std::vector<Job> orphans;
   apply_transition(s, [&] { orphans = s.fail(now); });
   ++failures_;
+  trace_async_begin(trace_, now, "lifecycle", "failed", s.index());
   // Fail the orphans over to surviving serving servers; with none left the
   // jobs are lost (distinct from admission-time drops).
   for (Job& job : orphans) {
@@ -363,11 +374,13 @@ void Cluster::timeout_boot(double now, std::uint32_t server) {
   GC_CHECK(s.state() == PowerState::kBooting, "timeout_boot: server not BOOTING");
   // The timeout event that brought us here was the pending transition.
   s.pending_transition = kInvalidEventId;
+  trace_async_end(trace_, now, "lifecycle", "boot", s.index());
   std::vector<Job> orphans;
   apply_transition(s, [&] { orphans = s.fail(now); });
   GC_CHECK(orphans.empty(), "timeout_boot: booting server held jobs");
   ++failures_;
   ++boot_timeouts_;
+  trace_async_begin(trace_, now, "lifecycle", "failed", s.index());
 }
 
 void Cluster::repair_server(double now, std::uint32_t server) {
@@ -375,6 +388,7 @@ void Cluster::repair_server(double now, std::uint32_t server) {
   Server& s = servers_[server];
   apply_transition(s, [&] { s.finish_repair(now); });
   ++repairs_;
+  trace_async_end(trace_, now, "lifecycle", "failed", s.index());
 }
 
 void Cluster::flush_energy(double now) {

@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.h"
 #include "power/energy_meter.h"
 #include "power/power_model.h"
 #include "sim/dispatcher.h"
@@ -131,6 +132,13 @@ class Cluster {
   // kBootComplete.  `injector` must outlive the cluster.
   void set_fault_injector(FaultInjector* injector) noexcept { faults_ = injector; }
 
+  // -- observability --------------------------------------------------------
+  // Optional trace sink (obs/trace.h); per-server boot/shutdown/failed
+  // lifecycle phases are recorded as async spans keyed by server index.
+  // Null (the default) disables recording.  `trace` must outlive the
+  // cluster.  Strictly observational.
+  void set_trace(TraceCollector* trace) noexcept { trace_ = trace; }
+
   // Fail-stop crash of a powered server.  Cancels its pending events,
   // re-dispatches the orphaned jobs to surviving serving servers (jobs
   // that cannot be placed are lost and counted).  Returns false — a no-op —
@@ -229,6 +237,7 @@ class Cluster {
   Dispatcher dispatcher_;
   Rng group_rng_;  // used by route_job_to_group
   FaultInjector* faults_ = nullptr;  // non-owning; may be null
+  TraceCollector* trace_ = nullptr;  // non-owning; may be null
   double speed_;
   std::size_t jobs_in_system_ = 0;
   std::uint64_t jobs_dropped_ = 0;

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/counters.h"
 #include "sim/cluster.h"
 #include "sim/job.h"
 #include "stats/accumulators.h"
@@ -93,6 +94,12 @@ struct SimResult {
   std::uint64_t solver_cache_hits = 0;
   std::uint64_t solver_cache_misses = 0;
   double solver_cache_hit_rate = 0.0;
+  // Observability snapshot (obs/counters.h): every named counter/gauge the
+  // run registered — whole-run event counts by type, lifecycle/fault/shed
+  // totals, queue and solver-cache statistics.  Dump with
+  // counters.to_json().  Unlike the post-warmup deltas above, counters
+  // cover the entire run including warmup.
+  CountersSnapshot counters;
   std::vector<TimelinePoint> timeline;
 
   // True when the mean-response-time guarantee held over the whole run.

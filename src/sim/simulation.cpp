@@ -1,7 +1,9 @@
 #include "sim/simulation.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <string>
 
 #include "stats/accumulators.h"
 #include "util/assert.h"
@@ -16,6 +18,9 @@ void apply_action(Cluster& cluster, double now, const ControlAction& action) {
   if (action.speed) cluster.set_all_speeds(now, *action.speed);
 }
 
+constexpr std::size_t kNumEventTypes =
+    static_cast<std::size_t>(EventType::kBootTimeout) + 1;
+
 }  // namespace
 
 SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_options,
@@ -29,6 +34,21 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
   EventQueue queue;
   Cluster cluster(cluster_options, &queue);
   MetricsCollector metrics(options.t_ref_s);
+
+  // Observability: the registry is owned by the run (single-writer, so the
+  // hot-path increments below are plain adds); the trace/audit sinks are
+  // caller-owned and may be null.  Everything here is observational — no
+  // RNG draw or event ordering depends on it.
+  MetricRegistry registry;
+  std::array<Counter*, kNumEventTypes> events_dispatched{};
+  for (std::size_t t = 0; t < kNumEventTypes; ++t) {
+    events_dispatched[t] = &registry.counter(
+        std::string("sim.events.") + to_string(static_cast<EventType>(t)));
+  }
+  Counter& jobs_admitted_count = registry.counter("sim.jobs.admitted");
+  Counter& jobs_shed_count = registry.counter("sim.jobs.shed");
+  TraceCollector* trace = kTracingCompiledIn ? options.trace : nullptr;
+  cluster.set_trace(trace);
 
   // Fault injection: armed before the first event so background failure
   // clocks start at t = 0.  Seed 0 derives from the dispatch seed, keeping
@@ -67,6 +87,7 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
   // Rate measurement between short ticks.
   std::uint64_t arrivals_in_window = 0;
   double last_short_tick = 0.0;
+  double last_long_tick = 0.0;  // control-period trace spans only
   // Rate measurement between record points.
   std::uint64_t arrivals_in_record = 0;
   double last_record = 0.0;
@@ -126,6 +147,73 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
     result.timeline.push_back(point);
   };
 
+  // One audit record + trace span per control tick.  `period_start` is the
+  // previous tick of the same kind, so the span tiles the timeline.
+  auto observe_control = [&](bool long_tick, const ControlContext& ctx,
+                             const ControlAction& action, double period_start) {
+    if (options.audit != nullptr) {
+      AuditRecord rec;
+      rec.time_s = ctx.now;
+      rec.long_tick = long_tick;
+      rec.observed_rate = ctx.measured_rate;
+      rec.serving = ctx.serving;
+      rec.committed = ctx.committed;
+      rec.powered = ctx.powered;
+      rec.available = ctx.available;
+      rec.jobs_in_system = ctx.jobs_in_system;
+      rec.predicted_rate = action.explain.predicted_rate;
+      rec.planning_rate = action.explain.planning_rate;
+      rec.safety_margin = action.explain.safety_margin;
+      rec.planned_servers = action.explain.planned_servers;
+      rec.detected_available = action.explain.detected_available;
+      rec.target_set = action.active_target.has_value();
+      if (action.active_target) {
+        rec.target_servers = *action.active_target;
+        rec.delta_servers = static_cast<int>(*action.active_target) -
+                            static_cast<int>(ctx.committed);
+      }
+      rec.speed_set = action.speed.has_value();
+      if (action.speed) rec.speed = *action.speed;
+      rec.infeasible = action.infeasible;
+      rec.admit_probability = admission.admit_probability();
+      options.audit->append(rec);
+    }
+    if (trace != nullptr) {
+      const std::uint32_t tid = long_tick ? 2u : 1u;
+      trace_complete(trace, period_start, ctx.now - period_start, "control",
+                     long_tick ? "long-period" : "short-period", tid);
+      TraceRecord solver;
+      solver.ts_s = ctx.now;
+      solver.cat = "solver";
+      solver.name = long_tick ? "plan-servers" : "plan-speed";
+      solver.phase = TracePhase::kInstant;
+      solver.tid = tid;
+      solver.nargs = 2;
+      solver.arg_name[0] = "planning_rate";
+      solver.arg_value[0] = action.explain.planning_rate;
+      if (long_tick) {
+        solver.arg_name[1] = "planned_servers";
+        solver.arg_value[1] = static_cast<double>(action.explain.planned_servers);
+      } else {
+        solver.arg_name[1] = "speed";
+        solver.arg_value[1] = action.speed ? *action.speed : 0.0;
+      }
+      trace_emit(trace, solver);
+      if (action.infeasible) trace_instant(trace, ctx.now, "control", "infeasible", tid);
+      // Counter series sampled on the control grid (post-action state).
+      trace_counter(trace, ctx.now, "rate", "jobs_per_s", ctx.measured_rate);
+      trace_counter(trace, ctx.now, "serving", "servers",
+                    static_cast<double>(cluster.serving_count()));
+      trace_counter(trace, ctx.now, "jobs_in_system", "jobs",
+                    static_cast<double>(cluster.jobs_in_system()));
+      trace_counter(trace, ctx.now, "speed", "s", cluster.current_speed());
+      if (admission.enabled()) {
+        trace_counter(trace, ctx.now, "admit_probability", "p",
+                      admission.admit_probability());
+      }
+    }
+  };
+
   while (auto event = queue.pop()) {
     // The run is over once the workload is exhausted and every job has
     // departed; pending ticks/completions past that point would only
@@ -141,6 +229,8 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
     speed_avg.advance(now, cluster.current_speed());
     jobs_avg.advance(now, static_cast<double>(cluster.jobs_in_system()));
     available_avg.advance(now, static_cast<double>(cluster.available_count()));
+
+    events_dispatched[static_cast<std::size_t>(event->type)]->inc();
 
     switch (event->type) {
       case EventType::kArrival: {
@@ -158,6 +248,10 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
           job.remaining = pending->size;
           cluster.route_job(now, job);
           ++admitted_total;
+          jobs_admitted_count.inc();
+        } else {
+          jobs_shed_count.inc();
+          trace_instant(trace, now, "admission", "shed");
         }
         pending = workload.next();
         if (pending) {
@@ -189,14 +283,17 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
       case EventType::kServerFail:
         GC_CHECK(injector.has_value(), "fail event without an injector");
         (void)injector->on_fail_event(now, event->subject, cluster, queue);
+        trace_instant(trace, now, "fault", "server-fail");
         break;
       case EventType::kServerRepair:
         GC_CHECK(injector.has_value(), "repair event without an injector");
         injector->on_repair_event(now, event->subject, cluster, queue);
+        trace_instant(trace, now, "fault", "server-repair");
         break;
       case EventType::kBootTimeout:
         GC_CHECK(injector.has_value(), "boot timeout without an injector");
         injector->on_boot_timeout(now, event->subject, cluster, queue);
+        trace_instant(trace, now, "fault", "boot-timeout");
         break;
       case EventType::kShortTick: {
         const double elapsed = now - last_short_tick;
@@ -217,6 +314,7 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
         if (action.infeasible) ++infeasible_ticks;
         admission.update(ctx.measured_rate, cluster.serving_count(),
                          cluster.current_speed());
+        observe_control(/*long_tick=*/false, ctx, action, now - elapsed);
         // Keep ticking while there is anything left to happen.
         if (!workload_done || cluster.jobs_in_system() > 0) {
           queue.schedule(now + t_short, EventType::kShortTick);
@@ -240,6 +338,8 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
         if (action.infeasible) ++infeasible_ticks;
         admission.update(ctx.measured_rate, cluster.serving_count(),
                          cluster.current_speed());
+        observe_control(/*long_tick=*/true, ctx, action, last_long_tick);
+        last_long_tick = now;
         if (!workload_done || cluster.jobs_in_system() > 0) {
           queue.schedule(now + t_long, EventType::kLongTick);
         }
@@ -359,6 +459,32 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
       available_avg.elapsed() > 0.0
           ? 1.0 - result.mean_available / static_cast<double>(cluster.num_servers())
           : 0.0;
+
+  // Whole-run totals (including warmup, unlike the deltas above) for the
+  // counters snapshot.  Registered at the end so the hot loop only touches
+  // the per-event counters above.
+  registry.counter("sim.jobs.completed").inc(metrics.completed());
+  registry.counter("sim.jobs.dropped").inc(cluster.jobs_dropped());
+  registry.counter("sim.jobs.redispatched").inc(cluster.jobs_redispatched());
+  registry.counter("sim.jobs.lost").inc(cluster.jobs_lost());
+  registry.counter("cluster.boots").inc(cluster.boots_started());
+  registry.counter("cluster.shutdowns").inc(cluster.shutdowns_started());
+  registry.counter("cluster.failures").inc(cluster.failures());
+  registry.counter("cluster.repairs").inc(cluster.repairs());
+  registry.counter("cluster.boot_timeouts").inc(cluster.boot_timeouts());
+  registry.counter("control.ticks").inc(ticks_total);
+  registry.counter("control.infeasible_ticks").inc(infeasible_ticks);
+  registry.gauge("sim.time_s").set(now);
+  if (options.audit != nullptr) {
+    registry.counter("obs.audit.records").inc(options.audit->size());
+  }
+  if (trace != nullptr) {
+    // These differ between tracing on and off by construction; determinism
+    // comparisons must skip the "obs." namespace (tests/test_obs_determinism).
+    registry.counter("obs.trace.emitted").inc(trace->emitted());
+    registry.counter("obs.trace.dropped").inc(trace->dropped());
+  }
+  result.counters = registry.snapshot();
   return result;
 }
 

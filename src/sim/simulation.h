@@ -21,6 +21,8 @@
 #include <memory>
 #include <optional>
 
+#include "obs/audit.h"
+#include "obs/trace.h"
 #include "sim/admission.h"
 #include "sim/cluster.h"
 #include "sim/event_queue.h"
@@ -44,6 +46,18 @@ struct ControlContext {
   std::size_t jobs_in_system = 0;
 };
 
+// Planning internals behind a ControlAction, filled by the controllers for
+// the decision audit log (obs/audit.h).  Purely observational: the
+// simulation never branches on these.  Fields a policy has no notion of
+// stay 0 (e.g. NPM has no predictor, only failure-aware has a detector).
+struct ControlExplain {
+  double predicted_rate = 0.0;   // predictor output over the planning horizon
+  double planning_rate = 0.0;    // rate handed to the solver (after margin)
+  double safety_margin = 0.0;    // margin applied (after any spare relief)
+  unsigned planned_servers = 0;  // solver m before hysteresis/retry gating
+  unsigned detected_available = 0;  // failure detector's fleet view
+};
+
 // What the controller requests.  Unset fields mean "leave unchanged".
 struct ControlAction {
   std::optional<unsigned> active_target;
@@ -52,6 +66,7 @@ struct ControlAction {
   // capacity (solver infeasibility); recorded in SimResult and used to
   // drive admission control.
   bool infeasible = false;
+  ControlExplain explain;
 };
 
 // Implemented by the policies in control/policies.h.  Kept here so the
@@ -77,6 +92,12 @@ struct SimulationOptions {
   FaultOptions faults;
   // Graceful degradation via probabilistic shedding; inert unless enabled.
   AdmissionOptions admission;
+  // Observability sinks (non-owning; must outlive the run).  Null = off.
+  // Both are strictly observational: attaching them never changes event
+  // order, RNG draws or any SimResult field (tests/test_obs_determinism).
+  // Do not share one sink across concurrent runs (exp/runner parallelism).
+  TraceCollector* trace = nullptr;
+  DecisionAuditLog* audit = nullptr;
 };
 
 // Runs one simulation.  The workload is consumed (reset it to reuse).

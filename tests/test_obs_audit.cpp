@@ -1,0 +1,133 @@
+// DecisionAuditLog: one record per control period on a short fig5-style
+// run, field consistency against the run's counters, and stable writers.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+
+#include "control/policies.h"
+#include "exp/scenario.h"
+#include "obs/audit.h"
+#include "sim/simulation.h"
+
+namespace gc {
+namespace {
+
+// A compressed diurnal half-day under combined-dcp: small enough for a unit
+// test, long enough to exercise both tick kinds, boots and shutdowns.
+SimResult run_fig5_style(DecisionAuditLog* audit) {
+  ClusterConfig config = bench_cluster_config();
+  PolicyOptions popts;
+  popts.dcp = bench_dcp_params();
+  const Scenario scenario = make_scenario(ScenarioKind::kDiurnal, config,
+                                          /*level=*/0.7, /*seed=*/55,
+                                          /*day_s=*/1200.0);
+  Workload workload = scenario.make_workload(config, /*seed=*/97);
+  const Provisioner solver(config);
+  const auto controller = make_policy(PolicyKind::kCombinedDcp, &solver, popts);
+  ClusterOptions cluster;
+  cluster.num_servers = config.max_servers;
+  cluster.power = config.power;
+  cluster.transition = config.transition;
+  cluster.initial_active = config.max_servers;
+  cluster.dispatch_seed = 4242;
+  SimulationOptions sim;
+  sim.t_ref_s = config.t_ref_s;
+  sim.warmup_s = popts.dcp.long_period_s;
+  sim.audit = audit;
+  return run_simulation(workload, cluster, *controller, sim);
+}
+
+std::size_t count_lines(const std::string& text) {
+  std::size_t n = 0;
+  for (const char c : text) n += c == '\n';
+  return n;
+}
+
+TEST(DecisionAuditLog, OneRecordPerControlPeriod) {
+  DecisionAuditLog audit;
+  const SimResult result = run_fig5_style(&audit);
+  ASSERT_FALSE(audit.empty());
+  // The acceptance bar: exactly one audit record per control tick taken.
+  EXPECT_EQ(audit.size(), result.counters.counter_or("control.ticks", 0));
+  EXPECT_EQ(audit.size(), result.counters.counter_or("obs.audit.records", 0));
+
+  std::size_t long_ticks = 0;
+  double prev_time = -1.0;
+  for (const AuditRecord& rec : audit.records()) {
+    EXPECT_GE(rec.time_s, prev_time);  // ticks arrive in time order
+    prev_time = rec.time_s;
+    long_ticks += rec.long_tick;
+    EXPECT_LE(rec.serving, rec.committed);
+    EXPECT_LE(rec.committed, rec.powered);
+    EXPECT_GE(rec.admit_probability, 0.0);
+    EXPECT_LE(rec.admit_probability, 1.0);
+    if (rec.long_tick) {
+      // Combined-dcp long ticks always command a target and explain it.
+      EXPECT_TRUE(rec.target_set);
+      EXPECT_GT(rec.planned_servers, 0u);
+      EXPECT_GT(rec.safety_margin, 1.0);
+      EXPECT_GE(rec.planning_rate, rec.predicted_rate);
+      EXPECT_EQ(rec.delta_servers, static_cast<int>(rec.target_servers) -
+                                       static_cast<int>(rec.committed));
+    } else {
+      // Short ticks fit the speed only.
+      EXPECT_TRUE(rec.speed_set);
+      EXPECT_GT(rec.speed, 0.0);
+      EXPECT_LE(rec.speed, 1.0);
+    }
+  }
+  // Short period strictly divides the long one, so short ticks dominate.
+  EXPECT_GT(long_ticks, 0u);
+  EXPECT_LT(long_ticks, audit.size() - long_ticks);
+}
+
+TEST(DecisionAuditLog, AttachingTheLogDoesNotChangeTheRun) {
+  DecisionAuditLog audit;
+  const SimResult with = run_fig5_style(&audit);
+  const SimResult without = run_fig5_style(nullptr);
+  EXPECT_EQ(with.completed_jobs, without.completed_jobs);
+  EXPECT_EQ(with.boots, without.boots);
+  EXPECT_DOUBLE_EQ(with.mean_response_s, without.mean_response_s);
+  EXPECT_DOUBLE_EQ(with.energy.total_j(), without.energy.total_j());
+}
+
+TEST(DecisionAuditLog, GoldenRunIsByteStable) {
+  // The writers are part of the CI artifact contract: two identical runs
+  // must serialize byte-identically (no iteration-order or formatting
+  // nondeterminism).
+  DecisionAuditLog first, second;
+  (void)run_fig5_style(&first);
+  (void)run_fig5_style(&second);
+  ASSERT_EQ(first.size(), second.size());
+  EXPECT_EQ(first.to_jsonl(), second.to_jsonl());
+  EXPECT_EQ(to_csv_text(first.to_csv_table()), to_csv_text(second.to_csv_table()));
+}
+
+TEST(DecisionAuditLog, JsonlHasOneObjectPerRecord) {
+  DecisionAuditLog audit;
+  (void)run_fig5_style(&audit);
+  const std::string jsonl = audit.to_jsonl();
+  EXPECT_EQ(count_lines(jsonl), audit.size());
+  // Every line is a flat object carrying the tick kind.
+  std::istringstream lines(jsonl);
+  std::string line;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"tick\""), std::string::npos);
+    EXPECT_NE(line.find("\"t\""), std::string::npos);
+  }
+}
+
+TEST(DecisionAuditLog, CsvHasHeaderPlusOneRowPerRecord) {
+  DecisionAuditLog audit;
+  (void)run_fig5_style(&audit);
+  const std::string text = to_csv_text(audit.to_csv_table());
+  EXPECT_EQ(count_lines(text), audit.size() + 1);  // header + rows
+  EXPECT_EQ(text.rfind("t,long_tick,", 0), 0u);
+}
+
+}  // namespace
+}  // namespace gc

@@ -1,0 +1,105 @@
+// MetricRegistry / CountersSnapshot: handle semantics, snapshot freezing,
+// and the JSON round trip the CI artifact pipeline depends on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "obs/counters.h"
+
+namespace gc {
+namespace {
+
+TEST(MetricRegistry, CounterHandleIsStableAndCreateOnFirstUse) {
+  MetricRegistry registry;
+  Counter& a = registry.counter("sim.events.arrival");
+  Counter& b = registry.counter("sim.events.arrival");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  b.inc(41);
+  EXPECT_EQ(a.value(), 42u);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(MetricRegistry, HandleAddressesSurviveGrowth) {
+  MetricRegistry registry;
+  Counter& first = registry.counter("c0");
+  // Force enough registrations that vector-backed storage would reallocate.
+  for (int i = 1; i < 200; ++i) {
+    std::string name = "c";
+    name += std::to_string(i);
+    (void)registry.counter(name);
+  }
+  first.inc(7);
+  EXPECT_EQ(registry.counter("c0").value(), 7u);
+}
+
+TEST(MetricRegistry, GaugeStoresLastValue) {
+  MetricRegistry registry;
+  Gauge& g = registry.gauge("solver.cache.hit_rate");
+  g.set(0.25);
+  g.set(0.75);
+  EXPECT_DOUBLE_EQ(registry.gauge("solver.cache.hit_rate").value(), 0.75);
+}
+
+TEST(MetricRegistry, NameCollisionAcrossKindsThrows) {
+  MetricRegistry registry;
+  (void)registry.counter("x");
+  EXPECT_THROW((void)registry.gauge("x"), std::invalid_argument);
+  (void)registry.gauge("y");
+  EXPECT_THROW((void)registry.counter("y"), std::invalid_argument);
+}
+
+TEST(MetricRegistry, SnapshotFreezesValuesInRegistrationOrder) {
+  MetricRegistry registry;
+  registry.counter("b").inc(2);
+  registry.counter("a").inc(1);
+  registry.gauge("g").set(3.5);
+  const CountersSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "b");  // registration order, not sorted
+  EXPECT_EQ(snap.counters[1].first, "a");
+  EXPECT_EQ(snap.counter_or("a", 0), 1u);
+  EXPECT_EQ(snap.counter_or("missing", 99), 99u);
+  EXPECT_DOUBLE_EQ(snap.gauge_or("g", 0.0), 3.5);
+  // The snapshot is a copy: later increments do not leak into it.
+  registry.counter("b").inc();
+  EXPECT_EQ(snap.counter_or("b", 0), 2u);
+}
+
+TEST(CountersSnapshot, JsonRoundTripIsExact) {
+  CountersSnapshot snap;
+  snap.add_counter("sim.events.arrival", 123456789012345ULL);
+  snap.add_counter("zero", 0);
+  snap.add_counter("max", std::numeric_limits<std::uint64_t>::max());
+  snap.add_gauge("hit_rate", 0.6);
+  snap.add_gauge("tiny", 1e-300);
+  snap.add_gauge("third", 1.0 / 3.0);  // not exactly representable in decimal
+  snap.add_gauge("negative", -2.5);
+  const CountersSnapshot back = CountersSnapshot::from_json(snap.to_json());
+  EXPECT_EQ(back, snap);
+}
+
+TEST(CountersSnapshot, JsonEscapesAwkwardNames) {
+  CountersSnapshot snap;
+  snap.add_counter("weird \"name\"\\with\nescapes", 1);
+  const CountersSnapshot back = CountersSnapshot::from_json(snap.to_json());
+  EXPECT_EQ(back, snap);
+}
+
+TEST(CountersSnapshot, FromJsonRejectsMalformedInput) {
+  EXPECT_THROW((void)CountersSnapshot::from_json(""), std::runtime_error);
+  EXPECT_THROW((void)CountersSnapshot::from_json("[]"), std::runtime_error);
+  EXPECT_THROW((void)CountersSnapshot::from_json("{\"counters\": {\"a\": }}"),
+               std::runtime_error);
+}
+
+TEST(CountersSnapshot, EmptySnapshotRoundTrips) {
+  const CountersSnapshot empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(CountersSnapshot::from_json(empty.to_json()), empty);
+}
+
+}  // namespace
+}  // namespace gc

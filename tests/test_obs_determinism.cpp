@@ -1,0 +1,185 @@
+// Observability must be free of side effects: attaching the trace collector
+// and the audit log to a run must leave every simulated quantity bit-equal
+// to the untraced run — same RNG draws, same event order, same SimResult.
+// The traced run is pinned against the same golden checksum as
+// tests/test_determinism_golden.cpp, so a regression here fails loudly even
+// if both runs drift together.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+#include "control/policies.h"
+#include "exp/scenario.h"
+#include "obs/audit.h"
+#include "obs/trace.h"
+#include "sim/simulation.h"
+
+namespace gc {
+namespace {
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h *= 0x100000001b3ULL;
+  return h;
+}
+
+std::uint64_t mix(std::uint64_t h, double v) {
+  return mix(h, std::bit_cast<std::uint64_t>(v));
+}
+
+// Identical to the golden checksum: every scalar plus the timeline, and
+// deliberately NOT the counters snapshot (the "obs.*" counters describe the
+// instrumentation itself, which legitimately differs with tracing on/off).
+std::uint64_t checksum(const SimResult& r) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = mix(h, r.completed_jobs);
+  h = mix(h, r.dropped_jobs);
+  h = mix(h, r.shed_jobs);
+  h = mix(h, r.failures);
+  h = mix(h, r.repairs);
+  h = mix(h, r.boot_timeouts);
+  h = mix(h, r.jobs_redispatched);
+  h = mix(h, r.jobs_lost);
+  h = mix(h, r.sim_time_s);
+  h = mix(h, r.mean_response_s);
+  h = mix(h, r.p95_response_s);
+  h = mix(h, r.p99_response_s);
+  h = mix(h, r.max_response_s);
+  h = mix(h, r.job_violation_ratio);
+  h = mix(h, r.window_violation_ratio);
+  h = mix(h, r.energy.busy_j);
+  h = mix(h, r.energy.idle_j);
+  h = mix(h, r.energy.transition_j);
+  h = mix(h, r.energy.off_j);
+  h = mix(h, r.mean_power_w);
+  h = mix(h, r.boots);
+  h = mix(h, r.shutdowns);
+  h = mix(h, r.mean_serving);
+  h = mix(h, r.mean_speed);
+  h = mix(h, r.mean_jobs_in_system);
+  h = mix(h, r.mean_available);
+  h = mix(h, r.unavailability);
+  h = mix(h, r.shed_ratio);
+  h = mix(h, r.infeasible_ticks);
+  h = mix(h, r.infeasible_ratio);
+  for (const TimelinePoint& p : r.timeline) {
+    h = mix(h, p.time);
+    h = mix(h, p.arrival_rate);
+    h = mix(h, static_cast<std::uint64_t>(p.serving));
+    h = mix(h, static_cast<std::uint64_t>(p.powered));
+    h = mix(h, static_cast<std::uint64_t>(p.available));
+    h = mix(h, p.speed);
+    h = mix(h, p.power_watts);
+    h = mix(h, p.jobs_in_system);
+    h = mix(h, p.window_mean_response_s);
+    h = mix(h, p.admit_probability);
+  }
+  return h;
+}
+
+// Same fixed-seed setup as tests/test_determinism_golden.cpp.
+struct GoldenRun {
+  ClusterConfig config = bench_cluster_config();
+  PolicyOptions popts;
+  Scenario scenario;
+
+  GoldenRun() {
+    popts.dcp = bench_dcp_params();
+    scenario = make_scenario(ScenarioKind::kDiurnal, config, /*level=*/0.7,
+                             /*seed=*/1234, /*day_s=*/2400.0);
+  }
+
+  [[nodiscard]] SimResult run(TraceCollector* trace, DecisionAuditLog* audit) {
+    Workload workload = scenario.make_workload(config, /*seed=*/97);
+    const Provisioner solver(config);
+    const auto controller = make_policy(PolicyKind::kCombinedDcp, &solver, popts);
+    ClusterOptions cluster;
+    cluster.num_servers = config.max_servers;
+    cluster.power = config.power;
+    cluster.transition = config.transition;
+    cluster.initial_active = config.max_servers;
+    cluster.dispatch_seed = 4242;
+    SimulationOptions sim;
+    sim.t_ref_s = config.t_ref_s;
+    sim.warmup_s = popts.dcp.long_period_s;
+    sim.record_interval_s = 120.0;
+    sim.trace = trace;
+    sim.audit = audit;
+    return run_simulation(workload, cluster, *controller, sim);
+  }
+};
+
+// The counters snapshot is compared separately: everything outside the
+// "obs." namespace must match exactly.
+bool counters_match_outside_obs(const CountersSnapshot& a, const CountersSnapshot& b) {
+  const auto is_obs = [](std::string_view name) { return name.starts_with("obs."); };
+  for (const auto& [name, value] : a.counters) {
+    if (!is_obs(name) && b.counter_or(name, value + 1) != value) return false;
+  }
+  for (const auto& [name, value] : b.counters) {
+    if (!is_obs(name) && a.counter_or(name, value + 1) != value) return false;
+  }
+  return true;
+}
+
+TEST(ObsDeterminism, TracingOnAndOffProduceIdenticalResults) {
+  GoldenRun golden;
+  TraceCollector trace;
+  DecisionAuditLog audit;
+  const SimResult traced = golden.run(&trace, &audit);
+  const SimResult untraced = golden.run(nullptr, nullptr);
+  EXPECT_EQ(checksum(traced), checksum(untraced));
+  EXPECT_TRUE(counters_match_outside_obs(traced.counters, untraced.counters));
+  if constexpr (kTracingCompiledIn) {
+    EXPECT_GT(trace.emitted(), 0u);
+    EXPECT_FALSE(audit.empty());
+  }
+}
+
+// Pinned to the PR 2 golden: a traced run reproduces the pre-observability
+// simulator bit-for-bit.  If this fails together with DeterminismGolden,
+// the simulator changed; if it fails alone, the instrumentation leaked into
+// simulation behavior.
+TEST(ObsDeterminism, TracedRunMatchesPinnedGolden) {
+  GoldenRun golden;
+  TraceCollector trace;
+  DecisionAuditLog audit;
+  const SimResult traced = golden.run(&trace, &audit);
+  EXPECT_EQ(checksum(traced), 13401298517741172659ULL);
+}
+
+// A saturated ring (tiny capacity, guaranteed overwrites) is still free of
+// side effects — eviction happens inside the collector only.
+TEST(ObsDeterminism, RingOverflowDoesNotPerturbTheRun) {
+  GoldenRun golden;
+  TraceOptions tiny;
+  tiny.capacity = 16;
+  TraceCollector trace(tiny);
+  const SimResult traced = golden.run(&trace, nullptr);
+  EXPECT_EQ(checksum(traced), 13401298517741172659ULL);
+  if constexpr (kTracingCompiledIn) {
+    EXPECT_GT(trace.dropped(), 0u);
+    EXPECT_EQ(trace.size(), 16u);
+  }
+}
+
+// Two identical runs produce identical snapshots, including "obs.*": the
+// counters themselves are deterministic, only the on/off contrast exempts
+// them above.
+TEST(ObsDeterminism, CountersSnapshotIsRunToRunDeterministic) {
+  GoldenRun golden;
+  TraceCollector t1, t2;
+  DecisionAuditLog a1, a2;
+  const SimResult r1 = golden.run(&t1, &a1);
+  const SimResult r2 = golden.run(&t2, &a2);
+  EXPECT_EQ(r1.counters, r2.counters);
+  EXPECT_EQ(a1.to_jsonl(), a2.to_jsonl());
+  if constexpr (kTracingCompiledIn) {
+    EXPECT_EQ(t1.to_chrome_json(), t2.to_chrome_json());
+  }
+}
+
+}  // namespace
+}  // namespace gc
