@@ -3,10 +3,13 @@
 # Release configuration, then again under AddressSanitizer + UBSan
 # (GREENCLUSTER_SANITIZE).  The plain configuration also builds the bench
 # harnesses and runs bench/perf_smoke once, failing if it does not produce
-# a sane BENCH_core.json (the persisted perf trajectory; gitignored).
+# a sane BENCH_core.json (the persisted perf trajectory; gitignored), or if
+# it regresses against the committed ci/BENCH_baseline.json by more than
+# BENCH_TOLERANCE (default 0.15; hosted runners set it wider — the check is
+# one-sided, so a faster machine never fails it).
 # The lint mode runs the cheap static checks (clang-format via
-# ci/format.sh --check plus a tracing-compiled-out configure) without
-# running the suite.
+# ci/format.sh --check, clang-tidy when installed, plus a
+# tracing-compiled-out configure) without running the suite.
 # Usage:
 #
 #   ci/check.sh            # both build configurations
@@ -53,6 +56,43 @@ perf_smoke() {
          and (.solver_cache.hit_rate | . >= 0 and . <= 1)' \
     BENCH_core.json >/dev/null \
     || { echo "perf_smoke: BENCH_core.json malformed" >&2; exit 1; }
+  bench_compare
+}
+
+# One-sided regression gate against the committed baseline: throughput may
+# not drop below (1 - tol) x baseline, latency may not rise above
+# (1 + tol) x baseline.  Improvements never fail.  The cache hit rate is a
+# deterministic replay mix, so it gets the same lower bound (a drop there
+# means the memo key or the mix changed, not that the machine is slow).
+bench_compare() {
+  local tol="${BENCH_TOLERANCE:-0.15}"
+  local baseline="ci/BENCH_baseline.json"
+  [ -f "${baseline}" ] \
+    || { echo "perf_smoke: ${baseline} missing (regenerate with bench/perf_smoke)" >&2; exit 1; }
+  echo "==> perf_smoke vs ${baseline} (tolerance ${tol})"
+  jq -en --argjson tol "${tol}" \
+     --slurpfile cur BENCH_core.json --slurpfile base "${baseline}" '
+    ($cur[0]) as $c | ($base[0]) as $b |
+    [
+      (range($b.event_loop | length) | . as $i |
+        { what: "event_loop[\($b.event_loop[$i].pending_events)].events_per_sec",
+          ok: ($c.event_loop[$i].events_per_sec
+                 >= $b.event_loop[$i].events_per_sec * (1 - $tol)),
+          cur: $c.event_loop[$i].events_per_sec,
+          base: $b.event_loop[$i].events_per_sec }),
+      { what: "solve_ns_per_call",
+        ok: ($c.solve_ns_per_call <= $b.solve_ns_per_call * (1 + $tol)),
+        cur: $c.solve_ns_per_call, base: $b.solve_ns_per_call },
+      { what: "solver_cache.hit_rate",
+        ok: ($c.solver_cache.hit_rate >= $b.solver_cache.hit_rate * (1 - $tol)),
+        cur: $c.solver_cache.hit_rate, base: $b.solver_cache.hit_rate }
+    ]
+    | map(select(.ok | not))
+    | if length == 0 then "ok"
+      else map("perf_smoke: \(.what) regressed: \(.cur) vs baseline \(.base)")
+           | join("\n") + "\n" | halt_error(1)
+      end' >/dev/null \
+    || { echo "perf_smoke: benchmark regression beyond tolerance ${tol}" >&2; exit 1; }
 }
 
 # Smoke-checks the --trace-out pipeline end to end: the fig8 replay must
@@ -68,6 +108,31 @@ trace_out_smoke() {
     || { echo "trace-out: ${prefix}.audit.jsonl malformed" >&2; exit 1; }
 }
 
+# clang-tidy over the sources we own, using the lint build's compile
+# database.  Missing binary -> report and skip (same contract as
+# ci/format.sh: the CI lint job installs it; a bare dev box is not
+# blocked).  The profile lives in .clang-tidy (bugprone-* + performance-*).
+clang_tidy() {
+  local tidy=""
+  for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+                   clang-tidy-15 clang-tidy-14; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      tidy="${candidate}"
+      break
+    fi
+  done
+  if [ -z "${tidy}" ]; then
+    echo "==> [lint] clang-tidy not found; skipping (CI enforces it)" >&2
+    return 0
+  fi
+  echo "==> [lint] ${tidy}"
+  [ -f build-ci-lint/compile_commands.json ] \
+    || { echo "clang-tidy: build-ci-lint/compile_commands.json missing" >&2; exit 1; }
+  find src -name '*.cpp' | sort \
+    | xargs -P "${JOBS}" -n 4 "${tidy}" -p build-ci-lint --quiet \
+    || { echo "clang-tidy: analysis failed (see above)" >&2; exit 1; }
+}
+
 lint() {
   echo "==> [lint] clang-format"
   ci/format.sh --check
@@ -76,8 +141,10 @@ lint() {
   # break exactly here.
   echo "==> [lint] configure/build with GC_TRACING=OFF"
   cmake -B build-ci-lint -S . -DGC_WERROR=ON -DGC_TRACING=OFF \
-        -DGC_BUILD_BENCH=OFF -DGC_BUILD_EXAMPLES=OFF >/dev/null
+        -DGC_BUILD_BENCH=OFF -DGC_BUILD_EXAMPLES=OFF \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
   cmake --build build-ci-lint -j "${JOBS}"
+  clang_tidy
   (cd build-ci-lint && ctest --output-on-failure --timeout 120 -j "${JOBS}" \
        -R "Obs|MetricRegistry|CountersSnapshot|TraceCollector|TraceHelpers|DecisionAuditLog")
 }

@@ -1,0 +1,110 @@
+#include "control/actuator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gc {
+
+const char* to_string(CommandKind kind) noexcept {
+  switch (kind) {
+    case CommandKind::kTarget: return "target";
+    case CommandKind::kSpeed: return "speed";
+  }
+  return "?";
+}
+
+void ActuatorOptions::validate() const {
+  if (!(ack_timeout_s > 0.0) || !std::isfinite(ack_timeout_s)) {
+    throw std::invalid_argument(
+        "ActuatorOptions: ack_timeout_s must be finite and > 0");
+  }
+  if (!(backoff_base_s >= 0.0) || !std::isfinite(backoff_base_s)) {
+    throw std::invalid_argument(
+        "ActuatorOptions: backoff_base_s must be finite and >= 0");
+  }
+  if (!(backoff_cap_s > 0.0) || !std::isfinite(backoff_cap_s)) {
+    throw std::invalid_argument(
+        "ActuatorOptions: backoff_cap_s must be finite and > 0");
+  }
+  if (!(jitter_frac >= 0.0 && jitter_frac <= 1.0)) {
+    throw std::invalid_argument("ActuatorOptions: jitter_frac must be in [0, 1]");
+  }
+  if (retry_budget == 0) {
+    throw std::invalid_argument("ActuatorOptions: retry_budget must be >= 1");
+  }
+}
+
+CommandActuator::CommandActuator(const ActuatorOptions& options, Rng rng)
+    : options_(options), rng_(rng) {
+  options_.validate();
+}
+
+Command CommandActuator::issue(double now, CommandKind kind, double value,
+                               std::uint32_t era) {
+  Lane& l = lane(kind);
+  // A newer command supersedes the outstanding one: its retries stop and
+  // its eventual ack (if any) will read as stale.
+  Command cmd;
+  cmd.kind = kind;
+  cmd.value = value;
+  cmd.gen = l.next_gen++;
+  cmd.era = era;
+  if (options_.enabled) {
+    l.outstanding = true;
+    l.cmd = cmd;
+    l.backoff_s = options_.backoff_base_s > 0.0 ? options_.backoff_base_s
+                                                : options_.ack_timeout_s;
+    l.next_retry_s = now + options_.ack_timeout_s;
+    l.retransmits = 0;
+  }
+  return cmd;
+}
+
+void CommandActuator::poll(double now, std::vector<Command>& due) {
+  if (!options_.enabled) return;
+  for (Lane& l : lanes_) {
+    if (!l.outstanding || now + 1e-9 < l.next_retry_s) continue;
+    if (l.retransmits >= options_.retry_budget) {
+      // Budget spent: reconcile to acked state.  The command stops being
+      // asserted; acked_value keeps the last confirmed value so the next
+      // plan starts from fleet truth, not the unconfirmed wish.
+      l.outstanding = false;
+      ++exhausted_;
+      continue;
+    }
+    ++l.retransmits;
+    ++retries_;
+    double wait = std::min(l.backoff_s, options_.backoff_cap_s);
+    if (options_.jitter_frac > 0.0) {
+      // Drawn only when a retransmission actually fires (determinism
+      // contract: loss-free runs consume no randomness).
+      wait *= 1.0 + options_.jitter_frac * rng_.uniform01();
+    }
+    l.next_retry_s = now + wait;
+    l.backoff_s = std::min(l.backoff_s * 2.0, options_.backoff_cap_s);
+    due.push_back(l.cmd);
+  }
+}
+
+void CommandActuator::on_ack(double /*now*/, CommandKind kind, std::uint64_t gen) {
+  Lane& l = lane(kind);
+  if (!l.outstanding || gen != l.cmd.gen) {
+    // Superseded, already acked, or a duplicate ack from a retransmission.
+    ++stale_acks_;
+    return;
+  }
+  l.acked_value = l.cmd.value;
+  l.outstanding = false;
+  ++acked_count_;
+}
+
+std::optional<double> CommandActuator::acked_value(CommandKind kind) const noexcept {
+  return lane(kind).acked_value;
+}
+
+bool CommandActuator::outstanding(CommandKind kind) const noexcept {
+  return lane(kind).outstanding;
+}
+
+}  // namespace gc

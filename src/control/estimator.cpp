@@ -1,6 +1,7 @@
 #include "control/estimator.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace gc {
@@ -23,6 +24,28 @@ void EwmaEstimator::observe(double value) noexcept {
 void EwmaEstimator::reset() noexcept {
   value_ = 0.0;
   primed_ = false;
+}
+
+StalenessGuard::StalenessGuard(double horizon_s, double margin_widen)
+    : horizon_s_(horizon_s), widen_(margin_widen) {
+  if (!(horizon_s >= 0.0) || !std::isfinite(horizon_s)) {
+    throw std::invalid_argument("StalenessGuard: horizon_s must be finite and >= 0");
+  }
+  if (!(margin_widen >= 1.0) || !std::isfinite(margin_widen)) {
+    throw std::invalid_argument(
+        "StalenessGuard: margin_widen must be finite and >= 1");
+  }
+}
+
+double StalenessGuard::filter(double age_s, double rate) noexcept {
+  if (horizon_s_ <= 0.0 || age_s <= horizon_s_) {
+    last_good_ = rate;
+    stale_ = false;
+    return rate;
+  }
+  stale_ = true;
+  ++stale_ticks_;
+  return last_good_;
 }
 
 SlidingWindowEstimator::SlidingWindowEstimator(std::size_t capacity) : capacity_(capacity) {

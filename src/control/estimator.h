@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 
 namespace gc {
@@ -24,6 +25,49 @@ class EwmaEstimator {
   double alpha_;
   double value_ = 0.0;
   bool primed_ = false;
+};
+
+// Stale-telemetry guard for age-stamped observations (DESIGN.md §8.2).
+//
+// Over a degraded control channel (sim/control_channel) the newest rate
+// the controller holds can be arbitrarily old.  The guard compares each
+// observation's age against a staleness horizon: while fresh it records
+// the rate as last-good and passes it through; past the horizon it holds
+// the last-good rate instead and reports a widened safety margin
+// (`margin_widen`), so the planner hedges against the drift it cannot
+// see.  A horizon of 0 disables the guard entirely — filter() is then the
+// identity and margin_multiplier() is exactly 1.0, preserving bit
+// identity with unguarded controllers.
+struct StalenessOptions {
+  // Observation age beyond which telemetry counts as stale; 0 disables
+  // the guard (no behavior change vs an unguarded controller).
+  double horizon_s = 0.0;
+  // Safety-margin multiplier applied while stale.
+  double margin_widen = 1.25;
+};
+
+class StalenessGuard {
+ public:
+  explicit StalenessGuard(const StalenessOptions& options)
+      : StalenessGuard(options.horizon_s, options.margin_widen) {}
+  // Throws std::invalid_argument on inconsistent settings.
+  StalenessGuard(double horizon_s, double margin_widen);
+
+  // Feeds one age-stamped observation; returns the rate to plan with.
+  double filter(double age_s, double rate) noexcept;
+
+  [[nodiscard]] bool stale() const noexcept { return stale_; }
+  [[nodiscard]] double margin_multiplier() const noexcept {
+    return stale_ ? widen_ : 1.0;
+  }
+  [[nodiscard]] std::uint64_t stale_ticks() const noexcept { return stale_ticks_; }
+
+ private:
+  double horizon_s_;
+  double widen_;
+  double last_good_ = 0.0;
+  bool stale_ = false;
+  std::uint64_t stale_ticks_ = 0;
 };
 
 // Sliding window keeping the last `capacity` observations; exposes mean and

@@ -95,18 +95,19 @@ unsigned BootRetryGate::propose(double now, unsigned committed, unsigned target)
 FailureAwareDcpController::FailureAwareDcpController(const Provisioner* provisioner,
                                                      const DcpParams& dcp,
                                                      PredictorKind predictor,
-                                                     const FailureAwareOptions& options)
+                                                     const FailureAwareOptions& options,
+                                                     const StalenessOptions& staleness)
     : provisioner_(provisioner), planner_(provisioner, dcp),
       predictor_(make_predictor(predictor, dcp.short_period_s)),
       hysteresis_(effective_patience(dcp, provisioner->config().transition,
                                      PowerModel(provisioner->config().power))),
-      options_(options),
-      detector_(options.detection_delay_s(), provisioner->config().max_servers),
-      retry_(options.boot_retry_budget,
-             options.boot_retry_backoff_s > 0.0 ? options.boot_retry_backoff_s
-                                                : dcp.long_period_s) {
+      options_(validated(options)),
+      detector_(options_.detection_delay_s(), provisioner->config().max_servers),
+      retry_(options_.boot_retry_budget,
+             options_.boot_retry_backoff_s > 0.0 ? options_.boot_retry_backoff_s
+                                                 : dcp.long_period_s),
+      guard_(staleness) {
   GC_CHECK(provisioner != nullptr, "FailureAwareDcpController: null provisioner");
-  options_.validate();
 }
 
 double FailureAwareDcpController::short_period_s() const {
@@ -117,9 +118,14 @@ double FailureAwareDcpController::long_period_s() const {
 }
 
 ControlAction FailureAwareDcpController::on_short_tick(const ControlContext& ctx) {
-  predictor_->observe(ctx.measured_rate);
+  // Stale-telemetry guard: fresh observations pass through bit-identically
+  // (multiplier exactly 1.0); past the horizon the last-good rate is held
+  // and the margin widened (control/estimator.h).
+  const double rate = guard_.filter(ctx.obs_age_s, ctx.measured_rate);
+  predictor_->observe(rate);
   const unsigned detected = detector_.observe(ctx.now, ctx.available);
-  const double padded = ctx.measured_rate * planner_.params().safety_margin;
+  const double padded =
+      rate * planner_.params().safety_margin * guard_.margin_multiplier();
   unsigned serving = std::max(ctx.serving, 1u);
   // Fit the frequency for the planned base fleet, not the spared one:
   // speed sized for `base` servers spread over `serving >= base` servers
@@ -137,16 +143,18 @@ ControlAction FailureAwareDcpController::on_short_tick(const ControlContext& ctx
   action.speed = pt.speed;
   action.infeasible = !pt.feasible;
   action.explain.planning_rate = padded;
-  action.explain.safety_margin = planner_.params().safety_margin;
+  action.explain.safety_margin =
+      planner_.params().safety_margin * guard_.margin_multiplier();
   action.explain.planned_servers = serving;
   action.explain.detected_available = detected;
   return action;
 }
 
 ControlAction FailureAwareDcpController::on_long_tick(const ControlContext& ctx) {
+  const double rate = guard_.filter(ctx.obs_age_s, ctx.measured_rate);
   const unsigned detected = std::max(detector_.observe(ctx.now, ctx.available), 1u);
   const double predicted =
-      std::max(predictor_->predict(planner_.prediction_horizon()), ctx.measured_rate);
+      std::max(predictor_->predict(planner_.prediction_horizon()), rate);
   // The spare already over-provisions by ~spare_capacity_fraction, and
   // absent a crash it absorbs prediction error exactly like the
   // multiplicative margin would — so the margin is relieved by the spare's
@@ -155,7 +163,7 @@ ControlAction FailureAwareDcpController::on_long_tick(const ControlContext& ctx)
   const double relieved_margin =
       std::max(1.0, planner_.params().safety_margin /
                         (1.0 + options_.spare_capacity_fraction));
-  const double padded = predicted * relieved_margin;
+  const double padded = predicted * relieved_margin * guard_.margin_multiplier();
 
   // Plan within the fleet the detector believes is alive.
   const OperatingPoint pt = provisioner_->solve_capped(padded, detected);
@@ -174,7 +182,7 @@ ControlAction FailureAwareDcpController::on_long_tick(const ControlContext& ctx)
   action.infeasible = !pt.feasible;
   action.explain.predicted_rate = predicted;
   action.explain.planning_rate = padded;
-  action.explain.safety_margin = relieved_margin;
+  action.explain.safety_margin = relieved_margin * guard_.margin_multiplier();
   action.explain.planned_servers = pt.servers;
   action.explain.detected_available = detected;
   return action;

@@ -45,6 +45,7 @@
 
 #include "core/dcp.h"
 #include "core/provisioner.h"
+#include "control/estimator.h"
 #include "control/predictor.h"
 #include "sim/simulation.h"
 
@@ -127,7 +128,8 @@ class FailureAwareDcpController final : public Controller {
  public:
   FailureAwareDcpController(const Provisioner* provisioner, const DcpParams& dcp,
                             PredictorKind predictor,
-                            const FailureAwareOptions& options);
+                            const FailureAwareOptions& options,
+                            const StalenessOptions& staleness = {});
 
   [[nodiscard]] double short_period_s() const override;
   [[nodiscard]] double long_period_s() const override;
@@ -136,6 +138,17 @@ class FailureAwareDcpController final : public Controller {
   [[nodiscard]] const char* name() const override { return "dcp-failure-aware"; }
 
  private:
+  // Pass-through that runs validate() first, so degenerate settings (a
+  // non-positive heartbeat interval, zero misses, a zero retry budget)
+  // throw std::invalid_argument at construction — *before* the member
+  // initializers below hand the derived values to FailureDetector /
+  // BootRetryGate, whose GC_CHECK preconditions would abort instead.
+  [[nodiscard]] static const FailureAwareOptions& validated(
+      const FailureAwareOptions& options) {
+    options.validate();
+    return options;
+  }
+
   const Provisioner* provisioner_;
   DcpPlanner planner_;
   std::unique_ptr<LoadPredictor> predictor_;
@@ -143,6 +156,7 @@ class FailureAwareDcpController final : public Controller {
   FailureAwareOptions options_;
   FailureDetector detector_;
   BootRetryGate retry_;
+  StalenessGuard guard_;
   // Base server count of the last long-period plan (before spares); the
   // short tick fits speed to this so spares stay pure headroom.  0 until
   // the first long tick.

@@ -55,7 +55,8 @@ std::unique_ptr<Controller> make_policy(PolicyKind kind, const Provisioner* prov
       return std::make_unique<ThresholdController>(provisioner, options);
     case PolicyKind::kDcpFailureAware:
       return std::make_unique<FailureAwareDcpController>(
-          provisioner, options.dcp, options.predictor, options.failure);
+          provisioner, options.dcp, options.predictor, options.failure,
+          options.staleness);
   }
   throw std::invalid_argument("make_policy: unknown policy kind");
 }
@@ -165,7 +166,7 @@ CombinedDcpController::CombinedDcpController(const Provisioner* provisioner,
       predictor_(make_predictor(options.predictor, options.dcp.short_period_s)),
       hysteresis_(effective_patience(options.dcp, provisioner->config().transition,
                                      PowerModel(provisioner->config().power))),
-      backlog_aware_(options.backlog_aware) {}
+      backlog_aware_(options.backlog_aware), guard_(options.staleness) {}
 
 double CombinedDcpController::short_period_s() const {
   return planner_.params().short_period_s;
@@ -175,9 +176,14 @@ double CombinedDcpController::long_period_s() const {
 }
 
 ControlAction CombinedDcpController::on_short_tick(const ControlContext& ctx) {
-  predictor_->observe(ctx.measured_rate);
+  // With fresh telemetry filter() is the identity and the multiplier 1.0,
+  // so the unguarded arithmetic (and its bits) is preserved; past the
+  // staleness horizon the last-good rate is held and the margin widened.
+  const double rate = guard_.filter(ctx.obs_age_s, ctx.measured_rate);
+  predictor_->observe(rate);
   // Fit the frequency to the capacity that is actually serving right now.
-  const double padded = ctx.measured_rate * planner_.params().safety_margin;
+  const double padded =
+      rate * planner_.params().safety_margin * guard_.margin_multiplier();
   const unsigned serving = std::max(ctx.serving, 1u);
   ControlAction action;
   OperatingPoint pt;
@@ -191,14 +197,17 @@ ControlAction CombinedDcpController::on_short_tick(const ControlContext& ctx) {
   action.speed = pt.speed;
   action.infeasible = !pt.feasible;
   action.explain.planning_rate = padded;
-  action.explain.safety_margin = planner_.params().safety_margin;
+  action.explain.safety_margin =
+      planner_.params().safety_margin * guard_.margin_multiplier();
   action.explain.planned_servers = serving;
   return action;
 }
 
 ControlAction CombinedDcpController::on_long_tick(const ControlContext& ctx) {
+  const double rate = guard_.filter(ctx.obs_age_s, ctx.measured_rate);
   const double predicted =
-      std::max(predictor_->predict(planner_.prediction_horizon()), ctx.measured_rate);
+      std::max(predictor_->predict(planner_.prediction_horizon()), rate) *
+      guard_.margin_multiplier();
   const OperatingPoint pt = planner_.plan_point(predicted);
   ControlAction action;
   action.active_target = hysteresis_.propose(ctx.committed, pt.servers);

@@ -23,6 +23,7 @@
 
 #include "core/dcp.h"
 #include "core/provisioner.h"
+#include "control/estimator.h"
 #include "control/failure_aware.h"
 #include "control/predictor.h"
 #include "sim/simulation.h"
@@ -57,6 +58,11 @@ struct PolicyOptions {
   bool backlog_aware = false;
   // kDcpFailureAware only: detector / spare capacity / boot retry knobs.
   FailureAwareOptions failure = {};
+  // Stale-telemetry guard over a degraded control channel (Combined/DCP
+  // and failure-aware only): hold last-good λ̂ and widen the safety margin
+  // when the delivered observation ages past the horizon.  Inert (0
+  // horizon) by default.
+  StalenessOptions staleness = {};
 };
 
 // Factory: builds a controller of the given kind over a provisioner that
@@ -139,6 +145,7 @@ class CombinedDcpController final : public Controller {
   std::unique_ptr<LoadPredictor> predictor_;
   HysteresisGate hysteresis_;
   bool backlog_aware_;
+  StalenessGuard guard_;
 };
 
 class OracleController final : public Controller {

@@ -54,7 +54,9 @@ std::string DecisionAuditLog::to_jsonl() const {
     append_kv(out, "speed_set", r.speed_set);
     append_kv(out, "speed", r.speed);
     append_kv(out, "infeasible", r.infeasible);
-    append_kv(out, "admit_probability", r.admit_probability, /*last=*/true);
+    append_kv(out, "admit_probability", r.admit_probability);
+    append_kv(out, "obs_age_s", r.obs_age_s);
+    append_kv(out, "safe_mode", r.safe_mode, /*last=*/true);
     out += "}\n";
   }
   return out;
@@ -94,7 +96,9 @@ CsvTable DecisionAuditLog::to_csv_table() const {
                   "speed_set",
                   "speed",
                   "infeasible",
-                  "admit_probability"};
+                  "admit_probability",
+                  "obs_age_s",
+                  "safe_mode"};
   table.rows.reserve(records_.size());
   for (const AuditRecord& r : records_) {
     table.rows.push_back({r.time_s,
@@ -116,7 +120,9 @@ CsvTable DecisionAuditLog::to_csv_table() const {
                           r.speed_set ? 1.0 : 0.0,
                           r.speed,
                           r.infeasible ? 1.0 : 0.0,
-                          r.admit_probability});
+                          r.admit_probability,
+                          r.obs_age_s,
+                          r.safe_mode ? 1.0 : 0.0});
   }
   return table;
 }

@@ -50,6 +50,9 @@ struct AuditRecord {
   double speed = 0.0;
   bool infeasible = false;
   double admit_probability = 1.0;  // admission control state after the tick
+  // -- control-plane degradation (appended columns; PR 4) --------------------
+  double obs_age_s = 0.0;   // age of the telemetry sample the tick planned on
+  bool safe_mode = false;   // fleet was in the watchdog's static fallback
 };
 
 class DecisionAuditLog {

@@ -29,6 +29,11 @@ const char* to_string(EventType type) noexcept {
     case EventType::kServerFail: return "server_fail";
     case EventType::kServerRepair: return "server_repair";
     case EventType::kBootTimeout: return "boot_timeout";
+    case EventType::kTelemetryDeliver: return "telemetry_deliver";
+    case EventType::kCommandDeliver: return "command_deliver";
+    case EventType::kAckDeliver: return "ack_deliver";
+    case EventType::kControllerFail: return "controller_fail";
+    case EventType::kControllerRecover: return "controller_recover";
   }
   return "?";
 }

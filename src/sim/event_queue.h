@@ -49,6 +49,13 @@ enum class EventType : int {
   kServerFail = 8,     // subject: server index (background fault process / script)
   kServerRepair = 9,   // subject: server index
   kBootTimeout = 10,   // subject: server index (a boot that hung instead of completing)
+  // Control-plane degradation (sim/control_channel.h).  Subjects for the
+  // deliveries are SlotStore payload slots, not server indices.
+  kTelemetryDeliver = 11,   // a fleet-state sample reaches the controller
+  kCommandDeliver = 12,     // a target-m / speed command reaches the fleet
+  kAckDeliver = 13,         // a command ack reaches the actuator
+  kControllerFail = 14,     // subject: outage script index (or ~0 = random)
+  kControllerRecover = 15,
 };
 [[nodiscard]] const char* to_string(EventType type) noexcept;
 

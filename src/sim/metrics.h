@@ -88,6 +88,18 @@ struct SimResult {
   // was unachievable (Provisioner infeasibility), and their fraction.
   std::uint64_t infeasible_ticks = 0;
   double infeasible_ratio = 0.0;
+  // Control-plane degradation accounting (whole-run, not warmup-deltaed:
+  // these describe the management path, not the workload).  All zero when
+  // the channel / actuator / controller faults are disabled.
+  std::uint64_t telemetry_dropped = 0;  // fleet samples lost controller-ward
+  std::uint64_t commands_dropped = 0;   // commands lost fleet-ward
+  std::uint64_t acks_dropped = 0;       // acks lost controller-ward
+  std::uint64_t command_retries = 0;    // actuator retransmissions
+  std::uint64_t command_duplicates = 0; // re-deliveries deduped at the fleet
+  std::uint64_t commands_exhausted = 0; // retry budget spent; reconciled to acked
+  std::uint64_t ticks_missed = 0;       // control ticks with the controller down
+  std::uint64_t safe_mode_entries = 0;  // watchdog trips into static fallback
+  double safe_mode_time_s = 0.0;        // time spent in the fallback
   // Solver memo-cache counters (runner-filled; zero when the run was
   // driven without a Provisioner).  Purely observational: cache hits are
   // bit-identical to recomputation, so these never affect other outputs.

@@ -19,7 +19,29 @@ void apply_action(Cluster& cluster, double now, const ControlAction& action) {
 }
 
 constexpr std::size_t kNumEventTypes =
-    static_cast<std::size_t>(EventType::kBootTimeout) + 1;
+    static_cast<std::size_t>(EventType::kControllerRecover) + 1;
+
+// A fleet-state sample travelling controller-ward over the telemetry
+// link.  With the channel disabled this is copied straight into the
+// controller's view; with it enabled it may arrive late, out of order
+// (discarded: a newer sample already landed) or never.
+struct TelemetrySnapshot {
+  double sample_time = 0.0;
+  double rate = 0.0;
+  unsigned serving = 0;
+  unsigned committed = 0;
+  unsigned powered = 0;
+  unsigned available = 0;
+  std::uint64_t jobs_in_system = 0;
+};
+
+struct AckMsg {
+  CommandKind kind = CommandKind::kTarget;
+  std::uint64_t gen = 0;
+};
+
+// kControllerFail subject for the random (non-scripted) outage process.
+constexpr std::uint32_t kRandomOutage = ~0u;
 
 }  // namespace
 
@@ -69,6 +91,58 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
   AdmissionController admission(
       options.admission, options.t_ref_s,
       Rng(cluster_options.dispatch_seed, /*stream=*/7));
+
+  // Control-plane degradation (DESIGN.md §8): the management network, the
+  // ack/retry actuator and the controller fail-stop process.  Everything
+  // here follows the draw-only-when-needed discipline, so leaving all
+  // three at defaults (or enabling them with zero loss/latency and no
+  // outages) is bit-identical to the legacy synchronous path.
+  const std::uint64_t control_seed =
+      cluster_options.dispatch_seed ^ 0x5ca1ab1ec0ffeeULL;
+  ControlChannel channel(options.channel, control_seed);
+  const bool chan_on = options.channel.enabled;
+  CommandActuator actuator(options.actuator, Rng(control_seed, /*stream=*/14));
+  // Commands take the generation-stamped path whenever the channel or the
+  // ack/retry protocol is on; otherwise they apply in place.
+  const bool cmd_path = chan_on || options.actuator.enabled;
+
+  const ControllerFaultOptions& cf = options.controller_faults;
+  cf.validate();
+  Rng outage_rng(cf.seed != 0 ? cf.seed : control_seed, /*stream=*/15);
+  if (cf.enabled()) {
+    for (std::size_t i = 0; i < cf.script.size(); ++i) {
+      queue.schedule(cf.script[i].start_s, EventType::kControllerFail,
+                     static_cast<std::uint32_t>(i));
+    }
+    if (cf.mtbf_s > 0.0) {
+      const double ttf = -cf.mtbf_s * std::log(outage_rng.uniform01_open_left());
+      queue.schedule(ttf, EventType::kControllerFail, kRandomOutage);
+    }
+  }
+  // Outages may overlap (scripted windows + the random process), so the
+  // controller is down while the depth is positive.
+  unsigned controller_down_depth = 0;
+  unsigned missed_short_ticks = 0;  // consecutive; the watchdog's counter
+  bool in_safe_mode = false;
+  double safe_mode_entered_at = 0.0;
+  // Controller incarnation: bumped on every recovery.  Safe mode rejects
+  // commands stamped by a dead incarnation (they were planned against a
+  // world the outage invalidated).
+  std::uint32_t cmd_era = 0;
+  std::uint32_t safe_min_era = 0;
+
+  // In-flight channel payloads (the event subject is the store slot).
+  SlotStore<TelemetrySnapshot> telemetry_in_flight;
+  SlotStore<Command> commands_in_flight;
+  SlotStore<AckMsg> acks_in_flight;
+  // Fleet-side dedup: a delivered command applies only when its generation
+  // beats the last applied one per kind.
+  std::uint64_t last_applied_gen[kNumCommandKinds] = {0, 0};
+  std::uint64_t telemetry_stale_discarded = 0;
+  std::uint64_t cmd_duplicates = 0;
+  std::uint64_t cmd_rejected_era = 0;
+  std::uint64_t ticks_missed_count = 0;
+  std::vector<Command> retry_buf;
 
   // Pending arrival: exactly one kArrival event is outstanding at a time.
   std::optional<JobArrival> pending = workload.next();
@@ -176,6 +250,8 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
       if (action.speed) rec.speed = *action.speed;
       rec.infeasible = action.infeasible;
       rec.admit_probability = admission.admit_probability();
+      rec.obs_age_s = ctx.obs_age_s;
+      rec.safe_mode = ctx.safe_mode;
       options.audit->append(rec);
     }
     if (trace != nullptr) {
@@ -212,6 +288,191 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
                       admission.admit_probability());
       }
     }
+  };
+
+  // The controller's fleet view: the newest *delivered* telemetry sample.
+  // Seeded from the t = 0 ground truth so a dropped first sample still
+  // leaves the controller something coherent to look at.
+  TelemetrySnapshot latest_obs;
+  latest_obs.serving = cluster.serving_count();
+  latest_obs.committed = cluster.committed_count();
+  latest_obs.powered = cluster.powered_count();
+  latest_obs.available = cluster.available_count();
+  latest_obs.jobs_in_system = cluster.jobs_in_system();
+
+  auto accept_telemetry = [&](const TelemetrySnapshot& snap) {
+    // Reordered deliveries (an older sample overtaken by a newer one) are
+    // discarded: the controller only ever moves forward in time.
+    if (snap.sample_time >= latest_obs.sample_time) {
+      latest_obs = snap;
+    } else {
+      ++telemetry_stale_discarded;
+    }
+  };
+
+  auto ship_telemetry = [&](double t, const TelemetrySnapshot& snap) {
+    if (!chan_on) {
+      latest_obs = snap;
+      return;
+    }
+    if (const auto delay = channel.telemetry_delay()) {
+      if (*delay > 0.0) {
+        queue.schedule(t + *delay, EventType::kTelemetryDeliver,
+                       telemetry_in_flight.put(snap));
+      } else {
+        // Zero latency: deliver synchronously, never touching the queue
+        // (event interleaving stays identical to no channel at all).
+        accept_telemetry(snap);
+      }
+    } else {
+      trace_instant(trace, t, "channel", "telemetry-drop");
+    }
+  };
+
+  auto send_ack = [&](double t, const Command& cmd) {
+    if (!actuator.enabled()) return;  // fire-and-forget mode: no ack protocol
+    if (!chan_on) {
+      actuator.on_ack(t, cmd.kind, cmd.gen);
+      return;
+    }
+    if (const auto delay = channel.ack_delay()) {
+      if (*delay > 0.0) {
+        queue.schedule(t + *delay, EventType::kAckDeliver,
+                       acks_in_flight.put(AckMsg{cmd.kind, cmd.gen}));
+      } else {
+        actuator.on_ack(t, cmd.kind, cmd.gen);
+      }
+    } else {
+      trace_instant(trace, t, "channel", "ack-drop");
+    }
+  };
+
+  auto exit_safe_mode = [&](double t) {
+    in_safe_mode = false;
+    result.safe_mode_time_s += t - safe_mode_entered_at;
+    trace_instant(trace, t, "control", "safe-mode-exit");
+  };
+
+  // Fleet-side command application: era gate (safe mode), generation
+  // dedup, then the actual cluster call, then the ack.
+  auto apply_command = [&](double t, const Command& cmd) {
+    if (in_safe_mode) {
+      if (cmd.era < safe_min_era) {
+        // Planned by the incarnation whose death tripped the watchdog;
+        // nobody is waiting for an ack.
+        ++cmd_rejected_era;
+        return;
+      }
+      // First live command after recovery: hand control back to the policy.
+      exit_safe_mode(t);
+    }
+    const int kind = static_cast<int>(cmd.kind);
+    if (cmd.gen <= last_applied_gen[kind]) {
+      // Retransmitted or reordered duplicate: idempotent — detected, not
+      // re-applied, but re-acked (the original ack may be the casualty).
+      ++cmd_duplicates;
+      send_ack(t, cmd);
+      return;
+    }
+    last_applied_gen[kind] = cmd.gen;
+    if (cmd.kind == CommandKind::kTarget) {
+      cluster.set_active_target(t, static_cast<unsigned>(cmd.value));
+    } else {
+      cluster.set_all_speeds(t, cmd.value);
+    }
+    send_ack(t, cmd);
+  };
+
+  auto transmit = [&](double t, const Command& cmd) {
+    if (!chan_on) {
+      // Actuator without a channel: delivery and ack are synchronous (the
+      // protocol runs, but nothing can be lost).
+      apply_command(t, cmd);
+      return;
+    }
+    if (const auto delay = channel.command_delay()) {
+      if (*delay > 0.0) {
+        queue.schedule(t + *delay, EventType::kCommandDeliver,
+                       commands_in_flight.put(cmd));
+      } else {
+        apply_command(t, cmd);
+      }
+    } else {
+      trace_instant(trace, t, "channel", "command-drop");
+    }
+  };
+
+  auto dispatch_action = [&](double t, const ControlAction& action) {
+    if (!cmd_path) {
+      // Legacy synchronous path.  A live controller acting again also
+      // ends safe mode (relevant when only controller faults are on).
+      if (in_safe_mode) exit_safe_mode(t);
+      apply_action(cluster, t, action);
+      return;
+    }
+    // Grow capacity before raising speed (same order as apply_action).
+    if (action.active_target) {
+      transmit(t, actuator.issue(t, CommandKind::kTarget,
+                                 static_cast<double>(*action.active_target),
+                                 cmd_era));
+    }
+    if (action.speed) {
+      transmit(t, actuator.issue(t, CommandKind::kSpeed, *action.speed, cmd_era));
+    }
+    // Retransmit timed-out commands.  Polling after issue means a command
+    // superseded this very tick never retransmits.
+    retry_buf.clear();
+    actuator.poll(t, retry_buf);
+    for (const Command& cmd : retry_buf) {
+      trace_instant(trace, t, "channel", "command-retry");
+      transmit(t, cmd);
+    }
+  };
+
+  auto make_context = [&](double t) {
+    ControlContext ctx;
+    ctx.now = t;
+    ctx.measured_rate = latest_obs.rate;
+    ctx.serving = latest_obs.serving;
+    ctx.committed = latest_obs.committed;
+    ctx.powered = latest_obs.powered;
+    ctx.available = latest_obs.available;
+    ctx.jobs_in_system = static_cast<std::size_t>(latest_obs.jobs_in_system);
+    ctx.obs_age_s = t - latest_obs.sample_time;
+    ctx.safe_mode = in_safe_mode;
+    if (const auto v = actuator.acked_value(CommandKind::kTarget)) {
+      ctx.acked_target = static_cast<unsigned>(*v);
+    }
+    if (const auto v = actuator.acked_value(CommandKind::kSpeed)) {
+      ctx.acked_speed = *v;
+    }
+    return ctx;
+  };
+
+  // A control tick that fires while the controller is down: telemetry has
+  // already been shipped, the policy is not consulted, and (on short
+  // ticks) the watchdog counts toward the safe-mode trip.
+  auto miss_tick = [&](double t, double local_rate, bool short_tick) {
+    ++ticks_missed_count;
+    trace_instant(trace, t, "control", "tick-missed");
+    if (short_tick) {
+      ++missed_short_ticks;
+      if (cf.safe_mode && !in_safe_mode &&
+          missed_short_ticks >= cf.watchdog_ticks) {
+        // Watchdog trip: safe static fallback — everything on at nominal
+        // frequency — until a post-recovery command arrives.
+        in_safe_mode = true;
+        safe_mode_entered_at = t;
+        safe_min_era = cmd_era + 1;
+        ++result.safe_mode_entries;
+        cluster.set_active_target(t, cluster.num_servers());
+        cluster.set_all_speeds(t, 1.0);
+        trace_instant(trace, t, "control", "safe-mode-enter");
+      }
+    }
+    // Admission control is fleet-local (data plane): it keeps protecting
+    // the SLA from the true local rate even with the controller dark.
+    admission.update(local_rate, cluster.serving_count(), cluster.current_speed());
   };
 
   while (auto event = queue.pop()) {
@@ -297,22 +558,36 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
         break;
       case EventType::kShortTick: {
         const double elapsed = now - last_short_tick;
-        ControlContext ctx;
-        ctx.now = now;
-        ctx.measured_rate =
+        // The rate is measured at the fleet (ground truth) and *shipped*
+        // to the controller; what the controller sees is the newest
+        // sample the telemetry link delivered.
+        const double local_rate =
             elapsed > 0.0 ? static_cast<double>(arrivals_in_window) / elapsed : 0.0;
-        ctx.serving = cluster.serving_count();
-        ctx.committed = cluster.committed_count();
-        ctx.powered = cluster.powered_count();
-        ctx.available = cluster.available_count();
-        ctx.jobs_in_system = cluster.jobs_in_system();
         arrivals_in_window = 0;
         last_short_tick = now;
+        TelemetrySnapshot snap;
+        snap.sample_time = now;
+        snap.rate = local_rate;
+        snap.serving = cluster.serving_count();
+        snap.committed = cluster.committed_count();
+        snap.powered = cluster.powered_count();
+        snap.available = cluster.available_count();
+        snap.jobs_in_system = cluster.jobs_in_system();
+        ship_telemetry(now, snap);
+        if (controller_down_depth > 0) {
+          miss_tick(now, local_rate, /*short_tick=*/true);
+          if (!workload_done || cluster.jobs_in_system() > 0) {
+            queue.schedule(now + t_short, EventType::kShortTick);
+          }
+          break;
+        }
+        missed_short_ticks = 0;
+        const ControlContext ctx = make_context(now);
         const ControlAction action = controller.on_short_tick(ctx);
-        apply_action(cluster, now, action);
+        dispatch_action(now, action);
         ++ticks_total;
         if (action.infeasible) ++infeasible_ticks;
-        admission.update(ctx.measured_rate, cluster.serving_count(),
+        admission.update(local_rate, cluster.serving_count(),
                          cluster.current_speed());
         observe_control(/*long_tick=*/false, ctx, action, now - elapsed);
         // Keep ticking while there is anything left to happen.
@@ -322,27 +597,78 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
         break;
       }
       case EventType::kLongTick: {
-        ControlContext ctx;
-        ctx.now = now;
         const double elapsed = now - last_short_tick;
-        ctx.measured_rate =
+        const double local_rate =
             elapsed > 0.0 ? static_cast<double>(arrivals_in_window) / elapsed : 0.0;
-        ctx.serving = cluster.serving_count();
-        ctx.committed = cluster.committed_count();
-        ctx.powered = cluster.powered_count();
-        ctx.available = cluster.available_count();
-        ctx.jobs_in_system = cluster.jobs_in_system();
+        TelemetrySnapshot snap;
+        snap.sample_time = now;
+        snap.rate = local_rate;
+        snap.serving = cluster.serving_count();
+        snap.committed = cluster.committed_count();
+        snap.powered = cluster.powered_count();
+        snap.available = cluster.available_count();
+        snap.jobs_in_system = cluster.jobs_in_system();
+        ship_telemetry(now, snap);
+        if (controller_down_depth > 0) {
+          miss_tick(now, local_rate, /*short_tick=*/false);
+          if (!workload_done || cluster.jobs_in_system() > 0) {
+            queue.schedule(now + t_long, EventType::kLongTick);
+          }
+          break;
+        }
+        const ControlContext ctx = make_context(now);
         const ControlAction action = controller.on_long_tick(ctx);
-        apply_action(cluster, now, action);
+        dispatch_action(now, action);
         ++ticks_total;
         if (action.infeasible) ++infeasible_ticks;
-        admission.update(ctx.measured_rate, cluster.serving_count(),
+        admission.update(local_rate, cluster.serving_count(),
                          cluster.current_speed());
         observe_control(/*long_tick=*/true, ctx, action, last_long_tick);
         last_long_tick = now;
         if (!workload_done || cluster.jobs_in_system() > 0) {
           queue.schedule(now + t_long, EventType::kLongTick);
         }
+        break;
+      }
+      case EventType::kTelemetryDeliver:
+        accept_telemetry(telemetry_in_flight.take(event->subject));
+        break;
+      case EventType::kCommandDeliver:
+        apply_command(now, commands_in_flight.take(event->subject));
+        break;
+      case EventType::kAckDeliver: {
+        const AckMsg ack = acks_in_flight.take(event->subject);
+        actuator.on_ack(now, ack.kind, ack.gen);
+        break;
+      }
+      case EventType::kControllerFail: {
+        ++controller_down_depth;
+        double duration;
+        if (event->subject == kRandomOutage) {
+          duration = -cf.mttr_s * std::log(outage_rng.uniform01_open_left());
+        } else {
+          duration = cf.script[event->subject].duration_s;
+        }
+        queue.schedule(now + duration, EventType::kControllerRecover,
+                       event->subject);
+        trace_instant(trace, now, "control", "controller-fail");
+        break;
+      }
+      case EventType::kControllerRecover: {
+        GC_CHECK(controller_down_depth > 0, "recover without an outage");
+        --controller_down_depth;
+        if (controller_down_depth == 0) {
+          // New incarnation: its commands outrank anything the dead one
+          // left in flight, and the watchdog starts from a clean slate.
+          ++cmd_era;
+          missed_short_ticks = 0;
+        }
+        if (event->subject == kRandomOutage && cf.mtbf_s > 0.0) {
+          const double ttf =
+              -cf.mtbf_s * std::log(outage_rng.uniform01_open_left());
+          queue.schedule(now + ttf, EventType::kControllerFail, kRandomOutage);
+        }
+        trace_instant(trace, now, "control", "controller-recover");
         break;
       }
       case EventType::kRecord: {
@@ -475,6 +801,40 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
   registry.counter("control.ticks").inc(ticks_total);
   registry.counter("control.infeasible_ticks").inc(infeasible_ticks);
   registry.gauge("sim.time_s").set(now);
+
+  // Control-plane degradation accounting.  Result fields are whole-run
+  // (the management path degrades during warmup too); counters are
+  // registered only when the respective subsystem was on, so disabled
+  // runs keep their historical counter set.
+  if (in_safe_mode) result.safe_mode_time_s += now - safe_mode_entered_at;
+  result.telemetry_dropped = channel.telemetry_counters().dropped;
+  result.commands_dropped = channel.command_counters().dropped;
+  result.acks_dropped = channel.ack_counters().dropped;
+  result.command_retries = actuator.retries();
+  result.command_duplicates = cmd_duplicates;
+  result.commands_exhausted = actuator.exhausted();
+  result.ticks_missed = ticks_missed_count;
+  if (chan_on) {
+    registry.counter("chan.telemetry.sent").inc(channel.telemetry_counters().sent);
+    registry.counter("chan.telemetry.dropped").inc(result.telemetry_dropped);
+    registry.counter("chan.telemetry.stale_discarded").inc(telemetry_stale_discarded);
+    registry.counter("chan.command.sent").inc(channel.command_counters().sent);
+    registry.counter("chan.command.dropped").inc(result.commands_dropped);
+    registry.counter("chan.ack.sent").inc(channel.ack_counters().sent);
+    registry.counter("chan.ack.dropped").inc(result.acks_dropped);
+  }
+  if (cmd_path) {
+    registry.counter("act.retries").inc(actuator.retries());
+    registry.counter("act.acked").inc(actuator.acked());
+    registry.counter("act.stale_acks").inc(actuator.stale_acks());
+    registry.counter("act.exhausted").inc(actuator.exhausted());
+    registry.counter("act.duplicates").inc(cmd_duplicates);
+    registry.counter("act.rejected_era").inc(cmd_rejected_era);
+  }
+  if (cf.enabled()) {
+    registry.counter("control.ticks_missed").inc(ticks_missed_count);
+    registry.counter("control.safe_mode_entries").inc(result.safe_mode_entries);
+  }
   if (options.audit != nullptr) {
     registry.counter("obs.audit.records").inc(options.audit->size());
   }

@@ -12,7 +12,15 @@
 //                       a long decision wins the tie);
 //   * kRecord         — sample the timeline;
 //   * kWarmupEnd      — reset metrics and snapshot energy so reported
-//                       numbers exclude the transient.
+//                       numbers exclude the transient;
+//   * kTelemetryDeliver / kCommandDeliver / kAckDeliver — delayed
+//                       control-plane messages (sim/control_channel.h;
+//                       zero-latency messages are delivered synchronously
+//                       and never reach the queue);
+//   * kControllerFail / kControllerRecover — controller outage edges; a
+//                       watchdog counts missed short ticks while down and
+//                       drops the fleet into a safe static fallback
+//                       (all-on, nominal frequency) when it trips.
 //
 // The run ends when the workload is exhausted AND all jobs have departed,
 // or at `hard_stop_s` if configured (overload protection).
@@ -21,10 +29,12 @@
 #include <memory>
 #include <optional>
 
+#include "control/actuator.h"
 #include "obs/audit.h"
 #include "obs/trace.h"
 #include "sim/admission.h"
 #include "sim/cluster.h"
+#include "sim/control_channel.h"
 #include "sim/event_queue.h"
 #include "sim/fault_injector.h"
 #include "sim/metrics.h"
@@ -32,10 +42,14 @@
 
 namespace gc {
 
-// What the controller observes at a tick.
+// What the controller observes at a tick.  With the control channel
+// disabled this is the instantaneous ground truth; with it enabled the
+// fleet fields come from the newest *delivered* telemetry sample, which
+// may be stale (see obs_age_s) or missing updates the channel dropped.
 struct ControlContext {
   double now = 0.0;
-  // Arrivals / elapsed time since the previous short tick.
+  // Arrivals / elapsed time since the previous short tick (as sampled at
+  // the telemetry source; see obs_age_s for how old that sample is).
   double measured_rate = 0.0;
   unsigned serving = 0;
   unsigned committed = 0;  // serving + booting
@@ -44,6 +58,16 @@ struct ControlContext {
   // own (delayed) detector over this signal.
   unsigned available = 0;
   std::size_t jobs_in_system = 0;
+  // Age of the newest delivered telemetry sample (now - sample time); 0
+  // when the channel is disabled or perfect.
+  double obs_age_s = 0.0;
+  // The fleet is currently running the watchdog's safe static fallback.
+  bool safe_mode = false;
+  // Last fleet state confirmed by the actuator's ack protocol; unset
+  // before the first ack or when the actuator is disabled.  This is what
+  // "re-plan from acked state" plans against.
+  std::optional<unsigned> acked_target;
+  std::optional<double> acked_speed;
 };
 
 // Planning internals behind a ControlAction, filled by the controllers for
@@ -92,6 +116,12 @@ struct SimulationOptions {
   FaultOptions faults;
   // Graceful degradation via probabilistic shedding; inert unless enabled.
   AdmissionOptions admission;
+  // Control-plane degradation (DESIGN.md §8).  A zero-loss/zero-latency
+  // channel — even with the actuator and watchdog enabled — is
+  // bit-identical to all three left at defaults (pinned goldens hold).
+  ControlChannelOptions channel;          // lossy/latent management network
+  ActuatorOptions actuator;               // ack/retry command protocol
+  ControllerFaultOptions controller_faults;  // fail-stop controller + watchdog
   // Observability sinks (non-owning; must outlive the run).  Null = off.
   // Both are strictly observational: attaching them never changes event
   // order, RNG draws or any SimResult field (tests/test_obs_determinism).

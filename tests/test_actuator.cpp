@@ -1,0 +1,251 @@
+// Unit tests for the ack/retry command actuator (control/actuator):
+// generation stamping, timeout-driven retransmission with bounded
+// exponential backoff and jitter, budget exhaustion reconciling to acked
+// state, stale-ack accounting, and lane supersession.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "control/actuator.h"
+#include "stats/rng.h"
+
+namespace gc {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+ActuatorOptions on_options() {
+  ActuatorOptions opts;
+  opts.enabled = true;
+  opts.ack_timeout_s = 1.0;
+  opts.backoff_cap_s = 8.0;
+  opts.jitter_frac = 0.0;  // deterministic retry times unless a test opts in
+  opts.retry_budget = 3;
+  return opts;
+}
+
+CommandActuator make_actuator(const ActuatorOptions& opts) {
+  return CommandActuator(opts, Rng(123, 14));
+}
+
+TEST(ActuatorOptions, ValidatesRanges) {
+  ActuatorOptions opts;
+  EXPECT_NO_THROW(opts.validate());
+  opts.ack_timeout_s = 0.0;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+  opts.ack_timeout_s = kInf;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+  opts = ActuatorOptions{};
+  opts.backoff_base_s = -1.0;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+  opts = ActuatorOptions{};
+  opts.backoff_cap_s = 0.0;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+  opts = ActuatorOptions{};
+  opts.jitter_frac = 1.5;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+  opts.jitter_frac = -0.1;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+  opts = ActuatorOptions{};
+  opts.retry_budget = 0;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+}
+
+TEST(ActuatorOptions, ConstructorValidates) {
+  ActuatorOptions opts;
+  opts.retry_budget = 0;
+  EXPECT_THROW(make_actuator(opts), std::invalid_argument);
+}
+
+TEST(Actuator, GenerationsAreMonotonicPerLane) {
+  CommandActuator act = make_actuator(on_options());
+  const Command t1 = act.issue(0.0, CommandKind::kTarget, 8.0, /*era=*/0);
+  const Command s1 = act.issue(0.0, CommandKind::kSpeed, 0.9, /*era=*/0);
+  const Command t2 = act.issue(1.0, CommandKind::kTarget, 9.0, /*era=*/0);
+  EXPECT_EQ(t1.gen, 1u);
+  EXPECT_EQ(s1.gen, 1u);  // lanes are independent
+  EXPECT_EQ(t2.gen, 2u);
+  EXPECT_EQ(t1.kind, CommandKind::kTarget);
+  EXPECT_EQ(s1.kind, CommandKind::kSpeed);
+}
+
+TEST(Actuator, DisabledStillStampsButNeverRetries) {
+  ActuatorOptions opts = on_options();
+  opts.enabled = false;
+  CommandActuator act = make_actuator(opts);
+  const Command c1 = act.issue(0.0, CommandKind::kTarget, 8.0, 0);
+  const Command c2 = act.issue(0.0, CommandKind::kTarget, 9.0, 0);
+  EXPECT_EQ(c1.gen, 1u);
+  EXPECT_EQ(c2.gen, 2u);  // reorder protection stays on
+  EXPECT_FALSE(act.outstanding(CommandKind::kTarget));
+  std::vector<Command> due;
+  act.poll(100.0, due);
+  EXPECT_TRUE(due.empty());
+  EXPECT_EQ(act.retries(), 0u);
+  // Acks for fire-and-forget commands read as stale, not as progress.
+  act.on_ack(1.0, CommandKind::kTarget, c1.gen);
+  EXPECT_EQ(act.acked(), 0u);
+  EXPECT_EQ(act.stale_acks(), 1u);
+}
+
+TEST(Actuator, AckClearsOutstandingAndRecordsValue) {
+  CommandActuator act = make_actuator(on_options());
+  const Command cmd = act.issue(0.0, CommandKind::kTarget, 12.0, 0);
+  EXPECT_TRUE(act.outstanding(CommandKind::kTarget));
+  EXPECT_EQ(act.acked_value(CommandKind::kTarget), std::nullopt);
+  act.on_ack(0.5, CommandKind::kTarget, cmd.gen);
+  EXPECT_FALSE(act.outstanding(CommandKind::kTarget));
+  EXPECT_EQ(act.acked_value(CommandKind::kTarget), std::optional<double>(12.0));
+  EXPECT_EQ(act.acked(), 1u);
+  // A duplicate ack (retransmitted ack for the same gen) is stale.
+  act.on_ack(0.6, CommandKind::kTarget, cmd.gen);
+  EXPECT_EQ(act.acked(), 1u);
+  EXPECT_EQ(act.stale_acks(), 1u);
+}
+
+TEST(Actuator, RetransmitsAfterTimeoutWithSameGeneration) {
+  CommandActuator act = make_actuator(on_options());
+  const Command cmd = act.issue(0.0, CommandKind::kSpeed, 0.8, /*era=*/2);
+  std::vector<Command> due;
+  act.poll(0.5, due);  // before the ack timeout: nothing due
+  EXPECT_TRUE(due.empty());
+  act.poll(1.0, due);  // timeout reached
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].gen, cmd.gen);  // re-asserts, does not invent a new command
+  EXPECT_EQ(due[0].value, 0.8);
+  EXPECT_EQ(due[0].era, 2u);
+  EXPECT_EQ(act.retries(), 1u);
+}
+
+TEST(Actuator, BackoffDoublesAndIsCapped) {
+  ActuatorOptions opts = on_options();
+  opts.ack_timeout_s = 1.0;
+  opts.backoff_base_s = 2.0;
+  opts.backoff_cap_s = 5.0;
+  opts.retry_budget = 10;
+  CommandActuator act = make_actuator(opts);
+  (void)act.issue(0.0, CommandKind::kTarget, 4.0, 0);
+  // With jitter off the retry times are exact: first at the ack timeout,
+  // then base, 2*base, capped: 1, +2, +4, +5, +5, ...
+  const double expected[] = {1.0, 3.0, 7.0, 12.0, 17.0};
+  double probe = 0.0;
+  for (double t : expected) {
+    std::vector<Command> due;
+    // Just before the deadline nothing fires...
+    probe = t - 0.01;
+    act.poll(probe, due);
+    EXPECT_TRUE(due.empty()) << "premature retry before t=" << t;
+    // ...and at the deadline exactly one retransmission fires.
+    act.poll(t, due);
+    ASSERT_EQ(due.size(), 1u) << "missing retry at t=" << t;
+  }
+  EXPECT_EQ(act.retries(), 5u);
+}
+
+TEST(Actuator, JitterStretchesBackoffWithinBound) {
+  ActuatorOptions opts = on_options();
+  opts.ack_timeout_s = 1.0;
+  opts.backoff_base_s = 2.0;
+  opts.backoff_cap_s = 100.0;
+  opts.jitter_frac = 0.5;
+  opts.retry_budget = 100;
+  CommandActuator act = make_actuator(opts);
+  (void)act.issue(0.0, CommandKind::kTarget, 4.0, 0);
+  // First retransmission fires at exactly t=1 (the un-jittered timeout);
+  // the *next* deadline is 2.0 * (1 + 0.5*U[0,1)) after it.
+  std::vector<Command> due;
+  act.poll(1.0, due);
+  ASSERT_EQ(due.size(), 1u);
+  // Nothing can fire before the minimum jittered wait...
+  due.clear();
+  act.poll(1.0 + 2.0 - 0.01, due);
+  EXPECT_TRUE(due.empty());
+  // ...and the maximum wait bounds the deadline from above.
+  act.poll(1.0 + 2.0 * 1.5, due);
+  EXPECT_EQ(due.size(), 1u);
+}
+
+TEST(Actuator, BudgetExhaustionReconcilesToAckedState) {
+  ActuatorOptions opts = on_options();
+  opts.retry_budget = 2;
+  CommandActuator act = make_actuator(opts);
+  // First command acked: establishes fleet truth.
+  const Command c1 = act.issue(0.0, CommandKind::kTarget, 10.0, 0);
+  act.on_ack(0.1, CommandKind::kTarget, c1.gen);
+  // Second command never acked: retries then exhausts.
+  (void)act.issue(1.0, CommandKind::kTarget, 16.0, 0);
+  std::vector<Command> due;
+  for (double t = 2.0; t < 40.0; t += 1.0) act.poll(t, due);
+  EXPECT_EQ(act.retries(), 2u);
+  EXPECT_EQ(act.exhausted(), 1u);
+  EXPECT_FALSE(act.outstanding(CommandKind::kTarget));
+  // Reconciliation: the reported state is what the fleet confirmed.
+  EXPECT_EQ(act.acked_value(CommandKind::kTarget), std::optional<double>(10.0));
+}
+
+TEST(Actuator, SupersededCommandStopsRetryingAndItsAckIsStale) {
+  CommandActuator act = make_actuator(on_options());
+  const Command c1 = act.issue(0.0, CommandKind::kTarget, 10.0, 0);
+  const Command c2 = act.issue(0.5, CommandKind::kTarget, 12.0, 0);
+  EXPECT_GT(c2.gen, c1.gen);
+  // The late ack for the superseded command is stale and changes nothing.
+  act.on_ack(0.7, CommandKind::kTarget, c1.gen);
+  EXPECT_EQ(act.stale_acks(), 1u);
+  EXPECT_TRUE(act.outstanding(CommandKind::kTarget));
+  EXPECT_EQ(act.acked_value(CommandKind::kTarget), std::nullopt);
+  // Only the new command retransmits.
+  std::vector<Command> due;
+  act.poll(2.0, due);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].gen, c2.gen);
+  act.on_ack(2.1, CommandKind::kTarget, c2.gen);
+  EXPECT_EQ(act.acked_value(CommandKind::kTarget), std::optional<double>(12.0));
+}
+
+TEST(Actuator, AckForWrongLaneIsStale) {
+  CommandActuator act = make_actuator(on_options());
+  const Command cmd = act.issue(0.0, CommandKind::kTarget, 10.0, 0);
+  act.on_ack(0.1, CommandKind::kSpeed, cmd.gen);
+  EXPECT_EQ(act.stale_acks(), 1u);
+  EXPECT_TRUE(act.outstanding(CommandKind::kTarget));
+}
+
+TEST(Actuator, BothLanesRetryIndependently) {
+  CommandActuator act = make_actuator(on_options());
+  (void)act.issue(0.0, CommandKind::kTarget, 10.0, 0);
+  (void)act.issue(0.0, CommandKind::kSpeed, 0.75, 0);
+  std::vector<Command> due;
+  act.poll(1.0, due);
+  ASSERT_EQ(due.size(), 2u);
+  EXPECT_NE(static_cast<int>(due[0].kind), static_cast<int>(due[1].kind));
+}
+
+TEST(Actuator, NoJitterConfigurationNeverDrawsRandomness) {
+  // Two actuators sharing options but seeded differently must behave
+  // identically when jitter_frac == 0 — the determinism contract.
+  ActuatorOptions opts = on_options();
+  opts.retry_budget = 4;
+  CommandActuator a(opts, Rng(1, 14));
+  CommandActuator b(opts, Rng(2, 14));
+  (void)a.issue(0.0, CommandKind::kTarget, 10.0, 0);
+  (void)b.issue(0.0, CommandKind::kTarget, 10.0, 0);
+  for (double t = 0.5; t < 30.0; t += 0.5) {
+    std::vector<Command> da;
+    std::vector<Command> db;
+    a.poll(t, da);
+    b.poll(t, db);
+    EXPECT_EQ(da.size(), db.size()) << "diverged at t=" << t;
+  }
+  EXPECT_EQ(a.retries(), b.retries());
+}
+
+TEST(Actuator, ToStringNamesKinds) {
+  EXPECT_STREQ(to_string(CommandKind::kTarget), "target");
+  EXPECT_STREQ(to_string(CommandKind::kSpeed), "speed");
+}
+
+}  // namespace
+}  // namespace gc

@@ -131,5 +131,103 @@ TEST(EventTypeNames, ToString) {
   EXPECT_STREQ(to_string(EventType::kWarmupEnd), "warmup_end");
 }
 
+TEST(EventTypeNames, ControlPlaneEventsHaveNames) {
+  EXPECT_STREQ(to_string(EventType::kTelemetryDeliver), "telemetry_deliver");
+  EXPECT_STREQ(to_string(EventType::kCommandDeliver), "command_deliver");
+  EXPECT_STREQ(to_string(EventType::kAckDeliver), "ack_deliver");
+  EXPECT_STREQ(to_string(EventType::kControllerFail), "controller_fail");
+  EXPECT_STREQ(to_string(EventType::kControllerRecover), "controller_recover");
+}
+
+// -- Slot-recycling edge cases ----------------------------------------------
+// EventIds are generation-stamped slot handles (gen << 32 | slot + 1).  A
+// fired or cancelled slot is recycled with a bumped generation, so a stale
+// id must never cancel the slot's new tenant.
+
+TEST(EventQueueRecycling, StaleIdCannotCancelRecycledSlot) {
+  EventQueue queue;
+  const EventId old_id = queue.schedule(1.0, EventType::kArrival);
+  ASSERT_TRUE(queue.pop().has_value());  // fires; the slot is recycled
+  // The new tenant reuses the same slot (single-slot queue) with a fresh
+  // generation: ids differ in the generation half only.
+  const EventId new_id = queue.schedule(2.0, EventType::kDeparture, 7);
+  EXPECT_NE(old_id, new_id);
+  EXPECT_EQ(old_id & 0xffffffffULL, new_id & 0xffffffffULL);
+  EXPECT_NE(old_id >> 32, new_id >> 32);
+  // Cancelling the dead id is a detected no-op; the new tenant survives.
+  EXPECT_FALSE(queue.cancel(old_id));
+  const auto event = queue.pop();
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->type, EventType::kDeparture);
+  EXPECT_EQ(event->subject, 7u);
+}
+
+TEST(EventQueueRecycling, CancelAfterCancelOnRecycledSlot) {
+  EventQueue queue;
+  const EventId first = queue.schedule(1.0, EventType::kArrival);
+  EXPECT_TRUE(queue.cancel(first));
+  const EventId second = queue.schedule(1.0, EventType::kArrival);
+  // The first id is two generations behind by now; still a no-op.
+  EXPECT_FALSE(queue.cancel(first));
+  EXPECT_TRUE(queue.cancel(second));
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueueRecycling, ForgedGenerationIsRejected) {
+  EventQueue queue;
+  const EventId id = queue.schedule(5.0, EventType::kDeparture, 3);
+  // Same slot, wrong generation: must not touch the live event.
+  EXPECT_FALSE(queue.cancel(id ^ (1ULL << 32)));
+  EXPECT_FALSE(queue.cancel(id + (1ULL << 32)));
+  // Valid slot bits but a generation from the far future (as after a
+  // hypothetical wraparound that did NOT land on the live value).
+  EXPECT_FALSE(queue.cancel((id & 0xffffffffULL) | (0xdeadbeefULL << 32)));
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_TRUE(queue.cancel(id));  // the genuine id still works
+}
+
+TEST(EventQueueRecycling, ManyRecycleCyclesKeepIdsUnique) {
+  // Drive one slot through many fire/cancel cycles: every handed-out id is
+  // distinct, and every dead id stays dead.
+  EventQueue queue;
+  std::vector<EventId> dead;
+  double t = 0.0;
+  for (int cycle = 0; cycle < 1000; ++cycle) {
+    t += 1.0;
+    const EventId id = queue.schedule(t, EventType::kArrival);
+    for (const EventId d : dead) EXPECT_NE(id, d);
+    if (cycle % 2 == 0) {
+      ASSERT_TRUE(queue.pop().has_value());
+    } else {
+      EXPECT_TRUE(queue.cancel(id));
+    }
+    dead.push_back(id);
+  }
+  // A sample of dead ids across the whole history: all no-ops.
+  for (std::size_t i = 0; i < dead.size(); i += 97) {
+    EXPECT_FALSE(queue.cancel(dead[i]));
+  }
+}
+
+TEST(EventQueueRecycling, RecycledSlotKeepsHeapConsistentUnderChurn) {
+  // Interleave schedule/cancel across multiple slots so recycled slots are
+  // claimed while older entries are still live, then verify pop order.
+  EventQueue queue;
+  const EventId a = queue.schedule(3.0, EventType::kArrival, 0);
+  const EventId b = queue.schedule(1.0, EventType::kDeparture, 1);
+  (void)queue.schedule(2.0, EventType::kRecord, 2);
+  EXPECT_TRUE(queue.cancel(b));  // slot recycled while a and c are pending
+  const EventId d = queue.schedule(1.5, EventType::kBootComplete, 3);
+  EXPECT_FALSE(queue.cancel(b));  // b's id is stale even though d reuses its slot
+  std::vector<EventType> order;
+  while (const auto event = queue.pop()) order.push_back(event->type);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], EventType::kBootComplete);
+  EXPECT_EQ(order[1], EventType::kRecord);
+  EXPECT_EQ(order[2], EventType::kArrival);
+  EXPECT_FALSE(queue.cancel(a));  // fired
+  EXPECT_FALSE(queue.cancel(d));  // fired
+}
+
 }  // namespace
 }  // namespace gc

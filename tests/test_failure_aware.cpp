@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "control/policies.h"
@@ -180,6 +181,58 @@ TEST(FailureAwareController, AddsSpareCapacityOnTopOfThePlan) {
       16u);
   EXPECT_EQ(*padded.active_target, expected);
   EXPECT_GT(*padded.active_target, *base.active_target);
+}
+
+// Degenerate options must be rejected at construction with a catchable
+// std::invalid_argument — not by tripping GC_CHECK aborts deeper in the
+// FailureDetector / BootRetryGate constructors.  A config file with
+// heartbeat_interval_s = 0 is an input error, not a programming error.
+TEST(FailureAwareController, ConstructionValidatesOptions) {
+  const Provisioner provisioner(small_config());
+  DcpParams dcp;
+  const auto construct = [&](const FailureAwareOptions& options) {
+    FailureAwareDcpController controller(&provisioner, dcp,
+                                         PredictorKind::kLastValue, options);
+  };
+  FailureAwareOptions bad;
+  bad.heartbeat_interval_s = 0.0;
+  EXPECT_THROW(construct(bad), std::invalid_argument);
+  bad.heartbeat_interval_s = -5.0;
+  EXPECT_THROW(construct(bad), std::invalid_argument);
+  bad.heartbeat_interval_s = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(construct(bad), std::invalid_argument);
+  bad.heartbeat_interval_s = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(construct(bad), std::invalid_argument);
+  bad = FailureAwareOptions{};
+  bad.heartbeat_misses = 0;
+  EXPECT_THROW(construct(bad), std::invalid_argument);
+  bad = FailureAwareOptions{};
+  bad.boot_retry_budget = 0;
+  EXPECT_THROW(construct(bad), std::invalid_argument);
+  bad = FailureAwareOptions{};
+  bad.boot_retry_backoff_s = -1.0;
+  EXPECT_THROW(construct(bad), std::invalid_argument);
+  // Boundary: the smallest valid settings construct fine.
+  FailureAwareOptions minimal;
+  minimal.heartbeat_interval_s = 1e-9;
+  minimal.heartbeat_misses = 1;
+  minimal.boot_retry_budget = 1;
+  EXPECT_NO_THROW(construct(minimal));
+}
+
+// Same contract through the factory, where config-file settings arrive.
+TEST(FailureAwareController, MakePolicyValidatesOptions) {
+  const Provisioner provisioner(small_config());
+  PolicyOptions popts;
+  popts.failure.heartbeat_interval_s = 0.0;
+  EXPECT_THROW(make_policy(PolicyKind::kDcpFailureAware, &provisioner, popts),
+               std::invalid_argument);
+  popts.failure = FailureAwareOptions{};
+  popts.failure.heartbeat_misses = 0;
+  EXPECT_THROW(make_policy(PolicyKind::kDcpFailureAware, &provisioner, popts),
+               std::invalid_argument);
+  popts.failure = FailureAwareOptions{};
+  EXPECT_NO_THROW(make_policy(PolicyKind::kDcpFailureAware, &provisioner, popts));
 }
 
 TEST(FailureAwareController, ShortTickFlagsInfeasibleLoad) {

@@ -153,6 +153,65 @@ TEST(Integration, ThresholdAutoscalerSavesButLagsCombined) {
   EXPECT_LT(combined.energy.total_j(), threshold.energy.total_j());
 }
 
+// The F15a headline (bench/fig15_control_faults): at heavy command loss on
+// the flash-crowd day, fire-and-forget DCP misses a scale-up at a spike
+// onset and breaks the SLA, while the ack/retry actuator re-asserts lost
+// commands within one short tick and stays near the zero-loss baseline.
+TEST(Integration, AckRetryActuationHoldsSlaUnderCommandLoss) {
+  const Scenario scenario =
+      make_scenario(ScenarioKind::kFlashCrowd, base_spec().config, 0.8);
+  RunSpec spec = base_spec();
+  spec.seed = 7;
+  spec.sim.channel.enabled = true;
+  spec.sim.channel.command = {0.25, 0.0, 0.0};
+  spec.sim.channel.ack = {0.25, 0.0, 0.0};
+  spec.sim.channel.seed = 0xf15cULL;
+  spec.sim.actuator.ack_timeout_s = 5.0;
+
+  spec.sim.actuator.enabled = false;
+  const SimResult naive = run_policy(scenario, PolicyKind::kCombinedDcp, spec);
+  spec.sim.actuator.enabled = true;
+  const SimResult retry = run_policy(scenario, PolicyKind::kCombinedDcp, spec);
+
+  EXPECT_FALSE(naive.sla_met(base_spec().config.t_ref_s))
+      << "mean T = " << naive.mean_response_s;
+  EXPECT_TRUE(retry.sla_met(base_spec().config.t_ref_s))
+      << "mean T = " << retry.mean_response_s;
+  EXPECT_LT(retry.mean_response_s, naive.mean_response_s);
+  EXPECT_EQ(naive.command_retries, 0u);
+  EXPECT_GT(retry.command_retries, 0u);
+}
+
+// The F15b headline: a controller outage across the morning ramp freezes
+// the fleet at its overnight size and the SLA collapses; the watchdog's
+// safe mode (all-on at nominal frequency) buys it back for an energy
+// premium confined to the outage window.
+TEST(Integration, WatchdogSafeModeBuysBackSlaDuringControllerOutage) {
+  const Scenario scenario =
+      make_scenario(ScenarioKind::kFlashCrowd, base_spec().config, 0.8);
+  RunSpec spec = base_spec();
+  spec.seed = 7;
+  spec.sim.channel.enabled = true;
+  spec.sim.channel.seed = 0xf15cULL;
+  spec.sim.actuator.enabled = true;
+  spec.sim.actuator.ack_timeout_s = 5.0;
+  spec.sim.controller_faults.script = {
+      {scenario.horizon_s * 0.25, scenario.horizon_s * 0.25}};
+
+  spec.sim.controller_faults.safe_mode = false;
+  const SimResult frozen = run_policy(scenario, PolicyKind::kCombinedDcp, spec);
+  spec.sim.controller_faults.safe_mode = true;
+  const SimResult safe = run_policy(scenario, PolicyKind::kCombinedDcp, spec);
+
+  EXPECT_FALSE(frozen.sla_met(base_spec().config.t_ref_s))
+      << "mean T = " << frozen.mean_response_s;
+  EXPECT_TRUE(safe.sla_met(base_spec().config.t_ref_s))
+      << "mean T = " << safe.mean_response_s;
+  EXPECT_GT(safe.energy.total_j(), frozen.energy.total_j());
+  EXPECT_GT(safe.safe_mode_time_s, 0.0);
+  EXPECT_EQ(frozen.safe_mode_time_s, 0.0);
+}
+
 TEST(Integration, MeanSpeedBelowOneForCombined) {
   const Scenario scenario =
       make_scenario(ScenarioKind::kDiurnal, base_spec().config, 0.6, 30, 3600.0);

@@ -8,6 +8,7 @@
 
 #include <bit>
 #include <cstdint>
+#include <limits>
 #include <string_view>
 
 #include "control/policies.h"
@@ -79,11 +80,14 @@ std::uint64_t checksum(const SimResult& r) {
   return h;
 }
 
-// Same fixed-seed setup as tests/test_determinism_golden.cpp.
+// Same fixed-seed setup as tests/test_determinism_golden.cpp.  `extra`
+// lets individual tests layer faults / admission / control-plane options
+// onto the golden configuration (defaults keep the historical behavior).
 struct GoldenRun {
   ClusterConfig config = bench_cluster_config();
   PolicyOptions popts;
   Scenario scenario;
+  SimulationOptions extra;
 
   GoldenRun() {
     popts.dcp = bench_dcp_params();
@@ -101,7 +105,7 @@ struct GoldenRun {
     cluster.transition = config.transition;
     cluster.initial_active = config.max_servers;
     cluster.dispatch_seed = 4242;
-    SimulationOptions sim;
+    SimulationOptions sim = extra;
     sim.t_ref_s = config.t_ref_s;
     sim.warmup_s = popts.dcp.long_period_s;
     sim.record_interval_s = 120.0;
@@ -179,6 +183,79 @@ TEST(ObsDeterminism, CountersSnapshotIsRunToRunDeterministic) {
   if constexpr (kTracingCompiledIn) {
     EXPECT_EQ(t1.to_chrome_json(), t2.to_chrome_json());
   }
+}
+
+// The control-plane degradation layer's determinism contract: a
+// zero-loss/zero-latency channel with the ack/retry actuator and the
+// watchdog armed consumes no randomness and schedules no extra events, so
+// the run reproduces the PR 2 golden bit-for-bit.  The stale-telemetry
+// guard is enabled too — with synchronous delivery every observation has
+// age 0 and the guard must be the exact identity.
+TEST(ObsDeterminism, PerfectChannelWithActuatorMatchesPinnedGolden) {
+  GoldenRun golden;
+  golden.extra.channel.enabled = true;  // all links at zero loss / latency
+  golden.extra.actuator.enabled = true;
+  golden.extra.controller_faults.watchdog_ticks = 3;  // armed, never trips
+  golden.popts.staleness.horizon_s = 60.0;
+  const SimResult result = golden.run(nullptr, nullptr);
+  EXPECT_EQ(checksum(result), 13401298517741172659ULL);
+  EXPECT_EQ(result.command_retries, 0u);
+  EXPECT_EQ(result.telemetry_dropped, 0u);
+  EXPECT_EQ(result.ticks_missed, 0u);
+  // Every command was delivered and acked synchronously.
+  EXPECT_EQ(result.counters.counter_or("act.retries", 99), 0u);
+  EXPECT_GT(result.counters.counter_or("act.acked", 0), 0u);
+}
+
+// Pinned golden for the degraded path itself: scripted data-plane faults +
+// admission control (the PR 1 golden configuration) plus a lossy, latent
+// control channel with retries and a scripted controller outage.  Pins the
+// full fault stack — any drift in channel sampling, retry scheduling, era
+// handling or watchdog behavior lands here.
+TEST(ObsDeterminism, FaultsAdmissionChannelGoldenIsPinned) {
+  GoldenRun golden;
+  golden.extra.faults.script = {{600.0, 0, 900.0},
+                                {600.0, 1, 900.0},
+                                {601.0, 2, 1200.0},
+                                {1200.0, 3, std::numeric_limits<double>::infinity()}};
+  golden.extra.faults.seed = 99;
+  golden.extra.admission.enabled = true;
+  golden.extra.admission.mu_max = golden.config.mu_max;
+  golden.extra.channel.enabled = true;
+  golden.extra.channel.telemetry = {/*drop_prob=*/0.05, /*latency_base_s=*/0.05,
+                                    /*latency_jitter_s=*/0.1};
+  golden.extra.channel.command = {/*drop_prob=*/0.05, /*latency_base_s=*/0.05,
+                                  /*latency_jitter_s=*/0.1};
+  golden.extra.channel.ack = {/*drop_prob=*/0.05, /*latency_base_s=*/0.05,
+                              /*latency_jitter_s=*/0.1};
+  golden.extra.actuator.enabled = true;
+  golden.extra.actuator.ack_timeout_s = 2.0;
+  golden.extra.controller_faults.script = {{900.0, 120.0}};
+  golden.popts.staleness.horizon_s = 60.0;
+  const SimResult result = golden.run(nullptr, nullptr);
+  EXPECT_EQ(checksum(result), 13159024489807549190ULL);
+  // The degraded path actually exercised what it pins.
+  EXPECT_GT(result.telemetry_dropped, 0u);
+  EXPECT_GT(result.commands_dropped, 0u);
+  EXPECT_GT(result.command_retries, 0u);
+  EXPECT_GT(result.ticks_missed, 0u);
+  EXPECT_EQ(result.safe_mode_entries, 1u);
+}
+
+// The channel golden is observability-independent like every other run:
+// tracing it changes nothing.
+TEST(ObsDeterminism, DegradedChannelRunIsTraceIndependent) {
+  GoldenRun golden;
+  golden.extra.channel.enabled = true;
+  golden.extra.channel.command = {/*drop_prob=*/0.1, /*latency_base_s=*/0.2,
+                                  /*latency_jitter_s=*/0.3};
+  golden.extra.actuator.enabled = true;
+  TraceCollector trace;
+  DecisionAuditLog audit;
+  const SimResult traced = golden.run(&trace, &audit);
+  const SimResult untraced = golden.run(nullptr, nullptr);
+  EXPECT_EQ(checksum(traced), checksum(untraced));
+  EXPECT_TRUE(counters_match_outside_obs(traced.counters, untraced.counters));
 }
 
 }  // namespace
