@@ -78,9 +78,11 @@ int main(int argc, char** argv) {
 
   for (int i = 0; i < 2; ++i) {
     std::cout << gc::format(
-        "\n{:>12}: energy {:.3f} kWh | mean T {:.0f} ms | viol {:.2f}% | SLA {}",
+        "\n{:>12}: energy {:.3f} kWh | mean T {:.0f} ms | p95 {:.0f} ms | "
+        "p99 {:.0f} ms | viol {:.2f}% | SLA {}",
         to_string(kinds[i]), results[i].energy.total_j() / 3.6e6,
-        results[i].mean_response_s * 1e3, results[i].job_violation_ratio * 100.0,
+        results[i].mean_response_s * 1e3, results[i].p95_response_s * 1e3,
+        results[i].p99_response_s * 1e3, results[i].job_violation_ratio * 100.0,
         results[i].sla_met(config.t_ref_s) ? "met" : "MISSED");
   }
   std::cout << gc::format("\ncombined saves {:.1f}% vs dvfs-only on the same trace\n",

@@ -25,6 +25,8 @@
 #include "control/policies.h"
 #include "core/provisioner.h"
 #include "exp/scenario.h"
+#include "obs/timeseries.h"
+#include "obs/trace.h"
 #include "sim/event_queue.h"
 #include "sim/simulation.h"
 #include "stats/rng.h"
@@ -125,6 +127,13 @@ gc::SolverCacheStats trace_replay_cache_stats() {
     gc::SimulationOptions sim;
     sim.t_ref_s = config.t_ref_s;
     sim.warmup_s = 2.0 * popts.dcp.long_period_s;
+    // Observability at full blast: the replay measurement doubles as the
+    // smoke test that a traced + time-series-recorded run stays within the
+    // perf budget (both sinks are discarded afterwards).
+    gc::TraceCollector trace_sink;
+    gc::TimeSeriesRecorder ts_sink;
+    sim.trace = &trace_sink;
+    sim.timeseries = &ts_sink;
     (void)run_simulation(workload, cluster, *controller, sim);
   }
   return solver.cache_stats();

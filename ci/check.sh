@@ -95,17 +95,26 @@ bench_compare() {
     || { echo "perf_smoke: benchmark regression beyond tolerance ${tol}" >&2; exit 1; }
 }
 
-# Smoke-checks the --trace-out pipeline end to end: the fig8 replay must
-# produce a loadable Chrome trace and a non-empty audit log.
+# Smoke-checks the --trace-out / --timeseries-out pipeline end to end: the
+# fig8 replay must produce a loadable Chrome trace, a non-empty audit log
+# and a per-period time series, and the artifact set must pass the
+# gcinspect SLA smoke gate (the replay is fixed-seed, so the bounds are
+# deterministic: no shed jobs, bounded rolling violations, energy flowing).
 trace_out_smoke() {
   local dir="$1"
   echo "==> [${dir}] trace-out smoke"
   local prefix="${dir}/fig8"
-  "${dir}/bench/fig8_trace_replay" --trace-out="${prefix}" >/dev/null
+  "${dir}/bench/fig8_trace_replay" --trace-out="${prefix}" \
+      --timeseries-out="${prefix}" >/dev/null
   jq -e '(.traceEvents | length) > 0' "${prefix}.trace.json" >/dev/null \
     || { echo "trace-out: ${prefix}.trace.json malformed" >&2; exit 1; }
   jq -es 'length > 0' "${prefix}.audit.jsonl" >/dev/null \
     || { echo "trace-out: ${prefix}.audit.jsonl malformed" >&2; exit 1; }
+  [ -s "${prefix}.timeseries.csv" ] && [ -s "${prefix}.prom" ] \
+    || { echo "timeseries-out: ${prefix}.timeseries.csv / .prom missing" >&2; exit 1; }
+  echo "==> [${dir}] gcinspect check"
+  "${dir}/tools/gcinspect" "${prefix}" --check \
+      'obs.timeseries.rows>=1000,rolling_viol_frac:max<=0.5,d_shed:sum<=0,energy_j:last>0,sim.jobs.lost<=0'
 }
 
 # clang-tidy over the sources we own, using the lint build's compile

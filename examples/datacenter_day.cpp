@@ -2,6 +2,7 @@
 //
 //   $ ./datacenter_day [policy] [--level F] [--day S] [--record S]
 //                      [--seed N] [--scenario diurnal|flash-crowd|wc98-like]
+//                      [--timeseries-out PREFIX]
 //
 //   policy: npm | dvfs-only | vovf-only | combined-dcp | combined-single |
 //           threshold   (default combined-dcp)
@@ -9,11 +10,16 @@
 // Runs the chosen policy over a compressed day and prints the timeline —
 // arrival rate, active servers, frequency, power — plus the end-of-day
 // summary.  This regenerates the kind of plot the paper's time-series
-// figure shows, as text.
+// figure shows, as text.  With --timeseries-out the full per-control-period
+// record lands in PREFIX.timeseries.csv (plus PREFIX.counters.json and a
+// Prometheus exposition in PREFIX.prom) for `gcinspect PREFIX`.
 #include <cstring>
+#include <fstream>
 #include <iostream>
 
 #include "exp/runner.h"
+#include "obs/prometheus.h"
+#include "obs/timeseries.h"
 #include "util/cli.h"
 #include "util/format.h"
 #include "util/table.h"
@@ -43,12 +49,13 @@ gc::ScenarioKind parse_scenario(const std::string& arg) {
 
 int main(int argc, char** argv) {
   const gc::CliArgs args(argc, argv);
-  const auto unknown =
-      args.unknown_flags({"level", "day", "record", "seed", "scenario"});
+  const auto unknown = args.unknown_flags(
+      {"level", "day", "record", "seed", "scenario", "timeseries-out"});
   if (!unknown.empty()) {
     std::cerr << "unknown flag --" << unknown[0]
               << "\nusage: datacenter_day [policy] [--level F] [--day S] "
-                 "[--record S] [--seed N] [--scenario NAME]\n";
+                 "[--record S] [--seed N] [--scenario NAME] "
+                 "[--timeseries-out PREFIX]\n";
     return 2;
   }
   const gc::PolicyKind policy =
@@ -63,6 +70,10 @@ int main(int argc, char** argv) {
   spec.sim.record_interval_s = args.get_double_or("record", day_s / 60.0);
   spec.seed = static_cast<std::uint64_t>(args.get_int_or("seed", 2024));
 
+  gc::TimeSeriesRecorder timeseries;
+  const auto ts_prefix = args.get("timeseries-out");
+  if (ts_prefix) spec.sim.timeseries = &timeseries;
+
   const gc::Scenario scenario = gc::make_scenario(
       parse_scenario(args.get_or("scenario", "diurnal")), spec.config,
       args.get_double_or("level", 0.7), 99, day_s);
@@ -70,6 +81,19 @@ int main(int argc, char** argv) {
                           to_string(policy), scenario.name, scenario.horizon_s);
 
   const gc::SimResult result = gc::run_one(scenario, spec);
+
+  if (ts_prefix) {
+    timeseries.write_csv(*ts_prefix + ".timeseries.csv");
+    std::ofstream counters(*ts_prefix + ".counters.json");
+    counters << result.counters.to_json() << '\n';
+    std::ofstream prom(*ts_prefix + ".prom");
+    prom << gc::to_prometheus_text(
+        result.counters, {{"response_time_seconds", &result.response_hist}});
+    std::cerr << gc::format(
+        "timeseries-out: {}.{{timeseries.csv,counters.json,prom}} ({} rows, "
+        "stride {})\n",
+        *ts_prefix, timeseries.size(), timeseries.stride());
+  }
 
   gc::TablePrinter table("timeline");
   table.column("t", {.precision = 0, .unit = "s"})
@@ -91,12 +115,14 @@ int main(int argc, char** argv) {
 
   std::cout << gc::format(
       "day summary: {} jobs | energy {:.2f} kWh (busy {:.0f}% / idle {:.0f}% / "
-      "transition {:.0f}%) | mean T {:.1f} ms | p95 {:.1f} ms | boots {} | SLA {}\n",
+      "transition {:.0f}%) | mean T {:.1f} ms | p95 {:.1f} ms | p99 {:.1f} ms | "
+      "boots {} | SLA {}\n",
       result.completed_jobs, result.energy.total_j() / 3.6e6,
       100.0 * result.energy.busy_j / result.energy.total_j(),
       100.0 * result.energy.idle_j / result.energy.total_j(),
       100.0 * result.energy.transition_j / result.energy.total_j(),
-      result.mean_response_s * 1e3, result.p95_response_s * 1e3, result.boots,
+      result.mean_response_s * 1e3, result.p95_response_s * 1e3,
+      result.p99_response_s * 1e3, result.boots,
       result.sla_met(spec.config.t_ref_s) ? "met" : "MISSED");
   return 0;
 }

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/csv.h"
@@ -69,6 +70,15 @@ class DecisionAuditLog {
   // One JSON object per line, schema identical across records.
   [[nodiscard]] std::string to_jsonl() const;
   void write_jsonl(const std::filesystem::path& path) const;
+
+  // Parses exactly the line shape to_jsonl emits (flat objects, "tick" as
+  // "short"/"long", bare true/false booleans); unknown keys are ignored so
+  // newer logs load into older tooling.  Throws std::runtime_error on
+  // malformed lines.  Round trip: from_jsonl(to_jsonl(log)) reproduces
+  // every record bit-exactly.
+  [[nodiscard]] static DecisionAuditLog from_jsonl(std::string_view text);
+  [[nodiscard]] static DecisionAuditLog read_jsonl(
+      const std::filesystem::path& path);
 
   // All-numeric CSV (booleans as 0/1) via the util/csv helpers.
   [[nodiscard]] CsvTable to_csv_table() const;

@@ -1,0 +1,309 @@
+#include "obs/inspect.h"
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "util/table.h"
+
+namespace gc {
+
+namespace {
+
+std::string read_text_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot read " + path.string());
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// Column aggregate over a parsed time-series table.
+std::optional<double> column_aggregate(const CsvTable& table,
+                                       std::string_view name,
+                                       std::string_view agg) {
+  const int index = table.column_index(std::string(name));
+  if (index < 0 || table.rows.empty()) return std::nullopt;
+  const auto col = static_cast<std::size_t>(index);
+  if (agg == "last") return table.rows.back()[col];
+  double sum = 0.0;
+  double lo = table.rows.front()[col];
+  double hi = lo;
+  for (const auto& row : table.rows) {
+    const double v = row[col];
+    sum += v;
+    if (v < lo) lo = v;
+    if (v > hi) hi = v;
+  }
+  if (agg == "sum") return sum;
+  if (agg == "min") return lo;
+  if (agg == "max") return hi;
+  if (agg == "mean") return sum / static_cast<double>(table.rows.size());
+  return std::nullopt;
+}
+
+}  // namespace
+
+RunArtifacts RunArtifacts::load(const std::string& prefix) {
+  RunArtifacts out;
+  out.prefix = prefix;
+  const std::filesystem::path counters_path = prefix + ".counters.json";
+  const std::filesystem::path audit_path = prefix + ".audit.jsonl";
+  const std::filesystem::path timeseries_path = prefix + ".timeseries.csv";
+  if (std::filesystem::exists(counters_path)) {
+    out.counters = CountersSnapshot::from_json(read_text_file(counters_path));
+  }
+  if (std::filesystem::exists(audit_path)) {
+    out.audit = DecisionAuditLog::read_jsonl(audit_path);
+  }
+  if (std::filesystem::exists(timeseries_path)) {
+    out.timeseries = read_csv_file(timeseries_path);
+  }
+  if (out.empty()) {
+    throw std::runtime_error(
+        "no artifacts found for prefix '" + prefix +
+        "' (expected at least one of .counters.json, .audit.jsonl, "
+        ".timeseries.csv)");
+  }
+  return out;
+}
+
+std::optional<double> lookup_metric(const RunArtifacts& run,
+                                    std::string_view metric) {
+  const std::size_t colon = metric.rfind(':');
+  if (colon != std::string_view::npos) {
+    if (!run.timeseries) return std::nullopt;
+    return column_aggregate(*run.timeseries, metric.substr(0, colon),
+                            metric.substr(colon + 1));
+  }
+  if (run.counters) {
+    for (const auto& [name, value] : run.counters->counters) {
+      if (name == metric) return static_cast<double>(value);
+    }
+    for (const auto& [name, value] : run.counters->gauges) {
+      if (name == metric) return value;
+    }
+  }
+  if (run.timeseries) {
+    return column_aggregate(*run.timeseries, metric, "mean");
+  }
+  return std::nullopt;
+}
+
+MetricCheck parse_check(std::string_view text) {
+  MetricCheck check;
+  std::size_t op_pos = std::string_view::npos;
+  std::size_t op_len = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '<' || text[i] == '>') {
+      op_pos = i;
+      check.upper = text[i] == '<';
+      op_len = (i + 1 < text.size() && text[i + 1] == '=') ? 2 : 1;
+      check.strict = op_len == 1;
+      break;
+    }
+  }
+  if (op_pos == std::string_view::npos || op_pos == 0 ||
+      op_pos + op_len >= text.size()) {
+    throw std::invalid_argument(
+        "check must look like METRIC<=BOUND (got '" +
+        std::string(text) + "')");
+  }
+  check.metric = std::string(text.substr(0, op_pos));
+  const std::string bound_text(text.substr(op_pos + op_len));
+  std::size_t parsed = 0;
+  try {
+    check.bound = std::stod(bound_text, &parsed);
+  } catch (const std::exception&) {
+    parsed = 0;
+  }
+  if (parsed != bound_text.size()) {
+    throw std::invalid_argument("malformed bound '" + bound_text +
+                                "'");
+  }
+  return check;
+}
+
+CheckResult evaluate_check(const RunArtifacts& run, const MetricCheck& check) {
+  const std::optional<double> value = lookup_metric(run, check.metric);
+  if (!value) {
+    throw std::runtime_error("metric '" + check.metric +
+                             "' not found in artifacts for '" + run.prefix +
+                             "'");
+  }
+  CheckResult result;
+  result.value = *value;
+  if (check.upper) {
+    result.passed = check.strict ? *value < check.bound : *value <= check.bound;
+  } else {
+    result.passed = check.strict ? *value > check.bound : *value >= check.bound;
+  }
+  return result;
+}
+
+namespace {
+
+// The time-series columns worth surfacing in summaries/diffs, with the
+// aggregate that makes sense for each.
+struct KeyColumn {
+  const char* column;
+  const char* agg;
+};
+
+constexpr KeyColumn kKeyColumns[] = {
+    {"observed_rate", "mean"}, {"serving", "mean"},
+    {"power_w", "mean"},       {"power_w", "max"},
+    {"energy_j", "last"},      {"queue_depth", "max"},
+    {"win_mean_t_s", "mean"},  {"win_p95_t_s", "max"},
+    {"win_p99_t_s", "max"},    {"rolling_viol_frac", "max"},
+    {"shed_frac", "mean"},     {"d_shed", "sum"},
+};
+
+void print_counters_section(std::ostream& os, const CountersSnapshot& snapshot) {
+  TablePrinter counters("counters");
+  counters.column("name").column("value", {0, true, ""});
+  for (const auto& [name, value] : snapshot.counters) {
+    counters.row().cell(name).cell(static_cast<long long>(value));
+  }
+  if (counters.num_rows() > 0) counters.print(os);
+  TablePrinter gauges("gauges");
+  gauges.column("name").column("value", {6, false, ""});
+  for (const auto& [name, value] : snapshot.gauges) {
+    gauges.row().cell(name).cell(value);
+  }
+  if (gauges.num_rows() > 0) gauges.print(os);
+}
+
+void print_timeseries_section(std::ostream& os, const CsvTable& table) {
+  TablePrinter overview("timeseries");
+  overview.column("metric").column("value", {6, false, ""});
+  const int t_col = table.column_index("t");
+  if (t_col >= 0 && !table.rows.empty()) {
+    const auto col = static_cast<std::size_t>(t_col);
+    overview.row().cell("rows").cell(
+        static_cast<long long>(table.rows.size()));
+    overview.row().cell("t_first_s").cell(table.rows.front()[col]);
+    overview.row().cell("t_last_s").cell(table.rows.back()[col]);
+  }
+  for (const KeyColumn& key : kKeyColumns) {
+    const auto value = column_aggregate(table, key.column, key.agg);
+    if (!value) continue;
+    overview.row()
+        .cell(std::string(key.column) + ":" + key.agg)
+        .cell(*value);
+  }
+  overview.print(os);
+}
+
+// Audit-derived phase breakdown: ticks partitioned by kind and by whether
+// the fleet was in the watchdog's safe mode.
+void print_phase_section(std::ostream& os, const DecisionAuditLog& audit) {
+  struct Phase {
+    const char* name;
+    std::size_t ticks = 0;
+    double rate_sum = 0.0;
+    double serving_sum = 0.0;
+    double target_sum = 0.0;
+    std::size_t infeasible = 0;
+  };
+  Phase phases[] = {{"short"}, {"long"}, {"safe_mode"}};
+  for (const AuditRecord& r : audit.records()) {
+    Phase& phase =
+        r.safe_mode ? phases[2] : (r.long_tick ? phases[1] : phases[0]);
+    ++phase.ticks;
+    phase.rate_sum += r.observed_rate;
+    phase.serving_sum += static_cast<double>(r.serving);
+    phase.target_sum += static_cast<double>(r.target_servers);
+    if (r.infeasible) ++phase.infeasible;
+  }
+  TablePrinter table("phases (audit)");
+  table.column("phase")
+      .column("ticks", {0, true, ""})
+      .column("mean_rate", {3, true, "jobs/s"})
+      .column("mean_serving", {2, true, ""})
+      .column("mean_target", {2, true, ""})
+      .column("infeasible", {0, true, ""});
+  for (const Phase& phase : phases) {
+    if (phase.ticks == 0) continue;
+    const auto n = static_cast<double>(phase.ticks);
+    table.row()
+        .cell(phase.name)
+        .cell(static_cast<long long>(phase.ticks))
+        .cell(phase.rate_sum / n)
+        .cell(phase.serving_sum / n)
+        .cell(phase.target_sum / n)
+        .cell(static_cast<long long>(phase.infeasible));
+  }
+  table.print(os);
+}
+
+}  // namespace
+
+void print_summary(std::ostream& os, const RunArtifacts& run) {
+  os << "run: " << run.prefix << "\n";
+  if (run.counters) print_counters_section(os, *run.counters);
+  if (run.timeseries) print_timeseries_section(os, *run.timeseries);
+  if (run.audit) print_phase_section(os, *run.audit);
+}
+
+void print_diff(std::ostream& os, const RunArtifacts& a,
+                const RunArtifacts& b) {
+  os << "A: " << a.prefix << "\nB: " << b.prefix << "\n";
+  if (a.counters && b.counters) {
+    TablePrinter table("counters diff");
+    table.column("name")
+        .column("A", {0, true, ""})
+        .column("B", {0, true, ""})
+        .column("delta", {0, true, ""});
+    for (const auto& [name, value_a] : a.counters->counters) {
+      bool found = false;
+      std::uint64_t value_b = 0;
+      for (const auto& [name_b, v] : b.counters->counters) {
+        if (name_b == name) {
+          value_b = v;
+          found = true;
+          break;
+        }
+      }
+      if (!found) continue;
+      table.row()
+          .cell(name)
+          .cell(static_cast<long long>(value_a))
+          .cell(static_cast<long long>(value_b))
+          .cell(static_cast<long long>(value_b) -
+                static_cast<long long>(value_a));
+    }
+    if (table.num_rows() > 0) table.print(os);
+  }
+  if (a.timeseries && b.timeseries) {
+    TablePrinter table("timeseries diff");
+    table.column("metric")
+        .column("A", {6, false, ""})
+        .column("B", {6, false, ""})
+        .column("delta", {6, false, ""})
+        .column("rel_pct", {2, true, "%"});
+    for (const KeyColumn& key : kKeyColumns) {
+      const auto value_a = column_aggregate(*a.timeseries, key.column, key.agg);
+      const auto value_b = column_aggregate(*b.timeseries, key.column, key.agg);
+      if (!value_a || !value_b) continue;
+      const double delta = *value_b - *value_a;
+      const double rel =
+          *value_a != 0.0 ? 100.0 * delta / std::fabs(*value_a) : 0.0;
+      table.row()
+          .cell(std::string(key.column) + ":" + key.agg)
+          .cell(*value_a)
+          .cell(*value_b)
+          .cell(delta)
+          .cell(rel);
+    }
+    if (table.num_rows() > 0) table.print(os);
+  }
+}
+
+}  // namespace gc

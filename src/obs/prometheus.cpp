@@ -1,0 +1,81 @@
+#include "obs/prometheus.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace gc {
+
+namespace {
+
+void append_number(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void append_number(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "gc_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string to_prometheus_text(
+    const CountersSnapshot& snapshot,
+    const std::vector<PrometheusHistogram>& histograms) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string metric = prometheus_name(name) + "_total";
+    out += "# TYPE " + metric + " counter\n";
+    out += metric + " ";
+    append_number(out, value);
+    out += '\n';
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string metric = prometheus_name(name);
+    out += "# TYPE " + metric + " gauge\n";
+    out += metric + " ";
+    append_number(out, value);
+    out += '\n';
+  }
+  for (const auto& [name, hist] : histograms) {
+    if (hist == nullptr) continue;
+    const std::string metric = prometheus_name(name);
+    out += "# TYPE " + metric + " histogram\n";
+    // Cumulative `le` series over the non-empty buckets; mass below the
+    // first boundary (the underflow counter) is inside the first bucket's
+    // cumulative count by construction.
+    std::uint64_t cumulative = hist->underflow();
+    for (const auto& bucket : hist->nonzero_buckets()) {
+      cumulative += bucket.count;
+      out += metric + "_bucket{le=\"";
+      append_number(out, bucket.upper);
+      out += "\"} ";
+      append_number(out, cumulative);
+      out += '\n';
+    }
+    out += metric + "_bucket{le=\"+Inf\"} ";
+    append_number(out, hist->count());
+    out += '\n';
+    out += metric + "_sum ";
+    append_number(out, hist->sum());
+    out += '\n';
+    out += metric + "_count ";
+    append_number(out, hist->count());
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace gc

@@ -1,0 +1,44 @@
+// Prometheus text exposition (format 0.0.4) for end-of-run metrics.
+//
+// The simulator has no HTTP endpoint to scrape; instead a finished run's
+// counters/gauges and final latency histograms are rendered once into the
+// standard text format so any Prometheus-ecosystem tool (promtool,
+// node_exporter textfile collector, Grafana CSV/infinity plugins) can
+// ingest them.  Mapping:
+//
+//   * every metric name gains a `gc_` prefix and has '.' replaced by '_'
+//     (`chan.telemetry.dropped` -> `gc_chan_telemetry_dropped`);
+//   * counters render as `# TYPE ... counter` with a `_total` suffix,
+//     gauges as `gauge`;
+//   * a LogHistogram renders as a classic cumulative histogram:
+//     `_bucket{le="..."}` lines per non-empty bucket boundary (upper
+//     bounds, cumulative counts, underflow folded into the first bucket),
+//     a final `_bucket{le="+Inf"}`, then `_sum` and `_count`.
+//
+// Output is deterministic: entries keep snapshot order, numbers print via
+// %.17g.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/counters.h"
+#include "stats/log_histogram.h"
+
+namespace gc {
+
+// Named histograms to expose alongside the snapshot, e.g.
+// {{"response_time_seconds", &result.response_hist}}.
+using PrometheusHistogram = std::pair<std::string, const LogHistogram*>;
+
+// Sanitizes one metric name: prepend "gc_", map every character outside
+// [A-Za-z0-9_] to '_'.
+[[nodiscard]] std::string prometheus_name(std::string_view name);
+
+[[nodiscard]] std::string to_prometheus_text(
+    const CountersSnapshot& snapshot,
+    const std::vector<PrometheusHistogram>& histograms = {});
+
+}  // namespace gc

@@ -17,6 +17,32 @@ void MetricsCollector::on_job_completed(double now, const Job& job) {
   p95_.add(response);
   p99_.add(response);
   violations_.add(response > t_ref_);
+  response_hist_.add(response);
+  if (period_window_on_) {
+    period_hist_.add(response);
+    ++period_completed_;
+    if (response > t_ref_) ++period_violations_;
+  }
+}
+
+PeriodWindowStats MetricsCollector::take_period_window() noexcept {
+  PeriodWindowStats stats;
+  if (!period_window_on_ || period_completed_ == 0) {
+    period_hist_.clear();
+    period_completed_ = 0;
+    period_violations_ = 0;
+    return stats;
+  }
+  stats.completed = period_completed_;
+  stats.mean_s = period_hist_.mean();
+  stats.p95_s = period_hist_.quantile(0.95);
+  stats.p99_s = period_hist_.quantile(0.99);
+  stats.violation_fraction = static_cast<double>(period_violations_) /
+                             static_cast<double>(period_completed_);
+  period_hist_.clear();
+  period_completed_ = 0;
+  period_violations_ = 0;
+  return stats;
 }
 
 double MetricsCollector::take_window_mean_response() noexcept {

@@ -9,6 +9,7 @@
 #include "sim/cluster.h"
 #include "sim/job.h"
 #include "stats/accumulators.h"
+#include "stats/log_histogram.h"
 #include "stats/quantile.h"
 
 namespace gc {
@@ -26,6 +27,18 @@ struct TimelinePoint {
   double admit_probability = 1.0;  // < 1 while admission control sheds
 };
 
+// Response distribution of one control period, produced by
+// MetricsCollector::take_period_window() for the time-series recorder.
+// mean is exact; p95/p99 come from a per-window LogHistogram, so they carry
+// its relative-error bound (and are 0 when the window completed no jobs).
+struct PeriodWindowStats {
+  std::uint64_t completed = 0;
+  double mean_s = 0.0;
+  double p95_s = 0.0;
+  double p99_s = 0.0;
+  double violation_fraction = 0.0;  // per-job tail violations in the window
+};
+
 class MetricsCollector {
  public:
   explicit MetricsCollector(double t_ref_s);
@@ -35,6 +48,26 @@ class MetricsCollector {
 
   // Rolls the per-window response aggregate (used by the timeline).
   [[nodiscard]] double take_window_mean_response() noexcept;
+
+  // Opts into per-control-period window tracking (a LogHistogram reset on
+  // every take_period_window() call).  Off by default — the extra
+  // bookkeeping is only paid when a TimeSeriesRecorder is attached.
+  void enable_period_window() noexcept { period_window_on_ = true; }
+  [[nodiscard]] bool period_window_enabled() const noexcept {
+    return period_window_on_;
+  }
+  // Returns the stats of the window elapsed since the previous call and
+  // starts a new window.  All-zero when disabled or the window was empty.
+  [[nodiscard]] PeriodWindowStats take_period_window() noexcept;
+
+  // Response distribution with the same coverage as response()/p95(): every
+  // job passed to on_job_completed().  Exactly mergeable across
+  // replications, unlike the P² estimators behind p95()/p99().  (The
+  // simulation loop keeps its own post-warmup histogram for
+  // SimResult::response_hist when a warmup is configured.)
+  [[nodiscard]] const LogHistogram& response_histogram() const noexcept {
+    return response_hist_;
+  }
 
   [[nodiscard]] const MeanVarAccumulator& response() const noexcept { return response_; }
   [[nodiscard]] double p95() const noexcept { return p95_.value(); }
@@ -53,6 +86,12 @@ class MetricsCollector {
   P2Quantile p95_;
   P2Quantile p99_;
   RatioAccumulator violations_;
+  LogHistogram response_hist_;
+  // Per-control-period window (valid only while period_window_on_).
+  bool period_window_on_ = false;
+  LogHistogram period_hist_;
+  std::uint64_t period_completed_ = 0;
+  std::uint64_t period_violations_ = 0;
 };
 
 struct SimResult {
@@ -112,6 +151,12 @@ struct SimResult {
   // counters.to_json().  Unlike the post-warmup deltas above, counters
   // cover the entire run including warmup.
   CountersSnapshot counters;
+  // Post-warmup response-time distribution as an exactly-mergeable
+  // LogHistogram: replication harnesses (bench/tab4) pool these with
+  // merge() to get whole-experiment percentiles, which the P²-derived
+  // p95_response_s/p99_response_s scalars cannot provide.  Purely
+  // observational — excluded from the determinism checksums.
+  LogHistogram response_hist;
   std::vector<TimelinePoint> timeline;
 
   // True when the mean-response-time guarantee held over the whole run.

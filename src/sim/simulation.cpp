@@ -198,6 +198,30 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
   P2Quantile p95_post(0.95), p99_post(0.99);
   RatioAccumulator violations_post;
   RatioAccumulator window_violations;
+  LogHistogram response_hist_post;  // post-warmup mergeable distribution
+
+  // Time-series recorder (null = off).  Strictly observational like the
+  // trace/audit sinks: it reads fleet state on the control grid and never
+  // touches the queue, the RNG streams or the energy meters.  Cumulative
+  // energy is a recorder-side left-rule integral of instantaneous power
+  // sampled at ticks (flushing the per-server meters mid-run would split
+  // their integration intervals and perturb the bit-exact goldens).
+  TimeSeriesRecorder* const ts = options.timeseries;
+  if (ts != nullptr) metrics.enable_period_window();
+  double ts_energy_j = 0.0;
+  double ts_last_power_w = 0.0;
+  double ts_last_power_t = 0.0;
+  double ts_target_m = static_cast<double>(cluster.committed_count());
+  struct TsPrevCounters {
+    std::uint64_t telemetry_dropped = 0;
+    std::uint64_t commands_dropped = 0;
+    std::uint64_t acks_dropped = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t ticks_missed = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t shed = 0;
+  } ts_prev;
 
   SimResult result;
   double now = 0.0;
@@ -475,6 +499,75 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
     admission.update(local_rate, cluster.serving_count(), cluster.current_speed());
   };
 
+  // One time-series sample per control instant (normal and missed ticks;
+  // `action` is null for the latter).  Runs after the tick's side effects
+  // so the sample shows the post-decision fleet.  Read-only except for the
+  // recorder itself and the metrics period window it drains.
+  auto record_ts = [&](double t, bool long_tick, double local_rate,
+                       const ControlContext& ctx, const ControlAction* action) {
+    if (action != nullptr && action->active_target) {
+      ts_target_m = static_cast<double>(*action->active_target);
+    }
+    const double power = cluster.instantaneous_power();
+    ts_energy_j += ts_last_power_w * (t - ts_last_power_t);
+    ts_last_power_w = power;
+    ts_last_power_t = t;
+    const PeriodWindowStats win = metrics.take_period_window();
+    TimeSeriesSample s;
+    s.time = t;
+    s.long_tick = long_tick;
+    s.measured = !in_warmup;
+    s.observed_rate = ctx.measured_rate;
+    s.local_rate = local_rate;
+    if (action != nullptr) {
+      s.predicted_rate = action->explain.predicted_rate;
+      s.planning_rate = action->explain.planning_rate;
+      s.infeasible = action->infeasible;
+    }
+    // While the watchdog's fallback is active the de-facto target is the
+    // whole fleet, whatever the (dead) controller last asked for.
+    s.target_m = in_safe_mode ? static_cast<double>(cluster.num_servers())
+                              : ts_target_m;
+    s.serving = cluster.serving_count();
+    s.committed = cluster.committed_count();
+    s.powered = cluster.powered_count();
+    s.available = cluster.available_count();
+    s.speed = cluster.current_speed();
+    s.power_w = power;
+    s.energy_j = ts_energy_j;
+    s.queue_depth = cluster.jobs_in_system();
+    s.window_completed = win.completed;
+    s.window_mean_response_s = win.mean_s;
+    s.window_p95_response_s = win.p95_s;
+    s.window_p99_response_s = win.p99_s;
+    s.window_violation_fraction = win.violation_fraction;
+    s.window_violated = win.completed > 0 && win.mean_s > options.t_ref_s;
+    s.d_admitted = admitted_total - ts_prev.admitted;
+    s.d_shed = admission.shed() - ts_prev.shed;
+    ts_prev.admitted = admitted_total;
+    ts_prev.shed = admission.shed();
+    s.admit_probability = admission.admit_probability();
+    s.obs_age_s = ctx.obs_age_s;
+    s.safe_mode = in_safe_mode;
+    const std::uint64_t telemetry_dropped = channel.telemetry_counters().dropped;
+    const std::uint64_t commands_dropped = channel.command_counters().dropped;
+    const std::uint64_t acks_dropped = channel.ack_counters().dropped;
+    const std::uint64_t retries = actuator.retries();
+    s.d_telemetry_dropped = telemetry_dropped - ts_prev.telemetry_dropped;
+    s.d_commands_dropped = commands_dropped - ts_prev.commands_dropped;
+    s.d_acks_dropped = acks_dropped - ts_prev.acks_dropped;
+    s.d_command_retries = retries - ts_prev.retries;
+    s.d_command_duplicates = cmd_duplicates - ts_prev.duplicates;
+    s.d_ticks_missed = ticks_missed_count - ts_prev.ticks_missed;
+    ts_prev.telemetry_dropped = telemetry_dropped;
+    ts_prev.commands_dropped = commands_dropped;
+    ts_prev.acks_dropped = acks_dropped;
+    ts_prev.retries = retries;
+    ts_prev.duplicates = cmd_duplicates;
+    ts_prev.ticks_missed = ticks_missed_count;
+    ts->append(s);
+  };
+
   while (auto event = queue.pop()) {
     // The run is over once the workload is exhausted and every job has
     // departed; pending ticks/completions past that point would only
@@ -532,6 +625,7 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
           p95_post.add(response);
           p99_post.add(response);
           violations_post.add(response > options.t_ref_s);
+          response_hist_post.add(response);
         }
         break;
       }
@@ -576,6 +670,10 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
         ship_telemetry(now, snap);
         if (controller_down_depth > 0) {
           miss_tick(now, local_rate, /*short_tick=*/true);
+          if (ts != nullptr) {
+            record_ts(now, /*long_tick=*/false, local_rate, make_context(now),
+                      nullptr);
+          }
           if (!workload_done || cluster.jobs_in_system() > 0) {
             queue.schedule(now + t_short, EventType::kShortTick);
           }
@@ -590,6 +688,9 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
         admission.update(local_rate, cluster.serving_count(),
                          cluster.current_speed());
         observe_control(/*long_tick=*/false, ctx, action, now - elapsed);
+        if (ts != nullptr) {
+          record_ts(now, /*long_tick=*/false, local_rate, ctx, &action);
+        }
         // Keep ticking while there is anything left to happen.
         if (!workload_done || cluster.jobs_in_system() > 0) {
           queue.schedule(now + t_short, EventType::kShortTick);
@@ -611,6 +712,10 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
         ship_telemetry(now, snap);
         if (controller_down_depth > 0) {
           miss_tick(now, local_rate, /*short_tick=*/false);
+          if (ts != nullptr) {
+            record_ts(now, /*long_tick=*/true, local_rate, make_context(now),
+                      nullptr);
+          }
           if (!workload_done || cluster.jobs_in_system() > 0) {
             queue.schedule(now + t_long, EventType::kLongTick);
           }
@@ -624,6 +729,9 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
         admission.update(local_rate, cluster.serving_count(),
                          cluster.current_speed());
         observe_control(/*long_tick=*/true, ctx, action, last_long_tick);
+        if (ts != nullptr) {
+          record_ts(now, /*long_tick=*/true, local_rate, ctx, &action);
+        }
         last_long_tick = now;
         if (!workload_done || cluster.jobs_in_system() > 0) {
           queue.schedule(now + t_long, EventType::kLongTick);
@@ -754,6 +862,7 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
                                static_cast<double>(measured_ticks)
                          : 0.0;
 
+  result.response_hist = response_hist_post;
   if (options.warmup_s > 0.0) {
     result.mean_response_s = response_post.mean();
     result.p95_response_s = p95_post.value();
@@ -843,6 +952,10 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
     // comparisons must skip the "obs." namespace (tests/test_obs_determinism).
     registry.counter("obs.trace.emitted").inc(trace->emitted());
     registry.counter("obs.trace.dropped").inc(trace->dropped());
+  }
+  if (ts != nullptr) {
+    registry.counter("obs.timeseries.periods").inc(ts->periods());
+    registry.counter("obs.timeseries.rows").inc(ts->size());
   }
   result.counters = registry.snapshot();
   return result;

@@ -31,6 +31,7 @@
 
 #include "control/actuator.h"
 #include "obs/audit.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "sim/admission.h"
 #include "sim/cluster.h"
@@ -128,6 +129,14 @@ struct SimulationOptions {
   // Do not share one sink across concurrent runs (exp/runner parallelism).
   TraceCollector* trace = nullptr;
   DecisionAuditLog* audit = nullptr;
+  // Per-control-period time series (obs/timeseries.h): one sample on every
+  // short/long/missed tick.  Attaching it additionally enables the
+  // MetricsCollector period window.  Its energy_j column is a left-rule
+  // integral of instantaneous power on the control grid — an observability
+  // estimate; SimResult::energy (the per-server EnergyMeter) stays the
+  // authoritative number.  Same contract as the other sinks: observational,
+  // non-owning, not shared across concurrent runs.
+  TimeSeriesRecorder* timeseries = nullptr;
 };
 
 // Runs one simulation.  The workload is consumed (reset it to reuse).

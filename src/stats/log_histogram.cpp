@@ -1,0 +1,343 @@
+#include "stats/log_histogram.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+namespace gc {
+
+void LogHistogramOptions::validate() const {
+  if (sub_bucket_bits < 1 || sub_bucket_bits > 12) {
+    throw std::invalid_argument(
+        "LogHistogramOptions: sub_bucket_bits must be in [1, 12]");
+  }
+  if (min_exponent >= max_exponent) {
+    throw std::invalid_argument(
+        "LogHistogramOptions: min_exponent must be < max_exponent");
+  }
+  if (min_exponent < -64 || max_exponent > 64) {
+    throw std::invalid_argument(
+        "LogHistogramOptions: exponent range must stay within [-64, 64]");
+  }
+}
+
+LogHistogram::LogHistogram(LogHistogramOptions options) : options_(options) {
+  options_.validate();
+  counts_.assign(num_buckets(), 0);
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+}
+
+std::size_t LogHistogram::num_buckets() const noexcept {
+  const auto octaves =
+      static_cast<std::size_t>(options_.max_exponent - options_.min_exponent);
+  return octaves << options_.sub_bucket_bits;
+}
+
+std::size_t LogHistogram::bucket_index(double x) const noexcept {
+  int exp = 0;
+  const double mantissa = std::frexp(x, &exp);  // x = mantissa * 2^exp, m in [0.5, 1)
+  const int octave = exp - 1;                   // x in [2^octave, 2^(octave+1))
+  if (octave >= options_.max_exponent) return num_buckets() - 1;
+  const auto sub_buckets = std::size_t{1} << options_.sub_bucket_bits;
+  // Position of x inside its octave, in [0, 1); top bits pick the sub-bucket.
+  auto sub = static_cast<std::size_t>((2.0 * mantissa - 1.0) *
+                                      static_cast<double>(sub_buckets));
+  if (sub >= sub_buckets) sub = sub_buckets - 1;  // guard fp round-up at 1.0
+  const auto row = static_cast<std::size_t>(octave - options_.min_exponent);
+  return (row << options_.sub_bucket_bits) + sub;
+}
+
+double LogHistogram::bucket_lower(std::size_t index) const noexcept {
+  const auto sub_buckets = std::size_t{1} << options_.sub_bucket_bits;
+  const int octave =
+      options_.min_exponent + static_cast<int>(index >> options_.sub_bucket_bits);
+  const auto sub = index & (sub_buckets - 1);
+  return std::ldexp(1.0 + static_cast<double>(sub) / static_cast<double>(sub_buckets),
+                    octave);
+}
+
+double LogHistogram::bucket_upper(std::size_t index) const noexcept {
+  const auto sub_buckets = std::size_t{1} << options_.sub_bucket_bits;
+  const int octave =
+      options_.min_exponent + static_cast<int>(index >> options_.sub_bucket_bits);
+  const auto sub = index & (sub_buckets - 1);
+  return std::ldexp(
+      1.0 + static_cast<double>(sub + 1) / static_cast<double>(sub_buckets), octave);
+}
+
+void LogHistogram::clear() noexcept {
+  counts_.assign(counts_.size(), 0);
+  count_ = 0;
+  underflow_ = 0;
+  saturated_ = 0;
+  sum_ = 0.0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+}
+
+void LogHistogram::add(double x, std::uint64_t n) noexcept {
+  if (n == 0 || std::isnan(x)) return;
+  count_ += n;
+  sum_ += x * static_cast<double>(n);
+  if (x < min_) min_ = x;
+  if (x > max_) max_ = x;
+  if (x < std::ldexp(1.0, options_.min_exponent)) {
+    underflow_ += n;
+    return;
+  }
+  const std::size_t index = bucket_index(x);
+  if (x >= std::ldexp(1.0, options_.max_exponent)) saturated_ += n;
+  counts_[index] += n;
+}
+
+double LogHistogram::min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+
+double LogHistogram::max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+
+double LogHistogram::relative_error_bound() const noexcept {
+  return 1.0 / static_cast<double>(std::size_t{2} << options_.sub_bucket_bits);
+}
+
+double LogHistogram::quantile(double p) const noexcept {
+  if (count_ == 0) return 0.0;
+  if (p <= 0.0) return min_;
+  if (p >= 1.0) return max_;
+  // Rank of the target order statistic, 1-based.
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(p * static_cast<double>(count_)));
+  if (rank == 0) rank = 1;
+  if (rank > count_) rank = count_;
+  // Underflow mass sorts below every bucket; its best representative is the
+  // exact minimum.
+  if (rank <= underflow_) return min_;
+  std::uint64_t cumulative = underflow_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= rank) {
+      return 0.5 * (bucket_lower(i) + bucket_upper(i));
+    }
+  }
+  return max_;  // unreachable unless counts drifted; max is always safe
+}
+
+bool LogHistogram::same_geometry(const LogHistogram& other) const noexcept {
+  return options_.sub_bucket_bits == other.options_.sub_bucket_bits &&
+         options_.min_exponent == other.options_.min_exponent &&
+         options_.max_exponent == other.options_.max_exponent;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (!same_geometry(other)) {
+    throw std::invalid_argument("LogHistogram::merge: geometry mismatch");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  underflow_ += other.underflow_;
+  saturated_ += other.saturated_;
+  sum_ += other.sum_;
+  if (other.count_ > 0) {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+}
+
+std::vector<LogHistogram::Bucket> LogHistogram::nonzero_buckets() const {
+  std::vector<Bucket> out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] != 0) {
+      out.push_back(Bucket{bucket_lower(i), bucket_upper(i), counts_[i]});
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void append_number(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void append_number(std::string& out, double v) {
+  char buf[40];
+  // %.17g survives a strtod round trip bit-exactly for any finite double.
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+// Same tiny-parser shape as CountersSnapshot::from_json (obs/counters.cpp):
+// exactly the grammar to_json emits, nothing more.
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  [[noreturn]] void fail(const char* what) const {
+    throw std::runtime_error("LogHistogram::from_json: " + std::string(what) +
+                             " at offset " + std::to_string(pos));
+  }
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+      ++pos;
+    }
+  }
+  [[nodiscard]] char peek() {
+    skip_ws();
+    if (pos >= text.size()) fail("unexpected end of input");
+    return text[pos];
+  }
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++pos;
+  }
+  [[nodiscard]] std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos < text.size() && text[pos] != '"') out += text[pos++];
+    if (pos >= text.size()) fail("unterminated string");
+    ++pos;
+    return out;
+  }
+  [[nodiscard]] std::string parse_number_token() {
+    skip_ws();
+    const std::size_t start = pos;
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' || c == 'e' ||
+          c == 'E') {
+        ++pos;
+      } else {
+        break;
+      }
+    }
+    if (pos == start) fail("expected a number");
+    return std::string(text.substr(start, pos - start));
+  }
+  [[nodiscard]] double parse_double() {
+    return std::strtod(parse_number_token().c_str(), nullptr);
+  }
+  [[nodiscard]] std::uint64_t parse_u64() {
+    return std::strtoull(parse_number_token().c_str(), nullptr, 10);
+  }
+};
+
+}  // namespace
+
+std::string LogHistogram::to_json() const {
+  std::string out = "{\"sub_bucket_bits\": ";
+  append_number(out, std::uint64_t{options_.sub_bucket_bits});
+  out += ", \"min_exponent\": ";
+  append_number(out, static_cast<double>(options_.min_exponent));
+  out += ", \"max_exponent\": ";
+  append_number(out, static_cast<double>(options_.max_exponent));
+  out += ", \"count\": ";
+  append_number(out, count_);
+  out += ", \"underflow\": ";
+  append_number(out, underflow_);
+  out += ", \"saturated\": ";
+  append_number(out, saturated_);
+  out += ", \"sum\": ";
+  append_number(out, sum_);
+  out += ", \"min\": ";
+  append_number(out, min());
+  out += ", \"max\": ";
+  append_number(out, max());
+  out += ", \"buckets\": {";
+  bool first = true;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += '"';
+    append_number(out, static_cast<std::uint64_t>(i));
+    out += "\": ";
+    append_number(out, counts_[i]);
+  }
+  out += "}}";
+  return out;
+}
+
+LogHistogram LogHistogram::from_json(std::string_view text) {
+  Parser p{text};
+  LogHistogramOptions options;
+  std::uint64_t count = 0, underflow = 0, saturated = 0;
+  double sum = 0.0, min_v = 0.0, max_v = 0.0;
+  std::vector<std::pair<std::size_t, std::uint64_t>> sparse;
+  p.expect('{');
+  bool first = true;
+  while (p.peek() != '}') {
+    if (!first) p.expect(',');
+    first = false;
+    const std::string key = p.parse_string();
+    p.expect(':');
+    if (key == "sub_bucket_bits") {
+      options.sub_bucket_bits = static_cast<unsigned>(p.parse_u64());
+    } else if (key == "min_exponent") {
+      options.min_exponent = static_cast<int>(p.parse_double());
+    } else if (key == "max_exponent") {
+      options.max_exponent = static_cast<int>(p.parse_double());
+    } else if (key == "count") {
+      count = p.parse_u64();
+    } else if (key == "underflow") {
+      underflow = p.parse_u64();
+    } else if (key == "saturated") {
+      saturated = p.parse_u64();
+    } else if (key == "sum") {
+      sum = p.parse_double();
+    } else if (key == "min") {
+      min_v = p.parse_double();
+    } else if (key == "max") {
+      max_v = p.parse_double();
+    } else if (key == "buckets") {
+      p.expect('{');
+      bool first_bucket = true;
+      while (p.peek() != '}') {
+        if (!first_bucket) p.expect(',');
+        first_bucket = false;
+        const std::string index = p.parse_string();
+        p.expect(':');
+        sparse.emplace_back(std::strtoull(index.c_str(), nullptr, 10), p.parse_u64());
+      }
+      p.expect('}');
+    } else {
+      p.fail("unknown key");
+    }
+  }
+  p.expect('}');
+  LogHistogram out(options);
+  for (const auto& [index, value] : sparse) {
+    if (index >= out.counts_.size()) {
+      throw std::runtime_error("LogHistogram::from_json: bucket index out of range");
+    }
+    out.counts_[index] = value;
+  }
+  out.count_ = count;
+  out.underflow_ = underflow;
+  out.saturated_ = saturated;
+  out.sum_ = sum;
+  if (count > 0) {
+    out.min_ = min_v;
+    out.max_ = max_v;
+  }
+  return out;
+}
+
+bool operator==(const LogHistogram& a, const LogHistogram& b) {
+  if (!a.same_geometry(b)) return false;
+  if (a.count_ != b.count_ || a.underflow_ != b.underflow_ ||
+      a.saturated_ != b.saturated_) {
+    return false;
+  }
+  // sum is deliberately excluded: it is an fp convenience aggregate whose
+  // value depends on addition order (merge vs. sequential add), while the
+  // bucketed state below is exactly order-independent.
+  if (a.min() != b.min() || a.max() != b.max()) return false;
+  return a.counts_ == b.counts_;
+}
+
+}  // namespace gc

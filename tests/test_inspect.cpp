@@ -1,0 +1,220 @@
+// obs/inspect.h — artifact loading, metric resolution, check parsing and
+// evaluation, the summary/diff reports, plus the audit JSONL read path the
+// inspector depends on.
+#include "obs/inspect.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "obs/audit.h"
+#include "obs/counters.h"
+#include "obs/timeseries.h"
+
+namespace gc {
+namespace {
+
+class InspectTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("gc_inspect_test_" + std::string(::testing::UnitTest::GetInstance()
+                                                 ->current_test_info()
+                                                 ->name()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  [[nodiscard]] std::string prefix(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  // Writes PREFIX.counters.json with a couple of counters and a gauge.
+  void write_counters(const std::string& pfx, std::uint64_t shed) const {
+    CountersSnapshot snapshot;
+    snapshot.add_counter("sim.jobs.admitted", 1000);
+    snapshot.add_counter("sim.jobs.shed", shed);
+    snapshot.add_gauge("solver.cache.hit_rate", 0.75);
+    std::ofstream out(pfx + ".counters.json");
+    out << snapshot.to_json() << '\n';
+  }
+
+  // Writes PREFIX.timeseries.csv with three periods of known values.
+  void write_timeseries(const std::string& pfx) const {
+    TimeSeriesRecorder recorder;
+    const double rates[3] = {10.0, 20.0, 60.0};
+    for (int i = 0; i < 3; ++i) {
+      TimeSeriesSample s;
+      s.time = 5.0 * i;
+      s.observed_rate = rates[i];
+      s.d_shed = static_cast<std::uint64_t>(i);
+      recorder.append(s);
+    }
+    recorder.write_csv(pfx + ".timeseries.csv");
+  }
+
+  void write_audit(const std::string& pfx) const {
+    DecisionAuditLog log;
+    AuditRecord warm;
+    warm.time_s = 5.0;
+    warm.observed_rate = 12.5;
+    warm.serving = 8;
+    log.append(warm);
+    AuditRecord long_tick;
+    long_tick.time_s = 60.0;
+    long_tick.long_tick = true;
+    long_tick.target_set = true;
+    long_tick.target_servers = 6;
+    long_tick.delta_servers = -2;
+    long_tick.safe_mode = true;
+    log.append(long_tick);
+    log.write_jsonl(pfx + ".audit.jsonl");
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(InspectTest, LoadThrowsWhenNoArtifactExists) {
+  EXPECT_THROW(RunArtifacts::load(prefix("missing")), std::runtime_error);
+}
+
+TEST_F(InspectTest, LoadPicksUpWhateverSubsetExists) {
+  const std::string pfx = prefix("partial");
+  write_counters(pfx, 25);
+  const RunArtifacts run = RunArtifacts::load(pfx);
+  EXPECT_FALSE(run.empty());
+  ASSERT_TRUE(run.counters.has_value());
+  EXPECT_FALSE(run.audit.has_value());
+  EXPECT_FALSE(run.timeseries.has_value());
+  EXPECT_EQ(run.counters->counter_or("sim.jobs.shed", 0), 25u);
+}
+
+TEST_F(InspectTest, LookupResolvesCountersGaugesAndColumns) {
+  const std::string pfx = prefix("full");
+  write_counters(pfx, 25);
+  write_timeseries(pfx);
+  write_audit(pfx);
+  const RunArtifacts run = RunArtifacts::load(pfx);
+  ASSERT_TRUE(run.counters && run.audit && run.timeseries);
+
+  EXPECT_EQ(lookup_metric(run, "sim.jobs.shed"), 25.0);
+  EXPECT_EQ(lookup_metric(run, "solver.cache.hit_rate"), 0.75);
+  // Bare column name means :mean; explicit aggregates cover the rest.
+  EXPECT_EQ(lookup_metric(run, "observed_rate"), 30.0);
+  EXPECT_EQ(lookup_metric(run, "observed_rate:mean"), 30.0);
+  EXPECT_EQ(lookup_metric(run, "observed_rate:min"), 10.0);
+  EXPECT_EQ(lookup_metric(run, "observed_rate:max"), 60.0);
+  EXPECT_EQ(lookup_metric(run, "observed_rate:last"), 60.0);
+  EXPECT_EQ(lookup_metric(run, "d_shed:sum"), 3.0);
+  EXPECT_EQ(lookup_metric(run, "no.such.metric"), std::nullopt);
+  EXPECT_EQ(lookup_metric(run, "observed_rate:median"), std::nullopt);
+}
+
+TEST_F(InspectTest, ParseCheckCoversTheFourOperators) {
+  const MetricCheck le = parse_check("win_p95_t_s:max<=2.5");
+  EXPECT_EQ(le.metric, "win_p95_t_s:max");
+  EXPECT_TRUE(le.upper);
+  EXPECT_FALSE(le.strict);
+  EXPECT_DOUBLE_EQ(le.bound, 2.5);
+
+  const MetricCheck ge = parse_check("sim.jobs.admitted>=100");
+  EXPECT_FALSE(ge.upper);
+  EXPECT_FALSE(ge.strict);
+  EXPECT_DOUBLE_EQ(ge.bound, 100.0);
+
+  EXPECT_TRUE(parse_check("a<1").strict);
+  EXPECT_TRUE(parse_check("a<1").upper);
+  EXPECT_TRUE(parse_check("a>1e-3").strict);
+  EXPECT_FALSE(parse_check("a>1e-3").upper);
+
+  EXPECT_THROW(parse_check(""), std::invalid_argument);
+  EXPECT_THROW(parse_check("metric"), std::invalid_argument);
+  EXPECT_THROW(parse_check("<=5"), std::invalid_argument);
+  EXPECT_THROW(parse_check("metric<="), std::invalid_argument);
+  EXPECT_THROW(parse_check("metric<=not_a_number"), std::invalid_argument);
+}
+
+TEST_F(InspectTest, EvaluateCheckGatesAgainstTheArtifacts) {
+  const std::string pfx = prefix("gate");
+  write_counters(pfx, 25);
+  write_timeseries(pfx);
+  const RunArtifacts run = RunArtifacts::load(pfx);
+
+  const CheckResult pass = evaluate_check(run, parse_check("sim.jobs.shed<=25"));
+  EXPECT_TRUE(pass.passed);
+  EXPECT_EQ(pass.value, 25.0);
+  EXPECT_FALSE(evaluate_check(run, parse_check("sim.jobs.shed<25")).passed);
+  EXPECT_TRUE(evaluate_check(run, parse_check("observed_rate:max<=60")).passed);
+  EXPECT_FALSE(evaluate_check(run, parse_check("observed_rate:max<60")).passed);
+  EXPECT_TRUE(evaluate_check(run, parse_check("observed_rate:min>=10")).passed);
+  EXPECT_THROW((void)evaluate_check(run, parse_check("no.such.metric<=1")),
+               std::runtime_error);
+}
+
+TEST_F(InspectTest, AuditJsonlRoundTripsBitExactly) {
+  const std::string pfx = prefix("audit");
+  write_audit(pfx);
+  const DecisionAuditLog log = DecisionAuditLog::read_jsonl(pfx + ".audit.jsonl");
+  ASSERT_EQ(log.size(), 2u);
+  const AuditRecord& warm = log.records()[0];
+  EXPECT_DOUBLE_EQ(warm.time_s, 5.0);
+  EXPECT_FALSE(warm.long_tick);
+  EXPECT_DOUBLE_EQ(warm.observed_rate, 12.5);
+  EXPECT_EQ(warm.serving, 8u);
+  const AuditRecord& decision = log.records()[1];
+  EXPECT_TRUE(decision.long_tick);
+  EXPECT_TRUE(decision.target_set);
+  EXPECT_EQ(decision.target_servers, 6u);
+  EXPECT_EQ(decision.delta_servers, -2);
+  EXPECT_TRUE(decision.safe_mode);
+  // The re-serialized log is byte-identical: parse(emit(x)) is exact.
+  std::ifstream in(pfx + ".audit.jsonl");
+  std::stringstream original;
+  original << in.rdbuf();
+  EXPECT_EQ(log.to_jsonl(), original.str());
+  // Unknown keys are ignored (newer logs load into older tooling); malformed
+  // lines are not.
+  EXPECT_EQ(DecisionAuditLog::from_jsonl(
+                "{\"t\": 1, \"tick\": \"short\", \"future_field\": 7}\n")
+                .size(),
+            1u);
+  EXPECT_THROW(DecisionAuditLog::from_jsonl("{\"t\": oops}\n"),
+               std::runtime_error);
+}
+
+TEST_F(InspectTest, SummaryReportCoversEveryPresentArtifact) {
+  const std::string pfx = prefix("summary");
+  write_counters(pfx, 25);
+  write_timeseries(pfx);
+  write_audit(pfx);
+  std::ostringstream os;
+  print_summary(os, RunArtifacts::load(pfx));
+  const std::string report = os.str();
+  EXPECT_NE(report.find("sim.jobs.shed"), std::string::npos);
+  EXPECT_NE(report.find("solver.cache.hit_rate"), std::string::npos);
+  EXPECT_NE(report.find("observed_rate"), std::string::npos);
+  EXPECT_NE(report.find("audit"), std::string::npos);
+}
+
+TEST_F(InspectTest, DiffReportShowsBothRunsAndDeltas) {
+  const std::string a = prefix("run_a");
+  const std::string b = prefix("run_b");
+  write_counters(a, 25);
+  write_counters(b, 75);
+  write_timeseries(a);
+  write_timeseries(b);
+  std::ostringstream os;
+  print_diff(os, RunArtifacts::load(a), RunArtifacts::load(b));
+  const std::string report = os.str();
+  EXPECT_NE(report.find("sim.jobs.shed"), std::string::npos);
+  EXPECT_NE(report.find("25"), std::string::npos);
+  EXPECT_NE(report.find("75"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gc

@@ -1,0 +1,243 @@
+// stats/log_histogram.h — bucket placement, the advertised relative-error
+// bound against exact order statistics, exact mergeability (associativity
+// and merge == pooled), serialization round trips, and range handling.
+#include "stats/log_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace gc {
+namespace {
+
+// Exact p-quantile of a sorted sample with the same rank convention the
+// histogram uses: the ceil(p * n)-th smallest value.
+double exact_quantile(std::vector<double> sorted, double p) {
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = sorted.size();
+  auto rank = static_cast<std::size_t>(std::ceil(p * static_cast<double>(n)));
+  rank = std::min(std::max<std::size_t>(rank, 1), n);
+  return sorted[rank - 1];
+}
+
+std::vector<double> random_sample(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Mix three shapes so samples span several octaves: exponential
+    // response times, a heavy lognormal-ish tail, and small uniforms.
+    // Floored at 2e-6 (above the default 2^-20 lower range bound) so no
+    // sample underflows and the relative-error contract applies to all.
+    const double u = rng.uniform01();
+    double x = 0.0;
+    if (u < 0.6) {
+      x = -std::log(1.0 - rng.uniform01()) * 0.05;
+    } else if (u < 0.9) {
+      x = std::exp(2.0 * rng.uniform01() - 1.0) * 0.2;
+    } else {
+      x = rng.uniform01() * 1e-3;
+    }
+    xs.push_back(std::max(x, 2e-6));
+  }
+  return xs;
+}
+
+TEST(LogHistogram, EmptyHistogramIsZeroEverywhere) {
+  const LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.saturated(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_TRUE(h.nonzero_buckets().empty());
+}
+
+TEST(LogHistogram, ExactScalarsTrackAddedValues) {
+  LogHistogram h;
+  h.add(0.5);
+  h.add(0.25);
+  h.add(1.5, 2);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 0.25 + 2 * 1.5);
+  EXPECT_DOUBLE_EQ(h.mean(), h.sum() / 4.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.25);
+  EXPECT_DOUBLE_EQ(h.max(), 1.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.25);  // exact min
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1.5);   // exact max
+}
+
+TEST(LogHistogram, QuantilesWithinAdvertisedRelativeError) {
+  for (const std::uint64_t seed : {7ULL, 21ULL, 5150ULL}) {
+    const auto xs = random_sample(seed, 20000);
+    LogHistogram h;
+    for (const double x : xs) h.add(x);
+    ASSERT_EQ(h.count(), xs.size());
+    ASSERT_EQ(h.underflow(), 0u);
+    ASSERT_EQ(h.saturated(), 0u);
+    const double bound = h.relative_error_bound();
+    EXPECT_DOUBLE_EQ(bound, 1.0 / 128.0);  // 6 sub-bucket bits
+    for (const double p : {0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 0.999}) {
+      const double exact = exact_quantile(xs, p);
+      const double est = h.quantile(p);
+      EXPECT_NEAR(est, exact, bound * exact)
+          << "seed " << seed << " p " << p;
+    }
+  }
+}
+
+TEST(LogHistogram, CoarserGeometryHasLooserBoundButStillHolds) {
+  LogHistogramOptions coarse;
+  coarse.sub_bucket_bits = 3;  // 8 sub-buckets, 6.25% relative error
+  const auto xs = random_sample(99, 10000);
+  LogHistogram h(coarse);
+  for (const double x : xs) h.add(x);
+  EXPECT_DOUBLE_EQ(h.relative_error_bound(), 1.0 / 16.0);
+  for (const double p : {0.5, 0.95, 0.99}) {
+    const double exact = exact_quantile(xs, p);
+    EXPECT_NEAR(h.quantile(p), exact, h.relative_error_bound() * exact);
+  }
+}
+
+TEST(LogHistogram, MergeEqualsPooledSamples) {
+  const auto a_xs = random_sample(1, 5000);
+  const auto b_xs = random_sample(2, 3000);
+  LogHistogram a, b, pooled;
+  for (const double x : a_xs) { a.add(x); pooled.add(x); }
+  for (const double x : b_xs) { b.add(x); pooled.add(x); }
+  a.merge(b);
+  EXPECT_EQ(a, pooled);  // == excludes the order-dependent float sum
+  EXPECT_NEAR(a.sum(), pooled.sum(), 1e-9 * pooled.sum());
+  EXPECT_EQ(a.count(), a_xs.size() + b_xs.size());
+  EXPECT_EQ(a.quantile(0.95), pooled.quantile(0.95));
+}
+
+TEST(LogHistogram, MergeIsAssociative) {
+  LogHistogram a, b, c;
+  for (const double x : random_sample(11, 2000)) a.add(x);
+  for (const double x : random_sample(12, 2000)) b.add(x);
+  for (const double x : random_sample(13, 2000)) c.add(x);
+
+  LogHistogram ab = a;
+  ab.merge(b);
+  LogHistogram ab_c = ab;
+  ab_c.merge(c);
+
+  LogHistogram bc = b;
+  bc.merge(c);
+  LogHistogram a_bc = a;
+  a_bc.merge(bc);
+
+  EXPECT_EQ(ab_c, a_bc);
+}
+
+TEST(LogHistogram, MergeWithEmptyIsIdentity) {
+  LogHistogram a, empty;
+  for (const double x : random_sample(3, 1000)) a.add(x);
+  const LogHistogram before = a;
+  a.merge(empty);
+  EXPECT_EQ(a, before);
+  empty.merge(a);
+  EXPECT_EQ(empty, before);
+}
+
+TEST(LogHistogram, MergeRejectsGeometryMismatch) {
+  LogHistogramOptions other;
+  other.sub_bucket_bits = 4;
+  LogHistogram a, b(other);
+  EXPECT_FALSE(a.same_geometry(b));
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(LogHistogram, UnderflowAndSaturationAreCounted) {
+  LogHistogramOptions narrow;
+  narrow.min_exponent = -4;  // lowest trackable 1/16
+  narrow.max_exponent = 4;   // >= 16 saturates
+  LogHistogram h(narrow);
+  h.add(0.0);
+  h.add(-1.0);
+  h.add(1e-9);
+  h.add(1.0);
+  h.add(1e9);
+  EXPECT_EQ(h.count(), 5u);  // exact scalars cover every add
+  EXPECT_EQ(h.underflow(), 3u);
+  EXPECT_EQ(h.saturated(), 1u);
+  // Exact min/max still see out-of-range values; the clamped add lands in
+  // the top bucket so upper quantiles stay above the in-range sample.
+  EXPECT_DOUBLE_EQ(h.min(), -1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1e9);
+  EXPECT_GT(h.quantile(0.99), 1.0);
+}
+
+TEST(LogHistogram, JsonRoundTripIsExact) {
+  LogHistogram h;
+  for (const double x : random_sample(42, 4000)) h.add(x);
+  h.add(0.0);    // underflow
+  h.add(1e300);  // saturated
+  const LogHistogram back = LogHistogram::from_json(h.to_json());
+  EXPECT_EQ(back, h);
+  EXPECT_EQ(back.underflow(), h.underflow());
+  EXPECT_EQ(back.saturated(), h.saturated());
+  EXPECT_DOUBLE_EQ(back.sum(), h.sum());
+  EXPECT_EQ(back.quantile(0.5), h.quantile(0.5));
+}
+
+TEST(LogHistogram, FromJsonRejectsGarbage) {
+  EXPECT_THROW(LogHistogram::from_json(""), std::runtime_error);
+  EXPECT_THROW(LogHistogram::from_json("not json"), std::runtime_error);
+  EXPECT_THROW(LogHistogram::from_json(R"({"buckets": {"999999": 1}})"),
+               std::runtime_error);
+}
+
+TEST(LogHistogram, ClearForgetsSamplesKeepsGeometry) {
+  LogHistogramOptions opts;
+  opts.sub_bucket_bits = 5;
+  LogHistogram h(opts);
+  for (const double x : random_sample(8, 500)) h.add(x);
+  h.clear();
+  EXPECT_EQ(h, LogHistogram(opts));
+  EXPECT_EQ(h.count(), 0u);
+  h.add(0.125);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.125);
+}
+
+TEST(LogHistogram, NonzeroBucketsAreOrderedAndCoverTheCounts) {
+  LogHistogram h;
+  const auto xs = random_sample(77, 3000);
+  for (const double x : xs) h.add(x);
+  const auto buckets = h.nonzero_buckets();
+  ASSERT_FALSE(buckets.empty());
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    EXPECT_LT(buckets[i].lower, buckets[i].upper);
+    EXPECT_GT(buckets[i].count, 0u);
+    if (i > 0) {
+      EXPECT_LE(buckets[i - 1].upper, buckets[i].lower + 1e-12);
+    }
+    total += buckets[i].count;
+  }
+  EXPECT_EQ(total, h.count());
+}
+
+TEST(LogHistogram, OptionsValidateRejectsBadGeometry) {
+  LogHistogramOptions bad;
+  bad.min_exponent = 5;
+  bad.max_exponent = 5;  // empty octave range
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = {};
+  bad.sub_bucket_bits = 40;  // outside the supported [1, 12]
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gc

@@ -14,6 +14,7 @@
 #include "control/policies.h"
 #include "exp/scenario.h"
 #include "obs/audit.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "sim/simulation.h"
 
@@ -95,7 +96,8 @@ struct GoldenRun {
                              /*seed=*/1234, /*day_s=*/2400.0);
   }
 
-  [[nodiscard]] SimResult run(TraceCollector* trace, DecisionAuditLog* audit) {
+  [[nodiscard]] SimResult run(TraceCollector* trace, DecisionAuditLog* audit,
+                              TimeSeriesRecorder* timeseries = nullptr) {
     Workload workload = scenario.make_workload(config, /*seed=*/97);
     const Provisioner solver(config);
     const auto controller = make_policy(PolicyKind::kCombinedDcp, &solver, popts);
@@ -111,6 +113,7 @@ struct GoldenRun {
     sim.record_interval_s = 120.0;
     sim.trace = trace;
     sim.audit = audit;
+    sim.timeseries = timeseries;
     return run_simulation(workload, cluster, *controller, sim);
   }
 };
@@ -212,7 +215,9 @@ TEST(ObsDeterminism, PerfectChannelWithActuatorMatchesPinnedGolden) {
 // control channel with retries and a scripted controller outage.  Pins the
 // full fault stack — any drift in channel sampling, retry scheduling, era
 // handling or watchdog behavior lands here.
-TEST(ObsDeterminism, FaultsAdmissionChannelGoldenIsPinned) {
+// The lossy control-plane stack of FaultsAdmissionChannelGoldenIsPinned,
+// shared with the time-series variants below.
+GoldenRun make_lossy_golden() {
   GoldenRun golden;
   golden.extra.faults.script = {{600.0, 0, 900.0},
                                 {600.0, 1, 900.0},
@@ -232,6 +237,11 @@ TEST(ObsDeterminism, FaultsAdmissionChannelGoldenIsPinned) {
   golden.extra.actuator.ack_timeout_s = 2.0;
   golden.extra.controller_faults.script = {{900.0, 120.0}};
   golden.popts.staleness.horizon_s = 60.0;
+  return golden;
+}
+
+TEST(ObsDeterminism, FaultsAdmissionChannelGoldenIsPinned) {
+  GoldenRun golden = make_lossy_golden();
   const SimResult result = golden.run(nullptr, nullptr);
   EXPECT_EQ(checksum(result), 13159024489807549190ULL);
   // The degraded path actually exercised what it pins.
@@ -256,6 +266,72 @@ TEST(ObsDeterminism, DegradedChannelRunIsTraceIndependent) {
   const SimResult untraced = golden.run(nullptr, nullptr);
   EXPECT_EQ(checksum(traced), checksum(untraced));
   EXPECT_TRUE(counters_match_outside_obs(traced.counters, untraced.counters));
+}
+
+// The time-series recorder obeys the same contract as the trace collector:
+// attaching it to the clean golden changes nothing, so the recorded run
+// reproduces the PR 2 checksum bit-for-bit and the recorder actually saw
+// every control instant.
+TEST(ObsDeterminism, TimeSeriesRecorderMatchesPinnedGolden) {
+  GoldenRun golden;
+  TimeSeriesRecorder timeseries;
+  const SimResult recorded = golden.run(nullptr, nullptr, &timeseries);
+  EXPECT_EQ(checksum(recorded), 13401298517741172659ULL);
+  EXPECT_GT(timeseries.periods(), 0u);
+  EXPECT_EQ(timeseries.periods(),
+            recorded.counters.counter_or("obs.timeseries.periods", 0));
+  EXPECT_EQ(timeseries.size(),
+            recorded.counters.counter_or("obs.timeseries.rows", 0));
+}
+
+// And the degraded-path golden: recording the lossy channel/faults/admission
+// run must not shift a single RNG draw or retry timer.  This is the pin the
+// issue asks for — the recorder samples channel counters and actuator state
+// every tick, all read-only.
+TEST(ObsDeterminism, TimeSeriesEnabledLossyRunMatchesPinnedGolden) {
+  GoldenRun golden = make_lossy_golden();
+  TimeSeriesRecorder timeseries;
+  const SimResult recorded = golden.run(nullptr, nullptr, &timeseries);
+  EXPECT_EQ(checksum(recorded), 13159024489807549190ULL);
+
+  GoldenRun plain = make_lossy_golden();
+  const SimResult unrecorded = plain.run(nullptr, nullptr);
+  EXPECT_TRUE(counters_match_outside_obs(recorded.counters, unrecorded.counters));
+
+  // The recorded trajectory localizes the degradation the run-level totals
+  // only sum: period-level drop/retry/missed-tick deltas add back up to the
+  // SimResult counters.
+  const auto column_sum = [&](TimeSeriesRecorder::Col col) {
+    double total = 0.0;
+    for (std::size_t row = 0; row < timeseries.size(); ++row) {
+      total += timeseries.value(col, row);
+    }
+    return static_cast<std::uint64_t>(total);
+  };
+  EXPECT_EQ(column_sum(TimeSeriesRecorder::kDTelemetryDropped),
+            recorded.telemetry_dropped);
+  EXPECT_EQ(column_sum(TimeSeriesRecorder::kDCommandsDropped),
+            recorded.commands_dropped);
+  EXPECT_EQ(column_sum(TimeSeriesRecorder::kDCmdRetries), recorded.command_retries);
+  EXPECT_EQ(column_sum(TimeSeriesRecorder::kDTicksMissed), recorded.ticks_missed);
+  // Safe mode was entered, and the recorder saw it.
+  double safe_rows = 0.0;
+  for (std::size_t row = 0; row < timeseries.size(); ++row) {
+    safe_rows += timeseries.value(TimeSeriesRecorder::kSafeMode, row);
+  }
+  EXPECT_GT(safe_rows, 0.0);
+}
+
+// Recorder on/off is a pure observation contrast on the lossy path too:
+// identical checksums and identical non-obs counters, twice over.
+TEST(ObsDeterminism, LossyRunIsTimeSeriesIndependent) {
+  GoldenRun with = make_lossy_golden();
+  TimeSeriesRecorder timeseries;
+  const SimResult recorded = with.run(nullptr, nullptr, &timeseries);
+  GoldenRun without = make_lossy_golden();
+  const SimResult unrecorded = without.run(nullptr, nullptr);
+  EXPECT_EQ(checksum(recorded), checksum(unrecorded));
+  EXPECT_TRUE(counters_match_outside_obs(recorded.counters, unrecorded.counters));
 }
 
 }  // namespace

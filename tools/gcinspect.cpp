@@ -1,0 +1,92 @@
+// gcinspect — offline inspector for simulation run artifacts.
+//
+// A run written with --timeseries-out=PREFIX / --trace-out=PREFIX leaves
+// PREFIX.counters.json, PREFIX.audit.jsonl and PREFIX.timeseries.csv; this
+// tool loads whichever exist and reports on them without re-running
+// anything.
+//
+//   gcinspect PREFIX                       one-run summary
+//   gcinspect PREFIX_A PREFIX_B            A/B diff of two runs
+//   gcinspect PREFIX --check 'M<=B' ...    gate metrics (exit 1 on failure)
+//
+// Metric syntax for --check: a counter/gauge name (`chan.command.dropped`),
+// or a time-series column with an aggregate (`win_p95_t_s:max`, aggregates
+// mean|min|max|last|sum; a bare column name means :mean).  Bounds accept
+// <=, >=, <, >.  Multiple --check flags AND together; ci/check.sh uses
+// this as its SLA smoke gate.
+#include <cstdio>
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/inspect.h"
+#include "util/cli.h"
+
+namespace {
+
+void usage() {
+  std::cerr
+      << "usage: gcinspect PREFIX [PREFIX_B] [--check METRIC(<=|>=|<|>)BOUND]...\n"
+         "       loads PREFIX.counters.json / PREFIX.audit.jsonl / "
+         "PREFIX.timeseries.csv\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const gc::CliArgs args(argc, argv);
+    for (const std::string& flag : args.unknown_flags({"check", "help"})) {
+      std::cerr << "gcinspect: unknown flag --" << flag << "\n";
+      usage();
+      return 2;
+    }
+    if (args.has("help") || args.positional().empty() ||
+        args.positional().size() > 2) {
+      usage();
+      return args.has("help") ? 0 : 2;
+    }
+
+    const gc::RunArtifacts run = gc::RunArtifacts::load(args.positional()[0]);
+
+    // --check gates run against the first prefix; they compose with the
+    // summary/diff output (checks print last).
+    // CliArgs keeps one value per key, so several checks arrive as one
+    // comma-separated list: --check 'a<=1,b>=0'.
+    std::vector<gc::MetricCheck> checks;
+    if (const auto joined = args.get("check")) {
+      std::size_t start = 0;
+      while (start <= joined->size()) {
+        const std::size_t comma = joined->find(',', start);
+        const std::string one =
+            joined->substr(start, comma == std::string::npos ? std::string::npos
+                                                             : comma - start);
+        if (!one.empty()) checks.push_back(gc::parse_check(one));
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    }
+
+    if (args.positional().size() == 2) {
+      const gc::RunArtifacts run_b = gc::RunArtifacts::load(args.positional()[1]);
+      gc::print_diff(std::cout, run, run_b);
+    } else if (checks.empty()) {
+      gc::print_summary(std::cout, run);
+    }
+
+    bool all_passed = true;
+    for (const gc::MetricCheck& check : checks) {
+      const gc::CheckResult result = gc::evaluate_check(run, check);
+      std::printf("check %s%s%.17g: %s (value %.6g)\n", check.metric.c_str(),
+                  check.upper ? (check.strict ? "<" : "<=")
+                              : (check.strict ? ">" : ">="),
+                  check.bound, result.passed ? "PASS" : "FAIL", result.value);
+      all_passed = all_passed && result.passed;
+    }
+    return all_passed ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "gcinspect: " << e.what() << "\n";
+    return 2;
+  }
+}
