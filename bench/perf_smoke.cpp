@@ -93,6 +93,39 @@ double solve_ns_per_call(const gc::Provisioner& solver, long iters) {
   return ns;
 }
 
+// solve_reliable() ns/call over the same tick pattern, with the availability
+// target and wear cost live so every cold call runs the full
+// base-count × spare-count scan.  The cache makes the steady state cheap;
+// the baseline entry keeps the cold-scan cost from regressing unnoticed.
+double solve_reliable_ns_per_call(const gc::Provisioner& solver, long iters) {
+  gc::ReliabilityOptions reliability;
+  reliability.mtbf_s = 7200.0;
+  reliability.mttr_s = 180.0;
+  reliability.availability_target = 0.99;
+  reliability.max_spares = 6;
+  reliability.cycles_to_failure = 2000.0;
+  reliability.cycle_cost_j = 10000.0;
+  const gc::ClusterConfig& config = solver.config();
+  const double max_rate = config.max_feasible_arrival_rate();
+  std::vector<double> rates;
+  for (int i = 0; i < 64; ++i) {
+    rates.push_back(max_rate * static_cast<double>(i) / 80.0);
+  }
+  double sink = 0.0;
+  const auto start = Clock::now();
+  for (long it = 0; it < iters; ++it) {
+    sink += solver
+                .solve_reliable(rates[static_cast<std::size_t>(it) % rates.size()],
+                                config.max_servers,
+                                /*m_committed=*/config.max_servers / 2,
+                                /*horizon_s=*/25.0, reliability)
+                .base.speed;
+  }
+  const double ns = seconds_since(start) * 1e9 / static_cast<double>(iters);
+  if (sink < 0.0) std::fprintf(stderr, "%f", sink);
+  return ns;
+}
+
 // The fig8 workload — three compressed WC98-like days — replayed under
 // combined DCP and then failure-aware DCP, both sharing ONE Provisioner.
 // Both runs see the identical arrival trace on the identical tick grid,
@@ -153,6 +186,7 @@ int main(int argc, char** argv) {
 
   const gc::Provisioner solver(gc::bench_cluster_config());
   const double solve_ns = solve_ns_per_call(solver, 200000);
+  const double solve_reliable_ns = solve_reliable_ns_per_call(solver, 200000);
   const gc::SolverCacheStats replay = trace_replay_cache_stats();
 
   std::FILE* out = std::fopen(path.c_str(), "w");
@@ -168,16 +202,20 @@ int main(int argc, char** argv) {
   std::fprintf(out,
                "  ],\n"
                "  \"solve_ns_per_call\": %.3f,\n"
+               "  \"solve_reliable_ns_per_call\": %.3f,\n"
                "  \"solver_cache\": {\"hits\": %llu, \"misses\": %llu, "
                "\"hit_rate\": %.6f}\n"
                "}\n",
-               solve_ns, static_cast<unsigned long long>(replay.hits),
+               solve_ns, solve_reliable_ns,
+               static_cast<unsigned long long>(replay.hits),
                static_cast<unsigned long long>(replay.misses), replay.hit_rate());
   std::fclose(out);
 
   std::printf("event loop  : M=16 %.3e  M=256 %.3e  M=1024 %.3e ops/sec\n",
               ops[0], ops[1], ops[2]);
   std::printf("solve       : %.1f ns/call (cached replay mix)\n", solve_ns);
+  std::printf("solve_rel   : %.1f ns/call (cached replay mix, avail + wear)\n",
+              solve_reliable_ns);
   std::printf("cache replay: %llu hits / %llu misses (%.1f%% hit rate)\n",
               static_cast<unsigned long long>(replay.hits),
               static_cast<unsigned long long>(replay.misses),

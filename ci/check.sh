@@ -53,6 +53,7 @@ perf_smoke() {
   jq -e '(.event_loop | length) == 3
          and (.event_loop | all(.events_per_sec > 0))
          and .solve_ns_per_call > 0
+         and .solve_reliable_ns_per_call > 0
          and (.solver_cache.hit_rate | . >= 0 and . <= 1)' \
     BENCH_core.json >/dev/null \
     || { echo "perf_smoke: BENCH_core.json malformed" >&2; exit 1; }
@@ -83,6 +84,19 @@ bench_compare() {
       { what: "solve_ns_per_call",
         ok: ($c.solve_ns_per_call <= $b.solve_ns_per_call * (1 + $tol)),
         cur: $c.solve_ns_per_call, base: $b.solve_ns_per_call },
+      { what: "solve_reliable_ns_per_call",
+        ok: ($c.solve_reliable_ns_per_call
+               <= $b.solve_reliable_ns_per_call * (1 + $tol)),
+        cur: $c.solve_reliable_ns_per_call,
+        base: $b.solve_reliable_ns_per_call },
+      # Machine-independent: the constrained solve (availability + wear on a
+      # cached replay mix) must stay within a bounded factor of the plain
+      # solve measured in the same run — a blowup here means the reliable
+      # memo cache stopped hitting, not that the machine is slow.
+      { what: "solve_reliable/solve ratio (<= 15x)",
+        ok: ($c.solve_reliable_ns_per_call <= 15 * $c.solve_ns_per_call),
+        cur: ($c.solve_reliable_ns_per_call / $c.solve_ns_per_call),
+        base: 15 },
       { what: "solver_cache.hit_rate",
         ok: ($c.solver_cache.hit_rate >= $b.solver_cache.hit_rate * (1 - $tol)),
         cur: $c.solver_cache.hit_rate, base: $b.solver_cache.hit_rate }
@@ -115,6 +129,25 @@ trace_out_smoke() {
   echo "==> [${dir}] gcinspect check"
   "${dir}/tools/gcinspect" "${prefix}" --check \
       'obs.timeseries.rows>=1000,rolling_viol_frac:max<=0.5,d_shed:sum<=0,energy_j:last>0,sim.jobs.lost<=0'
+}
+
+# The reliability gate: the fig16 wear-aware demo run (fixed seed, so every
+# bound is deterministic) must plan availability at or above its A_ref of
+# 0.9, and must boot strictly fewer servers than the naive run of the same
+# comparison (49 boots at this seed; the wear-aware run does 15 — the gate
+# leaves slack for model-parameter drift while still proving wear
+# awareness bites).
+fig16_smoke() {
+  local dir="$1"
+  echo "==> [${dir}] fig16 reliability smoke"
+  local prefix="${dir}/fig16"
+  "${dir}/bench/fig16_reliability" --trace-out="${prefix}" \
+      --timeseries-out="${prefix}" >/dev/null
+  jq -es 'length > 0 and (last | has("solved_spares"))' "${prefix}.audit.jsonl" >/dev/null \
+    || { echo "fig16: ${prefix}.audit.jsonl missing reliability columns" >&2; exit 1; }
+  echo "==> [${dir}] gcinspect check (fig16)"
+  "${dir}/tools/gcinspect" "${prefix}" --check \
+      'reliability.availability_estimate>=0.9,fleet.boot_count>0,fleet.boot_count<30,fleet.wear_fraction_max>0,solved_spares:max>=1'
 }
 
 # clang-tidy over the sources we own, using the lint build's compile
@@ -164,6 +197,7 @@ case "${MODE}" in
     run_config plain -DGC_BUILD_BENCH=ON
     perf_smoke build-ci-plain
     trace_out_smoke build-ci-plain
+    fig16_smoke build-ci-plain
     ;;
   sanitize)
     run_config sanitize -DGREENCLUSTER_SANITIZE=ON
@@ -176,6 +210,7 @@ case "${MODE}" in
     run_config plain -DGC_BUILD_BENCH=ON
     perf_smoke build-ci-plain
     trace_out_smoke build-ci-plain
+    fig16_smoke build-ci-plain
     run_config sanitize -DGREENCLUSTER_SANITIZE=ON
     ;;
   *)

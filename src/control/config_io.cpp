@@ -1,0 +1,145 @@
+#include "control/config_io.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/format.h"
+#include "util/string_util.h"
+
+namespace gc {
+namespace {
+
+// Same typed-read idiom as core/config_io.cpp: a bad value must throw with
+// the section/key in the message, never clamp or leak a NaN policy-ward.
+unsigned get_unsigned(const IniFile& ini, const std::string& section,
+                      const std::string& key, unsigned fallback) {
+  const long long value =
+      ini.get_int_or(section, key, static_cast<long long>(fallback));
+  if (value < 0) {
+    throw std::runtime_error(
+        gc::format("config: [{}] {} must be >= 0 (got {})", section, key, value));
+  }
+  if (value > static_cast<long long>(std::numeric_limits<unsigned>::max())) {
+    throw std::runtime_error(
+        gc::format("config: [{}] {} is out of range (got {})", section, key, value));
+  }
+  return static_cast<unsigned>(value);
+}
+
+std::uint64_t get_seed(const IniFile& ini, const std::string& section,
+                       const std::string& key, std::uint64_t fallback) {
+  const long long value =
+      ini.get_int_or(section, key, static_cast<long long>(fallback));
+  if (value < 0) {
+    throw std::runtime_error(
+        gc::format("config: [{}] {} must be >= 0 (got {})", section, key, value));
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+double get_finite(const IniFile& ini, const std::string& section,
+                  const std::string& key, double fallback) {
+  const double value = ini.get_double_or(section, key, fallback);
+  if (!std::isfinite(value)) {
+    throw std::runtime_error(
+        gc::format("config: [{}] {} must be finite (got {})", section, key, value));
+  }
+  return value;
+}
+
+double get_nonnegative(const IniFile& ini, const std::string& section,
+                       const std::string& key, double fallback) {
+  const double value = get_finite(ini, section, key, fallback);
+  if (!(value >= 0.0)) {
+    throw std::runtime_error(
+        gc::format("config: [{}] {} must be >= 0 (got {})", section, key, value));
+  }
+  return value;
+}
+
+double get_fraction(const IniFile& ini, const std::string& section,
+                    const std::string& key, double fallback) {
+  const double value = get_finite(ini, section, key, fallback);
+  if (!(value >= 0.0 && value <= 1.0)) {
+    throw std::runtime_error(gc::format(
+        "config: [{}] {} must be in [0, 1] (got {})", section, key, value));
+  }
+  return value;
+}
+
+}  // namespace
+
+FaultOptions fault_options_from_ini(const IniFile& ini) {
+  FaultOptions faults;
+  faults.mtbf_s = get_nonnegative(ini, "faults", "mtbf_s", faults.mtbf_s);
+  faults.mttr_s = get_nonnegative(ini, "faults", "mttr_s", faults.mttr_s);
+  if (!(faults.mttr_s > 0.0)) {
+    throw std::runtime_error(
+        gc::format("config: [faults] mttr_s must be > 0 (got {})", faults.mttr_s));
+  }
+  faults.boot_hang_prob =
+      get_fraction(ini, "faults", "boot_hang_prob", faults.boot_hang_prob);
+  faults.boot_timeout_s =
+      get_nonnegative(ini, "faults", "boot_timeout_s", faults.boot_timeout_s);
+  faults.seed = get_seed(ini, "faults", "seed", faults.seed);
+  faults.validate();
+  return faults;
+}
+
+FailureAwareOptions failure_aware_options_from_ini(const IniFile& ini) {
+  FailureAwareOptions fa;
+  fa.heartbeat_interval_s = get_nonnegative(ini, "failure_aware",
+                                            "heartbeat_interval_s",
+                                            fa.heartbeat_interval_s);
+  if (!(fa.heartbeat_interval_s > 0.0)) {
+    throw std::runtime_error(
+        gc::format("config: [failure_aware] heartbeat_interval_s must be > 0 "
+                   "(got {})",
+                   fa.heartbeat_interval_s));
+  }
+  fa.heartbeat_misses = get_unsigned(ini, "failure_aware", "heartbeat_misses",
+                                     fa.heartbeat_misses);
+  fa.spare_capacity_fraction = get_fraction(
+      ini, "failure_aware", "spare_capacity_fraction", fa.spare_capacity_fraction);
+  fa.boot_retry_budget = get_unsigned(ini, "failure_aware", "boot_retry_budget",
+                                      fa.boot_retry_budget);
+  fa.boot_retry_backoff_s = get_nonnegative(
+      ini, "failure_aware", "boot_retry_backoff_s", fa.boot_retry_backoff_s);
+  fa.validate();
+  return fa;
+}
+
+ReliabilityOptions reliability_options_from_ini(const IniFile& ini) {
+  ReliabilityOptions reliability;
+  reliability.mtbf_s =
+      get_nonnegative(ini, "reliability", "mtbf_s", reliability.mtbf_s);
+  reliability.mttr_s =
+      get_nonnegative(ini, "reliability", "mttr_s", reliability.mttr_s);
+  reliability.availability_target = get_fraction(
+      ini, "reliability", "availability_target", reliability.availability_target);
+  reliability.max_spares =
+      get_unsigned(ini, "reliability", "max_spares", reliability.max_spares);
+  reliability.cycles_to_failure = get_nonnegative(
+      ini, "reliability", "cycles_to_failure", reliability.cycles_to_failure);
+  reliability.cycle_cost_j = get_nonnegative(ini, "reliability", "cycle_cost_j",
+                                             reliability.cycle_cost_j);
+  if (const auto levels = ini.get("reliability", "class_cycles_to_failure")) {
+    for (const auto piece : split(*levels, ' ')) {
+      const auto trimmed = trim(piece);
+      if (trimmed.empty()) continue;
+      const auto value = parse_double(trimmed);
+      if (!value || !std::isfinite(*value) || *value < 0.0) {
+        throw std::runtime_error(gc::format(
+            "config: [reliability] bad class_cycles_to_failure entry '{}' "
+            "(need a finite non-negative cycle budget)",
+            std::string(trimmed)));
+      }
+      reliability.class_cycles_to_failure.push_back(*value);
+    }
+  }
+  reliability.validate();
+  return reliability;
+}
+
+}  // namespace gc

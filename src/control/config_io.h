@@ -1,0 +1,51 @@
+// Fault / failure-aware / reliability policy knobs <-> INI sections.
+//
+// Extends the core config format (core/config_io.h) with the sections the
+// robustness policies read.  Lives in control/ because the three structs
+// span the module graph (FaultOptions in sim/, FailureAwareOptions in
+// control/, ReliabilityOptions in core/) and gc_control is the lowest
+// layer that links all of them.
+//
+//   [faults]
+//   mtbf_s = 21600            ; 0 disables the background fault process
+//   mttr_s = 600
+//   boot_hang_prob = 0.02
+//   boot_timeout_s = 0        ; 0 = three boot delays
+//   seed = 0                  ; 0 derives from the dispatch seed
+//
+//   [failure_aware]
+//   heartbeat_interval_s = 5
+//   heartbeat_misses = 2
+//   spare_capacity_fraction = 0.0625
+//   boot_retry_budget = 4
+//   boot_retry_backoff_s = 0
+//
+//   [reliability]
+//   mtbf_s = 21600
+//   mttr_s = 600
+//   availability_target = 0.999
+//   max_spares = 8
+//   cycles_to_failure = 40000
+//   cycle_cost_j = 5000
+//   class_cycles_to_failure = 40000 10000   ; optional per-class override
+//
+// Missing keys fall back to the in-code defaults.  Malformed values —
+// non-finite or negative MTBF/MTTR, probabilities or fractions outside
+// [0, 1], negative wear budgets — *throw* (std::runtime_error with the
+// offending section/key, or the struct validate()'s std::invalid_argument);
+// nothing is silently clamped.  tests/test_config_fuzz.cpp keeps the
+// malformed-input corpus.
+#pragma once
+
+#include "control/failure_aware.h"
+#include "core/reliability.h"
+#include "sim/fault_injector.h"
+#include "util/ini.h"
+
+namespace gc {
+
+[[nodiscard]] FaultOptions fault_options_from_ini(const IniFile& ini);
+[[nodiscard]] FailureAwareOptions failure_aware_options_from_ini(const IniFile& ini);
+[[nodiscard]] ReliabilityOptions reliability_options_from_ini(const IniFile& ini);
+
+}  // namespace gc

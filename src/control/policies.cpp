@@ -30,6 +30,7 @@ const char* to_string(PolicyKind kind) noexcept {
     case PolicyKind::kOracle: return "oracle";
     case PolicyKind::kThreshold: return "threshold";
     case PolicyKind::kDcpFailureAware: return "dcp-failure-aware";
+    case PolicyKind::kDcpReliability: return "dcp-reliability";
   }
   return "?";
 }
@@ -57,6 +58,10 @@ std::unique_ptr<Controller> make_policy(PolicyKind kind, const Provisioner* prov
       return std::make_unique<FailureAwareDcpController>(
           provisioner, options.dcp, options.predictor, options.failure,
           options.staleness);
+    case PolicyKind::kDcpReliability:
+      return std::make_unique<ReliabilityDcpController>(
+          provisioner, options.dcp, options.predictor, options.failure,
+          options.reliability, options.staleness);
   }
   throw std::invalid_argument("make_policy: unknown policy kind");
 }

@@ -23,9 +23,11 @@
 
 #include "core/dcp.h"
 #include "core/provisioner.h"
+#include "core/reliability.h"
 #include "control/estimator.h"
 #include "control/failure_aware.h"
 #include "control/predictor.h"
+#include "control/reliability_dcp.h"
 #include "sim/simulation.h"
 
 namespace gc {
@@ -46,6 +48,10 @@ enum class PolicyKind : int {
   // capped provisioning with spare capacity, boot retries with backoff
   // (control/failure_aware.h).
   kDcpFailureAware = 7,
+  // Reliability-constrained DCP: the fixed spare fraction generalized to a
+  // solved spare pool meeting availability >= A_ref, with on/off wear
+  // charged in the objective (control/reliability_dcp.h, DESIGN.md §10).
+  kDcpReliability = 8,
 };
 [[nodiscard]] const char* to_string(PolicyKind kind) noexcept;
 
@@ -56,8 +62,14 @@ struct PolicyOptions {
   // queued backlog (DcpPlanner::plan_speed_with_backlog).  Off by default
   // to match the paper's controller; quantified in bench/fig6.
   bool backlog_aware = false;
-  // kDcpFailureAware only: detector / spare capacity / boot retry knobs.
+  // kDcpFailureAware / kDcpReliability: detector / spare capacity / boot
+  // retry knobs (kDcpReliability ignores spare_capacity_fraction — spares
+  // are solved, not guessed).
   FailureAwareOptions failure = {};
+  // kDcpReliability only: MTBF/MTTR model, availability target and wear
+  // budget for Provisioner::solve_reliable.  Defaults disable everything,
+  // degenerating the policy to capped DCP with zero spares.
+  ReliabilityOptions reliability = {};
   // Stale-telemetry guard over a degraded control channel (Combined/DCP
   // and failure-aware only): hold last-good λ̂ and widen the safety margin
   // when the delivered observation ages past the horizon.  Inert (0

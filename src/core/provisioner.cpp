@@ -15,6 +15,10 @@ namespace {
 // measured rates rarely collide, small enough (~512 KiB) to build per run.
 constexpr std::size_t kCacheSlots = 8192;
 
+// Reliable-plan table: one controller re-solves far fewer distinct
+// (λ, cap, committed) triples per run, so a smaller table suffices.
+constexpr std::size_t kReliableCacheSlots = 2048;
+
 }  // namespace
 
 Provisioner::Provisioner(ClusterConfig config)
@@ -36,6 +40,7 @@ void Provisioner::set_config(ClusterConfig config) {
 
 void Provisioner::invalidate_cache() noexcept {
   for (CacheEntry& entry : cache_) entry.op = CacheOp::kEmpty;
+  for (ReliableCacheEntry& entry : reliable_cache_) entry.valid = false;
 }
 
 std::size_t Provisioner::cache_slot(double lambda, unsigned m, CacheOp op) const {
@@ -219,6 +224,148 @@ OperatingPoint Provisioner::solve_capped_uncached(double lambda, unsigned m_cap)
     pt.feasible = false;
   }
   return pt;
+}
+
+std::size_t Provisioner::reliable_slot(double lambda, unsigned m_cap,
+                                       unsigned m_committed) const {
+  // Same quantized-λ slot hashing as cache_slot; exact equality on every
+  // key component is still required to hit.
+  const auto bucket =
+      static_cast<std::uint64_t>(std::llround(lambda / cache_quantum_));
+  std::uint64_t h = bucket * 0x9e3779b97f4a7c15ULL;
+  h ^= (static_cast<std::uint64_t>(m_cap) << 32) |
+       static_cast<std::uint64_t>(m_committed);
+  h *= 0xc2b2ae3d27d4eb4fULL;
+  h ^= h >> 29;
+  return static_cast<std::size_t>(h % kReliableCacheSlots);
+}
+
+ReliablePlan Provisioner::solve_reliable(double lambda, unsigned m_cap,
+                                         unsigned m_committed, double horizon_s,
+                                         const ReliabilityOptions& reliability) const {
+  GC_CHECK(lambda >= 0.0 && std::isfinite(lambda), "solve_reliable: bad lambda");
+  GC_CHECK(m_cap >= 1, "solve_reliable: need at least one server in the cap");
+  GC_CHECK(horizon_s >= 0.0 && std::isfinite(horizon_s),
+           "solve_reliable: bad horizon");
+  // Clamp before the lookup so caps beyond the fleet share one entry.
+  m_cap = std::min(m_cap, config_.max_servers);
+  m_committed = std::min(m_committed, config_.max_servers);
+  if (reliable_cache_.empty()) reliable_cache_.resize(kReliableCacheSlots);
+  if (reliable_horizon_s_ != horizon_s || !(reliable_knobs_ == reliability)) {
+    // New knob generation: cached plans answer a different objective, so
+    // they must all go (plain OperatingPoint entries are untouched).
+    reliability.validate();
+    for (ReliableCacheEntry& entry : reliable_cache_) entry.valid = false;
+    reliable_knobs_ = reliability;
+    reliable_horizon_s_ = horizon_s;
+  }
+  ReliableCacheEntry& entry =
+      reliable_cache_[reliable_slot(lambda, m_cap, m_committed)];
+  if (entry.valid && entry.lambda == lambda && entry.m_cap == m_cap &&
+      entry.m_committed == m_committed) {
+    ++cache_stats_.hits;
+    return entry.plan;
+  }
+  ++cache_stats_.misses;
+  const ReliablePlan plan =
+      solve_reliable_uncached(lambda, m_cap, m_committed, horizon_s, reliability);
+  entry = ReliableCacheEntry{lambda, m_cap, m_committed, true, plan};
+  return plan;
+}
+
+ReliablePlan Provisioner::solve_reliable_uncached(
+    double lambda, unsigned m_cap, unsigned m_committed, double horizon_s,
+    const ReliabilityOptions& reliability) const {
+  const double a = reliability.server_availability();
+  const bool constrained = reliability.availability_constrained();
+  const double wear_w_per_server =
+      reliability.wear_costed() && horizon_s > 0.0
+          ? 0.5 * reliability.cycle_cost_j / horizon_s
+          : 0.0;
+
+  ReliablePlan plan;
+  const auto m_min = min_feasible_servers(lambda);
+  if (!m_min || *m_min > m_cap) {
+    // Latency-infeasible inside the cap: degraded best effort, no spares
+    // (every cap slot goes to serving capacity).
+    plan.base = evaluate(lambda, m_cap, 1.0);
+    plan.base.feasible = false;
+    plan.availability = fleet_availability(m_cap, 0, a);
+    plan.objective_w = plan.base.power_watts;
+    plan.binding = BindingConstraint::kCapacity;
+    return plan;
+  }
+
+  bool have_best = false;
+  bool best_avail_ok = false;
+  double best_objective = std::numeric_limits<double>::infinity();
+  unsigned best_total = 0;
+  for (unsigned m = *m_min; m <= m_cap; ++m) {
+    const auto s_cont = min_speed(lambda, m);
+    if (!s_cont) continue;
+    const OperatingPoint base =
+        evaluate(lambda, m, config_.ladder.round_up(*s_cont));
+    if (!base.feasible) continue;
+    // Spare pool: smallest k meeting the availability target within the
+    // room the cap leaves; if unreachable, best effort with all the room.
+    const unsigned spare_room = std::min(reliability.max_spares, m_cap - m);
+    unsigned k = 0;
+    bool avail_ok = true;
+    if (constrained) {
+      if (const auto solved =
+              min_spares_for(m, a, reliability.availability_target, spare_room)) {
+        k = *solved;
+      } else {
+        k = spare_room;
+        avail_ok = false;
+      }
+    }
+    // The dispatcher spreads load across every serving server, so the
+    // committed pool of m + k runs at the base speed with diluted
+    // utilization — cost that, while the t_ref guarantee stays certified
+    // with the base m alone (spares may be down).
+    const OperatingPoint pool = k > 0 ? evaluate(lambda, m + k, base.speed) : base;
+    const unsigned total = m + k;
+    const unsigned delta =
+        total > m_committed ? total - m_committed : m_committed - total;
+    const double objective =
+        pool.power_watts + wear_w_per_server * static_cast<double>(delta);
+    bool better = false;
+    if (!have_best) {
+      better = true;
+    } else if (avail_ok != best_avail_ok) {
+      better = avail_ok;  // meeting the availability target dominates cost
+    } else if (objective < best_objective) {
+      better = true;
+    } else if (objective == best_objective && total < best_total) {
+      better = true;
+    }
+    if (better) {
+      have_best = true;
+      best_avail_ok = avail_ok;
+      best_objective = objective;
+      best_total = total;
+      plan.base = base;
+      plan.spares = k;
+      plan.availability = fleet_availability(m, k, a);
+      plan.objective_w = objective;
+    }
+  }
+  if (!have_best) {
+    // Ladder round-up overshot t_ref for every m in range (same guard as
+    // solve_capped_uncached): degraded best effort at the cap.
+    plan.base = evaluate(lambda, m_cap, 1.0);
+    plan.base.feasible = false;
+    plan.spares = 0;
+    plan.availability = fleet_availability(m_cap, 0, a);
+    plan.objective_w = plan.base.power_watts;
+    plan.binding = BindingConstraint::kCapacity;
+    return plan;
+  }
+  plan.binding = !best_avail_ok ? BindingConstraint::kCapacity
+                 : plan.spares > 0 ? BindingConstraint::kAvailability
+                                   : BindingConstraint::kLatency;
+  return plan;
 }
 
 double Provisioner::relaxed_power(double lambda, double m_real) const {

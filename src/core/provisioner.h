@@ -40,6 +40,7 @@
 
 #include "core/cluster_config.h"
 #include "core/operating_point.h"
+#include "core/reliability.h"
 
 namespace gc {
 
@@ -112,6 +113,21 @@ class Provisioner {
   // O(log M) solver; agrees with solve() (see tests/test_provisioner.cpp).
   [[nodiscard]] OperatingPoint solve_fast(double lambda) const;
 
+  // Reliability-constrained solver (DESIGN.md §10): minimize power plus
+  // the amortized wear cost of moving the committed pool, subject to
+  // E[T] <= t_ref certified with the base m alone AND
+  // fleet_availability(m, spares) >= availability_target, with
+  // m + spares <= m_cap.  `m_committed` anchors the wear deadband and
+  // `horizon_s` (the long control period) amortizes cycle_cost_j into
+  // watts.  When the availability target is unreachable inside the cap
+  // the plan carries the best-effort spare pool with binding = kCapacity.
+  // Memoized like solve(): exact-hit on (λ, m_cap, m_committed), with the
+  // knob set + horizon acting as a cache generation — changing any knob
+  // drops only the reliable entries, never the plain ones.
+  [[nodiscard]] ReliablePlan solve_reliable(double lambda, unsigned m_cap,
+                                            unsigned m_committed, double horizon_s,
+                                            const ReliabilityOptions& reliability) const;
+
   // Continuous relaxation over real-valued m (M/M/1 model only; the MMC
   // model has no smooth relaxation and falls back to the scan result).
   [[nodiscard]] ContinuousSolution solve_continuous(double lambda) const;
@@ -128,6 +144,9 @@ class Provisioner {
   [[nodiscard]] OperatingPoint solve_uncached(double lambda) const;
   [[nodiscard]] OperatingPoint solve_capped_uncached(double lambda, unsigned m_cap) const;
   [[nodiscard]] OperatingPoint best_speed_for_uncached(double lambda, unsigned m) const;
+  [[nodiscard]] ReliablePlan solve_reliable_uncached(
+      double lambda, unsigned m_cap, unsigned m_committed, double horizon_s,
+      const ReliabilityOptions& reliability) const;
 
   // -- memo cache -----------------------------------------------------------
   // Operation tag disambiguating entries that share (λ, m).
@@ -143,10 +162,28 @@ class Provisioner {
   [[nodiscard]] OperatingPoint cached(double lambda, unsigned m, CacheOp op,
                                       Fn&& compute) const;
 
+  // Reliable-plan memo table, separate from the OperatingPoint cache so a
+  // reliability run never evicts plain-solver entries (and vice versa).
+  // One knob generation at a time: solve_reliable purges these entries
+  // whenever (reliability options, horizon) differ from the stored set,
+  // so a hit is exact in every input.
+  struct ReliableCacheEntry {
+    double lambda = 0.0;
+    std::uint32_t m_cap = 0;
+    std::uint32_t m_committed = 0;
+    bool valid = false;
+    ReliablePlan plan;
+  };
+  [[nodiscard]] std::size_t reliable_slot(double lambda, unsigned m_cap,
+                                          unsigned m_committed) const;
+
   ClusterConfig config_;
   PowerModel power_model_;
   double cache_quantum_ = 1.0;  // λ quantum for slot hashing only
   mutable std::vector<CacheEntry> cache_;
+  mutable std::vector<ReliableCacheEntry> reliable_cache_;  // lazily sized
+  mutable ReliabilityOptions reliable_knobs_;
+  mutable double reliable_horizon_s_ = -1.0;  // -1: no generation stored yet
   mutable SolverCacheStats cache_stats_;
 };
 

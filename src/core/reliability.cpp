@@ -1,0 +1,15 @@
+#include "core/reliability.h"
+
+namespace gc {
+
+const char* to_string(BindingConstraint binding) noexcept {
+  switch (binding) {
+    case BindingConstraint::kNone: return "none";
+    case BindingConstraint::kLatency: return "latency";
+    case BindingConstraint::kAvailability: return "availability";
+    case BindingConstraint::kCapacity: return "capacity";
+  }
+  return "unknown";
+}
+
+}  // namespace gc

@@ -60,7 +60,11 @@ std::string DecisionAuditLog::to_jsonl() const {
     append_kv(out, "infeasible", r.infeasible);
     append_kv(out, "admit_probability", r.admit_probability);
     append_kv(out, "obs_age_s", r.obs_age_s);
-    append_kv(out, "safe_mode", r.safe_mode, /*last=*/true);
+    append_kv(out, "safe_mode", r.safe_mode);
+    append_kv(out, "solved_spares", static_cast<double>(r.solved_spares));
+    append_kv(out, "availability_est", r.availability_est);
+    append_kv(out, "binding_constraint", std::uint64_t{r.binding_constraint},
+              /*last=*/true);
     out += "}\n";
   }
   return out;
@@ -213,6 +217,12 @@ DecisionAuditLog DecisionAuditLog::from_jsonl(std::string_view text) {
         r.obs_age_s = v;
       } else if (key == "safe_mode") {
         r.safe_mode = v != 0.0;
+      } else if (key == "solved_spares") {
+        r.solved_spares = static_cast<int>(v);
+      } else if (key == "availability_est") {
+        r.availability_est = v;
+      } else if (key == "binding_constraint") {
+        r.binding_constraint = static_cast<unsigned>(v);
       }
       // Unknown keys fall through: forward compatibility with newer logs.
     }
@@ -269,7 +279,10 @@ CsvTable DecisionAuditLog::to_csv_table() const {
                   "infeasible",
                   "admit_probability",
                   "obs_age_s",
-                  "safe_mode"};
+                  "safe_mode",
+                  "solved_spares",
+                  "availability_est",
+                  "binding_constraint"};
   table.rows.reserve(records_.size());
   for (const AuditRecord& r : records_) {
     table.rows.push_back({r.time_s,
@@ -293,7 +306,10 @@ CsvTable DecisionAuditLog::to_csv_table() const {
                           r.infeasible ? 1.0 : 0.0,
                           r.admit_probability,
                           r.obs_age_s,
-                          r.safe_mode ? 1.0 : 0.0});
+                          r.safe_mode ? 1.0 : 0.0,
+                          static_cast<double>(r.solved_spares),
+                          r.availability_est,
+                          static_cast<double>(r.binding_constraint)});
   }
   return table;
 }

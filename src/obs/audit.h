@@ -54,6 +54,14 @@ struct AuditRecord {
   // -- control-plane degradation (appended columns; PR 4) --------------------
   double obs_age_s = 0.0;   // age of the telemetry sample the tick planned on
   bool safe_mode = false;   // fleet was in the watchdog's static fallback
+  // -- reliability plan (appended columns; core/reliability.h) ---------------
+  // Solved spare count of the standing ReliablePlan; -1 for policies with
+  // no notion of solved spares.
+  int solved_spares = -1;
+  double availability_est = 0.0;  // closed-form A(planned m, spares)
+  // BindingConstraint as an integer (0 none, 1 latency, 2 availability,
+  // 3 capacity): which constraint pinned the plan this tick.
+  unsigned binding_constraint = 0;
 };
 
 class DecisionAuditLog {

@@ -37,6 +37,8 @@ MergeKind merge_kind(std::size_t col) {
     case Col::kDCmdRetries:
     case Col::kDCmdDuplicates:
     case Col::kDTicksMissed:
+    case Col::kDBoots:
+    case Col::kDShutdowns:
       return MergeKind::kSum;
     case Col::kWinMeanT:
     case Col::kWinViolFrac:
@@ -110,6 +112,11 @@ const std::vector<std::string>& TimeSeriesRecorder::column_names() {
       "d_command_retries",
       "d_command_duplicates",
       "d_ticks_missed",
+      "d_boots",
+      "d_shutdowns",
+      "solved_spares",
+      "availability_est",
+      "wear_frac",
   };
   return names;
 }
@@ -155,6 +162,11 @@ TimeSeriesRecorder::Row TimeSeriesRecorder::to_row(
   row[kDCmdRetries] = static_cast<double>(sample.d_command_retries);
   row[kDCmdDuplicates] = static_cast<double>(sample.d_command_duplicates);
   row[kDTicksMissed] = static_cast<double>(sample.d_ticks_missed);
+  row[kDBoots] = static_cast<double>(sample.d_boots);
+  row[kDShutdowns] = static_cast<double>(sample.d_shutdowns);
+  row[kSolvedSpares] = sample.solved_spares;
+  row[kAvailEst] = sample.availability_est;
+  row[kWearFrac] = sample.wear_fraction;
   return row;
 }
 

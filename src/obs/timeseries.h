@@ -79,6 +79,12 @@ struct TimeSeriesSample {
   std::uint64_t d_command_retries = 0;
   std::uint64_t d_command_duplicates = 0;
   std::uint64_t d_ticks_missed = 0;
+  // -- reliability (appended columns; core/reliability.h) --------------------
+  std::uint64_t d_boots = 0;      // boot commands issued this period
+  std::uint64_t d_shutdowns = 0;  // shutdowns begun this period
+  double solved_spares = 0.0;     // standing plan's spare count (sticky)
+  double availability_est = 0.0;  // plan's closed-form availability (sticky)
+  double wear_fraction = 0.0;     // fleet-mean lifetime fraction consumed
 };
 
 struct TimeSeriesOptions {
@@ -105,6 +111,7 @@ class TimeSeriesRecorder {
     kDAdmitted, kDShed, kShedFrac, kAdmitP, kObsAgeS, kSafeMode, kInfeasible,
     kDTelemetryDropped, kDCommandsDropped, kDAcksDropped, kDCmdRetries,
     kDCmdDuplicates, kDTicksMissed,
+    kDBoots, kDShutdowns, kSolvedSpares, kAvailEst, kWearFrac,
     kNumColumns
   };
 

@@ -75,6 +75,9 @@ Cluster::Cluster(const ClusterOptions& options, EventQueue* queue)
     ++group_id;
   }
 
+  server_boots_.assign(total, 0);
+  server_shutdowns_.assign(total, 0);
+
   // Seed the incremental accounting from the initial states (ON or OFF).
   serving_index_.reserve(total);
   for (const Server& s : servers_) {
@@ -211,6 +214,7 @@ void Cluster::reconcile_range(double now, std::uint32_t begin, std::uint32_t end
               now + transition_.boot_delay_s, EventType::kBootComplete, s.index());
         }
         ++boots_started_;
+        ++server_boots_[i];
         ++committed;
       }
     }
@@ -261,6 +265,7 @@ void Cluster::maybe_begin_shutdown(double now, Server& server) {
         now + transition_.shutdown_delay_s, EventType::kShutdownComplete,
         server.index());
     ++shutdowns_started_;
+    ++server_shutdowns_[server.index()];
   }
 }
 

@@ -159,6 +159,19 @@ class Cluster {
   [[nodiscard]] std::uint64_t shutdowns_started() const noexcept {
     return shutdowns_started_;
   }
+  // Per-server transition counts (index = server index), the raw signal
+  // behind the wear-out model (core/reliability.h): each boot or shutdown
+  // is half an on/off cycle charged against that server's lifetime budget.
+  [[nodiscard]] std::span<const std::uint32_t> server_boots() const noexcept {
+    return server_boots_;
+  }
+  [[nodiscard]] std::span<const std::uint32_t> server_shutdowns() const noexcept {
+    return server_shutdowns_;
+  }
+  // Server class of a given index (heterogeneous fleets; 0 for uniform).
+  [[nodiscard]] std::uint32_t server_class_of(unsigned server) const noexcept {
+    return server_group_[server];
+  }
   [[nodiscard]] std::uint64_t failures() const noexcept { return failures_; }
   [[nodiscard]] std::uint64_t repairs() const noexcept { return repairs_; }
   [[nodiscard]] std::uint64_t boot_timeouts() const noexcept { return boot_timeouts_; }
@@ -243,6 +256,9 @@ class Cluster {
   std::uint64_t jobs_dropped_ = 0;
   std::uint64_t boots_started_ = 0;
   std::uint64_t shutdowns_started_ = 0;
+  // Per-server transition tallies behind server_boots()/server_shutdowns().
+  std::vector<std::uint32_t> server_boots_;
+  std::vector<std::uint32_t> server_shutdowns_;
   std::uint64_t failures_ = 0;
   std::uint64_t repairs_ = 0;
   std::uint64_t boot_timeouts_ = 0;

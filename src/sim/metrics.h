@@ -145,6 +145,20 @@ struct SimResult {
   std::uint64_t solver_cache_hits = 0;
   std::uint64_t solver_cache_misses = 0;
   double solver_cache_hit_rate = 0.0;
+  // -- reliability readout (appended; core/reliability.h) --------------------
+  // Whole-run on/off transition count per server index (boots + shutdowns),
+  // the raw wear signal — populated on every run, reliability on or off.
+  std::vector<std::uint32_t> server_cycles;
+  // Lifetime fraction consumed per the wear model: fleet mean and the
+  // worst single server.  0 unless SimulationOptions::reliability sets a
+  // cycles-to-failure budget.
+  double wear_fraction_mean = 0.0;
+  double wear_fraction_max = 0.0;
+  // Mean over long-tick plans of the controller-reported closed-form fleet
+  // availability / solved spare count; 0 when no policy reported them
+  // (only dcp-reliability does).
+  double availability_estimate = 0.0;
+  double mean_solved_spares = 0.0;
   // Observability snapshot (obs/counters.h): every named counter/gauge the
   // run registered — whole-run event counts by type, lifecycle/fault/shed
   // totals, queue and solver-cache statistics.  Dump with

@@ -221,7 +221,32 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
     std::uint64_t ticks_missed = 0;
     std::uint64_t admitted = 0;
     std::uint64_t shed = 0;
+    std::uint64_t boots = 0;
+    std::uint64_t shutdowns = 0;
   } ts_prev;
+
+  // Reliability readout (core/reliability.h; observational only).  The
+  // wear model charges the cluster's transition counters against the
+  // configured cycles-to-failure budget; the controller-reported plan
+  // scalars (solved spares / closed-form availability / binding
+  // constraint) hold their last value between long ticks so every
+  // time-series row and audit record carries the standing plan.
+  options.reliability.validate();
+  const WearModel wear(options.reliability);
+  double ts_solved_spares = 0.0;
+  double ts_availability_est = 0.0;
+  double reliab_avail_sum = 0.0;
+  double reliab_spares_sum = 0.0;
+  std::uint64_t reliab_plan_ticks = 0;
+  // Fleet-mean wear fraction from whole-run totals (uniform budget; the
+  // per-server/per-class split is finalized into SimResult at the end).
+  auto fleet_wear_mean = [&]() -> double {
+    const unsigned n = cluster.num_servers();
+    if (n == 0) return 0.0;
+    return wear.wear_fraction(cluster.boots_started(),
+                              cluster.shutdowns_started()) /
+           static_cast<double>(n);
+  };
 
   SimResult result;
   double now = 0.0;
@@ -276,6 +301,9 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
       rec.admit_probability = admission.admit_probability();
       rec.obs_age_s = ctx.obs_age_s;
       rec.safe_mode = ctx.safe_mode;
+      rec.solved_spares = action.explain.solved_spares;
+      rec.availability_est = action.explain.availability_est;
+      rec.binding_constraint = action.explain.binding_constraint;
       options.audit->append(rec);
     }
     if (trace != nullptr) {
@@ -565,6 +593,15 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
     ts_prev.retries = retries;
     ts_prev.duplicates = cmd_duplicates;
     ts_prev.ticks_missed = ticks_missed_count;
+    const std::uint64_t boots_now = cluster.boots_started();
+    const std::uint64_t shutdowns_now = cluster.shutdowns_started();
+    s.d_boots = boots_now - ts_prev.boots;
+    s.d_shutdowns = shutdowns_now - ts_prev.shutdowns;
+    ts_prev.boots = boots_now;
+    ts_prev.shutdowns = shutdowns_now;
+    s.solved_spares = ts_solved_spares;
+    s.availability_est = ts_availability_est;
+    s.wear_fraction = fleet_wear_mean();
     ts->append(s);
   };
 
@@ -685,6 +722,11 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
         dispatch_action(now, action);
         ++ticks_total;
         if (action.infeasible) ++infeasible_ticks;
+        if (action.explain.solved_spares >= 0) {
+          // Standing reliability plan re-reported on the short grid.
+          ts_solved_spares = static_cast<double>(action.explain.solved_spares);
+          ts_availability_est = action.explain.availability_est;
+        }
         admission.update(local_rate, cluster.serving_count(),
                          cluster.current_speed());
         observe_control(/*long_tick=*/false, ctx, action, now - elapsed);
@@ -726,6 +768,15 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
         dispatch_action(now, action);
         ++ticks_total;
         if (action.infeasible) ++infeasible_ticks;
+        if (action.explain.solved_spares >= 0) {
+          // Fresh reliability plan: update the sticky scalars and the
+          // whole-run means (long-tick plans only — short ticks re-report).
+          ts_solved_spares = static_cast<double>(action.explain.solved_spares);
+          ts_availability_est = action.explain.availability_est;
+          reliab_avail_sum += action.explain.availability_est;
+          reliab_spares_sum += ts_solved_spares;
+          ++reliab_plan_ticks;
+        }
         admission.update(local_rate, cluster.serving_count(),
                          cluster.current_speed());
         observe_control(/*long_tick=*/true, ctx, action, last_long_tick);
@@ -956,6 +1007,47 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
   if (ts != nullptr) {
     registry.counter("obs.timeseries.periods").inc(ts->periods());
     registry.counter("obs.timeseries.rows").inc(ts->size());
+  }
+
+  // Reliability readout.  The fleet.* transition counters are registered
+  // unconditionally so wear stays observable with the reliability policy
+  // off (they duplicate cluster.boots/cluster.shutdowns under the names
+  // the wear tooling gates on); the wear/availability gauges appear only
+  // when the model or a reliability-aware policy was active.
+  registry.counter("fleet.boot_count").inc(cluster.boots_started());
+  registry.counter("fleet.shutdown_count").inc(cluster.shutdowns_started());
+  const auto server_boots = cluster.server_boots();
+  const auto server_shutdowns = cluster.server_shutdowns();
+  result.server_cycles.resize(server_boots.size());
+  double wear_sum = 0.0;
+  for (std::size_t i = 0; i < server_boots.size(); ++i) {
+    result.server_cycles[i] = server_boots[i] + server_shutdowns[i];
+    const double frac =
+        wear.wear_fraction(server_boots[i], server_shutdowns[i],
+                           cluster.server_class_of(static_cast<unsigned>(i)));
+    wear_sum += frac;
+    result.wear_fraction_max = std::max(result.wear_fraction_max, frac);
+  }
+  result.wear_fraction_mean =
+      server_boots.empty() ? 0.0 : wear_sum / static_cast<double>(server_boots.size());
+  if (reliab_plan_ticks > 0) {
+    result.availability_estimate =
+        reliab_avail_sum / static_cast<double>(reliab_plan_ticks);
+    result.mean_solved_spares =
+        reliab_spares_sum / static_cast<double>(reliab_plan_ticks);
+  }
+  if (options.reliability.enabled() || reliab_plan_ticks > 0) {
+    registry.gauge("fleet.wear_fraction_mean").set(result.wear_fraction_mean);
+    registry.gauge("fleet.wear_fraction_max").set(result.wear_fraction_max);
+    // Ground-truth availability over the measured horizon, alongside the
+    // closed-form estimate the controller planned with.
+    registry.gauge("fleet.availability_observed").set(1.0 - result.unavailability);
+    if (reliab_plan_ticks > 0) {
+      registry.gauge("reliability.availability_estimate")
+          .set(result.availability_estimate);
+      registry.gauge("reliability.solved_spares_mean")
+          .set(result.mean_solved_spares);
+    }
   }
   result.counters = registry.snapshot();
   return result;

@@ -30,6 +30,7 @@
 #include <optional>
 
 #include "control/actuator.h"
+#include "core/reliability.h"
 #include "obs/audit.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
@@ -81,6 +82,15 @@ struct ControlExplain {
   double safety_margin = 0.0;    // margin applied (after any spare relief)
   unsigned planned_servers = 0;  // solver m before hysteresis/retry gating
   unsigned detected_available = 0;  // failure detector's fleet view
+  // -- reliability-constrained provisioning (appended fields) ----------------
+  // Solved spare count of the standing ReliablePlan; -1 for policies with
+  // no notion of solved spares (everything but dcp-reliability).
+  int solved_spares = -1;
+  // Closed-form fleet availability A(planned m, spares) of that plan.
+  double availability_est = 0.0;
+  // core/reliability.h BindingConstraint as an integer (0 none, 1 latency,
+  // 2 availability, 3 capacity): which constraint pinned the plan.
+  unsigned binding_constraint = 0;
 };
 
 // What the controller requests.  Unset fields mean "leave unchanged".
@@ -123,6 +133,12 @@ struct SimulationOptions {
   ControlChannelOptions channel;          // lossy/latent management network
   ActuatorOptions actuator;               // ack/retry command protocol
   ControllerFaultOptions controller_faults;  // fail-stop controller + watchdog
+  // Observational reliability readout (core/reliability.h, header-only —
+  // no solver dependency): wear fractions from the cluster's transition
+  // counters and availability gauges in the end-of-run registry.  Inert at
+  // defaults; never feeds back into control decisions, so the pinned
+  // determinism goldens hold whether or not it is set.
+  ReliabilityOptions reliability;
   // Observability sinks (non-owning; must outlive the run).  Null = off.
   // Both are strictly observational: attaching them never changes event
   // order, RNG draws or any SimResult field (tests/test_obs_determinism).
