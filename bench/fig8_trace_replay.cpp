@@ -6,10 +6,18 @@
 // combined's power hugs the diurnal load curve, dropping to a few servers
 // at night, while dvfs-only is floored at M * P_idle; the ramp across days
 // lifts both; combined's cumulative energy ends 30-50% lower.
+//
+// --shards=K (K >= 1) runs the combined-DCP replay through the sharded
+// engine (sim/sharded.h) instead of run_simulation — the CI TSan lane
+// replays at K=4 to drive the parallel barrier loop under race detection.
+// Note the sharded engine is a distinct model (round-robin trace dispatch;
+// DESIGN.md §11.1), so its numbers differ slightly from the sequential run.
+#include <algorithm>
 #include <iostream>
 
 #include "control/policies.h"
 #include "exp/scenario.h"
+#include "sim/sharded.h"
 #include "sim/simulation.h"
 #include "trace_out.h"
 #include "util/cli.h"
@@ -51,7 +59,19 @@ int main(int argc, char** argv) {
     sim.record_interval_s = 240.0;
     // The combined-dcp replay is the figure's subject; that is the run the
     // observability sinks watch.
-    if (kinds[i] == gc::PolicyKind::kCombinedDcp) trace_out.attach(sim);
+    const auto shards =
+        static_cast<unsigned>(std::max(args.get_int_or("shards", 0), 0ll));
+    if (kinds[i] == gc::PolicyKind::kCombinedDcp) {
+      trace_out.attach(sim);
+      if (shards >= 1) {
+        gc::ShardedOptions sharded;
+        sharded.num_shards = shards;
+        results[i] = run_sharded_simulation(
+            trace, gc::Distribution::exponential(config.mu_max), /*seed=*/21,
+            cluster, *controller, sim, sharded);
+        continue;
+      }
+    }
     results[i] = run_simulation(workload, cluster, *controller, sim);
   }
   trace_out.write(results[1]);

@@ -14,11 +14,24 @@
 //                     replay under the two DCP-family policies sharing one
 //                     Provisioner: the end-to-end evidence that real
 //                     control traffic re-solves repeated rates.
+//   * sharded       — the K x M scaling grid of the sharded simulation
+//                     core (sim/sharded.h): K ∈ {1, 2, 4, 8} shards over
+//                     M ∈ {1024, 16384, 131072} servers, reported as
+//                     events/sec plus speedup and parallel efficiency
+//                     relative to K = 1 at the same M.  Each cell also
+//                     asserts the EventQueue capacity hint held: zero
+//                     queue reallocations in steady state (hard failure,
+//                     not a trajectory entry).
 //
 // Wall-clock numbers vary with the machine; the JSON is a trajectory, not
-// a pass/fail gate (CI only checks that the file is produced and sane).
+// a pass/fail gate (CI only checks that the file is produced and sane,
+// and — on machines whose committed baseline demonstrates parallel
+// speedup — that the K=4 / M=16384 sharded speedup does not regress).
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -28,9 +41,11 @@
 #include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "sim/event_queue.h"
+#include "sim/sharded.h"
 #include "sim/simulation.h"
 #include "stats/rng.h"
 #include "util/format.h"
+#include "workload/rate_profile.h"
 #include "workload/trace.h"
 #include "workload/workload.h"
 
@@ -172,6 +187,96 @@ gc::SolverCacheStats trace_replay_cache_stats() {
   return solver.cache_stats();
 }
 
+// One cell of the sharded scaling grid: a constant-rate trace replayed
+// through run_sharded_simulation over an M-server fleet split into K
+// shards, under the rule-based threshold autoscaler (no solver in the hot
+// path, so the measurement is the DES core, not Provisioner enumeration).
+// The arrival count grows with M so per-barrier O(M) work (reconcile
+// scans, canonical folds) never dominates the per-event work being
+// measured.  Fails the whole bench (exit, not a JSON entry) if the
+// EventQueue capacity hint did not hold: a steady-state reallocation means
+// expected_events_hint plumbing regressed.
+struct ShardedCell {
+  unsigned shards = 0;
+  unsigned servers = 0;
+  double events_per_sec = 0.0;
+  double speedup = 1.0;     // vs the K = 1 cell at the same M
+  double efficiency = 1.0;  // speedup / K
+};
+
+double sharded_cell_events_per_sec(unsigned k, unsigned m) {
+  gc::ClusterConfig config = gc::bench_cluster_config();
+  config.max_servers = m;
+
+  const double horizon_s = 30.0;
+  const auto arrivals = static_cast<double>(std::max(100000u, 2 * m));
+  const gc::PiecewiseLinearRate profile(
+      {{0.0, arrivals / horizon_s}, {horizon_s, arrivals / horizon_s}});
+  const gc::Trace trace = gc::Trace::from_profile(profile, horizon_s, /*seed=*/7);
+  const gc::Distribution job_size = gc::Distribution::exponential(config.mu_max);
+
+  const gc::Provisioner solver(config);
+  gc::PolicyOptions popts;
+  popts.dcp = gc::bench_dcp_params();
+  const auto controller = gc::make_policy(gc::PolicyKind::kThreshold, &solver, popts);
+
+  gc::ClusterOptions cluster;
+  cluster.num_servers = m;
+  cluster.power = config.power;
+  cluster.transition = config.transition;
+  cluster.initial_active = m;
+  cluster.dispatch_seed = 4242;
+
+  gc::SimulationOptions sim;
+  sim.t_ref_s = config.t_ref_s;
+  // Generous per-shard headroom: concurrent pending events are bounded by
+  // jobs in flight plus the tick/fault timers, far below this.
+  sim.expected_events_hint = 1u << 16;
+
+  gc::ShardedOptions sharded;
+  sharded.num_shards = k;
+
+  const auto start = Clock::now();
+  const gc::SimResult result =
+      run_sharded_simulation(trace, job_size, /*workload_seed=*/7, cluster,
+                             *controller, sim, sharded);
+  const double elapsed = seconds_since(start);
+
+  const std::uint64_t reallocs =
+      result.counters.counter_or("sharded.queue_reallocations", 0);
+  if (reallocs != 0) {
+    std::fprintf(stderr,
+                 "perf_smoke: sharded K=%u M=%u: %llu EventQueue "
+                 "reallocations in steady state (expected_events_hint "
+                 "violated)\n",
+                 k, m, static_cast<unsigned long long>(reallocs));
+    std::exit(1);
+  }
+  const std::uint64_t events =
+      result.counters.counter_or("sharded.shard_events_scheduled", 0);
+  return static_cast<double>(events) / elapsed;
+}
+
+std::vector<ShardedCell> sharded_grid() {
+  const unsigned shard_counts[4] = {1, 2, 4, 8};
+  const unsigned fleet_sizes[3] = {1024, 16384, 131072};
+  std::vector<ShardedCell> grid;
+  for (const unsigned m : fleet_sizes) {
+    double base = 0.0;
+    for (const unsigned k : shard_counts) {
+      ShardedCell cell;
+      cell.shards = k;
+      cell.servers = m;
+      cell.events_per_sec = sharded_cell_events_per_sec(k, m);
+      if (k == 1) base = cell.events_per_sec;
+      cell.speedup = base > 0.0 ? cell.events_per_sec / base : 0.0;
+      cell.efficiency = cell.speedup / static_cast<double>(k);
+      grid.push_back(cell);
+    }
+  }
+  return grid;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -188,6 +293,11 @@ int main(int argc, char** argv) {
   const double solve_ns = solve_ns_per_call(solver, 200000);
   const double solve_reliable_ns = solve_reliable_ns_per_call(solver, 200000);
   const gc::SolverCacheStats replay = trace_replay_cache_stats();
+  const std::vector<ShardedCell> grid = sharded_grid();
+  double speedup_k4_m16384 = 0.0;
+  for (const ShardedCell& cell : grid) {
+    if (cell.shards == 4 && cell.servers == 16384) speedup_k4_m16384 = cell.speedup;
+  }
 
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
@@ -204,11 +314,25 @@ int main(int argc, char** argv) {
                "  \"solve_ns_per_call\": %.3f,\n"
                "  \"solve_reliable_ns_per_call\": %.3f,\n"
                "  \"solver_cache\": {\"hits\": %llu, \"misses\": %llu, "
-               "\"hit_rate\": %.6f}\n"
-               "}\n",
+               "\"hit_rate\": %.6f},\n",
                solve_ns, solve_reliable_ns,
                static_cast<unsigned long long>(replay.hits),
                static_cast<unsigned long long>(replay.misses), replay.hit_rate());
+  std::fprintf(out, "  \"sharded\": [\n");
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const ShardedCell& cell = grid[i];
+    std::fprintf(out,
+                 "    {\"shards\": %u, \"servers\": %u, "
+                 "\"events_per_sec\": %.6e, \"speedup\": %.4f, "
+                 "\"efficiency\": %.4f}%s\n",
+                 cell.shards, cell.servers, cell.events_per_sec, cell.speedup,
+                 cell.efficiency, i + 1 < grid.size() ? "," : "");
+  }
+  std::fprintf(out,
+               "  ],\n"
+               "  \"sharded_speedup_k4_m16384\": %.4f\n"
+               "}\n",
+               speedup_k4_m16384);
   std::fclose(out);
 
   std::printf("event loop  : M=16 %.3e  M=256 %.3e  M=1024 %.3e ops/sec\n",
@@ -220,6 +344,11 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(replay.hits),
               static_cast<unsigned long long>(replay.misses),
               replay.hit_rate() * 100.0);
+  for (const ShardedCell& cell : grid) {
+    std::printf("sharded     : K=%u M=%-6u %.3e ev/s  speedup %.2fx  eff %.0f%%\n",
+                cell.shards, cell.servers, cell.events_per_sec, cell.speedup,
+                cell.efficiency * 100.0);
+  }
   std::printf("wrote %s\n", path.c_str());
   return 0;
 }

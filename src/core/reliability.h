@@ -199,6 +199,33 @@ class WearModel {
     return 0.5 * options_.cycle_cost_j * static_cast<double>(delta);
   }
 
+  // The budget `cycle_cost_j` is calibrated against: the global
+  // cycles_to_failure when set, otherwise the largest per-class budget.
+  // A class at the reference budget pays exactly cycle_cost_j per full
+  // cycle; tighter classes pay proportionally more (each of their cycles
+  // consumes proportionally more lifetime fraction).
+  [[nodiscard]] double reference_cycles() const noexcept {
+    double reference = options_.cycles_to_failure;
+    for (const double cycles : options_.class_cycles_to_failure) {
+      if (cycles > reference) reference = cycles;
+    }
+    return reference;
+  }
+
+  // Per-class transition cost: transition_cost_j scaled by how much of
+  // `server_class`'s lifetime each cycle consumes relative to the
+  // reference budget.  Classes without a budget (wear untracked) pay the
+  // unscaled cost, so enabling per-class budgets only ever differentiates
+  // classes, never silently exempts one.
+  [[nodiscard]] double class_transition_cost_j(std::size_t server_class,
+                                               unsigned delta) const noexcept {
+    const double cycles = cycles_for(server_class);
+    const double reference = reference_cycles();
+    const double scale =
+        (cycles > 0.0 && reference > 0.0) ? reference / cycles : 1.0;
+    return scale * transition_cost_j(delta);
+  }
+
  private:
   [[nodiscard]] double cycles_for(std::size_t server_class) const noexcept {
     if (server_class < options_.class_cycles_to_failure.size()) {

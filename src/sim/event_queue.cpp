@@ -82,7 +82,14 @@ void EventQueue::retire_slot(std::uint32_t slot) {
   Slot& s = slots_[slot];
   s.seq = kNoTenant;
   ++s.gen;
+  note_growth(free_slots_);
   free_slots_.push_back(slot);
+}
+
+void EventQueue::reserve(std::size_t capacity) {
+  heap_.reserve(capacity);
+  slots_.reserve(capacity);
+  free_slots_.reserve(capacity);
 }
 
 EventId EventQueue::schedule(double time, EventType type, std::uint32_t subject) {
@@ -94,6 +101,7 @@ EventId EventQueue::schedule(double time, EventType type, std::uint32_t subject)
   } else {
     slot = static_cast<std::uint32_t>(slots_.size());
     GC_CHECK(slot <= kSlotMask, "EventQueue: too many concurrently pending events");
+    note_growth(slots_);
     slots_.emplace_back();
   }
   const std::uint64_t seq = ++next_seq_;
@@ -104,6 +112,7 @@ EventId EventQueue::schedule(double time, EventType type, std::uint32_t subject)
   s.subject = subject;
   // `+ 0.0` canonicalizes -0.0, the one non-negative double whose bit
   // pattern would misorder under the integer compare.
+  note_growth(heap_);
   heap_.push_back(
       Entry{std::bit_cast<std::uint64_t>(time + 0.0), (seq << kSlotBits) | slot});
   s.pos = static_cast<std::uint32_t>(heap_.size() - 1);

@@ -30,6 +30,7 @@
 //     factor goes at cluster sizes in the hundreds.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -73,6 +74,12 @@ class EventQueue {
  public:
   EventQueue() = default;
 
+  // Pre-sizes the heap, the slot table and the free list for `capacity`
+  // concurrently pending events (SimulationOptions::expected_events_hint):
+  // the hot loop then runs reallocation-free as long as the live set stays
+  // within the hint.  A hint, not a cap — exceeding it just grows normally.
+  void reserve(std::size_t capacity);
+
   // `time` must be >= now() (the time of the last popped event); enforced
   // with GC_CHECK — a violation aborts rather than corrupting causality.
   EventId schedule(double time, EventType type, std::uint32_t subject = 0);
@@ -86,9 +93,19 @@ class EventQueue {
 
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  // Time of the earliest pending event without popping it (the sharded
+  // engine's window loop drains events up to a barrier).  empty() must be
+  // false.
+  [[nodiscard]] double next_time() const noexcept {
+    return std::bit_cast<double>(heap_.front().time_bits);
+  }
   // Time of the last popped event (0 before any pop).
   [[nodiscard]] double now() const noexcept { return now_; }
   [[nodiscard]] std::uint64_t scheduled_total() const noexcept { return next_seq_; }
+  // Storage growths (vector reallocations across the heap, slot table and
+  // free list) since construction; flat in steady state once reserve()d
+  // (asserted by bench/perf_smoke).
+  [[nodiscard]] std::uint64_t reallocations() const noexcept { return reallocations_; }
 
  private:
   // Heap entry: 16 bytes.  `time_bits` is the event time bit-cast to an
@@ -134,10 +151,17 @@ class EventQueue {
   // Marks the slot's current event dead and recycles the slot.
   void retire_slot(std::uint32_t slot);
 
+  // Counts an imminent push_back that will grow `vec`'s storage.
+  template <typename V>
+  void note_growth(const V& vec) noexcept {
+    if (vec.size() == vec.capacity()) ++reallocations_;
+  }
+
   std::vector<Entry> heap_;  // 4-ary min-heap on (time, key), live events only
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t reallocations_ = 0;
   double now_ = 0.0;
 };
 

@@ -1,0 +1,66 @@
+// Sharded deterministic simulation core: conservative parallel DES
+// (DESIGN.md §11).
+//
+// The cluster is partitioned into K contiguous shards, each owning its own
+// EventQueue, Server vector, per-server RNG streams and per-server metric
+// accumulators, executed on a fixed thread pool.  Synchronization is
+// conservative: the DCP structure gives a natural lookahead window — no
+// cross-shard interaction (provisioning commands, telemetry aggregation,
+// admission updates) happens between control-period barriers — so each
+// shard advances independently to the next barrier and the orchestrator
+// thread runs the control plane (controller, channel, actuator, admission)
+// between windows.
+//
+// Determinism contract: the output is a pure function of the inputs and
+// *independent of K* — every RNG stream is derived per global server index,
+// arrivals map to servers through a frozen round-robin assignment fixed at
+// each window start, and every floating-point reduction folds per-server
+// partials in canonical (global server index) order.  The shard-determinism
+// property test pins checksums at K ∈ {1, 2, 4, 7} against each other and
+// against committed goldens.
+//
+// This is a distinct simulation model from run_simulation(), not a parallel
+// re-implementation of it: the sequential loop's global JSQ dispatcher (one
+// shared decision per arrival) and shared fault/boot-hang streams are
+// inherently order-dependent across the whole fleet and cannot be sharded
+// bit-exactly (see DESIGN.md §11.1 for the argument).  The sharded engine
+// therefore uses trace-based round-robin dispatch over the frozen serving
+// set, per-server fault streams, and histogram-derived tail quantiles.
+// Anything unsupported in this model is rejected loudly (GC_CHECK), never
+// silently approximated: heterogeneous groups and controller outages are
+// sequential-only for now.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/simulation.h"
+#include "stats/distributions.h"
+#include "util/thread_pool.h"
+#include "workload/trace.h"
+
+namespace gc {
+
+struct ShardedOptions {
+  // Number of shards K (>= 1; clamped to the fleet size).  K = 1 runs the
+  // same model single-threaded and produces byte-identical output to any
+  // other K.
+  unsigned num_shards = 1;
+  // Worker pool for the barrier-to-barrier shard advances; nullptr uses
+  // util/thread_pool's process-wide pool.
+  ThreadPool* pool = nullptr;
+};
+
+// Runs one sharded simulation over a concrete arrival trace.  `job_size`
+// is sampled from per-server streams derived from `workload_seed`, so the
+// draw sequence each server sees is independent of K.  The controller, the
+// observability sinks inside `options` and the returned SimResult follow
+// the same contracts as run_simulation().
+[[nodiscard]] SimResult run_sharded_simulation(const Trace& trace,
+                                               const Distribution& job_size,
+                                               std::uint64_t workload_seed,
+                                               const ClusterOptions& cluster,
+                                               Controller& controller,
+                                               const SimulationOptions& options,
+                                               const ShardedOptions& sharded);
+
+}  // namespace gc

@@ -54,6 +54,7 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
   GC_CHECK(t_short > 0.0 && t_long > 0.0, "controller periods must be positive");
 
   EventQueue queue;
+  if (options.expected_events_hint > 0) queue.reserve(options.expected_events_hint);
   Cluster cluster(cluster_options, &queue);
   MetricsCollector metrics(options.t_ref_s);
 

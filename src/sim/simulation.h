@@ -123,6 +123,13 @@ struct SimulationOptions {
   double record_interval_s = 0.0;
   // Safety stop even if jobs are still in flight (0 = run to drain).
   double hard_stop_s = 0.0;
+  // Expected upper bound on concurrently pending events.  The event queue
+  // reserve()s this up front so the hot loop never reallocates its heap,
+  // slot table or free list while the live set stays within the hint
+  // (bench/perf_smoke asserts flatness in steady state).  A hint, not a
+  // cap; 0 keeps default growth.  The sharded engine divides it across
+  // shards.
+  std::size_t expected_events_hint = 0;
   // Fault injection; inert unless faults.enabled().
   FaultOptions faults;
   // Graceful degradation via probabilistic shedding; inert unless enabled.
