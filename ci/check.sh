@@ -12,6 +12,10 @@
 # The lint mode runs the cheap static checks (clang-format via
 # ci/format.sh --check, clang-tidy when installed, plus a
 # tracing-compiled-out configure) without running the suite.
+# The soak mode replays a recorded "datacenter day" (the fig8 trace replay)
+# through tools/gcreplay at 1000x and gates zero command-stream drift via
+# gcinspect; the coverage mode builds with GC_COVERAGE=ON and fails if
+# src/cp/ line coverage drops below 90%.
 # Usage:
 #
 #   ci/check.sh            # every build configuration
@@ -19,17 +23,33 @@
 #   ci/check.sh sanitize   # ASan/UBSan suite + TSan sharded lane
 #   ci/check.sh tsan       # TSan sharded lane only
 #   ci/check.sh lint       # format check + GC_TRACING=OFF configure/build
+#   ci/check.sh soak       # gcreplay drift oracle over a recorded day
+#   ci/check.sh coverage   # gcov lane, gates src/cp/ line coverage >= 90%
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 MODE="${1:-all}"
 
-# perf_smoke validation needs jq; fail fast with a clear message instead of
-# a confusing pipeline error halfway through the run.
+# Tool preflight, hoisted so a lane reports its missing prerequisites
+# before spending minutes configuring and building.  jq is required by the
+# lanes that parse artifacts; clang-tidy is optional locally (the CI lint
+# job installs it) but its absence is announced up front with an explicit
+# SKIPPED line instead of a silent mid-lane return.
 require_jq() {
   command -v jq >/dev/null 2>&1 \
     || { echo "ci/check.sh: jq is required (apt-get install jq)" >&2; exit 1; }
+}
+
+find_clang_tidy() {
+  for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+                   clang-tidy-15 clang-tidy-14; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      echo "${candidate}"
+      return 0
+    fi
+  done
+  return 0
 }
 
 run_config() {
@@ -202,22 +222,12 @@ tsan_lane() {
 }
 
 # clang-tidy over the sources we own, using the lint build's compile
-# database.  Missing binary -> report and skip (same contract as
-# ci/format.sh: the CI lint job installs it; a bare dev box is not
-# blocked).  The profile lives in .clang-tidy (bugprone-* + performance-*).
+# database.  The binary was probed (and its absence announced) before the
+# lane started; an empty name here means skip.  The profile lives in
+# .clang-tidy (bugprone-* + performance-*).
 clang_tidy() {
-  local tidy=""
-  for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
-                   clang-tidy-15 clang-tidy-14; do
-    if command -v "${candidate}" >/dev/null 2>&1; then
-      tidy="${candidate}"
-      break
-    fi
-  done
-  if [ -z "${tidy}" ]; then
-    echo "==> [lint] clang-tidy not found; skipping (CI enforces it)" >&2
-    return 0
-  fi
+  local tidy="$1"
+  [ -n "${tidy}" ] || return 0
   echo "==> [lint] ${tidy}"
   [ -f build-ci-lint/compile_commands.json ] \
     || { echo "clang-tidy: build-ci-lint/compile_commands.json missing" >&2; exit 1; }
@@ -227,6 +237,13 @@ clang_tidy() {
 }
 
 lint() {
+  # Probe every tool first: a box without clang-tidy learns that before the
+  # multi-minute configure/build, not after.
+  local tidy
+  tidy="$(find_clang_tidy)"
+  if [ -z "${tidy}" ]; then
+    echo "==> [lint] SKIPPED: clang-tidy (not installed; the CI lint job enforces it)"
+  fi
   echo "==> [lint] clang-format"
   ci/format.sh --check
   # The zero-overhead claim only holds if the tracing-compiled-out build
@@ -237,9 +254,96 @@ lint() {
         -DGC_BUILD_BENCH=OFF -DGC_BUILD_EXAMPLES=OFF \
         -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
   cmake --build build-ci-lint -j "${JOBS}"
-  clang_tidy
+  clang_tidy "${tidy}"
   (cd build-ci-lint && ctest --output-on-failure --timeout 120 -j "${JOBS}" \
        -R "Obs|MetricRegistry|CountersSnapshot|TraceCollector|TraceHelpers|DecisionAuditLog")
+}
+
+# The soak lane (DESIGN.md §12.3): record one compressed "datacenter day"
+# (the fig8 WC98-like trace replay, fixed seeds) with the observability
+# sinks attached, then stream the recording through tools/gcreplay at
+# 1000x virtual time and gate on *zero* command-stream drift.  A forged
+# copy of the recording must conversely FAIL the replay — proving the
+# oracle can actually see drift, not just that drift is absent.
+soak_lane() {
+  require_jq
+  local dir="build-ci-soak"
+  echo "==> [soak] configure"
+  cmake -B "${dir}" -S . -DGC_WERROR=ON -DGC_BUILD_EXAMPLES=OFF \
+        -DGC_BUILD_TESTS=OFF >/dev/null
+  echo "==> [soak] build"
+  cmake --build "${dir}" -j "${JOBS}" \
+        --target fig8_trace_replay gcreplay gcinspect
+  local prefix="${dir}/soak"
+  echo "==> [soak] record the datacenter day (fig8 trace replay)"
+  "${dir}/bench/fig8_trace_replay" --trace-out="${prefix}" \
+      --timeseries-out="${prefix}" >/dev/null
+  echo "==> [soak] gcreplay at 1000x"
+  "${dir}/tools/gcreplay" "${prefix}" --speedup=1000 --out="${dir}/replay"
+  echo "==> [soak] drift gate (gcinspect)"
+  "${dir}/tools/gcinspect" "${dir}/replay" --check \
+      'cp.drift.mismatches<=0,cp.drift.ticks>=1000,cp.drift.replayed_span_s>=7000'
+  echo "==> [soak] forged recording must fail the oracle"
+  jq -c 'if .t >= 4000 and .t < 4200 and .speed_set
+         then .speed = 0.123456 else . end' \
+     "${prefix}.audit.jsonl" > "${dir}/forged.audit.jsonl"
+  cmp -s "${prefix}.audit.jsonl" "${dir}/forged.audit.jsonl" \
+    && { echo "soak: forging the recording changed nothing" >&2; exit 1; }
+  local rc=0
+  "${dir}/tools/gcreplay" "${dir}/forged" >/dev/null 2>&1 || rc=$?
+  [ "${rc}" -eq 1 ] \
+    || { echo "soak: forged replay exited ${rc}, expected drift exit 1" >&2; exit 1; }
+}
+
+# The coverage lane: gcov-instrumented build, the control-plane test suites,
+# then src/cp/ line coverage aggregated from gcov JSON.  Gates at 90%: the
+# extracted library is the piece a real deployment would link, so its tests
+# must keep exercising essentially all of it.
+coverage_lane() {
+  require_jq
+  command -v gcov >/dev/null 2>&1 \
+    || { echo "ci/check.sh: gcov is required for the coverage lane" >&2; exit 1; }
+  local dir="build-ci-coverage"
+  local min_pct="${GC_COVERAGE_MIN:-90}"
+  echo "==> [coverage] configure (GC_COVERAGE=ON)"
+  cmake -B "${dir}" -S . -DGC_WERROR=ON -DGC_COVERAGE=ON \
+        -DGC_BUILD_BENCH=OFF -DGC_BUILD_EXAMPLES=OFF -DGC_BUILD_TOOLS=OFF \
+        -DCMAKE_BUILD_TYPE=Debug >/dev/null
+  echo "==> [coverage] build control-plane suites"
+  cmake --build "${dir}" -j "${JOBS}" \
+        --target test_control_plane test_replay test_wire test_replay_fuzz
+  echo "==> [coverage] run control-plane suites"
+  (cd "${dir}" && ctest --output-on-failure --timeout 120 --no-tests=error \
+       -R 'ControlPlane|Replay|ReplayFuzz|Wire|WireServe|ValidateTimeseries')
+  echo "==> [coverage] aggregate src/cp/ line coverage (gcov)"
+  find "${dir}" -name '*.gcda' -print0 \
+    | xargs -0 gcov --json-format --stdout > "${dir}/gcov.json" 2>/dev/null
+  [ -s "${dir}/gcov.json" ] \
+    || { echo "coverage: no gcov output (missing .gcda files?)" >&2; exit 1; }
+  # One JSON document per object file; lines for the same source (headers
+  # in many TUs) aggregate by max hit count.  The summary artifact is the
+  # lcov-style per-file table CI uploads.
+  jq -s '
+    [ .[] | .files[] | select(.file | contains("src/cp/"))
+      | .file as $f | .lines[]
+      | {f: ($f | sub(".*/src/"; "src/")), l: .line_number, c: .count} ]
+    | group_by([.f, .l])
+    | map({f: .[0].f, hit: ((map(.c) | max) > 0)})
+    | group_by(.f)
+    | map({file: .[0].f, lines: length,
+           covered: (map(select(.hit)) | length)})
+    | map(.percent = 100 * .covered / .lines)
+    | {files: .,
+       lines: (map(.lines) | add),
+       covered: (map(.covered) | add)}
+    | .percent = 100 * .covered / .lines
+  ' "${dir}/gcov.json" > "${dir}/COVERAGE_cp.json"
+  jq -r '(.files[] | "\(.file): \(.covered)/\(.lines) lines (\(.percent * 100 | round / 100)%)"),
+         "TOTAL src/cp/: \(.covered)/\(.lines) lines (\(.percent * 100 | round / 100)%)"' \
+     "${dir}/COVERAGE_cp.json" | tee "${dir}/COVERAGE_cp.txt"
+  jq -e --argjson min "${min_pct}" '.percent >= $min' \
+     "${dir}/COVERAGE_cp.json" >/dev/null \
+    || { echo "coverage: src/cp/ line coverage below ${min_pct}%" >&2; exit 1; }
 }
 
 case "${MODE}" in
@@ -252,6 +356,12 @@ case "${MODE}" in
     ;;
   sanitize)
     run_config sanitize -DGREENCLUSTER_SANITIZE=ON
+    # The malformed-artifact corpus (tests/corpus/) runs inside the full
+    # suite above; re-running it by name makes the fuzz gate explicit and
+    # guards against the suites being filtered out of a future config.
+    echo "==> [sanitize] replay fuzz corpus"
+    (cd build-ci-sanitize && ctest --output-on-failure --timeout 120 \
+         --no-tests=error -R 'ReplayFuzz|Wire')
     tsan_lane
     ;;
   tsan)
@@ -259,6 +369,12 @@ case "${MODE}" in
     ;;
   lint)
     lint
+    ;;
+  soak)
+    soak_lane
+    ;;
+  coverage)
+    coverage_lane
     ;;
   all)
     require_jq
@@ -268,9 +384,11 @@ case "${MODE}" in
     fig16_smoke build-ci-plain
     run_config sanitize -DGREENCLUSTER_SANITIZE=ON
     tsan_lane
+    soak_lane
+    coverage_lane
     ;;
   *)
-    echo "usage: $0 [plain|sanitize|tsan|lint|all]" >&2
+    echo "usage: $0 [plain|sanitize|tsan|lint|soak|coverage|all]" >&2
     exit 2
     ;;
 esac

@@ -35,23 +35,14 @@
 #include <optional>
 #include <vector>
 
+#include "cp/frames.h"
 #include "stats/rng.h"
 
 namespace gc {
 
-enum class CommandKind : int { kTarget = 0, kSpeed = 1 };
-inline constexpr int kNumCommandKinds = 2;
-[[nodiscard]] const char* to_string(CommandKind kind) noexcept;
-
-// One in-flight control command.  `era` stamps the controller incarnation
-// that issued it (bumped on every controller recovery); safe mode rejects
-// commands from dead eras (sim/simulation.cpp).
-struct Command {
-  CommandKind kind = CommandKind::kTarget;
-  double value = 0.0;
-  std::uint64_t gen = 0;
-  std::uint32_t era = 0;
-};
+// CommandKind and Command (= CommandFrame) moved to cp/frames.h — they are
+// the control plane's fleet-ward wire message; included above so existing
+// actuator/simulator code keeps compiling unchanged.
 
 struct ActuatorOptions {
   // When false, commands are fire-and-forget: still generation-stamped

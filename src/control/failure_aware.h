@@ -47,7 +47,7 @@
 #include "core/provisioner.h"
 #include "control/estimator.h"
 #include "control/predictor.h"
-#include "sim/simulation.h"
+#include "cp/controller.h"
 
 namespace gc {
 

@@ -28,7 +28,7 @@
 #include "control/failure_aware.h"
 #include "control/predictor.h"
 #include "control/reliability_dcp.h"
-#include "sim/simulation.h"
+#include "cp/controller.h"
 
 namespace gc {
 

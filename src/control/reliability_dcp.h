@@ -34,7 +34,7 @@
 #include "control/estimator.h"
 #include "control/failure_aware.h"
 #include "control/predictor.h"
-#include "sim/simulation.h"
+#include "cp/controller.h"
 
 namespace gc {
 

@@ -1,0 +1,149 @@
+#include "cp/control_plane.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "obs/prometheus.h"
+
+namespace gc {
+
+void ControlPlaneOptions::validate() const {
+  actuator.validate();
+  if (staleness.horizon_s < 0.0) {
+    throw std::invalid_argument("ControlPlaneOptions: staleness horizon must be >= 0");
+  }
+  if (!(rate_ewma_alpha > 0.0) || rate_ewma_alpha > 1.0) {
+    throw std::invalid_argument(
+        "ControlPlaneOptions: rate_ewma_alpha must be in (0, 1]");
+  }
+}
+
+ControlPlane::ControlPlane(Controller& controller,
+                           const ControlPlaneOptions& options, Rng rng)
+    : owned_(nullptr),
+      controller_(&controller),
+      options_(options),
+      actuator_((options.validate(), options.actuator), std::move(rng)),
+      rate_ewma_(options.rate_ewma_alpha),
+      staleness_(options.staleness) {}
+
+ControlPlane::ControlPlane(std::unique_ptr<Controller> controller,
+                           const ControlPlaneOptions& options, Rng rng)
+    : owned_(std::move(controller)),
+      controller_(owned_.get()),
+      options_(options),
+      actuator_((options.validate(), options.actuator), std::move(rng)),
+      rate_ewma_(options.rate_ewma_alpha),
+      staleness_(options.staleness) {
+  if (controller_ == nullptr) {
+    throw std::invalid_argument("ControlPlane: null controller");
+  }
+}
+
+void ControlPlane::seed_observation(const TelemetryFrame& frame) noexcept {
+  latest_ = frame;
+}
+
+void ControlPlane::accept_telemetry(const TelemetryFrame& frame) noexcept {
+  // Reordered deliveries (an older sample overtaken by a newer one) are
+  // discarded: the controller only ever moves forward in time.
+  if (frame.sample_time >= latest_.sample_time) {
+    latest_ = frame;
+    ++telemetry_accepted_;
+    rate_ewma_.observe(frame.rate);
+  } else {
+    ++telemetry_stale_discarded_;
+  }
+}
+
+ControlContext ControlPlane::make_context(double now, bool safe_mode) const {
+  ControlContext ctx;
+  ctx.now = now;
+  ctx.measured_rate = latest_.rate;
+  ctx.serving = latest_.serving;
+  ctx.committed = latest_.committed;
+  ctx.powered = latest_.powered;
+  ctx.available = latest_.available;
+  ctx.jobs_in_system = static_cast<std::size_t>(latest_.jobs_in_system);
+  ctx.obs_age_s = now - latest_.sample_time;
+  ctx.safe_mode = safe_mode;
+  if (const auto v = actuator_.acked_value(CommandKind::kTarget)) {
+    ctx.acked_target = static_cast<unsigned>(*v);
+  }
+  if (const auto v = actuator_.acked_value(CommandKind::kSpeed)) {
+    ctx.acked_speed = *v;
+  }
+  return ctx;
+}
+
+ControlPlane::Decision ControlPlane::on_tick(double now, bool long_tick,
+                                             bool safe_mode) {
+  Decision d;
+  d.ctx = make_context(now, safe_mode);
+  // Observational staleness bookkeeping; never fed to the policy.
+  (void)staleness_.filter(d.ctx.obs_age_s, d.ctx.measured_rate);
+  last_obs_age_s_ = d.ctx.obs_age_s;
+
+  d.action = long_tick ? controller_->on_long_tick(d.ctx)
+                       : controller_->on_short_tick(d.ctx);
+  ++ticks_;
+  if (long_tick) ++long_ticks_;
+  if (d.action.infeasible) ++infeasible_ticks_;
+
+  // Grow capacity before raising speed, same order apply_action uses, so
+  // freshly revived servers adopt the new speed too.
+  if (d.action.active_target) {
+    d.commands.push_back({actuator_.issue(now, CommandKind::kTarget,
+                                          static_cast<double>(*d.action.active_target),
+                                          era_),
+                          /*retransmit=*/false});
+    ++commands_issued_;
+  }
+  if (d.action.speed) {
+    d.commands.push_back(
+        {actuator_.issue(now, CommandKind::kSpeed, *d.action.speed, era_),
+         /*retransmit=*/false});
+    ++commands_issued_;
+  }
+  // Collect retransmissions due now.  Polling after issue means a command
+  // superseded this very tick never retransmits, and a just-issued command
+  // cannot be due (its first retry deadline is now + ack_timeout > now) —
+  // both invariants the in-process simulator's event order relied on.
+  retry_buf_.clear();
+  actuator_.poll(now, retry_buf_);
+  for (const CommandFrame& cmd : retry_buf_) {
+    d.commands.push_back({cmd, /*retransmit=*/true});
+  }
+  return d;
+}
+
+void ControlPlane::on_ack(double now, CommandKind kind, std::uint64_t gen) {
+  actuator_.on_ack(now, kind, gen);
+}
+
+CountersSnapshot ControlPlane::counters_snapshot() const {
+  CountersSnapshot snap;
+  snap.add_counter("cp.ticks", ticks_);
+  snap.add_counter("cp.ticks.long", long_ticks_);
+  snap.add_counter("cp.ticks.infeasible", infeasible_ticks_);
+  snap.add_counter("cp.telemetry.accepted", telemetry_accepted_);
+  snap.add_counter("cp.telemetry.stale_discarded", telemetry_stale_discarded_);
+  snap.add_counter("cp.telemetry.stale_ticks", staleness_.stale_ticks());
+  snap.add_counter("cp.commands.issued", commands_issued_);
+  snap.add_counter("cp.commands.retransmits", actuator_.retries());
+  snap.add_counter("cp.commands.acked", actuator_.acked());
+  snap.add_counter("cp.commands.stale_acks", actuator_.stale_acks());
+  snap.add_counter("cp.commands.exhausted", actuator_.exhausted());
+  snap.add_gauge("cp.era", static_cast<double>(era_));
+  snap.add_gauge("cp.rate.latest", latest_.rate);
+  snap.add_gauge("cp.rate.smoothed", rate_ewma_.value());
+  snap.add_gauge("cp.obs_age_s", last_obs_age_s_);
+  snap.add_gauge("cp.telemetry.stale", staleness_.stale() ? 1.0 : 0.0);
+  return snap;
+}
+
+std::string ControlPlane::prometheus_text() const {
+  return to_prometheus_text(counters_snapshot());
+}
+
+}  // namespace gc

@@ -1,0 +1,171 @@
+#include "cp/replay.h"
+
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+
+#include "util/format.h"
+
+namespace gc {
+
+void ReplayOptions::validate() const {
+  if (!std::isfinite(speedup)) {
+    throw std::invalid_argument("ReplayOptions: speedup must be finite");
+  }
+  if (max_reported == 0) {
+    throw std::invalid_argument("ReplayOptions: max_reported must be >= 1");
+  }
+}
+
+ReplayEngine::ReplayEngine(ControlPlane& cp, const ReplayOptions& options,
+                           SleepFn sleep)
+    : cp_(&cp), options_(options), sleep_(std::move(sleep)) {
+  options_.validate();
+  if (!sleep_) {
+    sleep_ = [](double wall_s) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(wall_s));
+    };
+  }
+}
+
+void ReplayEngine::note(const AuditRecord& rec, std::uint64_t tick,
+                        const char* field, double expected, double actual) {
+  ++stats_.mismatches;
+  if (stats_.first_mismatch_s < 0.0) stats_.first_mismatch_s = rec.time_s;
+  if (stats_.samples.size() < options_.max_reported) {
+    ReplayMismatch m;
+    m.tick = tick;
+    m.time_s = rec.time_s;
+    m.field = field;
+    m.expected = expected;
+    m.actual = actual;
+    stats_.samples.push_back(std::move(m));
+  }
+}
+
+bool ReplayEngine::feed(const AuditRecord& rec) {
+  const std::uint64_t tick = stats_.ticks;
+
+  // The record *is* the delivered telemetry the tick planned on: rebuild
+  // the frame the controller box held, stamped at its original sample time
+  // so the replayed obs_age_s reproduces exactly.
+  TelemetryFrame frame;
+  frame.sample_time = rec.time_s - rec.obs_age_s;
+  frame.rate = rec.observed_rate;
+  frame.serving = rec.serving;
+  frame.committed = rec.committed;
+  frame.powered = rec.powered;
+  frame.available = rec.available;
+  frame.jobs_in_system = rec.jobs_in_system;
+  cp_->accept_telemetry(frame);
+
+  const ControlPlane::Decision d =
+      cp_->on_tick(rec.time_s, rec.long_tick, rec.safe_mode);
+  ++stats_.ticks;
+  if (rec.long_tick) ++stats_.long_ticks;
+  if (!have_time_) {
+    first_time_s_ = rec.time_s;
+    have_time_ = true;
+  }
+  last_time_s_ = rec.time_s;
+  stats_.replayed_span_s = last_time_s_ - first_time_s_;
+
+  // Exact-double comparison is intentional: both sides are the outputs of
+  // the same deterministic code on the same inputs, and the jsonl round
+  // trip is bit-exact.  Tolerances would let real drift hide.
+  const std::uint64_t before = stats_.mismatches;
+  if (d.action.active_target.has_value() != rec.target_set) {
+    note(rec, tick, "target_set", rec.target_set ? 1.0 : 0.0,
+         d.action.active_target.has_value() ? 1.0 : 0.0);
+  } else if (rec.target_set) {
+    const unsigned target = *d.action.active_target;
+    if (target != rec.target_servers) {
+      note(rec, tick, "target_servers", static_cast<double>(rec.target_servers),
+           static_cast<double>(target));
+    }
+    const int delta =
+        static_cast<int>(target) - static_cast<int>(d.ctx.committed);
+    if (delta != rec.delta_servers) {
+      note(rec, tick, "delta_servers", static_cast<double>(rec.delta_servers),
+           static_cast<double>(delta));
+    }
+  }
+  if (d.action.speed.has_value() != rec.speed_set) {
+    note(rec, tick, "speed_set", rec.speed_set ? 1.0 : 0.0,
+         d.action.speed.has_value() ? 1.0 : 0.0);
+  } else if (rec.speed_set && *d.action.speed != rec.speed) {
+    note(rec, tick, "speed", rec.speed, *d.action.speed);
+  }
+  if (d.action.infeasible != rec.infeasible) {
+    note(rec, tick, "infeasible", rec.infeasible ? 1.0 : 0.0,
+         d.action.infeasible ? 1.0 : 0.0);
+  }
+  const bool diverged = stats_.mismatches != before;
+  return !(diverged && options_.fail_fast);
+}
+
+ReplayStats ReplayEngine::run(const DecisionAuditLog& log) {
+  bool paced = options_.speedup > 0.0;
+  double prev_t = 0.0;
+  bool have_prev = false;
+  for (const AuditRecord& rec : log.records()) {
+    if (paced && have_prev) {
+      const double dt = rec.time_s - prev_t;
+      if (dt > 0.0) sleep_(dt / options_.speedup);
+    }
+    prev_t = rec.time_s;
+    have_prev = true;
+    if (!feed(rec)) break;
+  }
+  return stats_;
+}
+
+CountersSnapshot ReplayEngine::counters_snapshot() const {
+  CountersSnapshot snap = cp_->counters_snapshot();
+  snap.add_counter("cp.drift.ticks", stats_.ticks);
+  snap.add_counter("cp.drift.mismatches", stats_.mismatches);
+  snap.add_gauge("cp.drift.first_mismatch_s", stats_.first_mismatch_s);
+  snap.add_gauge("cp.drift.replayed_span_s", stats_.replayed_span_s);
+  return snap;
+}
+
+void validate_timeseries(const CsvTable& table, const DecisionAuditLog* audit) {
+  const int t_col = table.column_index("t");
+  if (t_col < 0) {
+    throw std::runtime_error("timeseries: missing required column 't'");
+  }
+  if (table.header.empty() || table.rows.empty()) {
+    throw std::runtime_error("timeseries: empty table");
+  }
+  double prev_t = 0.0;
+  for (std::size_t r = 0; r < table.rows.size(); ++r) {
+    const std::vector<double>& row = table.rows[r];
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (!std::isfinite(row[c])) {
+        throw std::runtime_error(
+            format("timeseries: non-finite cell at row {} column '{}'", r + 1,
+                   table.header[c]));
+      }
+    }
+    const double t = row[static_cast<std::size_t>(t_col)];
+    if (r > 0 && t <= prev_t) {
+      throw std::runtime_error(format(
+          "timeseries: time warp at row {} (t={} after t={})", r + 1, t, prev_t));
+    }
+    prev_t = t;
+  }
+  if (audit != nullptr && !audit->empty()) {
+    const double audit_first = audit->records().front().time_s;
+    const double audit_last = audit->records().back().time_s;
+    const double ts_first = table.rows.front()[static_cast<std::size_t>(t_col)];
+    const double ts_last = table.rows.back()[static_cast<std::size_t>(t_col)];
+    if (ts_first < audit_first || ts_last > audit_last) {
+      throw std::runtime_error(
+          format("timeseries: time range [{}, {}] outside audit span [{}, {}]",
+                 ts_first, ts_last, audit_first, audit_last));
+    }
+  }
+}
+
+}  // namespace gc

@@ -1,0 +1,112 @@
+// Deterministic replay of a recorded control trajectory — the drift oracle
+// behind tools/gcreplay (DESIGN.md §12.3).
+//
+// An audit record is exactly the ControlContext a tick planned on (the
+// delivered telemetry, its age, the safe-mode flag) plus the commands the
+// policy emitted.  The policies are deterministic, RNG-free functions of
+// the context sequence, so feeding the recorded contexts into a *fresh*
+// ControlPlane running the same policy must reproduce the recorded
+// commanded target/speed/delta/infeasible columns bit-for-bit.  Any
+// mismatch means the controller drifted from its recording — a changed
+// default, a lost invariant, an accidental RNG draw — and the soak lane
+// (ci/check.sh soak) fails.
+//
+// The engine drives a virtual clock: records are paced at `speedup`×
+// recorded time (1× = real time, 1000× = a day per ~86 s), or free-run at
+// speedup <= 0.  Sleeping is injected (SleepFn) so tests replay instantly.
+//
+// Artifact hygiene is strict by contract: validate_timeseries() and the
+// jsonl parser *throw* on malformed input — replay never clamps, repairs
+// or skips a bad record (tests/test_replay_fuzz.cpp holds the line).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cp/control_plane.h"
+#include "obs/audit.h"
+#include "obs/counters.h"
+#include "util/csv.h"
+
+namespace gc {
+
+struct ReplayOptions {
+  // Virtual-clock rate: recorded seconds per wall second.  <= 0 replays as
+  // fast as possible (no sleeping).
+  double speedup = 0.0;
+  // Stop at the first mismatch instead of replaying to the end.
+  bool fail_fast = false;
+  // Mismatch samples kept for reporting (counting continues past this).
+  std::size_t max_reported = 8;
+
+  void validate() const;  // throws std::invalid_argument
+};
+
+// One divergence between the recorded and the replayed command stream.
+struct ReplayMismatch {
+  std::uint64_t tick = 0;  // record index in the audit log
+  double time_s = 0.0;
+  std::string field;     // which commanded column diverged
+  double expected = 0.0;  // recorded value
+  double actual = 0.0;    // replayed value
+};
+
+struct ReplayStats {
+  std::uint64_t ticks = 0;
+  std::uint64_t long_ticks = 0;
+  std::uint64_t mismatches = 0;
+  double replayed_span_s = 0.0;   // last - first record time
+  double first_mismatch_s = -1.0;  // -1 = clean
+  std::vector<ReplayMismatch> samples;
+
+  [[nodiscard]] bool clean() const noexcept { return mismatches == 0; }
+};
+
+class ReplayEngine {
+ public:
+  using SleepFn = std::function<void(double wall_seconds)>;
+
+  // Borrows the facade (must outlive the engine).  `sleep` defaults to a
+  // real std::this_thread wait; pass a stub to replay without pacing.
+  ReplayEngine(ControlPlane& cp, const ReplayOptions& options, SleepFn sleep = {});
+
+  // Feeds one audit record: delivers its telemetry view, runs the tick and
+  // compares the replayed commands against the recorded ones.  Returns
+  // false when fail_fast is set and the record diverged.
+  bool feed(const AuditRecord& rec);
+
+  // Replays a whole log through feed(), pacing by the virtual clock.
+  ReplayStats run(const DecisionAuditLog& log);
+
+  [[nodiscard]] const ReplayStats& stats() const noexcept { return stats_; }
+
+  // The facade's cp.* snapshot merged with the drift verdict
+  // (cp.drift.mismatches / cp.drift.ticks / cp.drift.first_mismatch_s) —
+  // what gcreplay writes as OUT.counters.json for `gcinspect --check`.
+  [[nodiscard]] CountersSnapshot counters_snapshot() const;
+
+ private:
+  void note(const AuditRecord& rec, std::uint64_t tick, const char* field,
+            double expected, double actual);
+
+  ControlPlane* cp_;
+  ReplayOptions options_;
+  SleepFn sleep_;
+  ReplayStats stats_;
+  bool have_time_ = false;
+  double first_time_s_ = 0.0;
+  double last_time_s_ = 0.0;
+};
+
+// Structural validation of a PREFIX.timeseries.csv table against the
+// recorder's export contract: the `t` column exists, time is finite and
+// strictly increasing, every cell parses finite, and (when a non-empty
+// audit log is supplied) the series' time range lies within the log's.
+// Throws std::runtime_error with a line-numbered message on any violation
+// — corrupt artifacts are rejected, never repaired.
+void validate_timeseries(const CsvTable& table,
+                         const DecisionAuditLog* audit = nullptr);
+
+}  // namespace gc

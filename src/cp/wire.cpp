@@ -1,0 +1,275 @@
+#include "cp/wire.h"
+
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+
+#include "cp/control_plane.h"
+#include "util/format.h"
+
+namespace gc {
+namespace {
+
+// Fixed payload sizes per type (the type byte itself excluded).
+constexpr std::uint32_t kTelemetryBytes = 8 + 8 + 4 * 4 + 8;  // 40
+constexpr std::uint32_t kTickBytes = 8 + 1 + 1;               // 10
+constexpr std::uint32_t kCommandBytes = 1 + 8 + 8 + 4;        // 21
+constexpr std::uint32_t kAckBytes = 8 + 1 + 8;                // 17
+
+void put_u8(std::string& buf, std::uint8_t v) {
+  buf.push_back(static_cast<char>(v));
+}
+
+void put_u32(std::string& buf, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) put_u8(buf, static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::string& buf, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) put_u8(buf, static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_f64(std::string& buf, double v) {
+  put_u64(buf, std::bit_cast<std::uint64_t>(v));
+}
+
+// Cursor over one complete frame's payload; the decoder guarantees the
+// length before constructing it, so reads cannot run off the end.
+struct PayloadReader {
+  const char* data;
+  std::size_t size;
+  std::size_t pos = 0;
+
+  std::uint8_t u8() {
+    return static_cast<std::uint8_t>(data[pos++]);
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(u8()) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(u8()) << (8 * i);
+    return v;
+  }
+  double f64_finite(const char* field) {
+    const double v = std::bit_cast<double>(u64());
+    if (!std::isfinite(v)) {
+      throw WireError(format("wire: non-finite {} in frame", field));
+    }
+    return v;
+  }
+  bool boolean(const char* field) {
+    const std::uint8_t v = u8();
+    if (v > 1) {
+      throw WireError(format("wire: {} byte must be 0 or 1, got {}", field, v));
+    }
+    return v == 1;
+  }
+  CommandKind kind() {
+    const std::uint8_t v = u8();
+    if (v >= kNumCommandKinds) {
+      throw WireError(format("wire: command kind {} out of range", v));
+    }
+    return static_cast<CommandKind>(v);
+  }
+};
+
+WireMessage decode_payload(WireMsgType type, const char* data, std::size_t size) {
+  PayloadReader r{data, size};
+  WireMessage msg;
+  msg.type = type;
+  switch (type) {
+    case WireMsgType::kTelemetry: {
+      msg.telemetry.sample_time = r.f64_finite("sample_time");
+      msg.telemetry.rate = r.f64_finite("rate");
+      msg.telemetry.serving = r.u32();
+      msg.telemetry.committed = r.u32();
+      msg.telemetry.powered = r.u32();
+      msg.telemetry.available = r.u32();
+      msg.telemetry.jobs_in_system = r.u64();
+      if (msg.telemetry.rate < 0.0) {
+        throw WireError("wire: negative telemetry rate");
+      }
+      break;
+    }
+    case WireMsgType::kTick: {
+      msg.tick.now = r.f64_finite("now");
+      msg.tick.long_tick = r.boolean("long_tick");
+      msg.tick.safe_mode = r.boolean("safe_mode");
+      break;
+    }
+    case WireMsgType::kCommand: {
+      msg.command.kind = r.kind();
+      msg.command.value = r.f64_finite("value");
+      msg.command.gen = r.u64();
+      msg.command.era = r.u32();
+      break;
+    }
+    case WireMsgType::kAck: {
+      msg.ack.now = r.f64_finite("now");
+      msg.ack.kind = r.kind();
+      msg.ack.gen = r.u64();
+      break;
+    }
+  }
+  return msg;
+}
+
+std::uint32_t expected_payload_bytes(std::uint8_t type) {
+  switch (static_cast<WireMsgType>(type)) {
+    case WireMsgType::kTelemetry: return kTelemetryBytes;
+    case WireMsgType::kTick: return kTickBytes;
+    case WireMsgType::kCommand: return kCommandBytes;
+    case WireMsgType::kAck: return kAckBytes;
+  }
+  throw WireError(format("wire: unknown message type {}", type));
+}
+
+void write_all(int fd, const std::string& buf) {
+  std::size_t off = 0;
+  while (off < buf.size()) {
+    const ssize_t n = ::write(fd, buf.data() + off, buf.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(format("wire: write failed: {}", std::strerror(errno)));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+void append_telemetry_frame(std::string& buf, const TelemetryFrame& frame) {
+  put_u32(buf, 1 + kTelemetryBytes);
+  put_u8(buf, static_cast<std::uint8_t>(WireMsgType::kTelemetry));
+  put_f64(buf, frame.sample_time);
+  put_f64(buf, frame.rate);
+  put_u32(buf, frame.serving);
+  put_u32(buf, frame.committed);
+  put_u32(buf, frame.powered);
+  put_u32(buf, frame.available);
+  put_u64(buf, frame.jobs_in_system);
+}
+
+void append_tick_frame(std::string& buf, const TickMsg& tick) {
+  put_u32(buf, 1 + kTickBytes);
+  put_u8(buf, static_cast<std::uint8_t>(WireMsgType::kTick));
+  put_f64(buf, tick.now);
+  put_u8(buf, tick.long_tick ? 1 : 0);
+  put_u8(buf, tick.safe_mode ? 1 : 0);
+}
+
+void append_command_frame(std::string& buf, const CommandFrame& cmd) {
+  put_u32(buf, 1 + kCommandBytes);
+  put_u8(buf, static_cast<std::uint8_t>(WireMsgType::kCommand));
+  put_u8(buf, static_cast<std::uint8_t>(cmd.kind));
+  put_f64(buf, cmd.value);
+  put_u64(buf, cmd.gen);
+  put_u32(buf, cmd.era);
+}
+
+void append_ack_frame(std::string& buf, const AckWireMsg& ack) {
+  put_u32(buf, 1 + kAckBytes);
+  put_u8(buf, static_cast<std::uint8_t>(WireMsgType::kAck));
+  put_f64(buf, ack.now);
+  put_u8(buf, static_cast<std::uint8_t>(ack.kind));
+  put_u64(buf, ack.gen);
+}
+
+void FrameDecoder::feed(const char* data, std::size_t n) {
+  if (poisoned_) throw WireError("wire: decoder poisoned by earlier error");
+  // Compact the consumed prefix before growing; keeps the buffer bounded
+  // by one partial frame plus the freshly fed chunk.
+  if (pos_ > 0) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(data, n);
+}
+
+std::optional<WireMessage> FrameDecoder::next() {
+  if (poisoned_) throw WireError("wire: decoder poisoned by earlier error");
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < 4) return std::nullopt;
+  std::uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<std::uint32_t>(
+                  static_cast<std::uint8_t>(buf_[pos_ + static_cast<std::size_t>(i)]))
+              << (8 * i);
+  }
+  try {
+    if (length == 0) throw WireError("wire: zero-length frame");
+    if (length > kMaxFrameBytes) {
+      throw WireError(format("wire: frame length {} exceeds cap {}", length,
+                             kMaxFrameBytes));
+    }
+    if (avail < 4 + static_cast<std::size_t>(length)) return std::nullopt;
+    const auto type_byte = static_cast<std::uint8_t>(buf_[pos_ + 4]);
+    const std::uint32_t expected = expected_payload_bytes(type_byte);
+    if (length != 1 + expected) {
+      throw WireError(format("wire: type {} frame must be {} bytes, got {}",
+                             type_byte, 1 + expected, length - 1));
+    }
+    const WireMessage msg = decode_payload(static_cast<WireMsgType>(type_byte),
+                                           buf_.data() + pos_ + 5, expected);
+    pos_ += 4 + static_cast<std::size_t>(length);
+    return msg;
+  } catch (...) {
+    poisoned_ = true;
+    throw;
+  }
+}
+
+WireServeStats serve_connection(ControlPlane& cp, int fd) {
+  WireServeStats stats;
+  FrameDecoder decoder;
+  std::string out;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(format("wire: read failed: {}", std::strerror(errno)));
+    }
+    if (n == 0) {
+      if (decoder.buffered() > 0) {
+        throw WireError(format("wire: stream ended mid-frame ({} bytes buffered)",
+                               decoder.buffered()));
+      }
+      return stats;
+    }
+    decoder.feed(chunk, static_cast<std::size_t>(n));
+    while (const auto msg = decoder.next()) {
+      switch (msg->type) {
+        case WireMsgType::kTelemetry:
+          cp.accept_telemetry(msg->telemetry);
+          ++stats.telemetry;
+          break;
+        case WireMsgType::kTick: {
+          const ControlPlane::Decision d =
+              cp.on_tick(msg->tick.now, msg->tick.long_tick, msg->tick.safe_mode);
+          ++stats.ticks;
+          out.clear();
+          for (const ControlPlane::Outbound& ob : d.commands) {
+            append_command_frame(out, ob.frame);
+            ++stats.commands_sent;
+          }
+          if (!out.empty()) write_all(fd, out);
+          break;
+        }
+        case WireMsgType::kAck:
+          cp.on_ack(msg->ack.now, msg->ack.kind, msg->ack.gen);
+          ++stats.acks;
+          break;
+        case WireMsgType::kCommand:
+          throw WireError("wire: command frame arriving controller-ward");
+      }
+    }
+  }
+}
+
+}  // namespace gc

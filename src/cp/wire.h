@@ -1,0 +1,133 @@
+// Length-prefixed wire framing for the control plane (DESIGN.md §12.4).
+//
+// Driver (c): the same ControlPlane that the simulator and the artifact
+// replayer drive in-process, fed over a byte stream — a UNIX socket in
+// tools/gcreplay --serve, a socketpair in the tests.  The protocol is the
+// proof that cp/ is genuinely transport-agnostic: nothing below this line
+// knows it exists.
+//
+// Frame layout (all integers little-endian, doubles as IEEE-754 bit
+// patterns in little-endian u64):
+//
+//   [u32 length][u8 type][payload]
+//
+// `length` counts the type byte plus the payload.  Four message types:
+//
+//   kTelemetry (1), fleet -> controller: one TelemetryFrame
+//       f64 sample_time | f64 rate | u32 serving | u32 committed
+//       | u32 powered | u32 available | u64 jobs_in_system          (40 B)
+//   kTick (2), fleet -> controller: "run a control tick now"
+//       f64 now | u8 long_tick | u8 safe_mode                       (10 B)
+//   kCommand (3), controller -> fleet: one CommandFrame
+//       u8 kind | f64 value | u64 gen | u32 era                     (21 B)
+//   kAck (4), fleet -> controller: command acknowledgement
+//       f64 now | u8 kind | u64 gen                                 (17 B)
+//
+// Decoding is strict by contract (same discipline as the config/trace
+// parsers fuzzed in tests/test_config_fuzz): an unknown type, a length
+// that does not match the type's fixed payload size, a length beyond
+// kMaxFrameBytes, a non-finite double, an out-of-range enum or a non-0/1
+// boolean byte all throw WireError.  Malformed input is rejected, never
+// clamped or skipped — and a throw never leaves the decoder mid-frame.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "cp/frames.h"
+
+namespace gc {
+
+class ControlPlane;
+
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class WireMsgType : std::uint8_t {
+  kTelemetry = 1,
+  kTick = 2,
+  kCommand = 3,
+  kAck = 4,
+};
+
+// Largest legal frame (length prefix excluded).  Anything bigger is a
+// corrupt or hostile stream and is rejected before buffering.
+inline constexpr std::uint32_t kMaxFrameBytes = 64;
+
+struct TickMsg {
+  double now = 0.0;
+  bool long_tick = false;
+  bool safe_mode = false;
+};
+
+struct AckWireMsg {
+  double now = 0.0;
+  CommandKind kind = CommandKind::kTarget;
+  std::uint64_t gen = 0;
+};
+
+// One decoded message; `type` selects the live member.
+struct WireMessage {
+  WireMsgType type = WireMsgType::kTelemetry;
+  TelemetryFrame telemetry;
+  TickMsg tick;
+  CommandFrame command;
+  AckWireMsg ack;
+};
+
+// -- Encoding ----------------------------------------------------------------
+
+void append_telemetry_frame(std::string& buf, const TelemetryFrame& frame);
+void append_tick_frame(std::string& buf, const TickMsg& tick);
+void append_command_frame(std::string& buf, const CommandFrame& cmd);
+void append_ack_frame(std::string& buf, const AckWireMsg& ack);
+
+// -- Decoding ----------------------------------------------------------------
+
+// Incremental decoder over an arbitrary chunking of the byte stream: feed()
+// appends raw bytes, next() yields complete messages until the buffer runs
+// dry.  Throws WireError on any malformed frame; the decoder is then
+// poisoned (every later call throws) — a corrupt stream has no trustworthy
+// resynchronization point in a length-prefixed protocol.
+class FrameDecoder {
+ public:
+  void feed(const char* data, std::size_t n);
+  void feed(std::string_view data) { feed(data.data(), data.size()); }
+
+  // Next complete message, or nullopt when the buffer holds only a partial
+  // frame (feed more).  Throws WireError on malformed input.
+  [[nodiscard]] std::optional<WireMessage> next();
+
+  [[nodiscard]] std::size_t buffered() const noexcept { return buf_.size() - pos_; }
+  [[nodiscard]] bool poisoned() const noexcept { return poisoned_; }
+
+ private:
+  std::string buf_;
+  std::size_t pos_ = 0;
+  bool poisoned_ = false;
+};
+
+// -- The socket feed ---------------------------------------------------------
+
+struct WireServeStats {
+  std::uint64_t telemetry = 0;
+  std::uint64_t ticks = 0;
+  std::uint64_t acks = 0;
+  std::uint64_t commands_sent = 0;  // fresh + retransmissions
+};
+
+// Serves one connection on a byte-stream fd (UNIX socket, socketpair,
+// pipe): reads frames, routes kTelemetry -> accept_telemetry, kTick ->
+// on_tick (writing the decision's command frames back), kAck -> on_ack.
+// Returns when the peer closes the stream cleanly between frames.  Throws
+// WireError on malformed input or a mid-frame EOF, std::runtime_error on
+// I/O errors.  A kCommand arriving controller-ward is malformed (commands
+// only ever travel fleet-ward).
+WireServeStats serve_connection(ControlPlane& cp, int fd);
+
+}  // namespace gc

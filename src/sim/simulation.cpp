@@ -5,6 +5,7 @@
 #include <cmath>
 #include <string>
 
+#include "cp/control_plane.h"
 #include "stats/accumulators.h"
 #include "util/assert.h"
 
@@ -20,20 +21,6 @@ void apply_action(Cluster& cluster, double now, const ControlAction& action) {
 
 constexpr std::size_t kNumEventTypes =
     static_cast<std::size_t>(EventType::kControllerRecover) + 1;
-
-// A fleet-state sample travelling controller-ward over the telemetry
-// link.  With the channel disabled this is copied straight into the
-// controller's view; with it enabled it may arrive late, out of order
-// (discarded: a newer sample already landed) or never.
-struct TelemetrySnapshot {
-  double sample_time = 0.0;
-  double rate = 0.0;
-  unsigned serving = 0;
-  unsigned committed = 0;
-  unsigned powered = 0;
-  unsigned available = 0;
-  std::uint64_t jobs_in_system = 0;
-};
 
 struct AckMsg {
   CommandKind kind = CommandKind::kTarget;
@@ -102,7 +89,14 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
       cluster_options.dispatch_seed ^ 0x5ca1ab1ec0ffeeULL;
   ControlChannel channel(options.channel, control_seed);
   const bool chan_on = options.channel.enabled;
-  CommandActuator actuator(options.actuator, Rng(control_seed, /*stream=*/14));
+  // The controller box itself — policy, observation store, estimator,
+  // ack/retry actuator — is the transport-agnostic ControlPlane facade
+  // (cp/control_plane.h); this loop is only driver (a) of three.  The
+  // facade's actuator takes over the sim's historical RNG stream 14, so
+  // jitter draws are bit-identical to the pre-extraction loop.
+  ControlPlaneOptions cp_options;
+  cp_options.actuator = options.actuator;
+  ControlPlane cp(controller, cp_options, Rng(control_seed, /*stream=*/14));
   // Commands take the generation-stamped path whenever the channel or the
   // ack/retry protocol is on; otherwise they apply in place.
   const bool cmd_path = chan_on || options.actuator.enabled;
@@ -126,24 +120,22 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
   unsigned missed_short_ticks = 0;  // consecutive; the watchdog's counter
   bool in_safe_mode = false;
   double safe_mode_entered_at = 0.0;
-  // Controller incarnation: bumped on every recovery.  Safe mode rejects
-  // commands stamped by a dead incarnation (they were planned against a
-  // world the outage invalidated).
-  std::uint32_t cmd_era = 0;
+  // Controller incarnation: the facade stamps cp.era() into every command
+  // and bumps it on recovery.  Safe mode rejects commands stamped by a
+  // dead incarnation (they were planned against a world the outage
+  // invalidated).
   std::uint32_t safe_min_era = 0;
 
   // In-flight channel payloads (the event subject is the store slot).
-  SlotStore<TelemetrySnapshot> telemetry_in_flight;
+  SlotStore<TelemetryFrame> telemetry_in_flight;
   SlotStore<Command> commands_in_flight;
   SlotStore<AckMsg> acks_in_flight;
   // Fleet-side dedup: a delivered command applies only when its generation
   // beats the last applied one per kind.
   std::uint64_t last_applied_gen[kNumCommandKinds] = {0, 0};
-  std::uint64_t telemetry_stale_discarded = 0;
   std::uint64_t cmd_duplicates = 0;
   std::uint64_t cmd_rejected_era = 0;
   std::uint64_t ticks_missed_count = 0;
-  std::vector<Command> retry_buf;
 
   // Pending arrival: exactly one kArrival event is outstanding at a time.
   std::optional<JobArrival> pending = workload.next();
@@ -343,29 +335,22 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
     }
   };
 
-  // The controller's fleet view: the newest *delivered* telemetry sample.
-  // Seeded from the t = 0 ground truth so a dropped first sample still
-  // leaves the controller something coherent to look at.
-  TelemetrySnapshot latest_obs;
-  latest_obs.serving = cluster.serving_count();
-  latest_obs.committed = cluster.committed_count();
-  latest_obs.powered = cluster.powered_count();
-  latest_obs.available = cluster.available_count();
-  latest_obs.jobs_in_system = cluster.jobs_in_system();
+  // The controller's fleet view lives in the facade.  Seeded from the
+  // t = 0 ground truth so a dropped first sample still leaves the
+  // controller something coherent to look at.
+  {
+    TelemetryFrame boot_view;
+    boot_view.serving = cluster.serving_count();
+    boot_view.committed = cluster.committed_count();
+    boot_view.powered = cluster.powered_count();
+    boot_view.available = cluster.available_count();
+    boot_view.jobs_in_system = cluster.jobs_in_system();
+    cp.seed_observation(boot_view);
+  }
 
-  auto accept_telemetry = [&](const TelemetrySnapshot& snap) {
-    // Reordered deliveries (an older sample overtaken by a newer one) are
-    // discarded: the controller only ever moves forward in time.
-    if (snap.sample_time >= latest_obs.sample_time) {
-      latest_obs = snap;
-    } else {
-      ++telemetry_stale_discarded;
-    }
-  };
-
-  auto ship_telemetry = [&](double t, const TelemetrySnapshot& snap) {
+  auto ship_telemetry = [&](double t, const TelemetryFrame& snap) {
     if (!chan_on) {
-      latest_obs = snap;
+      cp.accept_telemetry(snap);
       return;
     }
     if (const auto delay = channel.telemetry_delay()) {
@@ -375,7 +360,7 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
       } else {
         // Zero latency: deliver synchronously, never touching the queue
         // (event interleaving stays identical to no channel at all).
-        accept_telemetry(snap);
+        cp.accept_telemetry(snap);
       }
     } else {
       trace_instant(trace, t, "channel", "telemetry-drop");
@@ -383,9 +368,9 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
   };
 
   auto send_ack = [&](double t, const Command& cmd) {
-    if (!actuator.enabled()) return;  // fire-and-forget mode: no ack protocol
+    if (!cp.actuator().enabled()) return;  // fire-and-forget: no ack protocol
     if (!chan_on) {
-      actuator.on_ack(t, cmd.kind, cmd.gen);
+      cp.on_ack(t, cmd.kind, cmd.gen);
       return;
     }
     if (const auto delay = channel.ack_delay()) {
@@ -393,7 +378,7 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
         queue.schedule(t + *delay, EventType::kAckDeliver,
                        acks_in_flight.put(AckMsg{cmd.kind, cmd.gen}));
       } else {
-        actuator.on_ack(t, cmd.kind, cmd.gen);
+        cp.on_ack(t, cmd.kind, cmd.gen);
       }
     } else {
       trace_instant(trace, t, "channel", "ack-drop");
@@ -455,51 +440,21 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
     }
   };
 
-  auto dispatch_action = [&](double t, const ControlAction& action) {
+  // Transmits one facade decision.  The facade already consulted the
+  // policy, stamped the fresh commands and collected due retransmissions
+  // (in transmit order); the driver's only job is delivery.
+  auto dispatch_decision = [&](double t, const ControlPlane::Decision& decision) {
     if (!cmd_path) {
       // Legacy synchronous path.  A live controller acting again also
       // ends safe mode (relevant when only controller faults are on).
       if (in_safe_mode) exit_safe_mode(t);
-      apply_action(cluster, t, action);
+      apply_action(cluster, t, decision.action);
       return;
     }
-    // Grow capacity before raising speed (same order as apply_action).
-    if (action.active_target) {
-      transmit(t, actuator.issue(t, CommandKind::kTarget,
-                                 static_cast<double>(*action.active_target),
-                                 cmd_era));
+    for (const ControlPlane::Outbound& out : decision.commands) {
+      if (out.retransmit) trace_instant(trace, t, "channel", "command-retry");
+      transmit(t, out.frame);
     }
-    if (action.speed) {
-      transmit(t, actuator.issue(t, CommandKind::kSpeed, *action.speed, cmd_era));
-    }
-    // Retransmit timed-out commands.  Polling after issue means a command
-    // superseded this very tick never retransmits.
-    retry_buf.clear();
-    actuator.poll(t, retry_buf);
-    for (const Command& cmd : retry_buf) {
-      trace_instant(trace, t, "channel", "command-retry");
-      transmit(t, cmd);
-    }
-  };
-
-  auto make_context = [&](double t) {
-    ControlContext ctx;
-    ctx.now = t;
-    ctx.measured_rate = latest_obs.rate;
-    ctx.serving = latest_obs.serving;
-    ctx.committed = latest_obs.committed;
-    ctx.powered = latest_obs.powered;
-    ctx.available = latest_obs.available;
-    ctx.jobs_in_system = static_cast<std::size_t>(latest_obs.jobs_in_system);
-    ctx.obs_age_s = t - latest_obs.sample_time;
-    ctx.safe_mode = in_safe_mode;
-    if (const auto v = actuator.acked_value(CommandKind::kTarget)) {
-      ctx.acked_target = static_cast<unsigned>(*v);
-    }
-    if (const auto v = actuator.acked_value(CommandKind::kSpeed)) {
-      ctx.acked_speed = *v;
-    }
-    return ctx;
   };
 
   // A control tick that fires while the controller is down: telemetry has
@@ -516,7 +471,7 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
         // frequency — until a post-recovery command arrives.
         in_safe_mode = true;
         safe_mode_entered_at = t;
-        safe_min_era = cmd_era + 1;
+        safe_min_era = cp.era() + 1;
         ++result.safe_mode_entries;
         cluster.set_active_target(t, cluster.num_servers());
         cluster.set_all_speeds(t, 1.0);
@@ -581,7 +536,7 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
     const std::uint64_t telemetry_dropped = channel.telemetry_counters().dropped;
     const std::uint64_t commands_dropped = channel.command_counters().dropped;
     const std::uint64_t acks_dropped = channel.ack_counters().dropped;
-    const std::uint64_t retries = actuator.retries();
+    const std::uint64_t retries = cp.actuator().retries();
     s.d_telemetry_dropped = telemetry_dropped - ts_prev.telemetry_dropped;
     s.d_commands_dropped = commands_dropped - ts_prev.commands_dropped;
     s.d_acks_dropped = acks_dropped - ts_prev.acks_dropped;
@@ -697,7 +652,7 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
             elapsed > 0.0 ? static_cast<double>(arrivals_in_window) / elapsed : 0.0;
         arrivals_in_window = 0;
         last_short_tick = now;
-        TelemetrySnapshot snap;
+        TelemetryFrame snap;
         snap.sample_time = now;
         snap.rate = local_rate;
         snap.serving = cluster.serving_count();
@@ -709,8 +664,8 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
         if (controller_down_depth > 0) {
           miss_tick(now, local_rate, /*short_tick=*/true);
           if (ts != nullptr) {
-            record_ts(now, /*long_tick=*/false, local_rate, make_context(now),
-                      nullptr);
+            record_ts(now, /*long_tick=*/false, local_rate,
+                      cp.make_context(now, in_safe_mode), nullptr);
           }
           if (!workload_done || cluster.jobs_in_system() > 0) {
             queue.schedule(now + t_short, EventType::kShortTick);
@@ -718,9 +673,10 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
           break;
         }
         missed_short_ticks = 0;
-        const ControlContext ctx = make_context(now);
-        const ControlAction action = controller.on_short_tick(ctx);
-        dispatch_action(now, action);
+        const ControlPlane::Decision decision =
+            cp.on_tick(now, /*long_tick=*/false, in_safe_mode);
+        const ControlAction& action = decision.action;
+        dispatch_decision(now, decision);
         ++ticks_total;
         if (action.infeasible) ++infeasible_ticks;
         if (action.explain.solved_spares >= 0) {
@@ -730,9 +686,9 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
         }
         admission.update(local_rate, cluster.serving_count(),
                          cluster.current_speed());
-        observe_control(/*long_tick=*/false, ctx, action, now - elapsed);
+        observe_control(/*long_tick=*/false, decision.ctx, action, now - elapsed);
         if (ts != nullptr) {
-          record_ts(now, /*long_tick=*/false, local_rate, ctx, &action);
+          record_ts(now, /*long_tick=*/false, local_rate, decision.ctx, &action);
         }
         // Keep ticking while there is anything left to happen.
         if (!workload_done || cluster.jobs_in_system() > 0) {
@@ -744,7 +700,7 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
         const double elapsed = now - last_short_tick;
         const double local_rate =
             elapsed > 0.0 ? static_cast<double>(arrivals_in_window) / elapsed : 0.0;
-        TelemetrySnapshot snap;
+        TelemetryFrame snap;
         snap.sample_time = now;
         snap.rate = local_rate;
         snap.serving = cluster.serving_count();
@@ -756,17 +712,18 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
         if (controller_down_depth > 0) {
           miss_tick(now, local_rate, /*short_tick=*/false);
           if (ts != nullptr) {
-            record_ts(now, /*long_tick=*/true, local_rate, make_context(now),
-                      nullptr);
+            record_ts(now, /*long_tick=*/true, local_rate,
+                      cp.make_context(now, in_safe_mode), nullptr);
           }
           if (!workload_done || cluster.jobs_in_system() > 0) {
             queue.schedule(now + t_long, EventType::kLongTick);
           }
           break;
         }
-        const ControlContext ctx = make_context(now);
-        const ControlAction action = controller.on_long_tick(ctx);
-        dispatch_action(now, action);
+        const ControlPlane::Decision decision =
+            cp.on_tick(now, /*long_tick=*/true, in_safe_mode);
+        const ControlAction& action = decision.action;
+        dispatch_decision(now, decision);
         ++ticks_total;
         if (action.infeasible) ++infeasible_ticks;
         if (action.explain.solved_spares >= 0) {
@@ -780,9 +737,9 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
         }
         admission.update(local_rate, cluster.serving_count(),
                          cluster.current_speed());
-        observe_control(/*long_tick=*/true, ctx, action, last_long_tick);
+        observe_control(/*long_tick=*/true, decision.ctx, action, last_long_tick);
         if (ts != nullptr) {
-          record_ts(now, /*long_tick=*/true, local_rate, ctx, &action);
+          record_ts(now, /*long_tick=*/true, local_rate, decision.ctx, &action);
         }
         last_long_tick = now;
         if (!workload_done || cluster.jobs_in_system() > 0) {
@@ -791,14 +748,14 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
         break;
       }
       case EventType::kTelemetryDeliver:
-        accept_telemetry(telemetry_in_flight.take(event->subject));
+        cp.accept_telemetry(telemetry_in_flight.take(event->subject));
         break;
       case EventType::kCommandDeliver:
         apply_command(now, commands_in_flight.take(event->subject));
         break;
       case EventType::kAckDeliver: {
         const AckMsg ack = acks_in_flight.take(event->subject);
-        actuator.on_ack(now, ack.kind, ack.gen);
+        cp.on_ack(now, ack.kind, ack.gen);
         break;
       }
       case EventType::kControllerFail: {
@@ -820,7 +777,7 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
         if (controller_down_depth == 0) {
           // New incarnation: its commands outrank anything the dead one
           // left in flight, and the watchdog starts from a clean slate.
-          ++cmd_era;
+          cp.bump_era();
           missed_short_ticks = 0;
         }
         if (event->subject == kRandomOutage && cf.mtbf_s > 0.0) {
@@ -971,24 +928,25 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
   result.telemetry_dropped = channel.telemetry_counters().dropped;
   result.commands_dropped = channel.command_counters().dropped;
   result.acks_dropped = channel.ack_counters().dropped;
-  result.command_retries = actuator.retries();
+  result.command_retries = cp.actuator().retries();
   result.command_duplicates = cmd_duplicates;
-  result.commands_exhausted = actuator.exhausted();
+  result.commands_exhausted = cp.actuator().exhausted();
   result.ticks_missed = ticks_missed_count;
   if (chan_on) {
     registry.counter("chan.telemetry.sent").inc(channel.telemetry_counters().sent);
     registry.counter("chan.telemetry.dropped").inc(result.telemetry_dropped);
-    registry.counter("chan.telemetry.stale_discarded").inc(telemetry_stale_discarded);
+    registry.counter("chan.telemetry.stale_discarded")
+        .inc(cp.telemetry_stale_discarded());
     registry.counter("chan.command.sent").inc(channel.command_counters().sent);
     registry.counter("chan.command.dropped").inc(result.commands_dropped);
     registry.counter("chan.ack.sent").inc(channel.ack_counters().sent);
     registry.counter("chan.ack.dropped").inc(result.acks_dropped);
   }
   if (cmd_path) {
-    registry.counter("act.retries").inc(actuator.retries());
-    registry.counter("act.acked").inc(actuator.acked());
-    registry.counter("act.stale_acks").inc(actuator.stale_acks());
-    registry.counter("act.exhausted").inc(actuator.exhausted());
+    registry.counter("act.retries").inc(cp.actuator().retries());
+    registry.counter("act.acked").inc(cp.actuator().acked());
+    registry.counter("act.stale_acks").inc(cp.actuator().stale_acks());
+    registry.counter("act.exhausted").inc(cp.actuator().exhausted());
     registry.counter("act.duplicates").inc(cmd_duplicates);
     registry.counter("act.rejected_era").inc(cmd_rejected_era);
   }
@@ -1051,6 +1009,17 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
     }
   }
   result.counters = registry.snapshot();
+  // The facade keeps its own cp.* instruments (it has no registry — the
+  // other drivers surface them through gcreplay); merge them so a sim run
+  // exposes the same namespace.  Goldens exclude counters, so this is
+  // observational.
+  const CountersSnapshot cp_snap = cp.counters_snapshot();
+  for (const auto& [name, value] : cp_snap.counters) {
+    result.counters.add_counter(name, value);
+  }
+  for (const auto& [name, value] : cp_snap.gauges) {
+    result.counters.add_gauge(name, value);
+  }
   return result;
 }
 

@@ -31,6 +31,7 @@
 
 #include "control/actuator.h"
 #include "core/reliability.h"
+#include "cp/controller.h"
 #include "obs/audit.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
@@ -44,77 +45,9 @@
 
 namespace gc {
 
-// What the controller observes at a tick.  With the control channel
-// disabled this is the instantaneous ground truth; with it enabled the
-// fleet fields come from the newest *delivered* telemetry sample, which
-// may be stale (see obs_age_s) or missing updates the channel dropped.
-struct ControlContext {
-  double now = 0.0;
-  // Arrivals / elapsed time since the previous short tick (as sampled at
-  // the telemetry source; see obs_age_s for how old that sample is).
-  double measured_rate = 0.0;
-  unsigned serving = 0;
-  unsigned committed = 0;  // serving + booting
-  unsigned powered = 0;
-  // Ground-truth servers not FAILED; failure-aware controllers run their
-  // own (delayed) detector over this signal.
-  unsigned available = 0;
-  std::size_t jobs_in_system = 0;
-  // Age of the newest delivered telemetry sample (now - sample time); 0
-  // when the channel is disabled or perfect.
-  double obs_age_s = 0.0;
-  // The fleet is currently running the watchdog's safe static fallback.
-  bool safe_mode = false;
-  // Last fleet state confirmed by the actuator's ack protocol; unset
-  // before the first ack or when the actuator is disabled.  This is what
-  // "re-plan from acked state" plans against.
-  std::optional<unsigned> acked_target;
-  std::optional<double> acked_speed;
-};
-
-// Planning internals behind a ControlAction, filled by the controllers for
-// the decision audit log (obs/audit.h).  Purely observational: the
-// simulation never branches on these.  Fields a policy has no notion of
-// stay 0 (e.g. NPM has no predictor, only failure-aware has a detector).
-struct ControlExplain {
-  double predicted_rate = 0.0;   // predictor output over the planning horizon
-  double planning_rate = 0.0;    // rate handed to the solver (after margin)
-  double safety_margin = 0.0;    // margin applied (after any spare relief)
-  unsigned planned_servers = 0;  // solver m before hysteresis/retry gating
-  unsigned detected_available = 0;  // failure detector's fleet view
-  // -- reliability-constrained provisioning (appended fields) ----------------
-  // Solved spare count of the standing ReliablePlan; -1 for policies with
-  // no notion of solved spares (everything but dcp-reliability).
-  int solved_spares = -1;
-  // Closed-form fleet availability A(planned m, spares) of that plan.
-  double availability_est = 0.0;
-  // core/reliability.h BindingConstraint as an integer (0 none, 1 latency,
-  // 2 availability, 3 capacity): which constraint pinned the plan.
-  unsigned binding_constraint = 0;
-};
-
-// What the controller requests.  Unset fields mean "leave unchanged".
-struct ControlAction {
-  std::optional<unsigned> active_target;
-  std::optional<double> speed;
-  // The policy determined the guarantee is unachievable at the current
-  // capacity (solver infeasibility); recorded in SimResult and used to
-  // drive admission control.
-  bool infeasible = false;
-  ControlExplain explain;
-};
-
-// Implemented by the policies in control/policies.h.  Kept here so the
-// simulator does not depend on the solver modules.
-class Controller {
- public:
-  virtual ~Controller() = default;
-  [[nodiscard]] virtual double short_period_s() const = 0;
-  [[nodiscard]] virtual double long_period_s() const = 0;
-  [[nodiscard]] virtual ControlAction on_short_tick(const ControlContext& ctx) = 0;
-  [[nodiscard]] virtual ControlAction on_long_tick(const ControlContext& ctx) = 0;
-  [[nodiscard]] virtual const char* name() const = 0;
-};
+// ControlContext / ControlExplain / ControlAction / Controller moved to
+// cp/controller.h (the transport-agnostic control-plane layer); included
+// above so existing simulator-facing code keeps compiling unchanged.
 
 struct SimulationOptions {
   double t_ref_s = 0.10;

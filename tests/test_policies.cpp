@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "workload/rate_profile.h"
+
 namespace gc {
 namespace {
 

@@ -1,0 +1,233 @@
+// Replay oracle tests (cp/replay.h): a recorded run replayed through a
+// fresh ControlPlane must regenerate the recorded command stream exactly;
+// a perturbed recording must be detected.  This is the in-process version
+// of what ci/check.sh soak does with tools/gcreplay against a real fig8
+// recording.
+#include "cp/replay.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "control/policies.h"
+#include "sim/simulation.h"
+#include "workload/workload.h"
+
+namespace gc {
+namespace {
+
+ClusterConfig config8() {
+  ClusterConfig config;
+  config.max_servers = 8;
+  config.mu_max = 10.0;
+  config.t_ref_s = 0.5;
+  return config;
+}
+
+// Runs a short Combined/DCP simulation with the audit sink attached — the
+// "recording" half of the round trip.
+DecisionAuditLog record_run(double rate = 20.0, double horizon = 2000.0) {
+  const ClusterConfig config = config8();
+  const Provisioner provisioner(config);
+  const auto controller = make_policy(PolicyKind::kCombinedDcp, &provisioner);
+  Workload workload =
+      Workload::poisson_exponential(rate, config.mu_max, horizon, /*seed=*/3);
+  ClusterOptions cluster;
+  cluster.num_servers = config.max_servers;
+  cluster.initial_active = config.max_servers;
+  cluster.dispatch_seed = 11;
+  SimulationOptions sim;
+  sim.t_ref_s = config.t_ref_s;
+  DecisionAuditLog audit;
+  sim.audit = &audit;
+  (void)run_simulation(workload, cluster, *controller, sim);
+  return audit;
+}
+
+// A fresh controller stack configured exactly like the recording's — what
+// gcreplay rebuilds from the bench defaults.
+struct ReplayStack {
+  Provisioner provisioner{config8()};
+  std::unique_ptr<Controller> controller =
+      make_policy(PolicyKind::kCombinedDcp, &provisioner);
+  ControlPlane cp{*controller, ControlPlaneOptions{}, Rng(/*seed=*/1, 14)};
+};
+
+TEST(Replay, RoundTripReplaysCleanly) {
+  const DecisionAuditLog log = record_run();
+  ASSERT_GT(log.size(), 50u);
+  ReplayStack stack;
+  ReplayEngine engine(stack.cp, ReplayOptions{});
+  const ReplayStats stats = engine.run(log);
+  EXPECT_EQ(stats.mismatches, 0u);
+  EXPECT_TRUE(stats.clean());
+  EXPECT_EQ(stats.ticks, log.size());
+  EXPECT_GT(stats.long_ticks, 0u);
+  EXPECT_DOUBLE_EQ(stats.first_mismatch_s, -1.0);
+  EXPECT_GT(stats.replayed_span_s, 0.0);
+}
+
+TEST(Replay, JsonlRoundTripReplaysIdentically) {
+  // The disk path gcreplay takes: serialize, parse back, replay.  The
+  // jsonl round trip is bit-exact, so this must be just as clean.
+  const DecisionAuditLog log = record_run();
+  const DecisionAuditLog reloaded = DecisionAuditLog::from_jsonl(log.to_jsonl());
+  ASSERT_EQ(reloaded.size(), log.size());
+  ReplayStack stack;
+  ReplayEngine engine(stack.cp, ReplayOptions{});
+  EXPECT_TRUE(engine.run(reloaded).clean());
+}
+
+DecisionAuditLog perturb(const DecisionAuditLog& log, std::size_t index) {
+  DecisionAuditLog out;
+  for (std::size_t i = 0; i < log.records().size(); ++i) {
+    AuditRecord rec = log.records()[i];
+    if (i == index) {
+      // Forge the commanded speed: the replayed policy will disagree.
+      rec.speed_set = true;
+      rec.speed = rec.speed * 0.5 + 0.01;
+    }
+    out.append(rec);
+  }
+  return out;
+}
+
+TEST(Replay, PerturbedRecordingIsDetected) {
+  const DecisionAuditLog log = record_run();
+  const std::size_t victim = log.size() / 2;
+  const DecisionAuditLog forged = perturb(log, victim);
+  ReplayStack stack;
+  ReplayEngine engine(stack.cp, ReplayOptions{});
+  const ReplayStats stats = engine.run(forged);
+  EXPECT_FALSE(stats.clean());
+  ASSERT_GE(stats.mismatches, 1u);
+  ASSERT_FALSE(stats.samples.empty());
+  EXPECT_EQ(stats.samples[0].tick, victim);
+  EXPECT_DOUBLE_EQ(stats.first_mismatch_s, log.records()[victim].time_s);
+  // The forged tick is the only divergence; replay stays locked after it.
+  EXPECT_LE(stats.mismatches, 2u);
+}
+
+TEST(Replay, FailFastStopsAtTheFirstDivergence) {
+  const DecisionAuditLog log = record_run();
+  const std::size_t victim = 10;
+  const DecisionAuditLog forged = perturb(log, victim);
+  ReplayStack stack;
+  ReplayOptions options;
+  options.fail_fast = true;
+  ReplayEngine engine(stack.cp, options);
+  const ReplayStats stats = engine.run(forged);
+  EXPECT_EQ(stats.ticks, victim + 1);
+  EXPECT_EQ(stats.mismatches, 1u);
+}
+
+TEST(Replay, VirtualClockPacesSleepsByTheSpeedup) {
+  const DecisionAuditLog log = record_run();
+  ReplayStack stack;
+  ReplayOptions options;
+  options.speedup = 100.0;
+  std::vector<double> sleeps;
+  ReplayEngine engine(stack.cp, options,
+                      [&](double wall_s) { sleeps.push_back(wall_s); });
+  const ReplayStats stats = engine.run(log);
+  ASSERT_TRUE(stats.clean());
+  double total = 0.0;
+  for (const double s : sleeps) {
+    EXPECT_GT(s, 0.0);
+    total += s;
+  }
+  // Slept wall time == recorded span / speedup (records at equal times,
+  // e.g. the t=0 long+short pair, contribute no sleep).
+  EXPECT_NEAR(total, stats.replayed_span_s / options.speedup, 1e-9);
+}
+
+TEST(Replay, FreeRunNeverSleeps) {
+  const DecisionAuditLog log = record_run();
+  ReplayStack stack;
+  std::vector<double> sleeps;
+  ReplayEngine engine(stack.cp, ReplayOptions{},
+                      [&](double wall_s) { sleeps.push_back(wall_s); });
+  (void)engine.run(log);
+  EXPECT_TRUE(sleeps.empty());
+}
+
+TEST(Replay, CountersSnapshotCarriesTheDriftVerdict) {
+  const DecisionAuditLog log = record_run();
+  ReplayStack stack;
+  ReplayEngine engine(stack.cp, ReplayOptions{});
+  (void)engine.run(log);
+  const CountersSnapshot snap = engine.counters_snapshot();
+  EXPECT_EQ(snap.counter_or("cp.drift.mismatches", 99), 0u);
+  EXPECT_EQ(snap.counter_or("cp.drift.ticks", 0), log.size());
+  EXPECT_DOUBLE_EQ(snap.gauge_or("cp.drift.first_mismatch_s", 0.0), -1.0);
+  // The facade's own namespace rides along for gcinspect.
+  EXPECT_EQ(snap.counter_or("cp.ticks", 0), log.size());
+}
+
+TEST(Replay, OptionsValidateRejectsBadSettings) {
+  ReplayStack stack;
+  ReplayOptions nan_speedup;
+  nan_speedup.speedup = std::nan("");
+  EXPECT_THROW(ReplayEngine(stack.cp, nan_speedup), std::invalid_argument);
+  ReplayOptions no_reports;
+  no_reports.max_reported = 0;
+  EXPECT_THROW(ReplayEngine(stack.cp, no_reports), std::invalid_argument);
+}
+
+// -- validate_timeseries ------------------------------------------------------
+
+CsvTable good_table() {
+  CsvTable t;
+  t.header = {"t", "power_w"};
+  t.rows = {{10.0, 100.0}, {20.0, 90.0}, {30.0, 95.0}};
+  return t;
+}
+
+TEST(ValidateTimeseries, AcceptsAWellFormedTable) {
+  EXPECT_NO_THROW(validate_timeseries(good_table()));
+}
+
+TEST(ValidateTimeseries, RejectsMissingTimeColumn) {
+  CsvTable t = good_table();
+  t.header[0] = "time";
+  EXPECT_THROW(validate_timeseries(t), std::runtime_error);
+}
+
+TEST(ValidateTimeseries, RejectsEmptyTable) {
+  CsvTable t = good_table();
+  t.rows.clear();
+  EXPECT_THROW(validate_timeseries(t), std::runtime_error);
+}
+
+TEST(ValidateTimeseries, RejectsNonFiniteCells) {
+  CsvTable t = good_table();
+  t.rows[1][1] = std::nan("");
+  EXPECT_THROW(validate_timeseries(t), std::runtime_error);
+}
+
+TEST(ValidateTimeseries, RejectsTimeWarps) {
+  CsvTable t = good_table();
+  t.rows[2][0] = 15.0;  // goes backwards
+  EXPECT_THROW(validate_timeseries(t), std::runtime_error);
+}
+
+TEST(ValidateTimeseries, RejectsRangeOutsideTheAuditSpan) {
+  DecisionAuditLog audit;
+  AuditRecord a;
+  a.time_s = 12.0;
+  AuditRecord b;
+  b.time_s = 25.0;
+  audit.append(a);
+  audit.append(b);
+  CsvTable t = good_table();  // spans [10, 30] — wider than [12, 25]
+  EXPECT_THROW(validate_timeseries(t, &audit), std::runtime_error);
+  CsvTable inside;
+  inside.header = {"t"};
+  inside.rows = {{13.0}, {24.0}};
+  EXPECT_NO_THROW(validate_timeseries(inside, &audit));
+}
+
+}  // namespace
+}  // namespace gc

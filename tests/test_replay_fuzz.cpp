@@ -1,0 +1,91 @@
+// Malformed-artifact corpus tests for the replay toolchain: every file
+// under tests/corpus/ must make the corresponding loader throw a catchable
+// exception — never clamp, repair, skip, or crash.  This is the same
+// strictness contract tests/test_config_fuzz holds for the config/trace
+// parsers, extended to the artifacts tools/gcreplay consumes.  The CI
+// sanitize lane runs this suite under ASan/UBSan, so a parser walking off
+// a truncated buffer fails loudly here.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cp/replay.h"
+#include "obs/audit.h"
+#include "util/csv.h"
+#include "util/string_util.h"
+
+#ifndef GC_CORPUS_DIR
+#error "tests/CMakeLists.txt must define GC_CORPUS_DIR"
+#endif
+
+namespace gc {
+namespace {
+
+std::vector<std::filesystem::path> corpus_files(const std::string& suffix) {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(GC_CORPUS_DIR)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() > suffix.size() &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(ReplayFuzz, CorpusDirectoryIsPopulated) {
+  // Guards against a renamed directory silently skipping the whole suite.
+  EXPECT_GE(corpus_files(".audit.jsonl").size(), 5u);
+  EXPECT_GE(corpus_files(".timeseries.csv").size(), 5u);
+}
+
+TEST(ReplayFuzz, MalformedAuditLogsThrow) {
+  for (const auto& path : corpus_files(".audit.jsonl")) {
+    EXPECT_THROW((void)DecisionAuditLog::read_jsonl(path), std::runtime_error)
+        << "corpus file parsed without error: " << path;
+  }
+}
+
+TEST(ReplayFuzz, MalformedTimeseriesThrow) {
+  for (const auto& path : corpus_files(".timeseries.csv")) {
+    EXPECT_THROW(
+        {
+          // The full gcreplay loading path: parse the CSV, then validate
+          // its structure.  Either stage may be the one that rejects.
+          const CsvTable table = read_csv_file(path);
+          validate_timeseries(table);
+        },
+        std::runtime_error)
+        << "corpus file validated without error: " << path;
+  }
+}
+
+TEST(ReplayFuzz, TruncationsOfAValidRecordAllThrow) {
+  // Systematic truncation fuzzing on top of the hand-built corpus: every
+  // proper prefix of a valid record line must fail to parse.
+  AuditRecord rec;
+  rec.time_s = 410.0;
+  rec.long_tick = false;
+  rec.speed_set = true;
+  rec.speed = 0.83;
+  DecisionAuditLog log;
+  log.append(rec);
+  const std::string jsonl = log.to_jsonl();
+  const std::string line{trim(jsonl)};
+  ASSERT_GT(line.size(), 10u);
+  for (std::size_t cut = 1; cut + 1 < line.size(); ++cut) {
+    EXPECT_THROW((void)DecisionAuditLog::from_jsonl(line.substr(0, cut)),
+                 std::runtime_error)
+        << "prefix of length " << cut << " parsed without error";
+  }
+}
+
+}  // namespace
+}  // namespace gc

@@ -1,0 +1,308 @@
+// Wire-protocol tests (cp/wire.h): codec round trips under arbitrary
+// chunking, strict rejection of malformed frames (the corpus style of
+// tests/test_config_fuzz), decoder poisoning, and the socketpair-driven
+// serve loop — driver (c)'s proof that the ControlPlane is genuinely
+// transport-agnostic.
+#include "cp/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "cp/control_plane.h"
+
+namespace gc {
+namespace {
+
+class ScriptedController final : public Controller {
+ public:
+  ControlAction next;
+  [[nodiscard]] double short_period_s() const override { return 10.0; }
+  [[nodiscard]] double long_period_s() const override { return 60.0; }
+  [[nodiscard]] ControlAction on_short_tick(const ControlContext&) override {
+    return next;
+  }
+  [[nodiscard]] ControlAction on_long_tick(const ControlContext&) override {
+    return next;
+  }
+  [[nodiscard]] const char* name() const override { return "scripted"; }
+};
+
+TelemetryFrame sample_telemetry() {
+  TelemetryFrame f;
+  f.sample_time = 123.5;
+  f.rate = 17.25;
+  f.serving = 4;
+  f.committed = 5;
+  f.powered = 6;
+  f.available = 7;
+  f.jobs_in_system = 42;
+  return f;
+}
+
+std::string all_frames() {
+  std::string buf;
+  append_telemetry_frame(buf, sample_telemetry());
+  append_tick_frame(buf, TickMsg{250.0, true, false});
+  append_command_frame(buf, CommandFrame{CommandKind::kSpeed, 0.875, 9, 2});
+  append_ack_frame(buf, AckWireMsg{251.0, CommandKind::kSpeed, 9});
+  return buf;
+}
+
+void expect_all_frames(FrameDecoder& decoder) {
+  const auto t = decoder.next();
+  ASSERT_TRUE(t.has_value());
+  ASSERT_EQ(t->type, WireMsgType::kTelemetry);
+  EXPECT_DOUBLE_EQ(t->telemetry.sample_time, 123.5);
+  EXPECT_DOUBLE_EQ(t->telemetry.rate, 17.25);
+  EXPECT_EQ(t->telemetry.serving, 4u);
+  EXPECT_EQ(t->telemetry.committed, 5u);
+  EXPECT_EQ(t->telemetry.powered, 6u);
+  EXPECT_EQ(t->telemetry.available, 7u);
+  EXPECT_EQ(t->telemetry.jobs_in_system, 42u);
+
+  const auto k = decoder.next();
+  ASSERT_TRUE(k.has_value());
+  ASSERT_EQ(k->type, WireMsgType::kTick);
+  EXPECT_DOUBLE_EQ(k->tick.now, 250.0);
+  EXPECT_TRUE(k->tick.long_tick);
+  EXPECT_FALSE(k->tick.safe_mode);
+
+  const auto c = decoder.next();
+  ASSERT_TRUE(c.has_value());
+  ASSERT_EQ(c->type, WireMsgType::kCommand);
+  EXPECT_EQ(c->command.kind, CommandKind::kSpeed);
+  EXPECT_DOUBLE_EQ(c->command.value, 0.875);
+  EXPECT_EQ(c->command.gen, 9u);
+  EXPECT_EQ(c->command.era, 2u);
+
+  const auto a = decoder.next();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_EQ(a->type, WireMsgType::kAck);
+  EXPECT_DOUBLE_EQ(a->ack.now, 251.0);
+  EXPECT_EQ(a->ack.kind, CommandKind::kSpeed);
+  EXPECT_EQ(a->ack.gen, 9u);
+
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(Wire, RoundTripsEveryMessageType) {
+  FrameDecoder decoder;
+  decoder.feed(all_frames());
+  expect_all_frames(decoder);
+}
+
+TEST(Wire, DecodesUnderByteAtATimeChunking) {
+  const std::string buf = all_frames();
+  FrameDecoder decoder;
+  std::vector<WireMessage> out;
+  for (const char byte : buf) {
+    decoder.feed(&byte, 1);
+    while (const auto msg = decoder.next()) out.push_back(*msg);
+  }
+  EXPECT_EQ(out.size(), 4u);
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(Wire, PartialFrameYieldsNothingUntilCompleted) {
+  const std::string buf = all_frames();
+  FrameDecoder decoder;
+  decoder.feed(buf.data(), 10);  // length prefix + a few payload bytes
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_GT(decoder.buffered(), 0u);
+  decoder.feed(buf.data() + 10, buf.size() - 10);
+  expect_all_frames(decoder);
+}
+
+// -- Malformed-input corpus ---------------------------------------------------
+
+std::string u32le(std::uint32_t v) {
+  std::string s;
+  for (int i = 0; i < 4; ++i) s.push_back(static_cast<char>(v >> (8 * i)));
+  return s;
+}
+
+TEST(Wire, RejectsZeroLengthFrame) {
+  FrameDecoder decoder;
+  decoder.feed(u32le(0));
+  EXPECT_THROW((void)decoder.next(), WireError);
+}
+
+TEST(Wire, RejectsOversizedFrame) {
+  FrameDecoder decoder;
+  decoder.feed(u32le(kMaxFrameBytes + 1));
+  EXPECT_THROW((void)decoder.next(), WireError);
+}
+
+TEST(Wire, RejectsUnknownMessageType) {
+  std::string buf = u32le(2);
+  buf.push_back(static_cast<char>(0x7f));  // no such type
+  buf.push_back('\0');
+  FrameDecoder decoder;
+  decoder.feed(buf);
+  EXPECT_THROW((void)decoder.next(), WireError);
+}
+
+TEST(Wire, RejectsLengthMismatchForTheType) {
+  // A tick frame claiming a telemetry-sized payload.
+  std::string buf = u32le(41);
+  buf.push_back(static_cast<char>(WireMsgType::kTick));
+  buf.append(40, '\0');
+  FrameDecoder decoder;
+  decoder.feed(buf);
+  EXPECT_THROW((void)decoder.next(), WireError);
+}
+
+TEST(Wire, RejectsNonFiniteDoubles) {
+  TelemetryFrame f = sample_telemetry();
+  f.sample_time = std::numeric_limits<double>::quiet_NaN();
+  std::string buf;
+  append_telemetry_frame(buf, f);
+  FrameDecoder decoder;
+  decoder.feed(buf);
+  EXPECT_THROW((void)decoder.next(), WireError);
+}
+
+TEST(Wire, RejectsNegativeTelemetryRate) {
+  TelemetryFrame f = sample_telemetry();
+  f.rate = -1.0;
+  std::string buf;
+  append_telemetry_frame(buf, f);
+  FrameDecoder decoder;
+  decoder.feed(buf);
+  EXPECT_THROW((void)decoder.next(), WireError);
+}
+
+TEST(Wire, RejectsNonBooleanFlagByte) {
+  std::string buf;
+  append_tick_frame(buf, TickMsg{10.0, false, false});
+  buf[buf.size() - 2] = 2;  // long_tick byte
+  FrameDecoder decoder;
+  decoder.feed(buf);
+  EXPECT_THROW((void)decoder.next(), WireError);
+}
+
+TEST(Wire, RejectsOutOfRangeCommandKind) {
+  std::string buf;
+  append_command_frame(buf, CommandFrame{CommandKind::kTarget, 1.0, 1, 0});
+  buf[5] = 7;  // kind byte, first payload byte after [len][type]
+  FrameDecoder decoder;
+  decoder.feed(buf);
+  EXPECT_THROW((void)decoder.next(), WireError);
+}
+
+TEST(Wire, PoisonedDecoderRefusesFurtherUse) {
+  FrameDecoder decoder;
+  decoder.feed(u32le(0));
+  EXPECT_THROW((void)decoder.next(), WireError);
+  EXPECT_TRUE(decoder.poisoned());
+  EXPECT_THROW((void)decoder.next(), WireError);
+  EXPECT_THROW(decoder.feed("x", 1), WireError);
+}
+
+// -- The socketpair feed ------------------------------------------------------
+
+struct SocketPair {
+  int fds[2] = {-1, -1};
+  SocketPair() { EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0); }
+  ~SocketPair() {
+    if (fds[0] >= 0) ::close(fds[0]);
+    if (fds[1] >= 0) ::close(fds[1]);
+  }
+  // Half-close: signals EOF to the serve loop while keeping our end open
+  // to read the command frames it writes back (a full close would raise
+  // SIGPIPE on the server's replies).
+  void close_peer() { ::shutdown(fds[1], SHUT_WR); }
+  void send(const std::string& buf) {
+    ASSERT_EQ(::write(fds[1], buf.data(), buf.size()),
+              static_cast<ssize_t>(buf.size()));
+  }
+};
+
+TEST(WireServe, DrivesTheControlPlaneOverASocket) {
+  ScriptedController controller;
+  controller.next.active_target = 3;
+  controller.next.speed = 0.5;
+  ControlPlane cp(controller, ControlPlaneOptions{}, Rng(7, 14));
+
+  SocketPair pair;
+  std::string buf;
+  append_telemetry_frame(buf, sample_telemetry());
+  append_tick_frame(buf, TickMsg{130.0, true, false});
+  pair.send(buf);
+  pair.close_peer();
+
+  const WireServeStats stats = serve_connection(cp, pair.fds[0]);
+  EXPECT_EQ(stats.telemetry, 1u);
+  EXPECT_EQ(stats.ticks, 1u);
+  EXPECT_EQ(stats.commands_sent, 2u);
+  EXPECT_EQ(cp.telemetry_accepted(), 1u);
+  EXPECT_EQ(cp.ticks(), 1u);
+
+  // The decision's command frames came back over the same stream.
+  char reply[256];
+  const ssize_t n = ::read(pair.fds[1], reply, sizeof reply);
+  ASSERT_GT(n, 0);
+  FrameDecoder decoder;
+  decoder.feed(reply, static_cast<std::size_t>(n));
+  const auto target = decoder.next();
+  ASSERT_TRUE(target.has_value());
+  EXPECT_EQ(target->command.kind, CommandKind::kTarget);
+  EXPECT_DOUBLE_EQ(target->command.value, 3.0);
+  const auto speed = decoder.next();
+  ASSERT_TRUE(speed.has_value());
+  EXPECT_EQ(speed->command.kind, CommandKind::kSpeed);
+  EXPECT_DOUBLE_EQ(speed->command.value, 0.5);
+}
+
+TEST(WireServe, ForwardsAcksToTheActuator) {
+  ScriptedController controller;
+  controller.next.active_target = 2;
+  ControlPlaneOptions options;
+  options.actuator.enabled = true;
+  options.actuator.ack_timeout_s = 5.0;
+  ControlPlane cp(controller, options, Rng(7, 14));
+
+  SocketPair pair;
+  std::string buf;
+  append_tick_frame(buf, TickMsg{0.0, false, false});
+  append_ack_frame(buf, AckWireMsg{1.0, CommandKind::kTarget, 1});
+  pair.send(buf);
+  pair.close_peer();
+  const WireServeStats stats = serve_connection(cp, pair.fds[0]);
+  EXPECT_EQ(stats.acks, 1u);
+  const ControlContext ctx = cp.make_context(2.0, false);
+  ASSERT_TRUE(ctx.acked_target.has_value());
+  EXPECT_EQ(*ctx.acked_target, 2u);
+}
+
+TEST(WireServe, RejectsInboundCommandFrames) {
+  ScriptedController controller;
+  ControlPlane cp(controller, ControlPlaneOptions{}, Rng(7, 14));
+  SocketPair pair;
+  std::string buf;
+  append_command_frame(buf, CommandFrame{CommandKind::kTarget, 1.0, 1, 0});
+  pair.send(buf);
+  pair.close_peer();
+  EXPECT_THROW(serve_connection(cp, pair.fds[0]), WireError);
+}
+
+TEST(WireServe, MidFrameEofIsAnError) {
+  ScriptedController controller;
+  ControlPlane cp(controller, ControlPlaneOptions{}, Rng(7, 14));
+  SocketPair pair;
+  std::string buf;
+  append_telemetry_frame(buf, sample_telemetry());
+  pair.send(buf.substr(0, 12));  // cut inside the payload
+  pair.close_peer();
+  EXPECT_THROW(serve_connection(cp, pair.fds[0]), WireError);
+}
+
+}  // namespace
+}  // namespace gc

@@ -1,0 +1,239 @@
+// gcreplay — replays a recorded control trajectory through a fresh
+// ControlPlane and reports drift (DESIGN.md §12.3).
+//
+// A run written with --trace-out=PREFIX leaves PREFIX.audit.jsonl: one
+// record per control tick holding the delivered telemetry the tick planned
+// on and the commands the policy emitted.  This tool rebuilds the same
+// policy stack out of process, streams the recorded telemetry back in at
+// --speedup× recorded time, and asserts the regenerated command stream
+// matches the recording tick for tick.  Any mismatch is controller drift —
+// a changed default, a lost invariant, an accidental RNG draw.
+//
+//   gcreplay PREFIX                         free-run replay, report drift
+//   gcreplay PREFIX --speedup=1000          paced by the virtual clock
+//   gcreplay PREFIX --fail-fast             stop at the first divergence
+//   gcreplay PREFIX --out=OUT               write OUT.counters.json / OUT.prom
+//   gcreplay PREFIX --serve=SOCK            also serve the wire protocol on a
+//                                           UNIX socket (one connection)
+//
+// --policy picks the controller stack (default combined-dcp with the bench
+// defaults — the configuration every fig8 recording uses).  Exit codes:
+// 0 clean replay, 1 drift detected, 2 bad usage or corrupt artifacts.
+// Malformed artifacts (audit jsonl or timeseries csv) are rejected with an
+// error, never clamped or skipped.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "control/policies.h"
+#include "cp/replay.h"
+#include "cp/wire.h"
+#include "exp/scenario.h"
+#include "obs/audit.h"
+#include "obs/prometheus.h"
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/format.h"
+
+namespace {
+
+void usage() {
+  std::cerr
+      << "usage: gcreplay PREFIX [--policy=KIND] [--speedup=X] [--fail-fast]\n"
+         "                [--max-reported=N] [--out=OUT] [--serve=SOCKPATH]\n"
+         "       replays PREFIX.audit.jsonl through a fresh control plane\n"
+         "       and validates PREFIX.timeseries.csv when present\n"
+         "       exit 0 = clean, 1 = drift, 2 = error\n";
+}
+
+std::optional<gc::PolicyKind> parse_policy(const std::string& name) {
+  for (int k = 0; k <= static_cast<int>(gc::PolicyKind::kDcpReliability); ++k) {
+    const auto kind = static_cast<gc::PolicyKind>(k);
+    if (name == gc::to_string(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+// Accepts one connection on a fresh UNIX socket and runs the wire protocol
+// over it — driver (c), proving the facade never cared who feeds it.
+gc::WireServeStats serve_once(gc::ControlPlane& cp, const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    throw std::runtime_error("serve: socket path too long");
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  ::unlink(path.c_str());
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    throw std::runtime_error(gc::format("serve: socket: {}", std::strerror(errno)));
+  }
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(listener, 1) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listener);
+    throw std::runtime_error(gc::format("serve: bind/listen {}: {}", path, why));
+  }
+  std::cerr << "gcreplay: serving wire protocol on " << path << "\n";
+  const int conn = ::accept(listener, nullptr, nullptr);
+  if (conn < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listener);
+    throw std::runtime_error(gc::format("serve: accept: {}", why));
+  }
+  try {
+    const gc::WireServeStats stats = gc::serve_connection(cp, conn);
+    ::close(conn);
+    ::close(listener);
+    ::unlink(path.c_str());
+    return stats;
+  } catch (...) {
+    ::close(conn);
+    ::close(listener);
+    ::unlink(path.c_str());
+    throw;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const gc::CliArgs args(argc, argv);
+    for (const std::string& flag : args.unknown_flags(
+             {"policy", "speedup", "fail-fast", "max-reported", "out", "serve",
+              "help"})) {
+      std::cerr << "gcreplay: unknown flag --" << flag << "\n";
+      usage();
+      return 2;
+    }
+    if (args.has("help") || args.positional().size() != 1) {
+      usage();
+      return args.has("help") ? 0 : 2;
+    }
+    const std::string prefix = args.positional()[0];
+
+    const std::string policy_name = args.get_or("policy", "combined-dcp");
+    const auto kind = parse_policy(policy_name);
+    if (!kind) {
+      std::cerr << "gcreplay: unknown policy '" << policy_name << "'\n";
+      return 2;
+    }
+    if (*kind == gc::PolicyKind::kOracle) {
+      std::cerr << "gcreplay: the oracle policy needs the ground-truth "
+                   "profile and cannot be replayed out of process\n";
+      return 2;
+    }
+
+    // The recording's policy stack, rebuilt from the bench defaults — the
+    // same configuration every figure bench (and the soak recording) runs.
+    const gc::ClusterConfig config = gc::bench_cluster_config();
+    const gc::Provisioner solver(config);
+    gc::PolicyOptions popts;
+    popts.dcp = gc::bench_dcp_params();
+    auto controller = gc::make_policy(*kind, &solver, popts);
+
+    // The actuator protocol stays off: audit records compare at the policy
+    // boundary, before ack/retry stamping.  The RNG is therefore never
+    // drawn; any fixed seed gives the same replay.
+    gc::ControlPlaneOptions cp_options;
+    gc::ControlPlane cp(std::move(controller), cp_options,
+                        gc::Rng(/*seed=*/1, /*stream=*/14));
+
+    const auto audit_path = std::filesystem::path(prefix + ".audit.jsonl");
+    if (!std::filesystem::exists(audit_path)) {
+      std::cerr << "gcreplay: no such artifact " << audit_path.string() << "\n";
+      return 2;
+    }
+    const gc::DecisionAuditLog log = gc::DecisionAuditLog::read_jsonl(audit_path);
+    if (log.empty()) {
+      std::cerr << "gcreplay: " << audit_path.string() << " holds no records\n";
+      return 2;
+    }
+
+    // Structural validation of the companion time series, when recorded.
+    const auto ts_path = std::filesystem::path(prefix + ".timeseries.csv");
+    if (std::filesystem::exists(ts_path)) {
+      gc::validate_timeseries(gc::read_csv_file(ts_path), &log);
+      std::cerr << "gcreplay: " << ts_path.string() << " validated\n";
+    }
+
+    gc::ReplayOptions replay_options;
+    replay_options.speedup = args.get_double_or("speedup", 0.0);
+    replay_options.fail_fast = args.has("fail-fast");
+    replay_options.max_reported = static_cast<std::size_t>(
+        std::max(args.get_int_or("max-reported", 8), 1ll));
+
+    gc::ReplayEngine engine(cp, replay_options);
+    const gc::ReplayStats stats = engine.run(log);
+
+    std::cout << gc::format(
+        "replayed {} ticks ({} long) spanning {:.0f} s of recorded time "
+        "[policy {}, speedup {}]\n",
+        stats.ticks, stats.long_ticks, stats.replayed_span_s,
+        gc::to_string(*kind), replay_options.speedup);
+    if (stats.clean()) {
+      std::cout << "command stream matches the recording: no drift\n";
+    } else {
+      std::cout << gc::format("DRIFT: {} mismatches, first at t={:.0f} s\n",
+                              stats.mismatches, stats.first_mismatch_s);
+      for (const gc::ReplayMismatch& m : stats.samples) {
+        std::cout << gc::format(
+            "  tick {} t={:.0f}: {} recorded {:.17g}, replayed {:.17g}\n",
+            m.tick, m.time_s, m.field, m.expected, m.actual);
+      }
+    }
+
+    // The drift verdict rides the cp.* snapshot so `gcinspect OUT --check
+    // 'cp.drift.mismatches<=0'` gates it like any other run metric.
+    if (const auto out = args.get("out")) {
+      if (out->empty()) {
+        std::cerr << "gcreplay: --out needs a file prefix\n";
+        return 2;
+      }
+      const gc::CountersSnapshot snap = engine.counters_snapshot();
+      {
+        std::ofstream f(*out + ".counters.json");
+        f << snap.to_json() << '\n';
+        if (!f) {
+          std::cerr << "gcreplay: cannot write " << *out << ".counters.json\n";
+          return 2;
+        }
+      }
+      {
+        std::ofstream f(*out + ".prom");
+        f << gc::to_prometheus_text(snap);
+        if (!f) {
+          std::cerr << "gcreplay: cannot write " << *out << ".prom\n";
+          return 2;
+        }
+      }
+      std::cerr << "gcreplay: wrote " << *out << ".{counters.json,prom}\n";
+    }
+
+    if (const auto sock = args.get("serve")) {
+      if (sock->empty()) {
+        std::cerr << "gcreplay: --serve needs a socket path\n";
+        return 2;
+      }
+      const gc::WireServeStats ws = serve_once(cp, *sock);
+      std::cout << gc::format(
+          "served {} telemetry / {} ticks / {} acks, sent {} commands\n",
+          ws.telemetry, ws.ticks, ws.acks, ws.commands_sent);
+    }
+
+    return stats.clean() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "gcreplay: " << e.what() << "\n";
+    return 2;
+  }
+}
