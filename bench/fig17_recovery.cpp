@@ -1,0 +1,120 @@
+// F17 — Crash recovery of the controller process (extension; not in the
+// paper): a 30-minute controller outage lands across the flash-crowd
+// morning ramp, and the controller comes back in one of three ways
+// (ControllerRecoveryMode, sim/control_channel.h):
+//
+//   preserve — the process paused, its memory survived (historical model);
+//   warm     — the process crashed and restarts from durable state: the
+//              facade is serialized (cp/snapshot.h), torn down, rebuilt
+//              and restored at the recovery instant;
+//   cold     — the process crashed and its durable state is *lost*: it
+//              restarts from the pristine t = 0 image and re-learns the
+//              operating point from scratch.
+//
+// Expected shape: warm is indistinguishable from preserve — the snapshot
+// bit-identity contract says restore(snapshot()) is a state transplant,
+// and this bench *asserts* the two runs match to the last bit (exit 1
+// otherwise).  Cold pays for amnesia: the restored boot observation is
+// hours stale, the estimator restarts flat and the predictor history is
+// gone, so the first post-recovery plans chase the ramp from behind —
+// extra violations and/or an energy premium relative to warm, bounded by
+// the watchdog's safe-mode floor underneath.
+#include <cstring>
+#include <iostream>
+
+#include "exp/runner.h"
+#include "exp/scenario.h"
+#include "trace_out.h"
+#include "util/cli.h"
+#include "util/format.h"
+#include "util/table.h"
+
+namespace {
+
+// Bitwise equality — NaN-free by construction, and "close" is not the
+// claim here, identity is.
+bool same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const gc::CliArgs args(argc, argv);
+  gcbench::TraceOut trace_out(args);
+
+  const gc::ClusterConfig config = gc::bench_cluster_config();
+  const gc::DcpParams dcp = gc::bench_dcp_params();
+  // The ramp is where lost controller memory hurts: the pre-crash state
+  // (EWMA level, predictor history, acked actuation points) encodes where
+  // the day is heading.
+  const gc::Scenario scenario =
+      gc::make_scenario(gc::ScenarioKind::kFlashCrowd, config, 0.8);
+
+  const gc::ControllerRecoveryMode modes[3] = {
+      gc::ControllerRecoveryMode::kPreserve,
+      gc::ControllerRecoveryMode::kWarmRestart,
+      gc::ControllerRecoveryMode::kColdRestart,
+  };
+  const char* mode_names[3] = {"preserve", "warm", "cold"};
+
+  gc::TablePrinter table(
+      "Fig 17: 30-min controller crash on the ramp — recovery modes");
+  table.column("recovery")
+      .column("energy", {.precision = 3, .unit = "kWh"})
+      .column("mean T", {.precision = 1, .unit = "ms"})
+      .column("p95 T", {.precision = 1, .unit = "ms"})
+      .column("viol", {.precision = 2, .unit = "% jobs"})
+      .column("missed", {.precision = 0, .unit = "ticks"})
+      .column("safe", {.precision = 0, .unit = "s"})
+      .column("SLA");
+
+  gc::SimResult results[3];
+  for (int i = 0; i < 3; ++i) {
+    gc::RunSpec spec;
+    spec.config = config;
+    spec.policy = gc::PolicyKind::kCombinedDcp;
+    spec.policy_options.dcp = dcp;
+    spec.seed = 7;
+    // Generation-stamped command path + ack/retry on, zero loss: recovery
+    // semantics are the only variable across the three rows.
+    spec.sim.channel.enabled = true;
+    spec.sim.channel.seed = 0xf17cULL;
+    spec.sim.actuator.enabled = true;
+    spec.sim.actuator.ack_timeout_s = 5.0;
+    spec.sim.controller_faults.script = {
+        {scenario.horizon_s * 0.25, /*duration_s=*/1800.0}};
+    spec.sim.controller_faults.recovery = modes[i];
+    if (i == 2) trace_out.attach(spec.sim);
+    results[i] = gc::run_one(scenario, spec);
+    table.row()
+        .cell(mode_names[i])
+        .cell(results[i].energy.total_j() / 3.6e6)
+        .cell(results[i].mean_response_s * 1e3)
+        .cell(results[i].p95_response_s * 1e3)
+        .cell(results[i].job_violation_ratio * 100.0)
+        .cell(static_cast<long long>(results[i].ticks_missed))
+        .cell(results[i].safe_mode_time_s)
+        .cell(results[i].sla_met(config.t_ref_s) ? "yes" : "NO");
+  }
+  std::cout << table;
+  trace_out.write(results[2]);
+
+  // The oracle: a warm restart must be a bit-identical state transplant.
+  const bool identical =
+      same_bits(results[0].energy.total_j(), results[1].energy.total_j()) &&
+      same_bits(results[0].mean_response_s, results[1].mean_response_s) &&
+      same_bits(results[0].p95_response_s, results[1].p95_response_s) &&
+      same_bits(results[0].job_violation_ratio,
+                results[1].job_violation_ratio) &&
+      results[0].ticks_missed == results[1].ticks_missed;
+  std::cout << gc::format(
+      "\nwarm restart vs preserve: {}\n",
+      identical ? "bit-identical (snapshot transplant holds)"
+                : "DIVERGED — snapshot round trip is lossy");
+  std::cout << gc::format(
+      "cold restart premium vs warm: {:+.2f}% energy, {:+.2f} pp violations\n",
+      (results[2].energy.total_j() / results[1].energy.total_j() - 1.0) * 100.0,
+      (results[2].job_violation_ratio - results[1].job_violation_ratio) * 100.0);
+  return identical ? 0 : 1;
+}

@@ -12,6 +12,10 @@
 // replays at K=4 to drive the parallel barrier loop under race detection.
 // Note the sharded engine is a distinct model (round-robin trace dispatch;
 // DESIGN.md §11.1), so its numbers differ slightly from the sequential run.
+//
+// --days=N (default 3) stretches the synthesized trace to N compressed
+// days.  The CI soak lane records a longer horizon here and replays it
+// through gcreplay with a mid-recording kill/restore (EXPERIMENTS.md F17).
 #include <algorithm>
 #include <iostream>
 
@@ -31,11 +35,13 @@ int main(int argc, char** argv) {
 
   const gc::ClusterConfig config = gc::bench_cluster_config();
   const double day_s = 2400.0;
+  const double days =
+      static_cast<double>(std::max(args.get_int_or("days", 3), 1ll));
 
   // Synthesize the trace once; both policies replay the same arrivals.
   const auto profile = gc::make_wc98_like_profile(
-      0.7 * config.max_feasible_arrival_rate(), /*days=*/3.0, /*seed=*/13, day_s);
-  const gc::Trace trace = gc::Trace::from_profile(*profile, 3.0 * day_s, /*seed=*/13);
+      0.7 * config.max_feasible_arrival_rate(), days, /*seed=*/13, day_s);
+  const gc::Trace trace = gc::Trace::from_profile(*profile, days * day_s, /*seed=*/13);
 
   const gc::Provisioner solver(config);
   gc::PolicyOptions popts;
@@ -76,8 +82,9 @@ int main(int argc, char** argv) {
   }
   trace_out.write(results[1]);
 
-  gc::TablePrinter table(
-      "Fig 8: WC98-like trace replay (3 compressed days), power over time");
+  gc::TablePrinter table(gc::format(
+      "Fig 8: WC98-like trace replay ({:.0f} compressed days), power over time",
+      days));
   table.column("t", {.precision = 0, .unit = "s"})
       .column("lambda", {.precision = 1, .unit = "jobs/s"})
       .column("dvfs P", {.precision = 0, .unit = "W"})

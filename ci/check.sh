@@ -12,10 +12,15 @@
 # The lint mode runs the cheap static checks (clang-format via
 # ci/format.sh --check, clang-tidy when installed, plus a
 # tracing-compiled-out configure) without running the suite.
-# The soak mode replays a recorded "datacenter day" (the fig8 trace replay)
-# through tools/gcreplay at 1000x and gates zero command-stream drift via
-# gcinspect; the coverage mode builds with GC_COVERAGE=ON and fails if
-# src/cp/ line coverage drops below 90%.
+# The soak mode records a multi-day fig8 trace, replays it through
+# tools/gcreplay at 1000x — including a kill at the midpoint tick and a
+# checkpoint+WAL restore — and gates zero command-stream drift via
+# gcinspect; the chaos mode drives the wire serve loop through seeded
+# fault schedules (drops, duplicates, reordering, corruption, mid-frame
+# truncation, kill/restore) and gates the same drift oracle, plus a
+# forged-snapshot negative test that must fail to load; the coverage mode
+# builds with GC_COVERAGE=ON and fails if src/cp/ line coverage drops
+# below 90%.
 # Usage:
 #
 #   ci/check.sh            # every build configuration
@@ -23,7 +28,8 @@
 #   ci/check.sh sanitize   # ASan/UBSan suite + TSan sharded lane
 #   ci/check.sh tsan       # TSan sharded lane only
 #   ci/check.sh lint       # format check + GC_TRACING=OFF configure/build
-#   ci/check.sh soak       # gcreplay drift oracle over a recorded day
+#   ci/check.sh soak       # gcreplay drift oracle, multi-day + kill/restore
+#   ci/check.sh chaos      # wire-fault schedules through the drift oracle
 #   ci/check.sh coverage   # gcov lane, gates src/cp/ line coverage >= 90%
 set -euo pipefail
 
@@ -259,12 +265,15 @@ lint() {
        -R "Obs|MetricRegistry|CountersSnapshot|TraceCollector|TraceHelpers|DecisionAuditLog")
 }
 
-# The soak lane (DESIGN.md §12.3): record one compressed "datacenter day"
-# (the fig8 WC98-like trace replay, fixed seeds) with the observability
+# The soak lane (DESIGN.md §12.3 + §13): record a multi-day "datacenter"
+# trace (the fig8 WC98-like replay, fixed seeds) with the observability
 # sinks attached, then stream the recording through tools/gcreplay at
-# 1000x virtual time and gate on *zero* command-stream drift.  A forged
-# copy of the recording must conversely FAIL the replay — proving the
-# oracle can actually see drift, not just that drift is absent.
+# 1000x virtual time and gate on *zero* command-stream drift — once
+# uninterrupted, and once with the controller killed at the midpoint tick
+# and restored from its checkpoint + WAL (the crash must be invisible in
+# the drift counters).  A forged copy of the recording must conversely
+# FAIL the replay — proving the oracle can actually see drift, not just
+# that drift is absent.
 soak_lane() {
   require_jq
   local dir="build-ci-soak"
@@ -275,14 +284,29 @@ soak_lane() {
   cmake --build "${dir}" -j "${JOBS}" \
         --target fig8_trace_replay gcreplay gcinspect
   local prefix="${dir}/soak"
-  echo "==> [soak] record the datacenter day (fig8 trace replay)"
-  "${dir}/bench/fig8_trace_replay" --trace-out="${prefix}" \
+  echo "==> [soak] record four compressed days (fig8 trace replay)"
+  "${dir}/bench/fig8_trace_replay" --days=4 --trace-out="${prefix}" \
       --timeseries-out="${prefix}" >/dev/null
   echo "==> [soak] gcreplay at 1000x"
   "${dir}/tools/gcreplay" "${prefix}" --speedup=1000 --out="${dir}/replay"
   echo "==> [soak] drift gate (gcinspect)"
   "${dir}/tools/gcinspect" "${dir}/replay" --check \
-      'cp.drift.mismatches<=0,cp.drift.ticks>=1000,cp.drift.replayed_span_s>=7000'
+      'cp.drift.mismatches<=0,cp.drift.ticks>=2000,cp.drift.replayed_span_s>=9000'
+  # Kill the replay halfway through the recording, then resume from the
+  # persisted snapshot + WAL: the spliced run must stay drift-free too.
+  local ticks mid
+  ticks="$(jq -s 'length' "${prefix}.audit.jsonl")"
+  mid=$(( ticks / 2 ))
+  echo "==> [soak] kill at tick ${mid} of ${ticks}, restore, replay the rest"
+  "${dir}/tools/gcreplay" "${prefix}" --speedup=1000 \
+      --state="${dir}/soak-state" --kill-at-tick="${mid}" >/dev/null
+  [ -s "${dir}/soak-state.snap" ] \
+    || { echo "soak: kill left no snapshot behind" >&2; exit 1; }
+  "${dir}/tools/gcreplay" "${prefix}" --speedup=1000 \
+      --state="${dir}/soak-state" --restore --out="${dir}/replay-restored"
+  echo "==> [soak] drift gate after kill/restore (gcinspect)"
+  "${dir}/tools/gcinspect" "${dir}/replay-restored" --check \
+      "cp.drift.mismatches<=0,cp.drift.ticks>=$(( ticks - mid - 10 ))"
   echo "==> [soak] forged recording must fail the oracle"
   jq -c 'if .t >= 4000 and .t < 4200 and .speed_set
          then .speed = 0.123456 else . end' \
@@ -293,6 +317,62 @@ soak_lane() {
   "${dir}/tools/gcreplay" "${dir}/forged" >/dev/null 2>&1 || rc=$?
   [ "${rc}" -eq 1 ] \
     || { echo "soak: forged replay exited ${rc}, expected drift exit 1" >&2; exit 1; }
+}
+
+# The chaos lane (DESIGN.md §13.4): replay the recorded day through the
+# *wire* serve loop while a seeded schedule injects transport faults —
+# drops, duplicates, reordering, corrupt bytes, mid-frame truncation and
+# full kill/restore cycles — and gate zero command-stream drift against
+# the clean in-process oracle.  Schedules run against a clean recording
+# and again with a lossier mix; a forged (bit-flipped) snapshot must then
+# fail to restore — the crash-recovery analogue of the soak lane's forged
+# recording.
+chaos_lane() {
+  require_jq
+  local dir="build-ci-chaos"
+  echo "==> [chaos] configure"
+  cmake -B "${dir}" -S . -DGC_WERROR=ON -DGC_BUILD_EXAMPLES=OFF \
+        -DGC_BUILD_TESTS=OFF >/dev/null
+  echo "==> [chaos] build"
+  cmake --build "${dir}" -j "${JOBS}" \
+        --target fig8_trace_replay gcreplay gcinspect
+  local prefix="${dir}/chaos"
+  echo "==> [chaos] record the datacenter day (fig8 trace replay)"
+  "${dir}/bench/fig8_trace_replay" --trace-out="${prefix}" \
+      --timeseries-out="${prefix}" >/dev/null
+  # Schedules x {clean, lossy}: the clean schedule proves the harness
+  # itself introduces no drift; the lossy mixes layer every fault type,
+  # including back-to-back kills landing on and off checkpoint boundaries.
+  local schedule
+  for schedule in \
+      "" \
+      "corrupt@40,truncate@90,kill@140,dup@200,reorder@260,drop@320" \
+      "kill@64,kill@66,corrupt@128,kill@129,truncate@400,kill@2200,dup@2300,drop@3000"; do
+    echo "==> [chaos] schedule '${schedule:-<clean>}'"
+    "${dir}/tools/gcreplay" "${prefix}" --chaos="${schedule}" \
+        --out="${dir}/chaos-out"
+    "${dir}/tools/gcinspect" "${dir}/chaos-out" --check \
+        'cp.drift.mismatches<=0,cp.chaos.inputs>=3000'
+  done
+  echo "==> [chaos] forged snapshot must fail to restore"
+  local ticks mid
+  ticks="$(jq -s 'length' "${prefix}.audit.jsonl")"
+  mid=$(( ticks / 2 ))
+  "${dir}/tools/gcreplay" "${prefix}" --state="${dir}/chaos-state" \
+      --kill-at-tick="${mid}" >/dev/null
+  local snap="${dir}/chaos-state.snap"
+  [ -s "${snap}" ] || { echo "chaos: kill left no snapshot behind" >&2; exit 1; }
+  # Flip one payload byte (offset 100 sits past the 16-byte envelope
+  # header): the CRC trailer must reject the image outright.
+  local byte
+  byte="$(od -An -tu1 -j 100 -N 1 "${snap}" | tr -dc '0-9')"
+  printf "$(printf '\\%03o' $(( (byte + 1) % 256 )))" \
+    | dd of="${snap}" bs=1 seek=100 conv=notrunc status=none
+  local rc=0
+  "${dir}/tools/gcreplay" "${prefix}" --state="${dir}/chaos-state" --restore \
+      >/dev/null 2>&1 || rc=$?
+  [ "${rc}" -ne 0 ] \
+    || { echo "chaos: forged snapshot restored cleanly, expected a failure" >&2; exit 1; }
 }
 
 # The coverage lane: gcov-instrumented build, the control-plane test suites,
@@ -311,10 +391,11 @@ coverage_lane() {
         -DCMAKE_BUILD_TYPE=Debug >/dev/null
   echo "==> [coverage] build control-plane suites"
   cmake --build "${dir}" -j "${JOBS}" \
-        --target test_control_plane test_replay test_wire test_replay_fuzz
+        --target test_control_plane test_replay test_wire test_replay_fuzz \
+                 test_snapshot test_wal test_chaos
   echo "==> [coverage] run control-plane suites"
   (cd "${dir}" && ctest --output-on-failure --timeout 120 --no-tests=error \
-       -R 'ControlPlane|Replay|ReplayFuzz|Wire|WireServe|ValidateTimeseries')
+       -R 'ControlPlane|Replay|ReplayFuzz|Wire|WireServe|ValidateTimeseries|Snapshot|Wal|Chaos|Scrape')
   echo "==> [coverage] aggregate src/cp/ line coverage (gcov)"
   find "${dir}" -name '*.gcda' -print0 \
     | xargs -0 gcov --json-format --stdout > "${dir}/gcov.json" 2>/dev/null
@@ -359,9 +440,9 @@ case "${MODE}" in
     # The malformed-artifact corpus (tests/corpus/) runs inside the full
     # suite above; re-running it by name makes the fuzz gate explicit and
     # guards against the suites being filtered out of a future config.
-    echo "==> [sanitize] replay fuzz corpus"
+    echo "==> [sanitize] replay fuzz corpus + durable-state loaders"
     (cd build-ci-sanitize && ctest --output-on-failure --timeout 120 \
-         --no-tests=error -R 'ReplayFuzz|Wire')
+         --no-tests=error -R 'ReplayFuzz|Wire|Snapshot|Wal|Chaos')
     tsan_lane
     ;;
   tsan)
@@ -372,6 +453,9 @@ case "${MODE}" in
     ;;
   soak)
     soak_lane
+    ;;
+  chaos)
+    chaos_lane
     ;;
   coverage)
     coverage_lane
@@ -385,10 +469,11 @@ case "${MODE}" in
     run_config sanitize -DGREENCLUSTER_SANITIZE=ON
     tsan_lane
     soak_lane
+    chaos_lane
     coverage_lane
     ;;
   *)
-    echo "usage: $0 [plain|sanitize|tsan|lint|soak|coverage|all]" >&2
+    echo "usage: $0 [plain|sanitize|tsan|lint|soak|chaos|coverage|all]" >&2
     exit 2
     ;;
 esac

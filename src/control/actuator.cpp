@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "cp/snapshot.h"
+
 namespace gc {
 
 const char* to_string(CommandKind kind) noexcept {
@@ -105,6 +107,55 @@ std::optional<double> CommandActuator::acked_value(CommandKind kind) const noexc
 
 bool CommandActuator::outstanding(CommandKind kind) const noexcept {
   return lane(kind).outstanding;
+}
+
+void CommandActuator::save(SnapshotWriter& w) const {
+  for (const Lane& l : lanes_) {
+    w.boolean(l.outstanding);
+    w.u8(static_cast<std::uint8_t>(l.cmd.kind));
+    w.f64(l.cmd.value);
+    w.u64(l.cmd.gen);
+    w.u32(l.cmd.era);
+    w.f64(l.next_retry_s);
+    w.f64(l.backoff_s);
+    w.u32(l.retransmits);
+    w.u64(l.next_gen);
+    w.boolean(l.acked_value.has_value());
+    w.f64(l.acked_value.value_or(0.0));
+  }
+  w.u64(retries_);
+  w.u64(acked_count_);
+  w.u64(stale_acks_);
+  w.u64(exhausted_);
+  for (const std::uint64_t word : rng_.state()) w.u64(word);
+}
+
+void CommandActuator::load(SnapshotReader& r) {
+  for (Lane& l : lanes_) {
+    l.outstanding = r.boolean();
+    const std::uint8_t kind = r.u8();
+    if (kind >= kNumCommandKinds) {
+      throw SnapshotError("actuator: command kind out of range in snapshot");
+    }
+    l.cmd.kind = static_cast<CommandKind>(kind);
+    l.cmd.value = r.f64();
+    l.cmd.gen = r.u64();
+    l.cmd.era = r.u32();
+    l.next_retry_s = r.f64();
+    l.backoff_s = r.f64();
+    l.retransmits = r.u32();
+    l.next_gen = r.u64();
+    const bool has_acked = r.boolean();
+    const double acked = r.f64();
+    l.acked_value = has_acked ? std::optional<double>(acked) : std::nullopt;
+  }
+  retries_ = r.u64();
+  acked_count_ = r.u64();
+  stale_acks_ = r.u64();
+  exhausted_ = r.u64();
+  Rng::State state;
+  for (std::uint64_t& word : state) word = r.u64();
+  rng_.set_state(state);
 }
 
 }  // namespace gc

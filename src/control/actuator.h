@@ -40,6 +40,9 @@
 
 namespace gc {
 
+class SnapshotWriter;  // cp/snapshot.h
+class SnapshotReader;
+
 // CommandKind and Command (= CommandFrame) moved to cp/frames.h — they are
 // the control plane's fleet-ward wire message; included above so existing
 // actuator/simulator code keeps compiling unchanged.
@@ -90,6 +93,14 @@ class CommandActuator {
   [[nodiscard]] std::uint64_t acked() const noexcept { return acked_count_; }
   [[nodiscard]] std::uint64_t stale_acks() const noexcept { return stale_acks_; }
   [[nodiscard]] std::uint64_t exhausted() const noexcept { return exhausted_; }
+
+  // Checkpoint/restore (cp/snapshot.h): both lanes (outstanding command,
+  // retry deadline/backoff, generation counter, acked value), the protocol
+  // totals and the jitter RNG state — a restored actuator retransmits at
+  // the exact instants, with the exact jitter draws, the saved one would
+  // have.  Options are configuration and travel with the caller.
+  void save(SnapshotWriter& w) const;
+  void load(SnapshotReader& r);
 
  private:
   struct Lane {

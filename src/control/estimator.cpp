@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "cp/snapshot.h"
+
 namespace gc {
 
 EwmaEstimator::EwmaEstimator(double alpha) : alpha_(alpha) {
@@ -26,6 +28,16 @@ void EwmaEstimator::reset() noexcept {
   primed_ = false;
 }
 
+void EwmaEstimator::save(SnapshotWriter& w) const {
+  w.f64(value_);
+  w.boolean(primed_);
+}
+
+void EwmaEstimator::load(SnapshotReader& r) {
+  value_ = r.f64();
+  primed_ = r.boolean();
+}
+
 StalenessGuard::StalenessGuard(double horizon_s, double margin_widen)
     : horizon_s_(horizon_s), widen_(margin_widen) {
   if (!(horizon_s >= 0.0) || !std::isfinite(horizon_s)) {
@@ -46,6 +58,18 @@ double StalenessGuard::filter(double age_s, double rate) noexcept {
   stale_ = true;
   ++stale_ticks_;
   return last_good_;
+}
+
+void StalenessGuard::save(SnapshotWriter& w) const {
+  w.f64(last_good_);
+  w.boolean(stale_);
+  w.u64(stale_ticks_);
+}
+
+void StalenessGuard::load(SnapshotReader& r) {
+  last_good_ = r.f64();
+  stale_ = r.boolean();
+  stale_ticks_ = r.u64();
 }
 
 SlidingWindowEstimator::SlidingWindowEstimator(std::size_t capacity) : capacity_(capacity) {

@@ -10,6 +10,9 @@
 
 namespace gc {
 
+class SnapshotWriter;  // cp/snapshot.h
+class SnapshotReader;
+
 // Exponentially weighted moving average with smoothing factor `alpha`
 // (weight of the newest observation).
 class EwmaEstimator {
@@ -20,6 +23,11 @@ class EwmaEstimator {
   [[nodiscard]] double value() const noexcept { return value_; }
   [[nodiscard]] bool primed() const noexcept { return primed_; }
   void reset() noexcept;
+
+  // Checkpoint/restore of the mutable state (value, primed); alpha is
+  // configuration and travels with the options, not the snapshot.
+  void save(SnapshotWriter& w) const;
+  void load(SnapshotReader& r);
 
  private:
   double alpha_;
@@ -61,6 +69,11 @@ class StalenessGuard {
     return stale_ ? widen_ : 1.0;
   }
   [[nodiscard]] std::uint64_t stale_ticks() const noexcept { return stale_ticks_; }
+
+  // Checkpoint/restore of the mutable state (last-good rate, stale flag,
+  // stale-tick counter); the horizon/widen knobs are configuration.
+  void save(SnapshotWriter& w) const;
+  void load(SnapshotReader& r);
 
  private:
   double horizon_s_;

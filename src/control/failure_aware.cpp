@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "cp/snapshot.h"
 #include "util/assert.h"
 
 namespace gc {
@@ -50,6 +51,29 @@ unsigned FailureDetector::observe(double now, unsigned available) {
   return detected_;
 }
 
+void FailureDetector::save(SnapshotWriter& w) const {
+  w.u32(detected_);
+  w.u32(static_cast<std::uint32_t>(window_.size()));
+  for (const Sample& s : window_) {
+    w.f64(s.time);
+    w.u32(s.available);
+  }
+}
+
+void FailureDetector::load(SnapshotReader& r) {
+  detected_ = r.u32();
+  const std::uint32_t n = r.u32();
+  if (n == 0) {
+    throw SnapshotError("detector: snapshot window must hold >= 1 sample");
+  }
+  window_.clear();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const double time = r.f64();
+    const unsigned available = r.u32();
+    window_.push_back(Sample{time, available});
+  }
+}
+
 // -- BootRetryGate -----------------------------------------------------------
 
 BootRetryGate::BootRetryGate(unsigned budget, double backoff_s)
@@ -88,6 +112,20 @@ unsigned BootRetryGate::propose(double now, unsigned committed, unsigned target)
     return target;
   }
   return committed;  // between retries: no new boot commands
+}
+
+void BootRetryGate::save(SnapshotWriter& w) const {
+  w.u32(attempts_);
+  w.f64(next_retry_);
+  w.boolean(in_deficit_);
+  w.u32(last_committed_);
+}
+
+void BootRetryGate::load(SnapshotReader& r) {
+  attempts_ = r.u32();
+  next_retry_ = r.f64();
+  in_deficit_ = r.boolean();
+  last_committed_ = r.u32();
 }
 
 // -- FailureAwareDcpController ------------------------------------------------
@@ -186,6 +224,24 @@ ControlAction FailureAwareDcpController::on_long_tick(const ControlContext& ctx)
   action.explain.planned_servers = pt.servers;
   action.explain.detected_available = detected;
   return action;
+}
+
+void FailureAwareDcpController::save_state(SnapshotWriter& w) const {
+  predictor_->save(w);
+  w.u32(hysteresis_.streak());
+  detector_.save(w);
+  retry_.save(w);
+  guard_.save(w);
+  w.u32(planned_base_);
+}
+
+void FailureAwareDcpController::load_state(SnapshotReader& r) {
+  predictor_->load(r);
+  hysteresis_.set_streak(r.u32());
+  detector_.load(r);
+  retry_.load(r);
+  guard_.load(r);
+  planned_base_ = r.u32();
 }
 
 }  // namespace gc

@@ -88,6 +88,11 @@ class FailureDetector {
 
   [[nodiscard]] unsigned detected() const noexcept { return detected_; }
 
+  // Checkpoint/restore of the detection window (cp/snapshot.h): the delay
+  // is configuration, the trailing sample window is state.
+  void save(SnapshotWriter& w) const;
+  void load(SnapshotReader& r);
+
  private:
   struct Sample {
     double time;
@@ -111,6 +116,10 @@ class BootRetryGate {
   [[nodiscard]] bool exhausted() const noexcept {
     return in_deficit_ && attempts_ >= budget_;
   }
+
+  // Checkpoint/restore of the episode state (cp/snapshot.h).
+  void save(SnapshotWriter& w) const;
+  void load(SnapshotReader& r);
 
  private:
   unsigned budget_;
@@ -136,6 +145,8 @@ class FailureAwareDcpController final : public Controller {
   [[nodiscard]] ControlAction on_short_tick(const ControlContext& ctx) override;
   [[nodiscard]] ControlAction on_long_tick(const ControlContext& ctx) override;
   [[nodiscard]] const char* name() const override { return "dcp-failure-aware"; }
+  void save_state(SnapshotWriter& w) const override;
+  void load_state(SnapshotReader& r) override;
 
  private:
   // Pass-through that runs validate() first, so degenerate settings (a

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "cp/snapshot.h"
 #include "util/assert.h"
 #include "workload/rate_profile.h"
 
@@ -127,6 +128,10 @@ ControlAction DvfsOnlyController::on_long_tick(const ControlContext& /*ctx*/) {
   return action;
 }
 
+void DvfsOnlyController::save_state(SnapshotWriter& w) const { smoother_.save(w); }
+
+void DvfsOnlyController::load_state(SnapshotReader& r) { smoother_.load(r); }
+
 // -- VOVF-only ------------------------------------------------------------------
 
 VovfOnlyController::VovfOnlyController(const Provisioner* provisioner,
@@ -227,6 +232,28 @@ ControlAction CombinedDcpController::on_long_tick(const ControlContext& ctx) {
 
 // -- Oracle (clairvoyant Combined/DCP) --------------------------------------------
 
+void VovfOnlyController::save_state(SnapshotWriter& w) const {
+  predictor_->save(w);
+  w.u32(hysteresis_.streak());
+}
+
+void VovfOnlyController::load_state(SnapshotReader& r) {
+  predictor_->load(r);
+  hysteresis_.set_streak(r.u32());
+}
+
+void CombinedDcpController::save_state(SnapshotWriter& w) const {
+  predictor_->save(w);
+  w.u32(hysteresis_.streak());
+  guard_.save(w);
+}
+
+void CombinedDcpController::load_state(SnapshotReader& r) {
+  predictor_->load(r);
+  hysteresis_.set_streak(r.u32());
+  guard_.load(r);
+}
+
 OracleController::OracleController(const Provisioner* provisioner,
                                    const PolicyOptions& options,
                                    std::shared_ptr<const RateProfile> profile)
@@ -315,6 +342,20 @@ ControlAction ThresholdController::on_long_tick(const ControlContext& ctx) {
 }
 
 // -- Combined, single control period ---------------------------------------------
+
+void OracleController::save_state(SnapshotWriter& w) const {
+  w.u32(hysteresis_.streak());
+}
+
+void OracleController::load_state(SnapshotReader& r) {
+  hysteresis_.set_streak(r.u32());
+}
+
+void ThresholdController::save_state(SnapshotWriter& w) const {
+  smoother_.save(w);
+}
+
+void ThresholdController::load_state(SnapshotReader& r) { smoother_.load(r); }
 
 CombinedSinglePeriodController::CombinedSinglePeriodController(
     const Provisioner* provisioner, const PolicyOptions& options)

@@ -117,6 +117,8 @@ class DvfsOnlyController final : public Controller {
   [[nodiscard]] ControlAction on_short_tick(const ControlContext& ctx) override;
   [[nodiscard]] ControlAction on_long_tick(const ControlContext& ctx) override;
   [[nodiscard]] const char* name() const override { return "dvfs-only"; }
+  void save_state(SnapshotWriter& w) const override;
+  void load_state(SnapshotReader& r) override;
 
  private:
   const Provisioner* provisioner_;
@@ -132,6 +134,8 @@ class VovfOnlyController final : public Controller {
   [[nodiscard]] ControlAction on_short_tick(const ControlContext& ctx) override;
   [[nodiscard]] ControlAction on_long_tick(const ControlContext& ctx) override;
   [[nodiscard]] const char* name() const override { return "vovf-only"; }
+  void save_state(SnapshotWriter& w) const override;
+  void load_state(SnapshotReader& r) override;
 
  private:
   // VOVF-only must provision at s = 1, so it plans against a config whose
@@ -150,6 +154,8 @@ class CombinedDcpController final : public Controller {
   [[nodiscard]] ControlAction on_short_tick(const ControlContext& ctx) override;
   [[nodiscard]] ControlAction on_long_tick(const ControlContext& ctx) override;
   [[nodiscard]] const char* name() const override { return "combined-dcp"; }
+  void save_state(SnapshotWriter& w) const override;
+  void load_state(SnapshotReader& r) override;
 
  private:
   const Provisioner* provisioner_;
@@ -169,6 +175,8 @@ class OracleController final : public Controller {
   [[nodiscard]] ControlAction on_short_tick(const ControlContext& ctx) override;
   [[nodiscard]] ControlAction on_long_tick(const ControlContext& ctx) override;
   [[nodiscard]] const char* name() const override { return "oracle"; }
+  void save_state(SnapshotWriter& w) const override;
+  void load_state(SnapshotReader& r) override;
 
  private:
   const Provisioner* provisioner_;
@@ -192,6 +200,8 @@ class ThresholdController final : public Controller {
   [[nodiscard]] ControlAction on_short_tick(const ControlContext& ctx) override;
   [[nodiscard]] ControlAction on_long_tick(const ControlContext& ctx) override;
   [[nodiscard]] const char* name() const override { return "threshold"; }
+  void save_state(SnapshotWriter& w) const override;
+  void load_state(SnapshotReader& r) override;
 
  private:
   const Provisioner* provisioner_;

@@ -4,9 +4,33 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "cp/snapshot.h"
 #include "util/format.h"
 
 namespace gc {
+namespace {
+
+// Shared history (de)serialization for the windowed predictors.  The
+// recorded length is checked against the configured window so a snapshot
+// taken with different configuration is rejected, not silently truncated.
+void save_history(SnapshotWriter& w, const std::deque<double>& history) {
+  w.u32(static_cast<std::uint32_t>(history.size()));
+  for (const double v : history) w.f64(v);
+}
+
+void load_history(SnapshotReader& r, std::deque<double>& history,
+                  std::size_t window) {
+  const std::uint32_t n = r.u32();
+  if (n > window) {
+    throw SnapshotError(
+        format("predictor: snapshot holds {} samples but the window is {}", n,
+               window));
+  }
+  history.clear();
+  for (std::uint32_t i = 0; i < n; ++i) history.push_back(r.f64());
+}
+
+}  // namespace
 
 const char* to_string(PredictorKind kind) noexcept {
   switch (kind) {
@@ -34,6 +58,10 @@ std::unique_ptr<LoadPredictor> make_predictor(PredictorKind kind, double sample_
   throw std::invalid_argument("make_predictor: unknown kind");
 }
 
+void LastValuePredictor::save(SnapshotWriter& w) const { w.f64(last_); }
+
+void LastValuePredictor::load(SnapshotReader& r) { last_ = r.f64(); }
+
 EwmaPredictor::EwmaPredictor(double alpha) : alpha_(alpha) {
   if (!(alpha > 0.0 && alpha <= 1.0)) {
     throw std::invalid_argument("EwmaPredictor: alpha must be in (0,1]");
@@ -58,6 +86,16 @@ void EwmaPredictor::reset() {
   primed_ = false;
 }
 
+void EwmaPredictor::save(SnapshotWriter& w) const {
+  w.f64(value_);
+  w.boolean(primed_);
+}
+
+void EwmaPredictor::load(SnapshotReader& r) {
+  value_ = r.f64();
+  primed_ = r.boolean();
+}
+
 SlidingMaxPredictor::SlidingMaxPredictor(std::size_t window) : window_(window) {
   if (window == 0) throw std::invalid_argument("SlidingMaxPredictor: window 0");
 }
@@ -77,6 +115,14 @@ std::string SlidingMaxPredictor::name() const {
 }
 
 void SlidingMaxPredictor::reset() { history_.clear(); }
+
+void SlidingMaxPredictor::save(SnapshotWriter& w) const {
+  save_history(w, history_);
+}
+
+void SlidingMaxPredictor::load(SnapshotReader& r) {
+  load_history(r, history_, window_);
+}
 
 LinearTrendPredictor::LinearTrendPredictor(std::size_t window, double sample_period_s)
     : window_(window), sample_period_(sample_period_s) {
@@ -121,5 +167,13 @@ std::string LinearTrendPredictor::name() const {
 }
 
 void LinearTrendPredictor::reset() { history_.clear(); }
+
+void LinearTrendPredictor::save(SnapshotWriter& w) const {
+  save_history(w, history_);
+}
+
+void LinearTrendPredictor::load(SnapshotReader& r) {
+  load_history(r, history_, window_);
+}
 
 }  // namespace gc

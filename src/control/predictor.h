@@ -11,6 +11,9 @@
 
 namespace gc {
 
+class SnapshotWriter;  // cp/snapshot.h
+class SnapshotReader;
+
 class LoadPredictor {
  public:
   virtual ~LoadPredictor() = default;
@@ -25,6 +28,13 @@ class LoadPredictor {
 
   [[nodiscard]] virtual std::string name() const = 0;
   virtual void reset() = 0;
+
+  // Checkpoint/restore of the observation history (cp/snapshot.h): a
+  // restored predictor must predict exactly what the saved one would.
+  // Every shipped predictor implements both; the built-in kinds write
+  // their mutable state only (window sizes and alphas are configuration).
+  virtual void save(SnapshotWriter& w) const = 0;
+  virtual void load(SnapshotReader& r) = 0;
 };
 
 enum class PredictorKind : int {
@@ -48,6 +58,8 @@ class LastValuePredictor final : public LoadPredictor {
   [[nodiscard]] double predict(double /*horizon_s*/) const override { return last_; }
   [[nodiscard]] std::string name() const override { return "last-value"; }
   void reset() override { last_ = 0.0; }
+  void save(SnapshotWriter& w) const override;
+  void load(SnapshotReader& r) override;
 
  private:
   double last_ = 0.0;
@@ -60,6 +72,8 @@ class EwmaPredictor final : public LoadPredictor {
   [[nodiscard]] double predict(double horizon_s) const override;
   [[nodiscard]] std::string name() const override;
   void reset() override;
+  void save(SnapshotWriter& w) const override;
+  void load(SnapshotReader& r) override;
 
  private:
   double alpha_;
@@ -76,6 +90,8 @@ class SlidingMaxPredictor final : public LoadPredictor {
   [[nodiscard]] double predict(double horizon_s) const override;
   [[nodiscard]] std::string name() const override;
   void reset() override;
+  void save(SnapshotWriter& w) const override;
+  void load(SnapshotReader& r) override;
 
  private:
   std::size_t window_;
@@ -91,6 +107,8 @@ class LinearTrendPredictor final : public LoadPredictor {
   [[nodiscard]] double predict(double horizon_s) const override;
   [[nodiscard]] std::string name() const override;
   void reset() override;
+  void save(SnapshotWriter& w) const override;
+  void load(SnapshotReader& r) override;
 
  private:
   std::size_t window_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cp/snapshot.h"
 #include "util/assert.h"
 
 namespace gc {
@@ -99,6 +100,51 @@ ControlAction ReliabilityDcpController::on_long_tick(const ControlContext& ctx) 
   action.explain.availability_est = plan.availability;
   action.explain.binding_constraint = static_cast<unsigned>(plan.binding);
   return action;
+}
+
+void ReliabilityDcpController::save_state(SnapshotWriter& w) const {
+  predictor_->save(w);
+  w.u32(hysteresis_.streak());
+  detector_.save(w);
+  retry_.save(w);
+  guard_.save(w);
+  w.u32(planned_base_);
+  // The standing ReliablePlan: the short tick re-reports its availability/
+  // binding fields into every audit record, so a restored controller must
+  // carry the exact plan, not re-solve it.
+  w.u32(last_plan_.base.servers);
+  w.f64(last_plan_.base.speed);
+  w.f64(last_plan_.base.power_watts);
+  w.f64(last_plan_.base.response_time_s);
+  w.f64(last_plan_.base.utilization);
+  w.boolean(last_plan_.base.feasible);
+  w.u32(last_plan_.spares);
+  w.f64(last_plan_.availability);
+  w.f64(last_plan_.objective_w);
+  w.u8(static_cast<std::uint8_t>(last_plan_.binding));
+}
+
+void ReliabilityDcpController::load_state(SnapshotReader& r) {
+  predictor_->load(r);
+  hysteresis_.set_streak(r.u32());
+  detector_.load(r);
+  retry_.load(r);
+  guard_.load(r);
+  planned_base_ = r.u32();
+  last_plan_.base.servers = r.u32();
+  last_plan_.base.speed = r.f64();
+  last_plan_.base.power_watts = r.f64();
+  last_plan_.base.response_time_s = r.f64();
+  last_plan_.base.utilization = r.f64();
+  last_plan_.base.feasible = r.boolean();
+  last_plan_.spares = r.u32();
+  last_plan_.availability = r.f64();
+  last_plan_.objective_w = r.f64();
+  const std::uint8_t binding = r.u8();
+  if (binding > static_cast<std::uint8_t>(BindingConstraint::kCapacity)) {
+    throw SnapshotError("reliability: binding constraint out of range in snapshot");
+  }
+  last_plan_.binding = static_cast<BindingConstraint>(binding);
 }
 
 }  // namespace gc

@@ -52,6 +52,8 @@ class ReliabilityDcpController final : public Controller {
   [[nodiscard]] ControlAction on_short_tick(const ControlContext& ctx) override;
   [[nodiscard]] ControlAction on_long_tick(const ControlContext& ctx) override;
   [[nodiscard]] const char* name() const override { return "dcp-reliability"; }
+  void save_state(SnapshotWriter& w) const override;
+  void load_state(SnapshotReader& r) override;
 
  private:
   [[nodiscard]] static const FailureAwareOptions& validated(

@@ -95,6 +95,12 @@ class HysteresisGate {
   [[nodiscard]] unsigned propose(unsigned current, unsigned target);
   void reset() noexcept { streak_ = 0; }
 
+  // The mutable state, exposed for checkpoint/restore (cp/snapshot.h);
+  // core/ stays free of cp/ includes, so the gate serializes via plain
+  // accessors rather than save/load methods.
+  [[nodiscard]] unsigned streak() const noexcept { return streak_; }
+  void set_streak(unsigned streak) noexcept { streak_ = streak; }
+
  private:
   unsigned patience_;
   unsigned streak_ = 0;

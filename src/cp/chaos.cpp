@@ -1,0 +1,425 @@
+#include "cp/chaos.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "cp/wal.h"
+#include "stats/rng.h"
+#include "util/format.h"
+#include "util/string_util.h"
+
+namespace gc {
+namespace {
+
+// -- Wire plumbing -----------------------------------------------------------
+
+void encode_msg(std::string& buf, const WireMessage& msg) {
+  switch (msg.type) {
+    case WireMsgType::kTelemetry: append_telemetry_frame(buf, msg.telemetry); return;
+    case WireMsgType::kTick: append_tick_frame(buf, msg.tick); return;
+    case WireMsgType::kAck: append_ack_frame(buf, msg.ack); return;
+    case WireMsgType::kCommand:
+      throw std::invalid_argument("chaos: command frame in the input sequence");
+  }
+  throw std::invalid_argument("chaos: unknown input message type");
+}
+
+void send_all(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(
+          format("chaos: send failed: {}", std::strerror(errno)));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void decode_commands(FrameDecoder& dec, std::vector<CommandFrame>& out) {
+  while (const auto msg = dec.next()) {
+    if (msg->type != WireMsgType::kCommand) {
+      throw WireError("chaos: non-command frame travelling fleet-ward");
+    }
+    out.push_back(msg->command);
+  }
+}
+
+// Pulls whatever command bytes are already queued without blocking, so the
+// socketpair buffer never fills up while the client is still sending.
+void drain_available(int fd, FrameDecoder& dec, std::vector<CommandFrame>& out) {
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      throw std::runtime_error(
+          format("chaos: recv failed: {}", std::strerror(errno)));
+    }
+    if (n == 0) return;  // peer closed; the EOF drain finishes the job
+    dec.feed(chunk, static_cast<std::size_t>(n));
+    decode_commands(dec, out);
+  }
+}
+
+void drain_to_eof(int fd, FrameDecoder& dec, std::vector<CommandFrame>& out) {
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == ECONNRESET) return;
+      throw std::runtime_error(
+          format("chaos: recv failed: {}", std::strerror(errno)));
+    }
+    if (n == 0) return;
+    dec.feed(chunk, static_cast<std::size_t>(n));
+    decode_commands(dec, out);
+  }
+}
+
+// Routes one input into an in-process facade, collecting emitted command
+// frames — the oracle's transport-free equivalent of the serve loop.
+void route_clean(ControlPlane& cp, const WireMessage& msg,
+                 std::vector<CommandFrame>& out) {
+  switch (msg.type) {
+    case WireMsgType::kTelemetry:
+      cp.accept_telemetry(msg.telemetry);
+      return;
+    case WireMsgType::kTick: {
+      const ControlPlane::Decision d =
+          cp.on_tick(msg.tick.now, msg.tick.long_tick, msg.tick.safe_mode);
+      for (const ControlPlane::Outbound& ob : d.commands) out.push_back(ob.frame);
+      return;
+    }
+    case WireMsgType::kAck:
+      cp.on_ack(msg.ack.now, msg.ack.kind, msg.ack.gen);
+      return;
+    case WireMsgType::kCommand:
+      throw std::invalid_argument("chaos: command frame in the input sequence");
+  }
+}
+
+[[nodiscard]] bool frames_equal(const CommandFrame& a, const CommandFrame& b) {
+  return a.kind == b.kind &&
+         std::bit_cast<std::uint64_t>(a.value) ==
+             std::bit_cast<std::uint64_t>(b.value) &&
+         a.gen == b.gen && a.era == b.era;
+}
+
+[[nodiscard]] std::string describe(const CommandFrame& f) {
+  return format("kind={} value={:.17g} gen={} era={}", to_string(f.kind),
+                f.value, f.gen, f.era);
+}
+
+}  // namespace
+
+const char* to_string(ChaosOp op) noexcept {
+  switch (op) {
+    case ChaosOp::kDrop: return "drop";
+    case ChaosOp::kDup: return "dup";
+    case ChaosOp::kReorder: return "reorder";
+    case ChaosOp::kCorrupt: return "corrupt";
+    case ChaosOp::kTruncate: return "truncate";
+    case ChaosOp::kKill: return "kill";
+  }
+  return "?";
+}
+
+std::vector<ChaosEvent> parse_chaos_schedule(std::string_view text) {
+  std::vector<ChaosEvent> events;
+  std::unordered_set<std::uint64_t> used;
+  for (std::string_view token : split(text, ',')) {
+    const std::string_view item = trim(token);
+    if (item.empty()) continue;
+    const std::size_t at = item.find('@');
+    if (at == std::string_view::npos) {
+      throw std::invalid_argument(
+          format("chaos: '{}' is not <op>@<index>", std::string(item)));
+    }
+    const std::string_view name = item.substr(0, at);
+    ChaosEvent ev;
+    if (name == "drop") ev.op = ChaosOp::kDrop;
+    else if (name == "dup") ev.op = ChaosOp::kDup;
+    else if (name == "reorder") ev.op = ChaosOp::kReorder;
+    else if (name == "corrupt") ev.op = ChaosOp::kCorrupt;
+    else if (name == "truncate") ev.op = ChaosOp::kTruncate;
+    else if (name == "kill") ev.op = ChaosOp::kKill;
+    else {
+      throw std::invalid_argument(
+          format("chaos: unknown op '{}'", std::string(name)));
+    }
+    const std::string_view digits = item.substr(at + 1);
+    if (digits.empty()) {
+      throw std::invalid_argument(
+          format("chaos: '{}' has no index", std::string(item)));
+    }
+    std::uint64_t index = 0;
+    for (const char c : digits) {
+      if (c < '0' || c > '9') {
+        throw std::invalid_argument(
+            format("chaos: bad index in '{}'", std::string(item)));
+      }
+      index = index * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    if (!used.insert(index).second) {
+      throw std::invalid_argument(
+          format("chaos: two ops scheduled at index {}", index));
+    }
+    ev.index = index;
+    events.push_back(ev);
+  }
+  return events;
+}
+
+void ChaosOptions::validate() const {
+  if (checkpoint_every == 0) {
+    throw std::invalid_argument("chaos: checkpoint_every must be >= 1");
+  }
+}
+
+CountersSnapshot ChaosReport::counters_snapshot() const {
+  CountersSnapshot snap;
+  snap.add_counter("cp.chaos.inputs", inputs);
+  snap.add_counter("cp.chaos.episodes", episodes);
+  snap.add_counter("cp.chaos.kills", kills);
+  snap.add_counter("cp.chaos.drops", drops);
+  snap.add_counter("cp.chaos.dups", dups);
+  snap.add_counter("cp.chaos.reorders", reorders);
+  snap.add_counter("cp.chaos.corrupts", corrupts);
+  snap.add_counter("cp.chaos.truncates", truncates);
+  snap.add_counter("cp.chaos.skipped_on_tick", skipped_on_tick);
+  snap.add_counter("cp.wire.crc_errors", crc_errors);
+  snap.add_counter("cp.drift.mismatches", drift_mismatches);
+  snap.add_counter("cp.drift.commands.chaos", commands_chaos);
+  snap.add_counter("cp.drift.commands.clean", commands_clean);
+  return snap;
+}
+
+ChaosReport run_chaos(const std::vector<WireMessage>& inputs,
+                      const ControllerFactory& make_controller,
+                      const ControlPlaneOptions& options, Rng actuator_rng,
+                      const ChaosOptions& chaos) {
+  chaos.validate();
+  if (!make_controller) {
+    throw std::invalid_argument("chaos: null controller factory");
+  }
+  std::unordered_map<std::uint64_t, ChaosOp> schedule;
+  for (const ChaosEvent& ev : chaos.events) {
+    if (ev.index >= inputs.size()) {
+      throw std::invalid_argument(format(
+          "chaos: {}@{} is beyond the {} input records", to_string(ev.op),
+          ev.index, inputs.size()));
+    }
+    schedule.emplace(ev.index, ev.op);
+  }
+
+  ChaosReport report;
+  report.inputs = inputs.size();
+
+  // Clean oracle: the same facade fed in-process with the post-drop
+  // sequence.  Every fault except drop must leave the wire run's command
+  // stream equal to this one.
+  std::vector<CommandFrame> clean_cmds;
+  {
+    ControlPlane oracle(make_controller(), options, actuator_rng);
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      const auto it = schedule.find(i);
+      if (it != schedule.end() && it->second == ChaosOp::kDrop) continue;
+      route_clean(oracle, inputs[i], clean_cmds);
+    }
+  }
+
+  // The wire run, with durability: every accepted record is journaled,
+  // snapshots are cut on the checkpoint cadence (truncating the WAL), and
+  // a kill rebuilds the facade from checkpoint + WAL replay.  The hook
+  // fires after routing, which is safe here because episodes only end at
+  // record boundaries — the record is always both applied and journaled
+  // before a kill can strike.
+  std::optional<ControlPlane> cp;
+  cp.emplace(make_controller(), options, actuator_rng);
+  std::string last_snapshot = cp->snapshot();
+  WalWriter wal;
+  WireServeStats stats;
+  Rng fault_rng(chaos.seed, /*stream=*/77);
+  std::vector<CommandFrame> chaos_cmds;
+  std::unordered_set<std::uint64_t> fired;
+  std::size_t i = 0;
+
+  while (i < inputs.size()) {
+    ++report.episodes;
+    int sv[2] = {-1, -1};
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+      throw std::runtime_error(
+          format("chaos: socketpair failed: {}", std::strerror(errno)));
+    }
+    ControlPlane& facade = *cp;
+    WireHooks hooks;
+    hooks.on_accepted = [&facade, &wal, &last_snapshot,
+                         every = chaos.checkpoint_every](const WireMessage& msg) {
+      wal.append(msg);
+      if (msg.type == WireMsgType::kTick && facade.ticks() % every == 0) {
+        last_snapshot = facade.snapshot();
+        wal.reset();
+      }
+    };
+    std::exception_ptr server_error;
+    std::thread server([&facade, fd = sv[1], &stats, &hooks, &server_error] {
+      try {
+        serve_connection(facade, fd, stats, &hooks);
+      } catch (...) {
+        server_error = std::current_exception();
+      }
+      ::close(fd);
+    });
+
+    FrameDecoder dec;
+    bool teardown = false;
+    bool kill_after = false;
+    bool expect_server_error = false;
+    std::string pending_stale;  // reorder: stale duplicate due after the next send
+    while (i < inputs.size() && !teardown) {
+      std::string frame;
+      encode_msg(frame, inputs[i]);
+      const std::string stale = std::exchange(pending_stale, std::string());
+      const bool is_tick = inputs[i].type == WireMsgType::kTick;
+      const auto it = schedule.find(i);
+      const ChaosOp* op =
+          (it != schedule.end() && !fired.contains(i)) ? &it->second : nullptr;
+      if (op != nullptr) fired.insert(i);
+      if (op == nullptr) {
+        send_all(sv[0], frame);
+        if (!stale.empty()) send_all(sv[0], stale);
+        ++i;
+      } else {
+        switch (*op) {
+          case ChaosOp::kDrop:
+            ++report.drops;
+            ++i;
+            break;
+          case ChaosOp::kDup:
+            send_all(sv[0], frame);
+            if (is_tick) {
+              ++report.skipped_on_tick;
+            } else {
+              send_all(sv[0], frame);
+              ++report.dups;
+            }
+            if (!stale.empty()) send_all(sv[0], stale);
+            ++i;
+            break;
+          case ChaosOp::kReorder:
+            send_all(sv[0], frame);
+            if (is_tick) {
+              ++report.skipped_on_tick;
+            } else {
+              pending_stale = frame;
+              ++report.reorders;
+            }
+            if (!stale.empty()) send_all(sv[0], stale);
+            ++i;
+            break;
+          case ChaosOp::kCorrupt: {
+            // Flip one byte past the length prefix: the CRC trailer (or
+            // the type/length checks) must reject the frame; the record
+            // is resent intact on the next connection.
+            std::string bad = frame;
+            const std::size_t off =
+                4 + static_cast<std::size_t>(
+                        fault_rng.uniform_below(bad.size() - 4));
+            bad[off] = static_cast<char>(
+                static_cast<std::uint8_t>(bad[off]) ^
+                static_cast<std::uint8_t>(1 + fault_rng.uniform_below(255)));
+            send_all(sv[0], bad);
+            ++report.corrupts;
+            teardown = true;
+            expect_server_error = true;
+            break;
+          }
+          case ChaosOp::kTruncate: {
+            const std::size_t cut = 1 + static_cast<std::size_t>(
+                                            fault_rng.uniform_below(frame.size() - 1));
+            send_all(sv[0], std::string_view(frame).substr(0, cut));
+            ::shutdown(sv[0], SHUT_WR);
+            ++report.truncates;
+            teardown = true;
+            expect_server_error = true;
+            break;
+          }
+          case ChaosOp::kKill:
+            send_all(sv[0], frame);
+            ++i;
+            kill_after = true;
+            teardown = true;
+            break;
+        }
+      }
+      drain_available(sv[0], dec, chaos_cmds);
+    }
+    // A reorder scheduled on the episode's last record loses its stale
+    // duplicate to the teardown — losing a stale duplicate is, by
+    // design, invisible.
+    ::shutdown(sv[0], SHUT_WR);
+    drain_to_eof(sv[0], dec, chaos_cmds);
+    server.join();
+    ::close(sv[0]);
+    if (server_error) {
+      if (!expect_server_error) std::rethrow_exception(server_error);
+      try {
+        std::rethrow_exception(server_error);
+      } catch (const WireError&) {
+        // The injected fault did its job; the facade survives, only the
+        // connection died.
+      }
+    }
+    if (kill_after) {
+      ++report.kills;
+      cp.emplace(make_controller(), options, actuator_rng);
+      cp->restore(last_snapshot);
+      wal_replay(*cp, wal.bytes());
+    }
+  }
+
+  report.commands_clean = clean_cmds.size();
+  report.commands_chaos = chaos_cmds.size();
+  report.crc_errors = stats.crc_errors;
+  const std::size_t n = std::max(clean_cmds.size(), chaos_cmds.size());
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k >= clean_cmds.size()) {
+      ++report.drift_mismatches;
+      if (report.mismatch_samples.size() < 8) {
+        report.mismatch_samples.push_back(
+            format("cmd[{}]: extra in chaos run: {}", k, describe(chaos_cmds[k])));
+      }
+    } else if (k >= chaos_cmds.size()) {
+      ++report.drift_mismatches;
+      if (report.mismatch_samples.size() < 8) {
+        report.mismatch_samples.push_back(
+            format("cmd[{}]: missing from chaos run: {}", k,
+                   describe(clean_cmds[k])));
+      }
+    } else if (!frames_equal(clean_cmds[k], chaos_cmds[k])) {
+      ++report.drift_mismatches;
+      if (report.mismatch_samples.size() < 8) {
+        report.mismatch_samples.push_back(format("cmd[{}]: clean {} vs chaos {}",
+                                                 k, describe(clean_cmds[k]),
+                                                 describe(chaos_cmds[k])));
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace gc

@@ -1,0 +1,111 @@
+// Wire-level chaos harness for the control plane (DESIGN.md §13.4).
+//
+// The wire feed (cp/wire.h) claims the facade survives a hostile
+// transport: duplicated and reordered frames are absorbed by newest-wins
+// telemetry and generation-checked acks, corruption is caught by the CRC
+// trailer, and a crashed controller comes back bit-identical from its
+// checkpoint + WAL.  This harness *proves* it, deterministically: a
+// seeded schedule of wire faults is injected into a real socketpair
+// serve loop, and the resulting command stream is compared — exact
+// doubles, generations and eras — against a clean in-process oracle run.
+//
+// Fault model, one op per input-record index ("<op>@<index>,..."):
+//
+//   drop@N      record N is never delivered (semantic loss — the oracle
+//               run excludes it too, the *surviving* traffic must agree)
+//   dup@N       record N delivered twice back-to-back (telemetry/ack
+//               only; duplicating a tick is two ticks, not a wire fault)
+//   reorder@N   a stale duplicate of record N arrives after record N+1
+//   corrupt@N   record N's frame has one random byte flipped; the CRC
+//               trailer rejects it, the connection is torn down and N is
+//               resent on a fresh one
+//   truncate@N  record N's frame is cut short and the connection closed
+//               mid-frame; reconnect and resend N
+//   kill@N      the controller process "dies" after record N: the facade
+//               is destroyed and rebuilt from its latest snapshot plus
+//               WAL replay, then traffic resumes at N+1
+//
+// Every fault but drop must be invisible in the command stream: the
+// harness reports cp.drift.mismatches (gated <= 0 by ci/check.sh chaos)
+// plus per-op injection counters under cp.chaos.*.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cp/control_plane.h"
+#include "cp/wire.h"
+#include "obs/counters.h"
+
+namespace gc {
+
+enum class ChaosOp { kDrop, kDup, kReorder, kCorrupt, kTruncate, kKill };
+[[nodiscard]] const char* to_string(ChaosOp op) noexcept;
+
+struct ChaosEvent {
+  ChaosOp op = ChaosOp::kDrop;
+  std::uint64_t index = 0;  // input-record index the op fires at
+};
+
+// Parses "drop@3,kill@10" (ops: drop dup reorder corrupt truncate kill).
+// Strict: unknown op, missing '@', non-numeric index or two ops on the
+// same index all throw std::invalid_argument.
+[[nodiscard]] std::vector<ChaosEvent> parse_chaos_schedule(std::string_view text);
+
+struct ChaosOptions {
+  std::vector<ChaosEvent> events;
+  // Seeds the corrupt/truncate byte choices — the whole run is a
+  // deterministic function of (inputs, schedule, seed).
+  std::uint64_t seed = 1;
+  // Snapshot cadence in facade ticks; the WAL truncates at each cut.
+  std::uint64_t checkpoint_every = 64;
+
+  void validate() const;  // throws std::invalid_argument
+};
+
+struct ChaosReport {
+  std::uint64_t inputs = 0;    // records in the schedule's input sequence
+  std::uint64_t episodes = 0;  // connections used (1 + every teardown)
+  std::uint64_t kills = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t dups = 0;
+  std::uint64_t reorders = 0;
+  std::uint64_t corrupts = 0;
+  std::uint64_t truncates = 0;
+  // dup/reorder scheduled on a tick record: skipped, not injected (a
+  // duplicated tick is a second tick — a different trajectory, not a
+  // transport fault).
+  std::uint64_t skipped_on_tick = 0;
+  std::uint64_t commands_chaos = 0;  // command frames the wire run emitted
+  std::uint64_t commands_clean = 0;  // command frames the oracle emitted
+  std::uint64_t crc_errors = 0;      // frames the CRC trailer rejected
+  std::uint64_t drift_mismatches = 0;
+  // First few divergences, rendered for the failure report.
+  std::vector<std::string> mismatch_samples;
+
+  [[nodiscard]] bool clean() const noexcept { return drift_mismatches == 0; }
+  // cp.chaos.* + cp.drift.* counters for OUT.counters.json / gcinspect.
+  [[nodiscard]] CountersSnapshot counters_snapshot() const;
+};
+
+// Builds fresh policy controllers: the kill op needs to construct the
+// reborn facade from scratch before restoring it.
+using ControllerFactory = std::function<std::unique_ptr<Controller>()>;
+
+// Runs the chaos schedule over `inputs` (telemetry/tick/ack messages in
+// delivery order; kCommand entries are invalid) against a facade served
+// on real socketpairs, then scores the collected command stream against
+// a clean in-process oracle over the post-drop sequence.  `actuator_rng`
+// seeds the facade's actuator jitter — both runs use identical seeds, so
+// jitter cancels out of the comparison.  Throws std::invalid_argument on
+// bad inputs and propagates unexpected transport errors.
+ChaosReport run_chaos(const std::vector<WireMessage>& inputs,
+                      const ControllerFactory& make_controller,
+                      const ControlPlaneOptions& options, Rng actuator_rng,
+                      const ChaosOptions& chaos);
+
+}  // namespace gc

@@ -1,8 +1,10 @@
 #include "cp/control_plane.h"
 
+#include <cstring>
 #include <stdexcept>
 #include <utility>
 
+#include "cp/snapshot.h"
 #include "obs/prometheus.h"
 
 namespace gc {
@@ -119,6 +121,65 @@ ControlPlane::Decision ControlPlane::on_tick(double now, bool long_tick,
 
 void ControlPlane::on_ack(double now, CommandKind kind, std::uint64_t gen) {
   actuator_.on_ack(now, kind, gen);
+}
+
+std::string ControlPlane::snapshot() const {
+  SnapshotWriter w;
+  // Controller type tag first: restoring into a facade running a different
+  // policy would silently misinterpret every following byte, so restore()
+  // cross-checks this before touching any state.
+  w.str(controller_->name());
+  controller_->save_state(w);
+  w.f64(latest_.sample_time);
+  w.f64(latest_.rate);
+  w.u32(latest_.serving);
+  w.u32(latest_.committed);
+  w.u32(latest_.powered);
+  w.u32(latest_.available);
+  w.u64(latest_.jobs_in_system);
+  rate_ewma_.save(w);
+  staleness_.save(w);
+  actuator_.save(w);
+  w.u32(era_);
+  w.u64(ticks_);
+  w.u64(long_ticks_);
+  w.u64(infeasible_ticks_);
+  w.u64(telemetry_accepted_);
+  w.u64(telemetry_stale_discarded_);
+  w.u64(commands_issued_);
+  w.f64(last_obs_age_s_);
+  return encode_snapshot(w.payload());
+}
+
+void ControlPlane::restore(const std::string& bytes) {
+  // The payload must outlive the reader (SnapshotReader views, not owns).
+  const std::string payload = decode_snapshot(bytes);
+  SnapshotReader r(payload);
+  const std::string name = r.str();
+  if (name != controller_->name()) {
+    throw SnapshotError("control plane: snapshot was taken by controller '" + name +
+                        "' but this facade runs '" + controller_->name() + "'");
+  }
+  controller_->load_state(r);
+  latest_.sample_time = r.f64();
+  latest_.rate = r.f64();
+  latest_.serving = r.u32();
+  latest_.committed = r.u32();
+  latest_.powered = r.u32();
+  latest_.available = r.u32();
+  latest_.jobs_in_system = r.u64();
+  rate_ewma_.load(r);
+  staleness_.load(r);
+  actuator_.load(r);
+  era_ = r.u32();
+  ticks_ = r.u64();
+  long_ticks_ = r.u64();
+  infeasible_ticks_ = r.u64();
+  telemetry_accepted_ = r.u64();
+  telemetry_stale_discarded_ = r.u64();
+  commands_issued_ = r.u64();
+  last_obs_age_s_ = r.f64();
+  r.expect_end();
 }
 
 CountersSnapshot ControlPlane::counters_snapshot() const {

@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "control/actuator.h"
@@ -141,6 +142,27 @@ class ControlPlane {
   [[nodiscard]] double smoothed_rate() const noexcept { return rate_ewma_.value(); }
   // Facade staleness view of the last tick (inert at horizon 0).
   [[nodiscard]] bool telemetry_stale() const noexcept { return staleness_.stale(); }
+
+  // -- Crash recovery (DESIGN.md §13) ----------------------------------------
+  //
+  // snapshot() serializes the complete mutable state of the facade — the
+  // policy controller's internals (via Controller::save_state), the
+  // observation store, the estimator/staleness instruments, the actuator
+  // lanes and jitter RNG, the era and every cp.* counter — wrapped in the
+  // versioned, CRC-guarded envelope of cp/snapshot.h.  restore() loads
+  // those bytes into a freshly constructed facade running the *same*
+  // controller type under the *same* options; the controller name is
+  // cross-checked, and any malformation throws SnapshotError.  A facade
+  // whose restore() threw is in an unspecified partial state and must be
+  // discarded — recovery code rebuilds and retries, it never continues.
+  //
+  // Contract: restore(snapshot()) is a bit-identical state transplant.
+  // Replaying the same inputs after a snapshot/restore round trip yields
+  // exactly the command stream (values, generations, eras, retry instants,
+  // jitter draws) the uninterrupted facade would have emitted — the
+  // recovery drift oracle in tools/gcreplay holds this line.
+  [[nodiscard]] std::string snapshot() const;
+  void restore(const std::string& bytes);
 
   // The facade's own metric plane (`cp.*` namespace): tick/telemetry/
   // command counters plus actuator protocol totals, as a snapshot any

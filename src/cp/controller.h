@@ -78,6 +78,9 @@ struct ControlAction {
   ControlExplain explain;
 };
 
+class SnapshotWriter;  // cp/snapshot.h
+class SnapshotReader;
+
 // Implemented by the policies in control/policies.h.  Kept free of solver
 // and simulator dependencies so every driver can link it.
 class Controller {
@@ -88,6 +91,16 @@ class Controller {
   [[nodiscard]] virtual ControlAction on_short_tick(const ControlContext& ctx) = 0;
   [[nodiscard]] virtual ControlAction on_long_tick(const ControlContext& ctx) = 0;
   [[nodiscard]] virtual const char* name() const = 0;
+
+  // Crash-recovery hooks (DESIGN.md §13): serialize / restore every field
+  // that influences a future decision — predictor histories, hysteresis
+  // streaks, detector windows, retry gates.  The defaults are no-ops,
+  // correct for stateless policies (NPM, combined-single) and for test
+  // stubs; any policy holding mutable decision state must override both,
+  // reading fields back in exactly the order it wrote them.  load_state
+  // throws SnapshotError (via the reader) on malformed input.
+  virtual void save_state(SnapshotWriter& w) const { (void)w; }
+  virtual void load_state(SnapshotReader& r) { (void)r; }
 };
 
 }  // namespace gc

@@ -1,0 +1,45 @@
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) over byte ranges.
+//
+// The integrity check shared by every durable control-plane artifact: the
+// per-frame trailer on cp/wire streams, the write-ahead log records and
+// the snapshot envelope (DESIGN.md §13).  Table-driven, one table shared
+// process-wide; the function is pure and thread-compatible.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace gc {
+
+namespace detail {
+
+consteval std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table = make_crc32_table();
+
+}  // namespace detail
+
+// CRC of `data`, continuing from `seed` (pass a previous result to chain
+// ranges).  The default seed is the standard initial value.
+[[nodiscard]] inline std::uint32_t crc32(std::string_view data,
+                                         std::uint32_t seed = 0) noexcept {
+  std::uint32_t c = seed ^ 0xffffffffu;
+  for (const char ch : data) {
+    c = detail::kCrc32Table[(c ^ static_cast<std::uint8_t>(ch)) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace gc

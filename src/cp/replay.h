@@ -72,6 +72,12 @@ class ReplayEngine {
   // real std::this_thread wait; pass a stub to replay without pacing.
   ReplayEngine(ControlPlane& cp, const ReplayOptions& options, SleepFn sleep = {});
 
+  // Swaps the facade under the engine without losing cumulative stats.
+  // The kill/restore path in tools/gcreplay rebuilds the ControlPlane from
+  // its checkpoint mid-run; the oracle keeps scoring the reborn facade
+  // against the same recording.
+  void rebind(ControlPlane& cp) noexcept { cp_ = &cp; }
+
   // Feeds one audit record: delivers its telemetry view, runs the tick and
   // compares the replayed commands against the recorded ones.  Returns
   // false when fail_fast is set and the record diverged.

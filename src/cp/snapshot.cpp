@@ -1,0 +1,160 @@
+#include "cp/snapshot.h"
+
+#include <bit>
+#include <cmath>
+
+#include "cp/crc32.h"
+#include "util/format.h"
+
+namespace gc {
+namespace {
+
+constexpr std::string_view kMagic = "GCCPSNAP";
+
+void put_u32(std::string& buf, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf.push_back(static_cast<char>(static_cast<std::uint8_t>(v >> (8 * i))));
+  }
+}
+
+std::uint32_t get_u32(std::string_view data, std::size_t pos) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(
+             data[pos + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void SnapshotWriter::u8(std::uint8_t v) {
+  buf_.push_back(static_cast<char>(v));
+}
+
+void SnapshotWriter::u32(std::uint32_t v) { put_u32(buf_, v); }
+
+void SnapshotWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void SnapshotWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void SnapshotWriter::boolean(bool v) { u8(v ? 1 : 0); }
+
+void SnapshotWriter::str(std::string_view v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  buf_.append(v);
+}
+
+void SnapshotReader::fail(const std::string& why) {
+  poisoned_ = true;
+  throw SnapshotError(why);
+}
+
+void SnapshotReader::need(std::size_t n, const char* what) {
+  if (poisoned_) fail("snapshot: reader poisoned by earlier error");
+  if (data_.size() - pos_ < n) {
+    fail(format("snapshot: truncated payload reading {} ({} of {} bytes left)",
+                what, data_.size() - pos_, n));
+  }
+}
+
+std::uint8_t SnapshotReader::u8() {
+  need(1, "u8");
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint32_t SnapshotReader::u32() {
+  need(4, "u32");
+  const std::uint32_t v = get_u32(data_, pos_);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t SnapshotReader::u64() {
+  need(8, "u64");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(
+             data_[pos_ + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+double SnapshotReader::f64() {
+  const double v = std::bit_cast<double>(u64());
+  if (!std::isfinite(v)) fail("snapshot: non-finite double field");
+  return v;
+}
+
+bool SnapshotReader::boolean() {
+  const std::uint8_t v = u8();
+  if (v > 1) fail(format("snapshot: boolean byte must be 0 or 1, got {}", v));
+  return v == 1;
+}
+
+std::string SnapshotReader::str() {
+  const std::uint32_t n = u32();
+  need(n, "string bytes");
+  std::string out(data_.substr(pos_, n));
+  pos_ += n;
+  return out;
+}
+
+void SnapshotReader::expect_end() {
+  if (poisoned_) fail("snapshot: reader poisoned by earlier error");
+  if (pos_ != data_.size()) {
+    fail(format("snapshot: {} trailing bytes after the last field",
+                data_.size() - pos_));
+  }
+}
+
+std::string encode_snapshot(std::string_view payload) {
+  std::string out;
+  out.reserve(kMagic.size() + 12 + payload.size());
+  out.append(kMagic);
+  put_u32(out, kSnapshotVersion);
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.append(payload);
+  put_u32(out, crc32(payload));
+  return out;
+}
+
+std::string decode_snapshot(std::string_view bytes) {
+  if (bytes.size() < kMagic.size() + 12) {
+    throw SnapshotError(
+        format("snapshot: {} bytes is shorter than the smallest envelope",
+               bytes.size()));
+  }
+  if (bytes.substr(0, kMagic.size()) != kMagic) {
+    throw SnapshotError("snapshot: bad magic (not a GCCPSNAP artifact)");
+  }
+  std::size_t pos = kMagic.size();
+  const std::uint32_t version = get_u32(bytes, pos);
+  pos += 4;
+  if (version != kSnapshotVersion) {
+    throw SnapshotError(format("snapshot: unsupported version {} (expected {})",
+                               version, kSnapshotVersion));
+  }
+  const std::uint32_t payload_len = get_u32(bytes, pos);
+  pos += 4;
+  if (bytes.size() - pos != static_cast<std::size_t>(payload_len) + 4) {
+    throw SnapshotError(format(
+        "snapshot: envelope declares {} payload bytes but {} follow the header",
+        payload_len, bytes.size() - pos));
+  }
+  const std::string_view payload = bytes.substr(pos, payload_len);
+  const std::uint32_t want = get_u32(bytes, pos + payload_len);
+  const std::uint32_t got = crc32(payload);
+  if (want != got) {
+    throw SnapshotError(format(
+        "snapshot: CRC mismatch (stored {:08x}, computed {:08x})", want, got));
+  }
+  return std::string(payload);
+}
+
+}  // namespace gc

@@ -1,0 +1,115 @@
+// Versioned binary snapshots of control-plane state (DESIGN.md §13.1).
+//
+// A snapshot is the serialized mutable state of a ControlPlane facade —
+// policy controller internals, estimator/staleness instruments, actuator
+// lanes and generations, era and the cp.* counters — sufficient to rebuild
+// a facade that emits the *bit-identical* command stream the crashed one
+// would have.  Together with the write-ahead log (cp/wal.h) it is the
+// durable half of crash recovery: restore the last checkpoint, replay the
+// WAL to the tip, resume.
+//
+// Envelope layout (all integers little-endian):
+//
+//   [8 B magic "GCCPSNAP"][u32 version][u32 payload_len][payload][u32 crc32]
+//
+// The CRC covers the payload bytes only; version is part of the envelope so
+// a loader can reject a format it does not speak *before* trusting any
+// field offsets.  Inside the payload every field is written through the
+// typed SnapshotWriter putters and read back through the matching
+// SnapshotReader getters in the same order — there is no schema, the
+// writing code *is* the schema, and the version number is bumped whenever
+// that order changes.
+//
+// Loading is strict by contract (the discipline of cp/wire and the artifact
+// parsers fuzzed in tests/test_replay_fuzz): a short buffer, a bad magic,
+// an unknown version, a CRC mismatch, a non-finite double where a finite
+// one was written, a boolean byte that is not 0/1, or trailing bytes after
+// the last field all throw SnapshotError.  Malformed input is rejected,
+// never clamped or repaired — and the reader poisons itself on the first
+// error, so a caller cannot accidentally keep pulling fields out of a
+// stream it already knows is corrupt.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace gc {
+
+class SnapshotError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Current snapshot payload format.  Bump whenever any save_state/save
+// implementation changes what it writes.
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+// Appends typed fields to a growing payload buffer.  Writing never fails;
+// the envelope (magic/version/length/CRC) is added by encode_snapshot.
+class SnapshotWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);
+  void boolean(bool v);
+  // Length-prefixed byte string (u32 length + raw bytes).
+  void str(std::string_view v);
+
+  [[nodiscard]] const std::string& payload() const noexcept { return buf_; }
+
+ private:
+  std::string buf_;
+};
+
+// Strict cursor over a snapshot payload.  Every getter checks bounds and
+// value validity; the first failure throws SnapshotError and poisons the
+// reader (all later calls throw).
+class SnapshotReader {
+ public:
+  explicit SnapshotReader(std::string_view payload) : data_(payload) {}
+  // The reader views the payload, it does not own it — constructing one
+  // over a temporary string (e.g. decode_snapshot's return value) would
+  // dangle on the first getter.  Bind the payload to a local first.
+  explicit SnapshotReader(std::string&&) = delete;
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  // Rejects NaN/Inf: no field of the control plane's state is legitimately
+  // non-finite (sentinels like first_mismatch_s = -1 are finite).
+  [[nodiscard]] double f64();
+  [[nodiscard]] bool boolean();
+  [[nodiscard]] std::string str();
+
+  // Throws unless every payload byte has been consumed — a snapshot with
+  // trailing bytes was written by different code than is reading it.
+  void expect_end();
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  [[nodiscard]] bool poisoned() const noexcept { return poisoned_; }
+
+ private:
+  void need(std::size_t n, const char* what);
+  [[noreturn]] void fail(const std::string& why);
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool poisoned_ = false;
+};
+
+// Wraps a payload in the versioned envelope (magic + version + length +
+// CRC32 trailer).
+[[nodiscard]] std::string encode_snapshot(std::string_view payload);
+
+// Unwraps an envelope produced by encode_snapshot, verifying magic,
+// version, length and CRC.  Returns the payload bytes; throws
+// SnapshotError on any malformation.
+[[nodiscard]] std::string decode_snapshot(std::string_view bytes);
+
+}  // namespace gc

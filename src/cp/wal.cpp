@@ -1,0 +1,79 @@
+#include "cp/wal.h"
+
+#include "cp/control_plane.h"
+#include "util/format.h"
+
+namespace gc {
+
+void WalWriter::append(const WireMessage& msg) {
+  switch (msg.type) {
+    case WireMsgType::kTelemetry: append_telemetry(msg.telemetry); return;
+    case WireMsgType::kTick: append_tick(msg.tick); return;
+    case WireMsgType::kAck: append_ack(msg.ack); return;
+    case WireMsgType::kCommand:
+      throw WalError("wal: refusing to journal a command frame");
+  }
+  throw WalError(format("wal: unknown message type {}",
+                        static_cast<unsigned>(msg.type)));
+}
+
+void WalWriter::append_telemetry(const TelemetryFrame& frame) {
+  append_telemetry_frame(buf_, frame, WireCrc::kCrc32);
+  ++records_;
+}
+
+void WalWriter::append_tick(const TickMsg& tick) {
+  append_tick_frame(buf_, tick, WireCrc::kCrc32);
+  ++records_;
+}
+
+void WalWriter::append_ack(const AckWireMsg& ack) {
+  append_ack_frame(buf_, ack, WireCrc::kCrc32);
+  ++records_;
+}
+
+void WalWriter::reset() {
+  buf_.assign(kWalMagic);
+  records_ = 0;
+}
+
+WalReplayStats wal_replay(ControlPlane& cp, std::string_view bytes) {
+  if (bytes.size() < kWalMagic.size()) {
+    throw WalError(format("wal: {} bytes is too short to hold the header",
+                          bytes.size()));
+  }
+  if (bytes.substr(0, kWalMagic.size()) != kWalMagic) {
+    throw WalError("wal: bad magic (not a GCCPWAL1 log)");
+  }
+  WalReplayStats stats;
+  FrameDecoder decoder;
+  decoder.feed(bytes.substr(kWalMagic.size()));
+  while (const auto msg = decoder.next()) {
+    switch (msg->type) {
+      case WireMsgType::kTelemetry:
+        cp.accept_telemetry(msg->telemetry);
+        ++stats.telemetry;
+        break;
+      case WireMsgType::kTick:
+        // Commands regenerate deterministically from the restored state;
+        // the replayed decision is discarded, the drift oracle checks the
+        // live stream instead.
+        (void)cp.on_tick(msg->tick.now, msg->tick.long_tick, msg->tick.safe_mode);
+        ++stats.ticks;
+        break;
+      case WireMsgType::kAck:
+        cp.on_ack(msg->ack.now, msg->ack.kind, msg->ack.gen);
+        ++stats.acks;
+        break;
+      case WireMsgType::kCommand:
+        throw WalError("wal: command frame in log");
+    }
+  }
+  if (decoder.buffered() > 0) {
+    throw WalError(format("wal: log ends mid-frame ({} bytes dangling)",
+                          decoder.buffered()));
+  }
+  return stats;
+}
+
+}  // namespace gc

@@ -1,0 +1,86 @@
+// Write-ahead log for the control plane's inbound traffic (DESIGN.md §13).
+//
+// A snapshot alone can only restore the facade to the instant it was cut;
+// everything the controller absorbed afterwards — telemetry deliveries,
+// ticks, acks — would be lost to a crash.  The WAL closes that window: a
+// durable transport appends every *accepted* inbound message before
+// acting on its effects becomes externally visible, and recovery is
+//
+//   restore(snapshot) ; wal_replay(log written since that snapshot)
+//
+// which lands the facade bit-identically on the pre-crash state (the
+// tick's regenerated command frames are discarded during replay — they
+// are a deterministic function of the restored state, and the drift
+// oracle in tools/gcreplay proves it).
+//
+// Layout: an 8-byte magic "GCCPWAL1" followed by a sequence of wire
+// frames (cp/wire.h) in arrival order, each carrying its CRC-32 trailer.
+// Only fleet->controller types are legal — kCommand in a WAL means the
+// writer was broken, not the disk.
+//
+// The loader is strict by the same contract as the snapshot and wire
+// decoders: a bad magic, an unknown type, a CRC mismatch, a command frame
+// or a truncated tail all throw (WalError, or the underlying WireError /
+// WireCrcError) and the facade must be considered unusable — recovery
+// retries from an older checkpoint, it never continues past corruption.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "cp/wire.h"
+
+namespace gc {
+
+class ControlPlane;
+
+class WalError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// The 8-byte log header; the trailing '1' is the format version.
+inline constexpr std::string_view kWalMagic = "GCCPWAL1";
+
+// Appends inbound messages as CRC'd wire frames to an in-memory buffer;
+// the transport owns persistence (gcreplay rewrites its PREFIX.wal file
+// after every append batch, the chaos harness keeps it in memory).
+class WalWriter {
+ public:
+  WalWriter() { reset(); }
+
+  // Routes by type; throws WalError on kCommand (commands are never
+  // journaled — replay regenerates them).
+  void append(const WireMessage& msg);
+
+  void append_telemetry(const TelemetryFrame& frame);
+  void append_tick(const TickMsg& tick);
+  void append_ack(const AckWireMsg& ack);
+
+  // Truncates back to a bare header.  Called right after a snapshot is
+  // cut: the checkpoint now covers everything the log used to.
+  void reset();
+
+  [[nodiscard]] const std::string& bytes() const noexcept { return buf_; }
+  [[nodiscard]] std::uint64_t records() const noexcept { return records_; }
+
+ private:
+  std::string buf_;
+  std::uint64_t records_ = 0;
+};
+
+struct WalReplayStats {
+  std::uint64_t telemetry = 0;
+  std::uint64_t ticks = 0;
+  std::uint64_t acks = 0;
+};
+
+// Replays a serialized log into the facade: telemetry -> accept_telemetry,
+// tick -> on_tick (decision discarded), ack -> on_ack.  Strict: throws
+// WalError / WireError / WireCrcError on any malformation, including a
+// truncated final frame.
+WalReplayStats wal_replay(ControlPlane& cp, std::string_view bytes);
+
+}  // namespace gc

@@ -8,6 +8,7 @@
 #include <cstring>
 
 #include "cp/control_plane.h"
+#include "cp/crc32.h"
 #include "util/format.h"
 
 namespace gc {
@@ -129,6 +130,23 @@ std::uint32_t expected_payload_bytes(std::uint8_t type) {
   throw WireError(format("wire: unknown message type {}", type));
 }
 
+// Emits the [u32 length][u8 type] prefix for a frame of `payload` bytes,
+// returning the buffer offset of the type byte so the caller can checksum
+// type + payload after writing them.  `crc` widens the declared length by
+// the trailer.
+std::size_t begin_frame(std::string& buf, WireMsgType type, std::uint32_t payload,
+                        WireCrc crc) {
+  put_u32(buf, 1 + payload + (crc == WireCrc::kCrc32 ? 4u : 0u));
+  const std::size_t body = buf.size();
+  put_u8(buf, static_cast<std::uint8_t>(type));
+  return body;
+}
+
+void end_frame(std::string& buf, std::size_t body, WireCrc crc) {
+  if (crc != WireCrc::kCrc32) return;
+  put_u32(buf, crc32(std::string_view(buf).substr(body)));
+}
+
 void write_all(int fd, const std::string& buf) {
   std::size_t off = 0;
   while (off < buf.size()) {
@@ -143,9 +161,10 @@ void write_all(int fd, const std::string& buf) {
 
 }  // namespace
 
-void append_telemetry_frame(std::string& buf, const TelemetryFrame& frame) {
-  put_u32(buf, 1 + kTelemetryBytes);
-  put_u8(buf, static_cast<std::uint8_t>(WireMsgType::kTelemetry));
+void append_telemetry_frame(std::string& buf, const TelemetryFrame& frame,
+                            WireCrc crc) {
+  const std::size_t body = begin_frame(buf, WireMsgType::kTelemetry,
+                                       kTelemetryBytes, crc);
   put_f64(buf, frame.sample_time);
   put_f64(buf, frame.rate);
   put_u32(buf, frame.serving);
@@ -153,31 +172,33 @@ void append_telemetry_frame(std::string& buf, const TelemetryFrame& frame) {
   put_u32(buf, frame.powered);
   put_u32(buf, frame.available);
   put_u64(buf, frame.jobs_in_system);
+  end_frame(buf, body, crc);
 }
 
-void append_tick_frame(std::string& buf, const TickMsg& tick) {
-  put_u32(buf, 1 + kTickBytes);
-  put_u8(buf, static_cast<std::uint8_t>(WireMsgType::kTick));
+void append_tick_frame(std::string& buf, const TickMsg& tick, WireCrc crc) {
+  const std::size_t body = begin_frame(buf, WireMsgType::kTick, kTickBytes, crc);
   put_f64(buf, tick.now);
   put_u8(buf, tick.long_tick ? 1 : 0);
   put_u8(buf, tick.safe_mode ? 1 : 0);
+  end_frame(buf, body, crc);
 }
 
-void append_command_frame(std::string& buf, const CommandFrame& cmd) {
-  put_u32(buf, 1 + kCommandBytes);
-  put_u8(buf, static_cast<std::uint8_t>(WireMsgType::kCommand));
+void append_command_frame(std::string& buf, const CommandFrame& cmd, WireCrc crc) {
+  const std::size_t body =
+      begin_frame(buf, WireMsgType::kCommand, kCommandBytes, crc);
   put_u8(buf, static_cast<std::uint8_t>(cmd.kind));
   put_f64(buf, cmd.value);
   put_u64(buf, cmd.gen);
   put_u32(buf, cmd.era);
+  end_frame(buf, body, crc);
 }
 
-void append_ack_frame(std::string& buf, const AckWireMsg& ack) {
-  put_u32(buf, 1 + kAckBytes);
-  put_u8(buf, static_cast<std::uint8_t>(WireMsgType::kAck));
+void append_ack_frame(std::string& buf, const AckWireMsg& ack, WireCrc crc) {
+  const std::size_t body = begin_frame(buf, WireMsgType::kAck, kAckBytes, crc);
   put_f64(buf, ack.now);
   put_u8(buf, static_cast<std::uint8_t>(ack.kind));
   put_u64(buf, ack.gen);
+  end_frame(buf, body, crc);
 }
 
 void FrameDecoder::feed(const char* data, std::size_t n) {
@@ -210,9 +231,28 @@ std::optional<WireMessage> FrameDecoder::next() {
     if (avail < 4 + static_cast<std::size_t>(length)) return std::nullopt;
     const auto type_byte = static_cast<std::uint8_t>(buf_[pos_ + 4]);
     const std::uint32_t expected = expected_payload_bytes(type_byte);
-    if (length != 1 + expected) {
-      throw WireError(format("wire: type {} frame must be {} bytes, got {}",
-                             type_byte, 1 + expected, length - 1));
+    // Two legal lengths per type: legacy (type + payload) and checksummed
+    // (type + payload + 4-byte CRC trailer).  Anything else is corrupt.
+    const bool has_crc = length == 1 + expected + 4;
+    if (!has_crc && length != 1 + expected) {
+      throw WireError(format("wire: type {} frame must be {} or {} bytes, got {}",
+                             type_byte, 1 + expected, 1 + expected + 4, length));
+    }
+    if (has_crc) {
+      const std::string_view body(buf_.data() + pos_ + 4, 1 + expected);
+      std::uint32_t stored = 0;
+      for (int i = 0; i < 4; ++i) {
+        stored |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(
+                      buf_[pos_ + 4 + 1 + expected + static_cast<std::size_t>(i)]))
+                  << (8 * i);
+      }
+      const std::uint32_t computed = crc32(body);
+      if (stored != computed) {
+        throw WireCrcError(format(
+            "wire: type {} frame CRC mismatch (stored {:08x}, computed {:08x})",
+            type_byte, stored, computed));
+      }
+      ++crc_frames_;
     }
     const WireMessage msg = decode_payload(static_cast<WireMsgType>(type_byte),
                                            buf_.data() + pos_ + 5, expected);
@@ -226,6 +266,12 @@ std::optional<WireMessage> FrameDecoder::next() {
 
 WireServeStats serve_connection(ControlPlane& cp, int fd) {
   WireServeStats stats;
+  serve_connection(cp, fd, stats, /*hooks=*/nullptr);
+  return stats;
+}
+
+void serve_connection(ControlPlane& cp, int fd, WireServeStats& stats,
+                      const WireHooks* hooks) {
   FrameDecoder decoder;
   std::string out;
   char chunk[4096];
@@ -240,10 +286,20 @@ WireServeStats serve_connection(ControlPlane& cp, int fd) {
         throw WireError(format("wire: stream ended mid-frame ({} bytes buffered)",
                                decoder.buffered()));
       }
-      return stats;
+      return;
     }
     decoder.feed(chunk, static_cast<std::size_t>(n));
-    while (const auto msg = decoder.next()) {
+    for (;;) {
+      std::optional<WireMessage> msg;
+      try {
+        msg = decoder.next();
+      } catch (const WireCrcError&) {
+        // Metered before the rethrow poisons this connection: the caller's
+        // stats object survives the throw by contract.
+        ++stats.crc_errors;
+        throw;
+      }
+      if (!msg) break;
       switch (msg->type) {
         case WireMsgType::kTelemetry:
           cp.accept_telemetry(msg->telemetry);
@@ -268,6 +324,7 @@ WireServeStats serve_connection(ControlPlane& cp, int fd) {
         case WireMsgType::kCommand:
           throw WireError("wire: command frame arriving controller-ward");
       }
+      if (hooks != nullptr && hooks->on_accepted) hooks->on_accepted(*msg);
     }
   }
 }

@@ -23,16 +23,31 @@
 //   kAck (4), fleet -> controller: command acknowledgement
 //       f64 now | u8 kind | u64 gen                                 (17 B)
 //
+// Since the CRC revision every frame may carry a 4-byte CRC-32 trailer
+// over the type byte + payload:
+//
+//   [u32 length][u8 type][payload][u32 crc32]
+//
+// with `length` counting type + payload + trailer.  The decoder
+// distinguishes the two layouts by length alone — each type has exactly
+// two legal lengths (1+payload legacy, 1+payload+4 checksummed) — so old
+// recordings replay unchanged while new traffic is integrity-checked.
+// Encoders emit the trailer by default; pass WireCrc::kNone to produce
+// legacy frames (compatibility tests, corpus generation).
+//
 // Decoding is strict by contract (same discipline as the config/trace
 // parsers fuzzed in tests/test_config_fuzz): an unknown type, a length
 // that does not match the type's fixed payload size, a length beyond
-// kMaxFrameBytes, a non-finite double, an out-of-range enum or a non-0/1
-// boolean byte all throw WireError.  Malformed input is rejected, never
-// clamped or skipped — and a throw never leaves the decoder mid-frame.
+// kMaxFrameBytes, a non-finite double, an out-of-range enum, a non-0/1
+// boolean byte or a CRC mismatch all throw WireError (WireCrcError for
+// the checksum case, so transports can count it separately as
+// cp.wire.crc_errors).  Malformed input is rejected, never clamped or
+// skipped — and a throw never leaves the decoder mid-frame.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -47,6 +62,19 @@ class WireError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
 };
+
+// A frame whose CRC-32 trailer does not match its contents.  Subclass of
+// WireError so strict callers need no new catch sites; transports that
+// meter integrity separately catch this first.
+class WireCrcError : public WireError {
+ public:
+  using WireError::WireError;
+};
+
+// Whether an encoder appends the CRC-32 trailer.  kCrc32 is the default
+// everywhere; kNone exists for legacy-compatibility tests and for
+// generating pre-CRC corpus artifacts.
+enum class WireCrc { kNone, kCrc32 };
 
 enum class WireMsgType : std::uint8_t {
   kTelemetry = 1,
@@ -82,10 +110,14 @@ struct WireMessage {
 
 // -- Encoding ----------------------------------------------------------------
 
-void append_telemetry_frame(std::string& buf, const TelemetryFrame& frame);
-void append_tick_frame(std::string& buf, const TickMsg& tick);
-void append_command_frame(std::string& buf, const CommandFrame& cmd);
-void append_ack_frame(std::string& buf, const AckWireMsg& ack);
+void append_telemetry_frame(std::string& buf, const TelemetryFrame& frame,
+                            WireCrc crc = WireCrc::kCrc32);
+void append_tick_frame(std::string& buf, const TickMsg& tick,
+                       WireCrc crc = WireCrc::kCrc32);
+void append_command_frame(std::string& buf, const CommandFrame& cmd,
+                          WireCrc crc = WireCrc::kCrc32);
+void append_ack_frame(std::string& buf, const AckWireMsg& ack,
+                      WireCrc crc = WireCrc::kCrc32);
 
 // -- Decoding ----------------------------------------------------------------
 
@@ -105,10 +137,13 @@ class FrameDecoder {
 
   [[nodiscard]] std::size_t buffered() const noexcept { return buf_.size() - pos_; }
   [[nodiscard]] bool poisoned() const noexcept { return poisoned_; }
+  // Frames decoded with a verified CRC trailer since construction.
+  [[nodiscard]] std::uint64_t crc_frames() const noexcept { return crc_frames_; }
 
  private:
   std::string buf_;
   std::size_t pos_ = 0;
+  std::uint64_t crc_frames_ = 0;
   bool poisoned_ = false;
 };
 
@@ -119,6 +154,18 @@ struct WireServeStats {
   std::uint64_t ticks = 0;
   std::uint64_t acks = 0;
   std::uint64_t commands_sent = 0;  // fresh + retransmissions
+  std::uint64_t crc_errors = 0;     // frames rejected by the CRC trailer
+};
+
+// Observation points on the serve loop, used by durable transports: the
+// chaos harness appends every accepted inbound message to its WAL and cuts
+// snapshots on tick boundaries from here, without the wire layer knowing
+// what durability is.
+struct WireHooks {
+  // After an inbound message is routed into the facade (telemetry
+  // delivered, tick run, ack applied).  For ticks the hook fires *after*
+  // the decision's commands were written back.
+  std::function<void(const WireMessage&)> on_accepted;
 };
 
 // Serves one connection on a byte-stream fd (UNIX socket, socketpair,
@@ -129,5 +176,12 @@ struct WireServeStats {
 // I/O errors.  A kCommand arriving controller-ward is malformed (commands
 // only ever travel fleet-ward).
 WireServeStats serve_connection(ControlPlane& cp, int fd);
+
+// In-place variant: `stats` is updated as frames are processed, so the
+// counts (including crc_errors) survive a mid-stream throw — the chaos
+// harness and the CI drift gate read them after a deliberately poisoned
+// connection.  `hooks` may be null.
+void serve_connection(ControlPlane& cp, int fd, WireServeStats& stats,
+                      const WireHooks* hooks);
 
 }  // namespace gc

@@ -1,7 +1,13 @@
 #include "obs/prometheus.h"
 
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
+#include <stdexcept>
 
 namespace gc {
 
@@ -76,6 +82,45 @@ std::string to_prometheus_text(
     out += '\n';
   }
   return out;
+}
+
+void serve_scrape(int fd, std::string_view body) {
+  // Consume the request head so well-behaved HTTP clients see their send
+  // acknowledged before the response lands; a client that writes nothing
+  // and just reads (netcat, the smoke test) works too because an empty
+  // first chunk / EOF falls straight through to the response.
+  std::string head;
+  char chunk[1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("scrape: recv failed: ") +
+                               std::strerror(errno));
+    }
+    if (n == 0) break;
+    head.append(chunk, static_cast<std::size_t>(n));
+    if (head.find("\r\n\r\n") != std::string::npos ||
+        head.find("\n\n") != std::string::npos) {
+      break;
+    }
+    if (head.size() > 64 * 1024) break;  // oversized head: answer anyway
+  }
+  std::string out = "HTTP/1.0 200 OK\r\n";
+  out += "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+  out.append(body);
+  std::size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t n =
+        ::send(fd, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("scrape: send failed: ") +
+                               std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
 }
 
 }  // namespace gc

@@ -41,4 +41,11 @@ using PrometheusHistogram = std::pair<std::string, const LogHistogram*>;
     const CountersSnapshot& snapshot,
     const std::vector<PrometheusHistogram>& histograms = {});
 
+// Answers one Prometheus scrape on a connected byte-stream fd (UNIX
+// socket, socketpair): consumes the request head (up to the blank line, or
+// EOF for bare netcat-style reads) and writes a minimal HTTP/1.0 200
+// response carrying `body` as text/plain exposition format, then returns
+// (the caller closes the fd).  Throws std::runtime_error on I/O errors.
+void serve_scrape(int fd, std::string_view body);
+
 }  // namespace gc

@@ -150,6 +150,25 @@ struct ControllerOutage {
   double duration_s = 0.0;
 };
 
+// What the controller process remembers when it comes back from an outage
+// (DESIGN.md §13.4).
+enum class ControllerRecoveryMode {
+  // The controller's in-memory state survived the outage (a process pause
+  // or a network partition, not a crash).  Historical behavior, and the
+  // default: every pinned golden was recorded under it.
+  kPreserve = 0,
+  // Crash + restart from durable state: at the recovery instant the facade
+  // is serialized (cp/snapshot.h), torn down, rebuilt empty and restored.
+  // By the snapshot bit-identity contract this must not change a single
+  // command relative to kPreserve — tests/test_recovery asserts it.
+  kWarmRestart = 1,
+  // Crash with durable state lost: the facade restarts from the pristine
+  // t = 0 image (boot observation, empty actuator lanes, zeroed
+  // estimator).  The policy re-learns the operating point from scratch,
+  // which is exactly the degradation bench/fig17_recovery measures.
+  kColdRestart = 2,
+};
+
 struct ControllerFaultOptions {
   std::vector<ControllerOutage> script;
   // Random fail-stop process for the controller itself: exponential time
@@ -162,6 +181,8 @@ struct ControllerFaultOptions {
   // When false the watchdog only counts (no safe-mode fallback); lost
   // ticks then leave the fleet frozen in its last commanded state.
   bool safe_mode = true;
+  // What the controller remembers once the outage ends (see enum above).
+  ControllerRecoveryMode recovery = ControllerRecoveryMode::kPreserve;
   // 0 derives from the dispatch seed (random outage process only).
   std::uint64_t seed = 0;
 

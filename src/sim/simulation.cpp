@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <optional>
 #include <string>
 
 #include "cp/control_plane.h"
@@ -96,7 +97,14 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
   // jitter draws are bit-identical to the pre-extraction loop.
   ControlPlaneOptions cp_options;
   cp_options.actuator = options.actuator;
-  ControlPlane cp(controller, cp_options, Rng(control_seed, /*stream=*/14));
+  // The facade lives in an optional so the crash-recovery modes (DESIGN.md
+  // §13.4) can tear it down and rebuild it mid-run; emplace() reuses the
+  // same storage, so the reference everything below captures stays valid
+  // across a rebuild (C++20 transparent replacement — ControlPlane has no
+  // const or reference members).
+  std::optional<ControlPlane> cp_box;
+  cp_box.emplace(controller, cp_options, Rng(control_seed, /*stream=*/14));
+  ControlPlane& cp = *cp_box;
   // Commands take the generation-stamped path whenever the channel or the
   // ack/retry protocol is on; otherwise they apply in place.
   const bool cmd_path = chan_on || options.actuator.enabled;
@@ -346,6 +354,13 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
     boot_view.available = cluster.available_count();
     boot_view.jobs_in_system = cluster.jobs_in_system();
     cp.seed_observation(boot_view);
+  }
+  // Pristine t = 0 image for cold restarts: the facade before the first
+  // tick, boot observation already seeded.  Captured only when that mode
+  // is in play so the default path serializes nothing.
+  std::string pristine_snapshot;
+  if (cf.enabled() && cf.recovery == ControllerRecoveryMode::kColdRestart) {
+    pristine_snapshot = cp.snapshot();
   }
 
   auto ship_telemetry = [&](double t, const TelemetryFrame& snap) {
@@ -775,6 +790,35 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
         GC_CHECK(controller_down_depth > 0, "recover without an outage");
         --controller_down_depth;
         if (controller_down_depth == 0) {
+          switch (cf.recovery) {
+            case ControllerRecoveryMode::kPreserve:
+              break;
+            case ControllerRecoveryMode::kWarmRestart: {
+              // Crash + restart from durable state: serialize, tear the
+              // facade down, rebuild it empty, restore.  The snapshot
+              // bit-identity contract (cp/snapshot.h) makes this a state
+              // transplant — the command stream must match kPreserve
+              // exactly, and tests/test_recovery holds it to that.
+              const std::string snap = cp.snapshot();
+              cp_box.emplace(controller, cp_options,
+                             Rng(control_seed, /*stream=*/14));
+              cp.restore(snap);
+              break;
+            }
+            case ControllerRecoveryMode::kColdRestart: {
+              // Durable state lost: restart from the pristine t = 0 image.
+              // The era must not regress with it — safe mode rejects
+              // commands from dead incarnations, and in a real deployment
+              // the incarnation number lives in a coordination service,
+              // not on the lost disk — so it is re-derived here.
+              const std::uint32_t prev_era = cp.era();
+              cp_box.emplace(controller, cp_options,
+                             Rng(control_seed, /*stream=*/14));
+              cp.restore(pristine_snapshot);
+              while (cp.era() < prev_era) cp.bump_era();
+              break;
+            }
+          }
           // New incarnation: its commands outrank anything the dead one
           // left in flight, and the watchdog starts from a clean slate.
           cp.bump_era();

@@ -67,6 +67,13 @@ class Rng {
   // Uniform integer in [0, bound) without modulo bias (Lemire's method).
   [[nodiscard]] std::uint64_t uniform_below(std::uint64_t bound) noexcept;
 
+  // The raw xoshiro256** state, for checkpoint/restore of deterministic
+  // components (cp/snapshot.h).  A generator rebuilt via set_state()
+  // continues the exact sequence the saved one would have produced.
+  using State = std::array<std::uint64_t, 4>;
+  [[nodiscard]] const State& state() const noexcept { return state_; }
+  void set_state(const State& s) noexcept { state_ = s; }
+
   // A child generator with an independent stream; `label` distinguishes
   // multiple children of the same parent.
   [[nodiscard]] Rng split(std::uint64_t label) noexcept {

@@ -1,0 +1,181 @@
+// Chaos-harness tests (cp/chaos.h): schedule parsing, the per-op fault
+// injection over real socketpairs, and the drift oracle — every fault but
+// drop must leave the command stream bit-identical to the clean run.
+#include "cp/chaos.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "control/policies.h"
+#include "core/provisioner.h"
+#include "exp/scenario.h"
+
+namespace gc {
+namespace {
+
+// -- Schedule parsing ---------------------------------------------------------
+
+TEST(ChaosSchedule, ParsesEveryOp) {
+  const auto events = parse_chaos_schedule(
+      "drop@3, dup@10,reorder@20,corrupt@31,truncate@44,kill@50");
+  ASSERT_EQ(events.size(), 6u);
+  EXPECT_EQ(events[0].op, ChaosOp::kDrop);
+  EXPECT_EQ(events[0].index, 3u);
+  EXPECT_EQ(events[5].op, ChaosOp::kKill);
+  EXPECT_EQ(events[5].index, 50u);
+}
+
+TEST(ChaosSchedule, EmptyTextIsAnEmptySchedule) {
+  EXPECT_TRUE(parse_chaos_schedule("").empty());
+  EXPECT_TRUE(parse_chaos_schedule("  ").empty());
+}
+
+TEST(ChaosSchedule, RejectsMalformedEntries) {
+  EXPECT_THROW((void)parse_chaos_schedule("explode@3"), std::invalid_argument);
+  EXPECT_THROW((void)parse_chaos_schedule("drop"), std::invalid_argument);
+  EXPECT_THROW((void)parse_chaos_schedule("drop@"), std::invalid_argument);
+  EXPECT_THROW((void)parse_chaos_schedule("drop@x"), std::invalid_argument);
+  EXPECT_THROW((void)parse_chaos_schedule("drop@1,dup@1"), std::invalid_argument);
+}
+
+// -- The harness --------------------------------------------------------------
+
+// A deterministic synthetic input stream: telemetry then tick per step,
+// wavy rate so the policy actually issues commands.
+std::vector<WireMessage> make_inputs(int steps) {
+  std::vector<WireMessage> inputs;
+  for (int i = 0; i < steps; ++i) {
+    const double now = 5.0 * (i + 1);
+    WireMessage t;
+    t.type = WireMsgType::kTelemetry;
+    t.telemetry.sample_time = now - 0.5;
+    t.telemetry.rate = 30.0 + 20.0 * ((i * 7) % 11) / 11.0;
+    t.telemetry.serving = 8 + i % 5;
+    t.telemetry.committed = t.telemetry.serving;
+    t.telemetry.powered = t.telemetry.serving;
+    t.telemetry.available = 20;
+    t.telemetry.jobs_in_system = 40;
+    inputs.push_back(t);
+    WireMessage k;
+    k.type = WireMsgType::kTick;
+    k.tick = {now, i % 6 == 5, false};
+    inputs.push_back(k);
+  }
+  return inputs;
+}
+
+struct Rig {
+  Rig() : solver(bench_cluster_config()) {
+    popts.dcp = bench_dcp_params();
+    options.actuator.enabled = true;
+    options.actuator.ack_timeout_s = 5.0;
+    factory = [this] {
+      return make_policy(PolicyKind::kCombinedDcp, &solver, popts);
+    };
+  }
+  ChaosReport run(const std::string& schedule, int steps = 60) const {
+    ChaosOptions chaos;
+    chaos.events = parse_chaos_schedule(schedule);
+    chaos.checkpoint_every = 16;
+    return run_chaos(make_inputs(steps), factory, options, Rng(1, 14), chaos);
+  }
+  Provisioner solver;
+  PolicyOptions popts;
+  ControlPlaneOptions options;
+  ControllerFactory factory;
+};
+
+TEST(Chaos, CleanScheduleMatchesTheOracle) {
+  const Rig rig;
+  const ChaosReport report = rig.run("");
+  EXPECT_EQ(report.inputs, 120u);
+  EXPECT_EQ(report.episodes, 1u);
+  EXPECT_EQ(report.drift_mismatches, 0u);
+  EXPECT_TRUE(report.clean());
+  EXPECT_GT(report.commands_chaos, 0u);
+  EXPECT_EQ(report.commands_chaos, report.commands_clean);
+}
+
+TEST(Chaos, EveryFaultTypeLeavesZeroDrift) {
+  const Rig rig;
+  const ChaosReport report =
+      rig.run("drop@10,dup@20,reorder@30,corrupt@41,truncate@53,kill@71");
+  EXPECT_EQ(report.drops, 1u);
+  EXPECT_EQ(report.dups, 1u);
+  EXPECT_EQ(report.reorders, 1u);
+  EXPECT_EQ(report.corrupts, 1u);
+  EXPECT_EQ(report.truncates, 1u);
+  EXPECT_EQ(report.kills, 1u);
+  // corrupt + truncate + kill each tear a connection down.
+  EXPECT_EQ(report.episodes, 4u);
+  EXPECT_EQ(report.crc_errors, 1u);
+  EXPECT_TRUE(report.clean()) << report.drift_mismatches << " mismatches";
+}
+
+TEST(Chaos, DupAndReorderOnATickAreSkippedNotInjected) {
+  const Rig rig;
+  // Odd indices are ticks in the telemetry/tick interleaving.
+  const ChaosReport report = rig.run("dup@11,reorder@21");
+  EXPECT_EQ(report.dups, 0u);
+  EXPECT_EQ(report.reorders, 0u);
+  EXPECT_EQ(report.skipped_on_tick, 2u);
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(Chaos, KillRightAfterACheckpointBoundaryRecovers) {
+  const Rig rig;
+  // checkpoint_every = 16 ticks = input index 32; kill on the frame after.
+  const ChaosReport report = rig.run("kill@33");
+  EXPECT_EQ(report.kills, 1u);
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(Chaos, BackToBackKillsRecover) {
+  const Rig rig;
+  const ChaosReport report = rig.run("kill@5,kill@7,kill@91");
+  EXPECT_EQ(report.kills, 3u);
+  EXPECT_EQ(report.episodes, 4u);
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(Chaos, ReportRendersCounters) {
+  const Rig rig;
+  const ChaosReport report = rig.run("drop@10,kill@20");
+  const CountersSnapshot snap = report.counters_snapshot();
+  auto value_of = [&](const std::string& name) -> std::uint64_t {
+    for (const auto& [key, value] : snap.counters) {
+      if (key == name) return value;
+    }
+    ADD_FAILURE() << "missing counter " << name;
+    return ~0ull;
+  };
+  EXPECT_EQ(value_of("cp.chaos.inputs"), 120u);
+  EXPECT_EQ(value_of("cp.chaos.drops"), 1u);
+  EXPECT_EQ(value_of("cp.chaos.kills"), 1u);
+  EXPECT_EQ(value_of("cp.drift.mismatches"), 0u);
+}
+
+TEST(Chaos, RejectsEventIndexPastTheInputs) {
+  const Rig rig;
+  ChaosOptions chaos;
+  chaos.events = parse_chaos_schedule("drop@500");
+  EXPECT_THROW((void)run_chaos(make_inputs(10), rig.factory, rig.options,
+                               Rng(1, 14), chaos),
+               std::invalid_argument);
+}
+
+TEST(Chaos, RejectsCommandFramesInTheInputs) {
+  const Rig rig;
+  std::vector<WireMessage> inputs = make_inputs(2);
+  WireMessage bad;
+  bad.type = WireMsgType::kCommand;
+  inputs.push_back(bad);
+  EXPECT_THROW((void)run_chaos(inputs, rig.factory, rig.options, Rng(1, 14),
+                               ChaosOptions{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gc

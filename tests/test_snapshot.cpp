@@ -1,0 +1,287 @@
+// Snapshot tests (cp/snapshot.h + ControlPlane::snapshot/restore): typed
+// round trips, the strict-loader contract (reject, never clamp; poison on
+// first error), the versioned envelope, and the headline bit-identity
+// invariant — a facade restored from its own snapshot emits exactly the
+// command stream the original would have.
+#include "cp/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "control/policies.h"
+#include "core/provisioner.h"
+#include "cp/control_plane.h"
+#include "exp/scenario.h"
+
+namespace gc {
+namespace {
+
+// -- Writer/reader round trips ------------------------------------------------
+
+TEST(Snapshot, RoundTripsEveryFieldType) {
+  SnapshotWriter w;
+  w.u8(0xab);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.f64(-1.5);
+  w.boolean(true);
+  w.boolean(false);
+  w.str("hello");
+  w.str("");
+
+  SnapshotReader r(w.payload());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_DOUBLE_EQ(r.f64(), -1.5);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_NO_THROW(r.expect_end());
+}
+
+TEST(Snapshot, DoublesRoundTripBitExactly) {
+  const double values[] = {0.0, -0.0, 1.0 / 3.0, 1e-300, -1e300,
+                           std::numeric_limits<double>::denorm_min()};
+  SnapshotWriter w;
+  for (const double v : values) w.f64(v);
+  SnapshotReader r(w.payload());
+  for (const double v : values) {
+    const double got = r.f64();
+    EXPECT_EQ(std::memcmp(&got, &v, sizeof v), 0);
+  }
+}
+
+TEST(Snapshot, ReaderRejectsTruncation) {
+  SnapshotWriter w;
+  w.u64(7);
+  const std::string payload = w.payload().substr(0, 5);
+  SnapshotReader r(payload);
+  EXPECT_THROW((void)r.u64(), SnapshotError);
+}
+
+TEST(Snapshot, ReaderRejectsNonFiniteDoubles) {
+  SnapshotWriter w;
+  w.f64(std::numeric_limits<double>::quiet_NaN());
+  SnapshotReader r(w.payload());
+  EXPECT_THROW((void)r.f64(), SnapshotError);
+}
+
+TEST(Snapshot, ReaderRejectsNonBooleanByte) {
+  SnapshotWriter w;
+  w.u8(2);
+  SnapshotReader r(w.payload());
+  EXPECT_THROW((void)r.boolean(), SnapshotError);
+}
+
+TEST(Snapshot, ReaderRejectsOversizedStringLength) {
+  SnapshotWriter w;
+  w.u32(0xffffffffu);  // string length prefix far past the buffer
+  SnapshotReader r(w.payload());
+  EXPECT_THROW((void)r.str(), SnapshotError);
+}
+
+TEST(Snapshot, ExpectEndRejectsTrailingBytes) {
+  SnapshotWriter w;
+  w.u8(1);
+  w.u8(2);
+  SnapshotReader r(w.payload());
+  (void)r.u8();
+  EXPECT_THROW(r.expect_end(), SnapshotError);
+}
+
+TEST(Snapshot, FirstErrorPoisonsTheReader) {
+  SnapshotWriter w;
+  w.u8(9);
+  SnapshotReader r(w.payload());
+  EXPECT_THROW((void)r.u64(), SnapshotError);  // only 1 byte left
+  EXPECT_TRUE(r.poisoned());
+  // The byte itself was readable before the failure; not anymore.
+  EXPECT_THROW((void)r.u8(), SnapshotError);
+  EXPECT_THROW(r.expect_end(), SnapshotError);
+}
+
+// -- Envelope -----------------------------------------------------------------
+
+TEST(SnapshotEnvelope, EncodeDecodeRoundTrips) {
+  const std::string payload("arbitrary \x00 bytes \xff", 19);
+  const std::string bytes = encode_snapshot(payload);
+  EXPECT_EQ(decode_snapshot(bytes), payload);
+}
+
+TEST(SnapshotEnvelope, RejectsBadMagic) {
+  std::string bytes = encode_snapshot("x");
+  bytes[0] ^= 0x20;
+  EXPECT_THROW((void)decode_snapshot(bytes), SnapshotError);
+}
+
+TEST(SnapshotEnvelope, RejectsUnknownVersion) {
+  std::string bytes = encode_snapshot("x");
+  bytes[8] ^= 0x01;  // version field follows the 8-byte magic
+  EXPECT_THROW((void)decode_snapshot(bytes), SnapshotError);
+}
+
+TEST(SnapshotEnvelope, RejectsFlippedPayloadByte) {
+  std::string bytes = encode_snapshot("payload");
+  bytes[16] ^= 0x01;  // first payload byte (magic + version + length = 16)
+  EXPECT_THROW((void)decode_snapshot(bytes), SnapshotError);
+}
+
+TEST(SnapshotEnvelope, RejectsFlippedCrcByte) {
+  std::string bytes = encode_snapshot("payload");
+  bytes.back() ^= 0x01;
+  EXPECT_THROW((void)decode_snapshot(bytes), SnapshotError);
+}
+
+TEST(SnapshotEnvelope, RejectsEveryTruncation) {
+  const std::string bytes = encode_snapshot("some payload");
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_THROW((void)decode_snapshot(bytes.substr(0, cut)), SnapshotError)
+        << "prefix of length " << cut << " decoded without error";
+  }
+}
+
+TEST(SnapshotEnvelope, RejectsTrailingGarbage) {
+  std::string bytes = encode_snapshot("p");
+  bytes += '\0';
+  EXPECT_THROW((void)decode_snapshot(bytes), SnapshotError);
+}
+
+// -- ControlPlane round trip --------------------------------------------------
+
+TelemetryFrame frame_at(double t, double rate, unsigned m) {
+  TelemetryFrame f;
+  f.sample_time = t;
+  f.rate = rate;
+  f.serving = m;
+  f.committed = m;
+  f.powered = m;
+  f.available = 20;
+  f.jobs_in_system = static_cast<std::uint64_t>(rate);
+  return f;
+}
+
+// Drives `cp` through `ticks` control periods of a wavy load and returns
+// every command frame issued.
+std::vector<CommandFrame> drive(ControlPlane& cp, double start_s, int ticks) {
+  std::vector<CommandFrame> out;
+  for (int i = 0; i < ticks; ++i) {
+    const double now = start_s + 5.0 * (i + 1);
+    const double rate = 30.0 + 20.0 * ((i * 7) % 11) / 11.0;
+    cp.accept_telemetry(frame_at(now - 0.5, rate, 8 + i % 5));
+    const auto d = cp.on_tick(now, /*long_tick=*/i % 6 == 5, /*safe_mode=*/false);
+    for (const auto& issued : d.commands) out.push_back(issued.frame);
+  }
+  return out;
+}
+
+bool same_command(const CommandFrame& a, const CommandFrame& b) {
+  return a.kind == b.kind && a.gen == b.gen && a.era == b.era &&
+         std::memcmp(&a.value, &b.value, sizeof a.value) == 0;
+}
+
+struct Facade {
+  Facade() : solver(bench_cluster_config()) {
+    popts.dcp = bench_dcp_params();
+    ControlPlaneOptions options;
+    options.actuator.enabled = true;
+    options.actuator.ack_timeout_s = 5.0;
+    cp.emplace(make_policy(PolicyKind::kCombinedDcp, &solver, popts), options,
+               Rng(1, 14));
+  }
+  Provisioner solver;
+  PolicyOptions popts;
+  std::optional<ControlPlane> cp;
+};
+
+TEST(ControlPlaneSnapshot, RestoreIsABitIdenticalTransplant) {
+  // Reference: one uninterrupted facade.
+  Facade ref;
+  (void)drive(*ref.cp, 0.0, 40);
+  const std::vector<CommandFrame> want = drive(*ref.cp, 200.0, 40);
+
+  // Subject: same prefix, snapshot, transplant into a *fresh* facade with
+  // a different actuator RNG seed (restore overwrites it), same suffix.
+  Facade a;
+  (void)drive(*a.cp, 0.0, 40);
+  const std::string snap = a.cp->snapshot();
+  Facade b;
+  ControlPlaneOptions bopts;
+  bopts.actuator.enabled = true;
+  bopts.actuator.ack_timeout_s = 5.0;
+  b.cp.emplace(make_policy(PolicyKind::kCombinedDcp, &b.solver, b.popts), bopts,
+               Rng(999, 3));
+  b.cp->restore(snap);
+  EXPECT_EQ(b.cp->ticks(), 40u);
+  const std::vector<CommandFrame> got = drive(*b.cp, 200.0, 40);
+
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_TRUE(same_command(got[i], want[i])) << "command " << i << " diverged";
+  }
+  // And the transplant carried the counters, not just the decisions.
+  EXPECT_EQ(b.cp->ticks(), ref.cp->ticks());
+  EXPECT_EQ(b.cp->telemetry_accepted(), ref.cp->telemetry_accepted());
+}
+
+TEST(ControlPlaneSnapshot, EveryPolicyKindRoundTrips) {
+  const Provisioner solver(bench_cluster_config());
+  PolicyOptions popts;
+  popts.dcp = bench_dcp_params();
+  for (const PolicyKind kind :
+       {PolicyKind::kNpm, PolicyKind::kDvfsOnly, PolicyKind::kVovfOnly,
+        PolicyKind::kCombinedDcp, PolicyKind::kCombinedSinglePeriod,
+        PolicyKind::kThreshold, PolicyKind::kDcpFailureAware,
+        PolicyKind::kDcpReliability}) {
+    ControlPlane cp(make_policy(kind, &solver, popts), ControlPlaneOptions{},
+                    Rng(1, 14));
+    const std::vector<CommandFrame> pre = drive(cp, 0.0, 30);
+    const std::string snap = cp.snapshot();
+    ControlPlane fresh(make_policy(kind, &solver, popts), ControlPlaneOptions{},
+                       Rng(2, 2));
+    fresh.restore(snap);
+    const std::vector<CommandFrame> want = drive(cp, 150.0, 30);
+    const std::vector<CommandFrame> got = drive(fresh, 150.0, 30);
+    ASSERT_EQ(got.size(), want.size()) << to_string(kind);
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_TRUE(same_command(got[i], want[i]))
+          << to_string(kind) << " command " << i << " diverged";
+    }
+  }
+}
+
+TEST(ControlPlaneSnapshot, RejectsSnapshotFromAnotherPolicy) {
+  const Provisioner solver(bench_cluster_config());
+  PolicyOptions popts;
+  popts.dcp = bench_dcp_params();
+  ControlPlane dvfs(make_policy(PolicyKind::kDvfsOnly, &solver, popts),
+                    ControlPlaneOptions{}, Rng(1, 14));
+  const std::string snap = dvfs.snapshot();
+  ControlPlane combined(make_policy(PolicyKind::kCombinedDcp, &solver, popts),
+                        ControlPlaneOptions{}, Rng(1, 14));
+  EXPECT_THROW(combined.restore(snap), SnapshotError);
+}
+
+TEST(ControlPlaneSnapshot, RejectsBitFlipsAnywhereInTheImage) {
+  Facade f;
+  (void)drive(*f.cp, 0.0, 10);
+  const std::string snap = f.cp->snapshot();
+  // Flip one byte at a spread of offsets; every flip must throw — either
+  // the envelope CRC (payload flips) or the header checks catch it.
+  for (std::size_t pos = 0; pos < snap.size(); pos += 13) {
+    std::string bad = snap;
+    bad[pos] ^= 0x40;
+    Facade g;
+    EXPECT_THROW(g.cp->restore(bad), SnapshotError)
+        << "flip at offset " << pos << " restored without error";
+  }
+}
+
+}  // namespace
+}  // namespace gc

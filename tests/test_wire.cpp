@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "cp/control_plane.h"
+#include "obs/prometheus.h"
 
 namespace gc {
 namespace {
@@ -206,6 +207,66 @@ TEST(Wire, PoisonedDecoderRefusesFurtherUse) {
   EXPECT_THROW(decoder.feed("x", 1), WireError);
 }
 
+// -- CRC trailers -------------------------------------------------------------
+
+TEST(WireCrc, LegacyFramesStillDecodeAndAreCounted) {
+  // Pre-CRC recordings carry bare frames; the decoder tells the two
+  // layouts apart by length alone, so they replay unchanged.
+  std::string buf;
+  append_telemetry_frame(buf, sample_telemetry(), WireCrc::kNone);
+  append_tick_frame(buf, TickMsg{250.0, true, false}, WireCrc::kNone);
+  append_command_frame(buf, CommandFrame{CommandKind::kSpeed, 0.875, 9, 2},
+                       WireCrc::kNone);
+  append_ack_frame(buf, AckWireMsg{251.0, CommandKind::kSpeed, 9},
+                   WireCrc::kNone);
+  FrameDecoder decoder;
+  decoder.feed(buf);
+  expect_all_frames(decoder);
+  EXPECT_EQ(decoder.crc_frames(), 0u);
+}
+
+TEST(WireCrc, CrcFramesDecodeAndAreCounted) {
+  FrameDecoder decoder;
+  decoder.feed(all_frames());  // default encoding carries the trailer
+  expect_all_frames(decoder);
+  EXPECT_EQ(decoder.crc_frames(), 4u);
+}
+
+TEST(WireCrc, MixedStreamsDecode) {
+  std::string buf;
+  append_tick_frame(buf, TickMsg{10.0, false, false}, WireCrc::kNone);
+  append_tick_frame(buf, TickMsg{20.0, false, false}, WireCrc::kCrc32);
+  FrameDecoder decoder;
+  decoder.feed(buf);
+  EXPECT_TRUE(decoder.next().has_value());
+  EXPECT_TRUE(decoder.next().has_value());
+  EXPECT_EQ(decoder.crc_frames(), 1u);
+}
+
+TEST(WireCrc, FlippingAnyFrameByteIsRejected) {
+  std::string buf;
+  append_telemetry_frame(buf, sample_telemetry(), WireCrc::kCrc32);
+  // Every byte past the length prefix: type, payload and the trailer
+  // itself all land under the check.
+  for (std::size_t pos = 4; pos < buf.size(); ++pos) {
+    std::string bad = buf;
+    bad[pos] ^= 0x10;
+    FrameDecoder decoder;
+    decoder.feed(bad);
+    EXPECT_THROW((void)decoder.next(), WireError)
+        << "flip at offset " << pos << " decoded without error";
+  }
+}
+
+TEST(WireCrc, CorruptionThrowsTheDistinctCrcError) {
+  std::string buf;
+  append_tick_frame(buf, TickMsg{10.0, false, false}, WireCrc::kCrc32);
+  buf[6] ^= 0x01;  // payload byte; frame length stays plausible
+  FrameDecoder decoder;
+  decoder.feed(buf);
+  EXPECT_THROW((void)decoder.next(), WireCrcError);
+}
+
 // -- The socketpair feed ------------------------------------------------------
 
 struct SocketPair {
@@ -302,6 +363,82 @@ TEST(WireServe, MidFrameEofIsAnError) {
   pair.send(buf.substr(0, 12));  // cut inside the payload
   pair.close_peer();
   EXPECT_THROW(serve_connection(cp, pair.fds[0]), WireError);
+}
+
+TEST(WireServe, CorruptFrameCountsACrcErrorBeforeThrowing) {
+  ScriptedController controller;
+  ControlPlane cp(controller, ControlPlaneOptions{}, Rng(7, 14));
+  SocketPair pair;
+  std::string buf;
+  append_tick_frame(buf, TickMsg{10.0, false, false});
+  append_telemetry_frame(buf, sample_telemetry());
+  buf[buf.size() - 6] ^= 0x04;  // inside the telemetry payload
+  pair.send(buf);
+  pair.close_peer();
+  WireServeStats stats;
+  EXPECT_THROW(serve_connection(cp, pair.fds[0], stats, nullptr), WireCrcError);
+  // The in-place overload's whole point: stats survive the throw, so the
+  // transport can count the rejection before reconnecting.
+  EXPECT_EQ(stats.ticks, 1u);
+  EXPECT_EQ(stats.crc_errors, 1u);
+}
+
+TEST(WireServe, HooksSeeEveryAcceptedMessage) {
+  ScriptedController controller;
+  ControlPlane cp(controller, ControlPlaneOptions{}, Rng(7, 14));
+  SocketPair pair;
+  std::string buf;
+  append_telemetry_frame(buf, sample_telemetry());
+  append_tick_frame(buf, TickMsg{130.0, false, false});
+  pair.send(buf);
+  pair.close_peer();
+  std::vector<WireMsgType> seen;
+  WireHooks hooks;
+  hooks.on_accepted = [&](const WireMessage& msg) { seen.push_back(msg.type); };
+  WireServeStats stats;
+  serve_connection(cp, pair.fds[0], stats, &hooks);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], WireMsgType::kTelemetry);
+  EXPECT_EQ(seen[1], WireMsgType::kTick);
+}
+
+// -- The scrape endpoint ------------------------------------------------------
+
+TEST(Scrape, AnswersOneHttpRequestWithTheBody) {
+  SocketPair pair;
+  const std::string request = "GET /metrics HTTP/1.0\r\n\r\n";
+  ASSERT_EQ(::write(pair.fds[1], request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+  serve_scrape(pair.fds[0], "gc_up 1\n");
+  ::close(pair.fds[0]);
+  pair.fds[0] = -1;
+  std::string reply;
+  char chunk[512];
+  ssize_t n;
+  while ((n = ::read(pair.fds[1], chunk, sizeof chunk)) > 0) {
+    reply.append(chunk, static_cast<std::size_t>(n));
+  }
+  EXPECT_EQ(reply.rfind("HTTP/1.0 200 OK\r\n", 0), 0u);
+  EXPECT_NE(reply.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  EXPECT_NE(reply.find("Content-Length: 8\r\n"), std::string::npos);
+  EXPECT_NE(reply.find("\r\n\r\ngc_up 1\n"), std::string::npos);
+}
+
+TEST(Scrape, BareReaderWithoutARequestStillGetsTheBody) {
+  // netcat-style client: write nothing, half-close, read.
+  SocketPair pair;
+  pair.close_peer();
+  serve_scrape(pair.fds[0], "x");
+  ::close(pair.fds[0]);
+  pair.fds[0] = -1;
+  std::string reply;
+  char chunk[512];
+  ssize_t n;
+  while ((n = ::read(pair.fds[1], chunk, sizeof chunk)) > 0) {
+    reply.append(chunk, static_cast<std::size_t>(n));
+  }
+  EXPECT_NE(reply.find("\r\n\r\nx"), std::string::npos);
 }
 
 }  // namespace

@@ -1,5 +1,5 @@
 // gcreplay — replays a recorded control trajectory through a fresh
-// ControlPlane and reports drift (DESIGN.md §12.3).
+// ControlPlane and reports drift (DESIGN.md §12.3, §13).
 //
 // A run written with --trace-out=PREFIX leaves PREFIX.audit.jsonl: one
 // record per control tick holding the delivered telemetry the tick planned
@@ -15,12 +15,31 @@
 //   gcreplay PREFIX --out=OUT               write OUT.counters.json / OUT.prom
 //   gcreplay PREFIX --serve=SOCK            also serve the wire protocol on a
 //                                           UNIX socket (one connection)
+//   gcreplay PREFIX --prom=SOCK             answer one Prometheus scrape with
+//                                           the cp.*/drift counters
+//
+// Crash recovery (DESIGN.md §13): --state=STATE persists STATE.snap (a
+// checkpoint every --checkpoint-every ticks) and STATE.wal (the records
+// since that checkpoint).  --kill-at-tick=N exits cleanly after tick N —
+// a simulated crash whose durable artifacts are all a later invocation
+// gets.  --restore rebuilds the facade from those artifacts and resumes
+// the replay exactly where the killed run died; the drift oracle then
+// proves the reborn controller emits the recording's command stream
+// bit-for-bit.  With --kill-at-tick and --restore together the crash and
+// recovery happen in one process (the facade is torn down and rebuilt
+// mid-run).
+//
+// Chaos (DESIGN.md §13.4): --chaos=SCHEDULE feeds the recording through a
+// real socketpair serve loop while injecting wire faults
+// ("<op>@<index>,..." — drop dup reorder corrupt truncate kill; indices
+// count wire records, two per audit tick: telemetry then tick), and
+// compares the surviving command stream against a clean oracle run.
 //
 // --policy picks the controller stack (default combined-dcp with the bench
 // defaults — the configuration every fig8 recording uses).  Exit codes:
 // 0 clean replay, 1 drift detected, 2 bad usage or corrupt artifacts.
-// Malformed artifacts (audit jsonl or timeseries csv) are rejected with an
-// error, never clamped or skipped.
+// Malformed artifacts (audit jsonl, timeseries csv, snapshot, WAL) are
+// rejected with an error, never clamped or skipped.
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -32,10 +51,15 @@
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "control/policies.h"
+#include "cp/chaos.h"
 #include "cp/replay.h"
+#include "cp/snapshot.h"
+#include "cp/wal.h"
 #include "cp/wire.h"
 #include "exp/scenario.h"
 #include "obs/audit.h"
@@ -50,6 +74,9 @@ void usage() {
   std::cerr
       << "usage: gcreplay PREFIX [--policy=KIND] [--speedup=X] [--fail-fast]\n"
          "                [--max-reported=N] [--out=OUT] [--serve=SOCKPATH]\n"
+         "                [--prom=SOCKPATH] [--state=STATE]\n"
+         "                [--checkpoint-every=N] [--kill-at-tick=N] [--restore]\n"
+         "                [--chaos=SCHEDULE] [--chaos-seed=N]\n"
          "       replays PREFIX.audit.jsonl through a fresh control plane\n"
          "       and validates PREFIX.timeseries.csv when present\n"
          "       exit 0 = clean, 1 = drift, 2 = error\n";
@@ -63,9 +90,43 @@ std::optional<gc::PolicyKind> parse_policy(const std::string& name) {
   return std::nullopt;
 }
 
-// Accepts one connection on a fresh UNIX socket and runs the wire protocol
-// over it — driver (c), proving the facade never cared who feeds it.
-gc::WireServeStats serve_once(gc::ControlPlane& cp, const std::string& path) {
+[[nodiscard]] std::string read_binary_file(const std::filesystem::path& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    throw std::runtime_error(
+        gc::format("cannot read {}", path.string()));
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return std::move(ss).str();
+}
+
+void write_binary_file(const std::filesystem::path& path, const std::string& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!f) {
+    throw std::runtime_error(gc::format("cannot write {}", path.string()));
+  }
+}
+
+// The telemetry frame an audit record says the tick planned on — the same
+// reconstruction ReplayEngine::feed performs, factored here so the WAL and
+// the chaos input sequence journal exactly what the engine delivered.
+[[nodiscard]] gc::TelemetryFrame frame_of(const gc::AuditRecord& rec) {
+  gc::TelemetryFrame frame;
+  frame.sample_time = rec.time_s - rec.obs_age_s;
+  frame.rate = rec.observed_rate;
+  frame.serving = rec.serving;
+  frame.committed = rec.committed;
+  frame.powered = rec.powered;
+  frame.available = rec.available;
+  frame.jobs_in_system = rec.jobs_in_system;
+  return frame;
+}
+
+// Binds a fresh UNIX listening socket at `path` and accepts exactly one
+// connection; the listener is closed and the path unlinked before return.
+[[nodiscard]] int accept_one(const std::string& path) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (path.size() >= sizeof addr.sun_path) {
@@ -83,25 +144,60 @@ gc::WireServeStats serve_once(gc::ControlPlane& cp, const std::string& path) {
     ::close(listener);
     throw std::runtime_error(gc::format("serve: bind/listen {}: {}", path, why));
   }
-  std::cerr << "gcreplay: serving wire protocol on " << path << "\n";
   const int conn = ::accept(listener, nullptr, nullptr);
+  const int saved_errno = errno;
+  ::close(listener);
+  ::unlink(path.c_str());
   if (conn < 0) {
-    const std::string why = std::strerror(errno);
-    ::close(listener);
-    throw std::runtime_error(gc::format("serve: accept: {}", why));
+    throw std::runtime_error(
+        gc::format("serve: accept: {}", std::strerror(saved_errno)));
   }
+  return conn;
+}
+
+// Accepts one connection on a fresh UNIX socket and runs the wire protocol
+// over it — driver (c), proving the facade never cared who feeds it.
+gc::WireServeStats serve_once(gc::ControlPlane& cp, const std::string& path) {
+  std::cerr << "gcreplay: serving wire protocol on " << path << "\n";
+  const int conn = accept_one(path);
   try {
     const gc::WireServeStats stats = gc::serve_connection(cp, conn);
     ::close(conn);
-    ::close(listener);
-    ::unlink(path.c_str());
     return stats;
   } catch (...) {
     ::close(conn);
-    ::close(listener);
-    ::unlink(path.c_str());
     throw;
   }
+}
+
+void scrape_once(const std::string& path, const std::string& body) {
+  std::cerr << "gcreplay: serving one Prometheus scrape on " << path << "\n";
+  const int conn = accept_one(path);
+  try {
+    gc::serve_scrape(conn, body);
+    ::close(conn);
+  } catch (...) {
+    ::close(conn);
+    throw;
+  }
+}
+
+// Writes OUT.counters.json / OUT.prom for `gcinspect --check`.
+void write_out(const std::string& out, const gc::CountersSnapshot& snap) {
+  {
+    std::ofstream f(out + ".counters.json");
+    f << snap.to_json() << '\n';
+    if (!f) {
+      throw std::runtime_error(
+          gc::format("cannot write {}.counters.json", out));
+    }
+  }
+  {
+    std::ofstream f(out + ".prom");
+    f << gc::to_prometheus_text(snap);
+    if (!f) throw std::runtime_error(gc::format("cannot write {}.prom", out));
+  }
+  std::cerr << "gcreplay: wrote " << out << ".{counters.json,prom}\n";
 }
 
 }  // namespace
@@ -111,7 +207,8 @@ int main(int argc, char** argv) {
     const gc::CliArgs args(argc, argv);
     for (const std::string& flag : args.unknown_flags(
              {"policy", "speedup", "fail-fast", "max-reported", "out", "serve",
-              "help"})) {
+              "prom", "state", "checkpoint-every", "kill-at-tick", "restore",
+              "chaos", "chaos-seed", "help"})) {
       std::cerr << "gcreplay: unknown flag --" << flag << "\n";
       usage();
       return 2;
@@ -134,20 +231,37 @@ int main(int argc, char** argv) {
       return 2;
     }
 
+    const std::string state = args.get_or("state", "");
+    const auto checkpoint_every =
+        static_cast<std::uint64_t>(std::max(args.get_int_or("checkpoint-every", 64), 1ll));
+    const long long kill_at = args.get_int_or("kill-at-tick", -1);
+    const bool restore = args.has("restore");
+    const bool durable = !state.empty();
+    if ((restore || kill_at >= 0) && !durable) {
+      std::cerr << "gcreplay: --restore / --kill-at-tick need --state=STATE\n";
+      return 2;
+    }
+    const auto chaos_text = args.get("chaos");
+    if (chaos_text && (durable || restore || args.has("serve"))) {
+      std::cerr << "gcreplay: --chaos cannot combine with --state/--restore/"
+                   "--serve\n";
+      return 2;
+    }
+
     // The recording's policy stack, rebuilt from the bench defaults — the
     // same configuration every figure bench (and the soak recording) runs.
+    // A factory rather than a one-shot build: the kill/restore and chaos
+    // paths construct reborn facades mid-run.
     const gc::ClusterConfig config = gc::bench_cluster_config();
     const gc::Provisioner solver(config);
     gc::PolicyOptions popts;
     popts.dcp = gc::bench_dcp_params();
-    auto controller = gc::make_policy(*kind, &solver, popts);
+    const auto factory = [&] { return gc::make_policy(*kind, &solver, popts); };
 
     // The actuator protocol stays off: audit records compare at the policy
     // boundary, before ack/retry stamping.  The RNG is therefore never
     // drawn; any fixed seed gives the same replay.
     gc::ControlPlaneOptions cp_options;
-    gc::ControlPlane cp(std::move(controller), cp_options,
-                        gc::Rng(/*seed=*/1, /*stream=*/14));
 
     const auto audit_path = std::filesystem::path(prefix + ".audit.jsonl");
     if (!std::filesystem::exists(audit_path)) {
@@ -167,14 +281,140 @@ int main(int argc, char** argv) {
       std::cerr << "gcreplay: " << ts_path.string() << " validated\n";
     }
 
+    // -- Chaos mode ----------------------------------------------------------
+    if (chaos_text) {
+      gc::ChaosOptions chaos;
+      chaos.events = gc::parse_chaos_schedule(*chaos_text);
+      chaos.seed = static_cast<std::uint64_t>(
+          std::max(args.get_int_or("chaos-seed", 1), 0ll));
+      chaos.checkpoint_every = checkpoint_every;
+      std::vector<gc::WireMessage> inputs;
+      inputs.reserve(2 * log.records().size());
+      for (const gc::AuditRecord& rec : log.records()) {
+        gc::WireMessage t;
+        t.type = gc::WireMsgType::kTelemetry;
+        t.telemetry = frame_of(rec);
+        inputs.push_back(t);
+        gc::WireMessage k;
+        k.type = gc::WireMsgType::kTick;
+        k.tick = {rec.time_s, rec.long_tick, rec.safe_mode};
+        inputs.push_back(k);
+      }
+      const gc::ChaosReport report = gc::run_chaos(
+          inputs, factory, cp_options, gc::Rng(/*seed=*/1, /*stream=*/14), chaos);
+      std::cout << gc::format(
+          "chaos: {} inputs over {} episodes [policy {}]: {} drops, {} dups, "
+          "{} reorders, {} corrupts, {} truncates, {} kills "
+          "({} crc rejections)\n",
+          report.inputs, report.episodes, gc::to_string(*kind), report.drops,
+          report.dups, report.reorders, report.corrupts, report.truncates,
+          report.kills, report.crc_errors);
+      if (report.clean()) {
+        std::cout << gc::format(
+            "command stream matches the clean oracle ({} commands): no drift\n",
+            report.commands_clean);
+      } else {
+        std::cout << gc::format("DRIFT: {} mismatches ({} clean vs {} chaos)\n",
+                                report.drift_mismatches, report.commands_clean,
+                                report.commands_chaos);
+        for (const std::string& s : report.mismatch_samples) {
+          std::cout << "  " << s << "\n";
+        }
+      }
+      if (const auto out = args.get("out")) {
+        if (out->empty()) {
+          std::cerr << "gcreplay: --out needs a file prefix\n";
+          return 2;
+        }
+        write_out(*out, report.counters_snapshot());
+      }
+      if (const auto prom = args.get("prom")) {
+        scrape_once(*prom, gc::to_prometheus_text(report.counters_snapshot()));
+      }
+      return report.clean() ? 0 : 1;
+    }
+
+    // -- Replay (optionally durable / killed / restored) ---------------------
+    std::optional<gc::ControlPlane> cp;
+    cp.emplace(factory(), cp_options, gc::Rng(/*seed=*/1, /*stream=*/14));
+
     gc::ReplayOptions replay_options;
     replay_options.speedup = args.get_double_or("speedup", 0.0);
     replay_options.fail_fast = args.has("fail-fast");
     replay_options.max_reported = static_cast<std::size_t>(
         std::max(args.get_int_or("max-reported", 8), 1ll));
 
-    gc::ReplayEngine engine(cp, replay_options);
-    const gc::ReplayStats stats = engine.run(log);
+    gc::ReplayEngine engine(*cp, replay_options);
+    const auto snap_path = std::filesystem::path(state + ".snap");
+    const auto wal_path = std::filesystem::path(state + ".wal");
+
+    std::uint64_t start_index = 0;
+    if (restore && kill_at < 0) {
+      // Two-invocation crash model: a previous run died, its checkpoint +
+      // WAL are all we have.  Restore, replay the log tail, resume.
+      cp->restore(read_binary_file(snap_path));
+      if (std::filesystem::exists(wal_path)) {
+        gc::wal_replay(*cp, read_binary_file(wal_path));
+      }
+      start_index = cp->ticks();
+      if (start_index > log.records().size()) {
+        std::cerr << gc::format(
+            "gcreplay: restored state is {} ticks deep but the recording "
+            "only holds {}\n",
+            start_index, log.records().size());
+        return 2;
+      }
+      std::cerr << gc::format(
+          "gcreplay: restored at tick {} (snapshot + WAL), resuming\n",
+          start_index);
+    }
+
+    gc::ReplayStats stats;
+    if (!durable) {
+      stats = engine.run(log);
+    } else {
+      // Checkpointed replay: every fed record is journaled, the snapshot
+      // is cut on the cadence (truncating the WAL), and a --kill-at-tick
+      // crash either ends the process (two-invocation model) or tears the
+      // facade down and restores it in place when --restore is also set.
+      gc::WalWriter wal;
+      // Cut a checkpoint up front (also after a restore, where the on-disk
+      // snapshot still describes the *previous* incarnation's checkpoint
+      // and the fresh WAL would otherwise leave a recovery gap).
+      write_binary_file(snap_path, cp->snapshot());
+      write_binary_file(wal_path, wal.bytes());
+      for (std::uint64_t i = start_index; i < log.records().size(); ++i) {
+        const gc::AuditRecord& rec = log.records()[i];
+        const bool keep_going = engine.feed(rec);
+        wal.append_telemetry(frame_of(rec));
+        wal.append_tick({rec.time_s, rec.long_tick, rec.safe_mode});
+        if (cp->ticks() % checkpoint_every == 0) {
+          write_binary_file(snap_path, cp->snapshot());
+          wal.reset();
+        }
+        write_binary_file(wal_path, wal.bytes());
+        if (kill_at >= 0 && cp->ticks() == static_cast<std::uint64_t>(kill_at)) {
+          if (!restore) {
+            std::cout << gc::format(
+                "killed at tick {}: state persisted to {}.{{snap,wal}} — "
+                "resume with --restore\n",
+                cp->ticks(), state);
+            return 0;
+          }
+          // In-process crash: the facade dies and a reborn one is rebuilt
+          // strictly from the on-disk artifacts, mid-replay.
+          cp.emplace(factory(), cp_options, gc::Rng(/*seed=*/1, /*stream=*/14));
+          cp->restore(read_binary_file(snap_path));
+          gc::wal_replay(*cp, read_binary_file(wal_path));
+          engine.rebind(*cp);
+          std::cerr << gc::format(
+              "gcreplay: killed and restored in-process at tick {}\n",
+              cp->ticks());
+        }
+        if (!keep_going) break;
+      }
+      stats = engine.stats();
+    }
 
     std::cout << gc::format(
         "replayed {} ticks ({} long) spanning {:.0f} s of recorded time "
@@ -200,24 +440,7 @@ int main(int argc, char** argv) {
         std::cerr << "gcreplay: --out needs a file prefix\n";
         return 2;
       }
-      const gc::CountersSnapshot snap = engine.counters_snapshot();
-      {
-        std::ofstream f(*out + ".counters.json");
-        f << snap.to_json() << '\n';
-        if (!f) {
-          std::cerr << "gcreplay: cannot write " << *out << ".counters.json\n";
-          return 2;
-        }
-      }
-      {
-        std::ofstream f(*out + ".prom");
-        f << gc::to_prometheus_text(snap);
-        if (!f) {
-          std::cerr << "gcreplay: cannot write " << *out << ".prom\n";
-          return 2;
-        }
-      }
-      std::cerr << "gcreplay: wrote " << *out << ".{counters.json,prom}\n";
+      write_out(*out, engine.counters_snapshot());
     }
 
     if (const auto sock = args.get("serve")) {
@@ -225,10 +448,19 @@ int main(int argc, char** argv) {
         std::cerr << "gcreplay: --serve needs a socket path\n";
         return 2;
       }
-      const gc::WireServeStats ws = serve_once(cp, *sock);
+      const gc::WireServeStats ws = serve_once(*cp, *sock);
       std::cout << gc::format(
-          "served {} telemetry / {} ticks / {} acks, sent {} commands\n",
-          ws.telemetry, ws.ticks, ws.acks, ws.commands_sent);
+          "served {} telemetry / {} ticks / {} acks, sent {} commands "
+          "({} crc rejections)\n",
+          ws.telemetry, ws.ticks, ws.acks, ws.commands_sent, ws.crc_errors);
+    }
+
+    if (const auto prom = args.get("prom")) {
+      if (prom->empty()) {
+        std::cerr << "gcreplay: --prom needs a socket path\n";
+        return 2;
+      }
+      scrape_once(*prom, gc::to_prometheus_text(engine.counters_snapshot()));
     }
 
     return stats.clean() ? 0 : 1;
