@@ -1,0 +1,119 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "Release".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "greencluster::gc_util" for configuration "Release"
+set_property(TARGET greencluster::gc_util APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(greencluster::gc_util PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libgc_util.a"
+  )
+
+list(APPEND _cmake_import_check_targets greencluster::gc_util )
+list(APPEND _cmake_import_check_files_for_greencluster::gc_util "${_IMPORT_PREFIX}/lib/libgc_util.a" )
+
+# Import target "greencluster::gc_stats" for configuration "Release"
+set_property(TARGET greencluster::gc_stats APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(greencluster::gc_stats PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libgc_stats.a"
+  )
+
+list(APPEND _cmake_import_check_targets greencluster::gc_stats )
+list(APPEND _cmake_import_check_files_for_greencluster::gc_stats "${_IMPORT_PREFIX}/lib/libgc_stats.a" )
+
+# Import target "greencluster::gc_power" for configuration "Release"
+set_property(TARGET greencluster::gc_power APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(greencluster::gc_power PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libgc_power.a"
+  )
+
+list(APPEND _cmake_import_check_targets greencluster::gc_power )
+list(APPEND _cmake_import_check_files_for_greencluster::gc_power "${_IMPORT_PREFIX}/lib/libgc_power.a" )
+
+# Import target "greencluster::gc_workload" for configuration "Release"
+set_property(TARGET greencluster::gc_workload APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(greencluster::gc_workload PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libgc_workload.a"
+  )
+
+list(APPEND _cmake_import_check_targets greencluster::gc_workload )
+list(APPEND _cmake_import_check_files_for_greencluster::gc_workload "${_IMPORT_PREFIX}/lib/libgc_workload.a" )
+
+# Import target "greencluster::gc_queueing" for configuration "Release"
+set_property(TARGET greencluster::gc_queueing APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(greencluster::gc_queueing PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libgc_queueing.a"
+  )
+
+list(APPEND _cmake_import_check_targets greencluster::gc_queueing )
+list(APPEND _cmake_import_check_files_for_greencluster::gc_queueing "${_IMPORT_PREFIX}/lib/libgc_queueing.a" )
+
+# Import target "greencluster::gc_obs" for configuration "Release"
+set_property(TARGET greencluster::gc_obs APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(greencluster::gc_obs PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libgc_obs.a"
+  )
+
+list(APPEND _cmake_import_check_targets greencluster::gc_obs )
+list(APPEND _cmake_import_check_files_for_greencluster::gc_obs "${_IMPORT_PREFIX}/lib/libgc_obs.a" )
+
+# Import target "greencluster::gc_cp" for configuration "Release"
+set_property(TARGET greencluster::gc_cp APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(greencluster::gc_cp PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libgc_cp.a"
+  )
+
+list(APPEND _cmake_import_check_targets greencluster::gc_cp )
+list(APPEND _cmake_import_check_files_for_greencluster::gc_cp "${_IMPORT_PREFIX}/lib/libgc_cp.a" )
+
+# Import target "greencluster::gc_core" for configuration "Release"
+set_property(TARGET greencluster::gc_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(greencluster::gc_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libgc_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets greencluster::gc_core )
+list(APPEND _cmake_import_check_files_for_greencluster::gc_core "${_IMPORT_PREFIX}/lib/libgc_core.a" )
+
+# Import target "greencluster::gc_sim" for configuration "Release"
+set_property(TARGET greencluster::gc_sim APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(greencluster::gc_sim PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libgc_sim.a"
+  )
+
+list(APPEND _cmake_import_check_targets greencluster::gc_sim )
+list(APPEND _cmake_import_check_files_for_greencluster::gc_sim "${_IMPORT_PREFIX}/lib/libgc_sim.a" )
+
+# Import target "greencluster::gc_control" for configuration "Release"
+set_property(TARGET greencluster::gc_control APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(greencluster::gc_control PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libgc_control.a"
+  )
+
+list(APPEND _cmake_import_check_targets greencluster::gc_control )
+list(APPEND _cmake_import_check_files_for_greencluster::gc_control "${_IMPORT_PREFIX}/lib/libgc_control.a" )
+
+# Import target "greencluster::gc_exp" for configuration "Release"
+set_property(TARGET greencluster::gc_exp APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(greencluster::gc_exp PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libgc_exp.a"
+  )
+
+list(APPEND _cmake_import_check_targets greencluster::gc_exp )
+list(APPEND _cmake_import_check_files_for_greencluster::gc_exp "${_IMPORT_PREFIX}/lib/libgc_exp.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

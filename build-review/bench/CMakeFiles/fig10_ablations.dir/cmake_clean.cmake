@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_ablations.dir/fig10_ablations.cpp.o"
+  "CMakeFiles/fig10_ablations.dir/fig10_ablations.cpp.o.d"
+  "fig10_ablations"
+  "fig10_ablations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_power_cap.dir/fig11_power_cap.cpp.o"
+  "CMakeFiles/fig11_power_cap.dir/fig11_power_cap.cpp.o.d"
+  "fig11_power_cap"
+  "fig11_power_cap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_power_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

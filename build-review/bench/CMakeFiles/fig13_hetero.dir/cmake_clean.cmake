@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_hetero.dir/fig13_hetero.cpp.o"
+  "CMakeFiles/fig13_hetero.dir/fig13_hetero.cpp.o.d"
+  "fig13_hetero"
+  "fig13_hetero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_hetero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

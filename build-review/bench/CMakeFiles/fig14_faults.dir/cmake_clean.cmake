@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_faults.dir/fig14_faults.cpp.o"
+  "CMakeFiles/fig14_faults.dir/fig14_faults.cpp.o.d"
+  "fig14_faults"
+  "fig14_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

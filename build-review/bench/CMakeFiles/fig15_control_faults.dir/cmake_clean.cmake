@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_control_faults.dir/fig15_control_faults.cpp.o"
+  "CMakeFiles/fig15_control_faults.dir/fig15_control_faults.cpp.o.d"
+  "fig15_control_faults"
+  "fig15_control_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_control_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_reliability.dir/fig16_reliability.cpp.o"
+  "CMakeFiles/fig16_reliability.dir/fig16_reliability.cpp.o.d"
+  "fig16_reliability"
+  "fig16_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

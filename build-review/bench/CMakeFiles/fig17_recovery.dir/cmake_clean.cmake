@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_recovery.dir/fig17_recovery.cpp.o"
+  "CMakeFiles/fig17_recovery.dir/fig17_recovery.cpp.o.d"
+  "fig17_recovery"
+  "fig17_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

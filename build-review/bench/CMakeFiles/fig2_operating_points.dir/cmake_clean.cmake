@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_operating_points.dir/fig2_operating_points.cpp.o"
+  "CMakeFiles/fig2_operating_points.dir/fig2_operating_points.cpp.o.d"
+  "fig2_operating_points"
+  "fig2_operating_points.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_operating_points.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

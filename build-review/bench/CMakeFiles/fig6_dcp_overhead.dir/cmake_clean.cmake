@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_dcp_overhead.dir/fig6_dcp_overhead.cpp.o"
+  "CMakeFiles/fig6_dcp_overhead.dir/fig6_dcp_overhead.cpp.o.d"
+  "fig6_dcp_overhead"
+  "fig6_dcp_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_dcp_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_period_sensitivity.dir/fig7_period_sensitivity.cpp.o"
+  "CMakeFiles/fig7_period_sensitivity.dir/fig7_period_sensitivity.cpp.o.d"
+  "fig7_period_sensitivity"
+  "fig7_period_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_period_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_trace_replay.dir/fig8_trace_replay.cpp.o"
+  "CMakeFiles/fig8_trace_replay.dir/fig8_trace_replay.cpp.o.d"
+  "fig8_trace_replay"
+  "fig8_trace_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_trace_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

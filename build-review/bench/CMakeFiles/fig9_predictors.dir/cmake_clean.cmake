@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_predictors.dir/fig9_predictors.cpp.o"
+  "CMakeFiles/fig9_predictors.dir/fig9_predictors.cpp.o.d"
+  "fig9_predictors"
+  "fig9_predictors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

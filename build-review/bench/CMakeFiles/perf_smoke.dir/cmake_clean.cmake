@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_smoke.dir/perf_smoke.cpp.o"
+  "CMakeFiles/perf_smoke.dir/perf_smoke.cpp.o.d"
+  "perf_smoke"
+  "perf_smoke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_model_params.dir/tab1_model_params.cpp.o"
+  "CMakeFiles/tab1_model_params.dir/tab1_model_params.cpp.o.d"
+  "tab1_model_params"
+  "tab1_model_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_model_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_energy_savings.dir/tab2_energy_savings.cpp.o"
+  "CMakeFiles/tab2_energy_savings.dir/tab2_energy_savings.cpp.o.d"
+  "tab2_energy_savings"
+  "tab2_energy_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_energy_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

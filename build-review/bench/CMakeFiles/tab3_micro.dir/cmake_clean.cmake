@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab3_micro.dir/tab3_micro.cpp.o"
+  "CMakeFiles/tab3_micro.dir/tab3_micro.cpp.o.d"
+  "tab3_micro"
+  "tab3_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

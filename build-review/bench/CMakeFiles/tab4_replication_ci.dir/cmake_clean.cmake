@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab4_replication_ci.dir/tab4_replication_ci.cpp.o"
+  "CMakeFiles/tab4_replication_ci.dir/tab4_replication_ci.cpp.o.d"
+  "tab4_replication_ci"
+  "tab4_replication_ci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab4_replication_ci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_control.dir/control/config_io.cpp.o"
+  "CMakeFiles/gc_control.dir/control/config_io.cpp.o.d"
+  "CMakeFiles/gc_control.dir/control/failure_aware.cpp.o"
+  "CMakeFiles/gc_control.dir/control/failure_aware.cpp.o.d"
+  "CMakeFiles/gc_control.dir/control/policies.cpp.o"
+  "CMakeFiles/gc_control.dir/control/policies.cpp.o.d"
+  "CMakeFiles/gc_control.dir/control/predictor.cpp.o"
+  "CMakeFiles/gc_control.dir/control/predictor.cpp.o.d"
+  "CMakeFiles/gc_control.dir/control/reliability_dcp.cpp.o"
+  "CMakeFiles/gc_control.dir/control/reliability_dcp.cpp.o.d"
+  "libgc_control.a"
+  "libgc_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cluster_config.cpp" "src/CMakeFiles/gc_core.dir/core/cluster_config.cpp.o" "gcc" "src/CMakeFiles/gc_core.dir/core/cluster_config.cpp.o.d"
+  "/root/repo/src/core/config_io.cpp" "src/CMakeFiles/gc_core.dir/core/config_io.cpp.o" "gcc" "src/CMakeFiles/gc_core.dir/core/config_io.cpp.o.d"
+  "/root/repo/src/core/dcp.cpp" "src/CMakeFiles/gc_core.dir/core/dcp.cpp.o" "gcc" "src/CMakeFiles/gc_core.dir/core/dcp.cpp.o.d"
+  "/root/repo/src/core/hetero.cpp" "src/CMakeFiles/gc_core.dir/core/hetero.cpp.o" "gcc" "src/CMakeFiles/gc_core.dir/core/hetero.cpp.o.d"
+  "/root/repo/src/core/power_cap.cpp" "src/CMakeFiles/gc_core.dir/core/power_cap.cpp.o" "gcc" "src/CMakeFiles/gc_core.dir/core/power_cap.cpp.o.d"
+  "/root/repo/src/core/provisioner.cpp" "src/CMakeFiles/gc_core.dir/core/provisioner.cpp.o" "gcc" "src/CMakeFiles/gc_core.dir/core/provisioner.cpp.o.d"
+  "/root/repo/src/core/reliability.cpp" "src/CMakeFiles/gc_core.dir/core/reliability.cpp.o" "gcc" "src/CMakeFiles/gc_core.dir/core/reliability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/gc_power.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_queueing.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

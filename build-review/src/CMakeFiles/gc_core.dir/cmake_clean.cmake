@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_core.dir/core/cluster_config.cpp.o"
+  "CMakeFiles/gc_core.dir/core/cluster_config.cpp.o.d"
+  "CMakeFiles/gc_core.dir/core/config_io.cpp.o"
+  "CMakeFiles/gc_core.dir/core/config_io.cpp.o.d"
+  "CMakeFiles/gc_core.dir/core/dcp.cpp.o"
+  "CMakeFiles/gc_core.dir/core/dcp.cpp.o.d"
+  "CMakeFiles/gc_core.dir/core/hetero.cpp.o"
+  "CMakeFiles/gc_core.dir/core/hetero.cpp.o.d"
+  "CMakeFiles/gc_core.dir/core/power_cap.cpp.o"
+  "CMakeFiles/gc_core.dir/core/power_cap.cpp.o.d"
+  "CMakeFiles/gc_core.dir/core/provisioner.cpp.o"
+  "CMakeFiles/gc_core.dir/core/provisioner.cpp.o.d"
+  "CMakeFiles/gc_core.dir/core/reliability.cpp.o"
+  "CMakeFiles/gc_core.dir/core/reliability.cpp.o.d"
+  "libgc_core.a"
+  "libgc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

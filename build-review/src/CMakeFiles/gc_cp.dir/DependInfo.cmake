@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/actuator.cpp" "src/CMakeFiles/gc_cp.dir/control/actuator.cpp.o" "gcc" "src/CMakeFiles/gc_cp.dir/control/actuator.cpp.o.d"
+  "/root/repo/src/control/estimator.cpp" "src/CMakeFiles/gc_cp.dir/control/estimator.cpp.o" "gcc" "src/CMakeFiles/gc_cp.dir/control/estimator.cpp.o.d"
+  "/root/repo/src/cp/chaos.cpp" "src/CMakeFiles/gc_cp.dir/cp/chaos.cpp.o" "gcc" "src/CMakeFiles/gc_cp.dir/cp/chaos.cpp.o.d"
+  "/root/repo/src/cp/control_plane.cpp" "src/CMakeFiles/gc_cp.dir/cp/control_plane.cpp.o" "gcc" "src/CMakeFiles/gc_cp.dir/cp/control_plane.cpp.o.d"
+  "/root/repo/src/cp/replay.cpp" "src/CMakeFiles/gc_cp.dir/cp/replay.cpp.o" "gcc" "src/CMakeFiles/gc_cp.dir/cp/replay.cpp.o.d"
+  "/root/repo/src/cp/snapshot.cpp" "src/CMakeFiles/gc_cp.dir/cp/snapshot.cpp.o" "gcc" "src/CMakeFiles/gc_cp.dir/cp/snapshot.cpp.o.d"
+  "/root/repo/src/cp/wal.cpp" "src/CMakeFiles/gc_cp.dir/cp/wal.cpp.o" "gcc" "src/CMakeFiles/gc_cp.dir/cp/wal.cpp.o.d"
+  "/root/repo/src/cp/wire.cpp" "src/CMakeFiles/gc_cp.dir/cp/wire.cpp.o" "gcc" "src/CMakeFiles/gc_cp.dir/cp/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/gc_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_cp.dir/control/actuator.cpp.o"
+  "CMakeFiles/gc_cp.dir/control/actuator.cpp.o.d"
+  "CMakeFiles/gc_cp.dir/control/estimator.cpp.o"
+  "CMakeFiles/gc_cp.dir/control/estimator.cpp.o.d"
+  "CMakeFiles/gc_cp.dir/cp/chaos.cpp.o"
+  "CMakeFiles/gc_cp.dir/cp/chaos.cpp.o.d"
+  "CMakeFiles/gc_cp.dir/cp/control_plane.cpp.o"
+  "CMakeFiles/gc_cp.dir/cp/control_plane.cpp.o.d"
+  "CMakeFiles/gc_cp.dir/cp/replay.cpp.o"
+  "CMakeFiles/gc_cp.dir/cp/replay.cpp.o.d"
+  "CMakeFiles/gc_cp.dir/cp/snapshot.cpp.o"
+  "CMakeFiles/gc_cp.dir/cp/snapshot.cpp.o.d"
+  "CMakeFiles/gc_cp.dir/cp/wal.cpp.o"
+  "CMakeFiles/gc_cp.dir/cp/wal.cpp.o.d"
+  "CMakeFiles/gc_cp.dir/cp/wire.cpp.o"
+  "CMakeFiles/gc_cp.dir/cp/wire.cpp.o.d"
+  "libgc_cp.a"
+  "libgc_cp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_cp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

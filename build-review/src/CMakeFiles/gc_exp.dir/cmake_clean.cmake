@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_exp.dir/exp/comparison.cpp.o"
+  "CMakeFiles/gc_exp.dir/exp/comparison.cpp.o.d"
+  "CMakeFiles/gc_exp.dir/exp/hetero_sim.cpp.o"
+  "CMakeFiles/gc_exp.dir/exp/hetero_sim.cpp.o.d"
+  "CMakeFiles/gc_exp.dir/exp/runner.cpp.o"
+  "CMakeFiles/gc_exp.dir/exp/runner.cpp.o.d"
+  "CMakeFiles/gc_exp.dir/exp/scenario.cpp.o"
+  "CMakeFiles/gc_exp.dir/exp/scenario.cpp.o.d"
+  "libgc_exp.a"
+  "libgc_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

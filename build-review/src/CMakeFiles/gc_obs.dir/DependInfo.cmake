@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obs/audit.cpp" "src/CMakeFiles/gc_obs.dir/obs/audit.cpp.o" "gcc" "src/CMakeFiles/gc_obs.dir/obs/audit.cpp.o.d"
+  "/root/repo/src/obs/counters.cpp" "src/CMakeFiles/gc_obs.dir/obs/counters.cpp.o" "gcc" "src/CMakeFiles/gc_obs.dir/obs/counters.cpp.o.d"
+  "/root/repo/src/obs/inspect.cpp" "src/CMakeFiles/gc_obs.dir/obs/inspect.cpp.o" "gcc" "src/CMakeFiles/gc_obs.dir/obs/inspect.cpp.o.d"
+  "/root/repo/src/obs/prometheus.cpp" "src/CMakeFiles/gc_obs.dir/obs/prometheus.cpp.o" "gcc" "src/CMakeFiles/gc_obs.dir/obs/prometheus.cpp.o.d"
+  "/root/repo/src/obs/timeseries.cpp" "src/CMakeFiles/gc_obs.dir/obs/timeseries.cpp.o" "gcc" "src/CMakeFiles/gc_obs.dir/obs/timeseries.cpp.o.d"
+  "/root/repo/src/obs/trace.cpp" "src/CMakeFiles/gc_obs.dir/obs/trace.cpp.o" "gcc" "src/CMakeFiles/gc_obs.dir/obs/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/gc_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_obs.dir/obs/audit.cpp.o"
+  "CMakeFiles/gc_obs.dir/obs/audit.cpp.o.d"
+  "CMakeFiles/gc_obs.dir/obs/counters.cpp.o"
+  "CMakeFiles/gc_obs.dir/obs/counters.cpp.o.d"
+  "CMakeFiles/gc_obs.dir/obs/inspect.cpp.o"
+  "CMakeFiles/gc_obs.dir/obs/inspect.cpp.o.d"
+  "CMakeFiles/gc_obs.dir/obs/prometheus.cpp.o"
+  "CMakeFiles/gc_obs.dir/obs/prometheus.cpp.o.d"
+  "CMakeFiles/gc_obs.dir/obs/timeseries.cpp.o"
+  "CMakeFiles/gc_obs.dir/obs/timeseries.cpp.o.d"
+  "CMakeFiles/gc_obs.dir/obs/trace.cpp.o"
+  "CMakeFiles/gc_obs.dir/obs/trace.cpp.o.d"
+  "libgc_obs.a"
+  "libgc_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_power.dir/power/energy_meter.cpp.o"
+  "CMakeFiles/gc_power.dir/power/energy_meter.cpp.o.d"
+  "CMakeFiles/gc_power.dir/power/frequency_ladder.cpp.o"
+  "CMakeFiles/gc_power.dir/power/frequency_ladder.cpp.o.d"
+  "CMakeFiles/gc_power.dir/power/power_model.cpp.o"
+  "CMakeFiles/gc_power.dir/power/power_model.cpp.o.d"
+  "libgc_power.a"
+  "libgc_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

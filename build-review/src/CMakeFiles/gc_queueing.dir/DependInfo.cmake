@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/queueing/mg1.cpp" "src/CMakeFiles/gc_queueing.dir/queueing/mg1.cpp.o" "gcc" "src/CMakeFiles/gc_queueing.dir/queueing/mg1.cpp.o.d"
+  "/root/repo/src/queueing/mm1.cpp" "src/CMakeFiles/gc_queueing.dir/queueing/mm1.cpp.o" "gcc" "src/CMakeFiles/gc_queueing.dir/queueing/mm1.cpp.o.d"
+  "/root/repo/src/queueing/mmc.cpp" "src/CMakeFiles/gc_queueing.dir/queueing/mmc.cpp.o" "gcc" "src/CMakeFiles/gc_queueing.dir/queueing/mmc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/gc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

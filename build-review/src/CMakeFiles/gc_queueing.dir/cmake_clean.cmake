@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_queueing.dir/queueing/mg1.cpp.o"
+  "CMakeFiles/gc_queueing.dir/queueing/mg1.cpp.o.d"
+  "CMakeFiles/gc_queueing.dir/queueing/mm1.cpp.o"
+  "CMakeFiles/gc_queueing.dir/queueing/mm1.cpp.o.d"
+  "CMakeFiles/gc_queueing.dir/queueing/mmc.cpp.o"
+  "CMakeFiles/gc_queueing.dir/queueing/mmc.cpp.o.d"
+  "libgc_queueing.a"
+  "libgc_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/admission.cpp" "src/CMakeFiles/gc_sim.dir/sim/admission.cpp.o" "gcc" "src/CMakeFiles/gc_sim.dir/sim/admission.cpp.o.d"
+  "/root/repo/src/sim/cluster.cpp" "src/CMakeFiles/gc_sim.dir/sim/cluster.cpp.o" "gcc" "src/CMakeFiles/gc_sim.dir/sim/cluster.cpp.o.d"
+  "/root/repo/src/sim/control_channel.cpp" "src/CMakeFiles/gc_sim.dir/sim/control_channel.cpp.o" "gcc" "src/CMakeFiles/gc_sim.dir/sim/control_channel.cpp.o.d"
+  "/root/repo/src/sim/dispatcher.cpp" "src/CMakeFiles/gc_sim.dir/sim/dispatcher.cpp.o" "gcc" "src/CMakeFiles/gc_sim.dir/sim/dispatcher.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/gc_sim.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/gc_sim.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/fault_injector.cpp" "src/CMakeFiles/gc_sim.dir/sim/fault_injector.cpp.o" "gcc" "src/CMakeFiles/gc_sim.dir/sim/fault_injector.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/CMakeFiles/gc_sim.dir/sim/metrics.cpp.o" "gcc" "src/CMakeFiles/gc_sim.dir/sim/metrics.cpp.o.d"
+  "/root/repo/src/sim/server.cpp" "src/CMakeFiles/gc_sim.dir/sim/server.cpp.o" "gcc" "src/CMakeFiles/gc_sim.dir/sim/server.cpp.o.d"
+  "/root/repo/src/sim/sharded.cpp" "src/CMakeFiles/gc_sim.dir/sim/sharded.cpp.o" "gcc" "src/CMakeFiles/gc_sim.dir/sim/sharded.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "src/CMakeFiles/gc_sim.dir/sim/simulation.cpp.o" "gcc" "src/CMakeFiles/gc_sim.dir/sim/simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/gc_cp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_power.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_workload.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_sim.dir/sim/admission.cpp.o"
+  "CMakeFiles/gc_sim.dir/sim/admission.cpp.o.d"
+  "CMakeFiles/gc_sim.dir/sim/cluster.cpp.o"
+  "CMakeFiles/gc_sim.dir/sim/cluster.cpp.o.d"
+  "CMakeFiles/gc_sim.dir/sim/control_channel.cpp.o"
+  "CMakeFiles/gc_sim.dir/sim/control_channel.cpp.o.d"
+  "CMakeFiles/gc_sim.dir/sim/dispatcher.cpp.o"
+  "CMakeFiles/gc_sim.dir/sim/dispatcher.cpp.o.d"
+  "CMakeFiles/gc_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/gc_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/gc_sim.dir/sim/fault_injector.cpp.o"
+  "CMakeFiles/gc_sim.dir/sim/fault_injector.cpp.o.d"
+  "CMakeFiles/gc_sim.dir/sim/metrics.cpp.o"
+  "CMakeFiles/gc_sim.dir/sim/metrics.cpp.o.d"
+  "CMakeFiles/gc_sim.dir/sim/server.cpp.o"
+  "CMakeFiles/gc_sim.dir/sim/server.cpp.o.d"
+  "CMakeFiles/gc_sim.dir/sim/sharded.cpp.o"
+  "CMakeFiles/gc_sim.dir/sim/sharded.cpp.o.d"
+  "CMakeFiles/gc_sim.dir/sim/simulation.cpp.o"
+  "CMakeFiles/gc_sim.dir/sim/simulation.cpp.o.d"
+  "libgc_sim.a"
+  "libgc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/accumulators.cpp" "src/CMakeFiles/gc_stats.dir/stats/accumulators.cpp.o" "gcc" "src/CMakeFiles/gc_stats.dir/stats/accumulators.cpp.o.d"
+  "/root/repo/src/stats/batch_means.cpp" "src/CMakeFiles/gc_stats.dir/stats/batch_means.cpp.o" "gcc" "src/CMakeFiles/gc_stats.dir/stats/batch_means.cpp.o.d"
+  "/root/repo/src/stats/distributions.cpp" "src/CMakeFiles/gc_stats.dir/stats/distributions.cpp.o" "gcc" "src/CMakeFiles/gc_stats.dir/stats/distributions.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/CMakeFiles/gc_stats.dir/stats/histogram.cpp.o" "gcc" "src/CMakeFiles/gc_stats.dir/stats/histogram.cpp.o.d"
+  "/root/repo/src/stats/log_histogram.cpp" "src/CMakeFiles/gc_stats.dir/stats/log_histogram.cpp.o" "gcc" "src/CMakeFiles/gc_stats.dir/stats/log_histogram.cpp.o.d"
+  "/root/repo/src/stats/quantile.cpp" "src/CMakeFiles/gc_stats.dir/stats/quantile.cpp.o" "gcc" "src/CMakeFiles/gc_stats.dir/stats/quantile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/gc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_stats.dir/stats/accumulators.cpp.o"
+  "CMakeFiles/gc_stats.dir/stats/accumulators.cpp.o.d"
+  "CMakeFiles/gc_stats.dir/stats/batch_means.cpp.o"
+  "CMakeFiles/gc_stats.dir/stats/batch_means.cpp.o.d"
+  "CMakeFiles/gc_stats.dir/stats/distributions.cpp.o"
+  "CMakeFiles/gc_stats.dir/stats/distributions.cpp.o.d"
+  "CMakeFiles/gc_stats.dir/stats/histogram.cpp.o"
+  "CMakeFiles/gc_stats.dir/stats/histogram.cpp.o.d"
+  "CMakeFiles/gc_stats.dir/stats/log_histogram.cpp.o"
+  "CMakeFiles/gc_stats.dir/stats/log_histogram.cpp.o.d"
+  "CMakeFiles/gc_stats.dir/stats/quantile.cpp.o"
+  "CMakeFiles/gc_stats.dir/stats/quantile.cpp.o.d"
+  "libgc_stats.a"
+  "libgc_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/gc_util.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/gc_util.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/gc_util.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/gc_util.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/format.cpp" "src/CMakeFiles/gc_util.dir/util/format.cpp.o" "gcc" "src/CMakeFiles/gc_util.dir/util/format.cpp.o.d"
+  "/root/repo/src/util/ini.cpp" "src/CMakeFiles/gc_util.dir/util/ini.cpp.o" "gcc" "src/CMakeFiles/gc_util.dir/util/ini.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/gc_util.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/gc_util.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/string_util.cpp" "src/CMakeFiles/gc_util.dir/util/string_util.cpp.o" "gcc" "src/CMakeFiles/gc_util.dir/util/string_util.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/gc_util.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/gc_util.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/gc_util.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/gc_util.dir/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_util.dir/util/cli.cpp.o"
+  "CMakeFiles/gc_util.dir/util/cli.cpp.o.d"
+  "CMakeFiles/gc_util.dir/util/csv.cpp.o"
+  "CMakeFiles/gc_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/gc_util.dir/util/format.cpp.o"
+  "CMakeFiles/gc_util.dir/util/format.cpp.o.d"
+  "CMakeFiles/gc_util.dir/util/ini.cpp.o"
+  "CMakeFiles/gc_util.dir/util/ini.cpp.o.d"
+  "CMakeFiles/gc_util.dir/util/log.cpp.o"
+  "CMakeFiles/gc_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/gc_util.dir/util/string_util.cpp.o"
+  "CMakeFiles/gc_util.dir/util/string_util.cpp.o.d"
+  "CMakeFiles/gc_util.dir/util/table.cpp.o"
+  "CMakeFiles/gc_util.dir/util/table.cpp.o.d"
+  "CMakeFiles/gc_util.dir/util/thread_pool.cpp.o"
+  "CMakeFiles/gc_util.dir/util/thread_pool.cpp.o.d"
+  "libgc_util.a"
+  "libgc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/arrival_process.cpp" "src/CMakeFiles/gc_workload.dir/workload/arrival_process.cpp.o" "gcc" "src/CMakeFiles/gc_workload.dir/workload/arrival_process.cpp.o.d"
+  "/root/repo/src/workload/rate_profile.cpp" "src/CMakeFiles/gc_workload.dir/workload/rate_profile.cpp.o" "gcc" "src/CMakeFiles/gc_workload.dir/workload/rate_profile.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/CMakeFiles/gc_workload.dir/workload/trace.cpp.o" "gcc" "src/CMakeFiles/gc_workload.dir/workload/trace.cpp.o.d"
+  "/root/repo/src/workload/workload.cpp" "src/CMakeFiles/gc_workload.dir/workload/workload.cpp.o" "gcc" "src/CMakeFiles/gc_workload.dir/workload/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/gc_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

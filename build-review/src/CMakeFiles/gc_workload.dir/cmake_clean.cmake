@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_workload.dir/workload/arrival_process.cpp.o"
+  "CMakeFiles/gc_workload.dir/workload/arrival_process.cpp.o.d"
+  "CMakeFiles/gc_workload.dir/workload/rate_profile.cpp.o"
+  "CMakeFiles/gc_workload.dir/workload/rate_profile.cpp.o.d"
+  "CMakeFiles/gc_workload.dir/workload/trace.cpp.o"
+  "CMakeFiles/gc_workload.dir/workload/trace.cpp.o.d"
+  "CMakeFiles/gc_workload.dir/workload/workload.cpp.o"
+  "CMakeFiles/gc_workload.dir/workload/workload.cpp.o.d"
+  "libgc_workload.a"
+  "libgc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accumulators.dir/test_accumulators.cpp.o"
+  "CMakeFiles/test_accumulators.dir/test_accumulators.cpp.o.d"
+  "test_accumulators"
+  "test_accumulators.pdb"
+  "test_accumulators[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accumulators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

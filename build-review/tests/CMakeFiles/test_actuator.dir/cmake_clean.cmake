@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_actuator.dir/test_actuator.cpp.o"
+  "CMakeFiles/test_actuator.dir/test_actuator.cpp.o.d"
+  "test_actuator"
+  "test_actuator.pdb"
+  "test_actuator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_actuator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

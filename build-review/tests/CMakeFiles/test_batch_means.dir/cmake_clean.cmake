@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_batch_means.dir/test_batch_means.cpp.o"
+  "CMakeFiles/test_batch_means.dir/test_batch_means.cpp.o.d"
+  "test_batch_means"
+  "test_batch_means.pdb"
+  "test_batch_means[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_batch_means.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

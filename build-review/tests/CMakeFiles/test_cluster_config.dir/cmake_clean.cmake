@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster_config.dir/test_cluster_config.cpp.o"
+  "CMakeFiles/test_cluster_config.dir/test_cluster_config.cpp.o.d"
+  "test_cluster_config"
+  "test_cluster_config.pdb"
+  "test_cluster_config[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster_property.dir/test_cluster_property.cpp.o"
+  "CMakeFiles/test_cluster_property.dir/test_cluster_property.cpp.o.d"
+  "test_cluster_property"
+  "test_cluster_property.pdb"
+  "test_cluster_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_control_plane.dir/test_control_plane.cpp.o"
+  "CMakeFiles/test_control_plane.dir/test_control_plane.cpp.o.d"
+  "test_control_plane"
+  "test_control_plane.pdb"
+  "test_control_plane[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_control_plane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

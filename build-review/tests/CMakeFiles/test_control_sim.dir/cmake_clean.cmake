@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_control_sim.dir/test_control_sim.cpp.o"
+  "CMakeFiles/test_control_sim.dir/test_control_sim.cpp.o.d"
+  "test_control_sim"
+  "test_control_sim.pdb"
+  "test_control_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_control_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

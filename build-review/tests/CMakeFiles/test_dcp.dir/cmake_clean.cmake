@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dcp.dir/test_dcp.cpp.o"
+  "CMakeFiles/test_dcp.dir/test_dcp.cpp.o.d"
+  "test_dcp"
+  "test_dcp.pdb"
+  "test_dcp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

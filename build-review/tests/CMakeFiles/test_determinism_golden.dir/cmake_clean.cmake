@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_determinism_golden.dir/test_determinism_golden.cpp.o"
+  "CMakeFiles/test_determinism_golden.dir/test_determinism_golden.cpp.o.d"
+  "test_determinism_golden"
+  "test_determinism_golden.pdb"
+  "test_determinism_golden[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_determinism_golden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dispatcher.dir/test_dispatcher.cpp.o"
+  "CMakeFiles/test_dispatcher.dir/test_dispatcher.cpp.o.d"
+  "test_dispatcher"
+  "test_dispatcher.pdb"
+  "test_dispatcher[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dispatcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dispatcher_equivalence.dir/test_dispatcher_equivalence.cpp.o"
+  "CMakeFiles/test_dispatcher_equivalence.dir/test_dispatcher_equivalence.cpp.o.d"
+  "test_dispatcher_equivalence"
+  "test_dispatcher_equivalence.pdb"
+  "test_dispatcher_equivalence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dispatcher_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

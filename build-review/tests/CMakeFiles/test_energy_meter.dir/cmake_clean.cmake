@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_energy_meter.dir/test_energy_meter.cpp.o"
+  "CMakeFiles/test_energy_meter.dir/test_energy_meter.cpp.o.d"
+  "test_energy_meter"
+  "test_energy_meter.pdb"
+  "test_energy_meter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_energy_meter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_event_queue_model.dir/test_event_queue_model.cpp.o"
+  "CMakeFiles/test_event_queue_model.dir/test_event_queue_model.cpp.o.d"
+  "test_event_queue_model"
+  "test_event_queue_model.pdb"
+  "test_event_queue_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_event_queue_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

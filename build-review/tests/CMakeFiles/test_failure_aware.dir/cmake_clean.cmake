@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_failure_aware.dir/test_failure_aware.cpp.o"
+  "CMakeFiles/test_failure_aware.dir/test_failure_aware.cpp.o.d"
+  "test_failure_aware"
+  "test_failure_aware.pdb"
+  "test_failure_aware[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_failure_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fault_sim.dir/test_fault_sim.cpp.o"
+  "CMakeFiles/test_fault_sim.dir/test_fault_sim.cpp.o.d"
+  "test_fault_sim"
+  "test_fault_sim.pdb"
+  "test_fault_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fault_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

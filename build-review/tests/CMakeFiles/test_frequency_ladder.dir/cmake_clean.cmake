@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frequency_ladder.dir/test_frequency_ladder.cpp.o"
+  "CMakeFiles/test_frequency_ladder.dir/test_frequency_ladder.cpp.o.d"
+  "test_frequency_ladder"
+  "test_frequency_ladder.pdb"
+  "test_frequency_ladder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frequency_ladder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_frequency_ladder.
+# This may be replaced when dependencies are built.

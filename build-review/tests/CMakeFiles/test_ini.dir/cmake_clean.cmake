@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ini.dir/test_ini.cpp.o"
+  "CMakeFiles/test_ini.dir/test_ini.cpp.o.d"
+  "test_ini"
+  "test_ini.pdb"
+  "test_ini[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inspect.dir/test_inspect.cpp.o"
+  "CMakeFiles/test_inspect.dir/test_inspect.cpp.o.d"
+  "test_inspect"
+  "test_inspect.pdb"
+  "test_inspect[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_log_histogram.dir/test_log_histogram.cpp.o"
+  "CMakeFiles/test_log_histogram.dir/test_log_histogram.cpp.o.d"
+  "test_log_histogram"
+  "test_log_histogram.pdb"
+  "test_log_histogram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_log_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_obs_audit.dir/test_obs_audit.cpp.o"
+  "CMakeFiles/test_obs_audit.dir/test_obs_audit.cpp.o.d"
+  "test_obs_audit"
+  "test_obs_audit.pdb"
+  "test_obs_audit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_obs_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_obs_counters.dir/test_obs_counters.cpp.o"
+  "CMakeFiles/test_obs_counters.dir/test_obs_counters.cpp.o.d"
+  "test_obs_counters"
+  "test_obs_counters.pdb"
+  "test_obs_counters[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_obs_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

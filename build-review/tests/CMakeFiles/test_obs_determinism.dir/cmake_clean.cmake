@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_obs_determinism.dir/test_obs_determinism.cpp.o"
+  "CMakeFiles/test_obs_determinism.dir/test_obs_determinism.cpp.o.d"
+  "test_obs_determinism"
+  "test_obs_determinism.pdb"
+  "test_obs_determinism[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_obs_determinism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

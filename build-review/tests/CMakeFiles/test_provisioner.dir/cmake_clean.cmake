@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_provisioner.dir/test_provisioner.cpp.o"
+  "CMakeFiles/test_provisioner.dir/test_provisioner.cpp.o.d"
+  "test_provisioner"
+  "test_provisioner.pdb"
+  "test_provisioner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_provisioner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quantile.dir/test_quantile.cpp.o"
+  "CMakeFiles/test_quantile.dir/test_quantile.cpp.o.d"
+  "test_quantile"
+  "test_quantile.pdb"
+  "test_quantile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quantile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

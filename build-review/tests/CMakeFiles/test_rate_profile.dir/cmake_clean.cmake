@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rate_profile.dir/test_rate_profile.cpp.o"
+  "CMakeFiles/test_rate_profile.dir/test_rate_profile.cpp.o.d"
+  "test_rate_profile"
+  "test_rate_profile.pdb"
+  "test_rate_profile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rate_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

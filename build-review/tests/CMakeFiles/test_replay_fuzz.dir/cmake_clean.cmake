@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_replay_fuzz.dir/test_replay_fuzz.cpp.o"
+  "CMakeFiles/test_replay_fuzz.dir/test_replay_fuzz.cpp.o.d"
+  "test_replay_fuzz"
+  "test_replay_fuzz.pdb"
+  "test_replay_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_replay_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

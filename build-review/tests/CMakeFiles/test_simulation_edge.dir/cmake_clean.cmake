@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simulation_edge.dir/test_simulation_edge.cpp.o"
+  "CMakeFiles/test_simulation_edge.dir/test_simulation_edge.cpp.o.d"
+  "test_simulation_edge"
+  "test_simulation_edge.pdb"
+  "test_simulation_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simulation_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

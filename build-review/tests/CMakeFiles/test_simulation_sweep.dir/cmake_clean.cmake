@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simulation_sweep.dir/test_simulation_sweep.cpp.o"
+  "CMakeFiles/test_simulation_sweep.dir/test_simulation_sweep.cpp.o.d"
+  "test_simulation_sweep"
+  "test_simulation_sweep.pdb"
+  "test_simulation_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simulation_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

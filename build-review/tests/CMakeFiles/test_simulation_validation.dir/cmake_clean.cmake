@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simulation_validation.dir/test_simulation_validation.cpp.o"
+  "CMakeFiles/test_simulation_validation.dir/test_simulation_validation.cpp.o.d"
+  "test_simulation_validation"
+  "test_simulation_validation.pdb"
+  "test_simulation_validation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simulation_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_wal.cpp" "tests/CMakeFiles/test_wal.dir/test_wal.cpp.o" "gcc" "tests/CMakeFiles/test_wal.dir/test_wal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/gc_exp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_control.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_queueing.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_power.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_workload.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_cp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

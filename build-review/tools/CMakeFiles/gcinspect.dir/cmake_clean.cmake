@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcinspect.dir/gcinspect.cpp.o"
+  "CMakeFiles/gcinspect.dir/gcinspect.cpp.o.d"
+  "gcinspect"
+  "gcinspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcinspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

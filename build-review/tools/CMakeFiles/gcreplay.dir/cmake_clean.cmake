@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcreplay.dir/gcreplay.cpp.o"
+  "CMakeFiles/gcreplay.dir/gcreplay.cpp.o.d"
+  "gcreplay"
+  "gcreplay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcreplay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
