@@ -19,6 +19,16 @@
 // way: degradation is bounded instead of a lottery.  In (b) the frozen
 // fleet misses the ramp and violates; safe mode buys the SLA back for the
 // outage-window energy premium.
+//
+// The sweep table also reports the lifecycle tracker's per-stage actuation
+// latencies (decision→ack p50/p99, decision→apply p99, cp/lifecycle.h):
+// time-to-ack and time-to-apply distributions across the command-loss
+// sweep are the figure's causal complement — the SLA column says *whether*
+// a variant degraded, the latency columns say *why* (how long commands sat
+// unconfirmed).  `--quick` shrinks the sweep to the CI soak lane's needs;
+// with --trace-out/--timeseries-out the sinks watch a dedicated lossy
+// ack/retry run (loss=0.10, latency=5 s), whose artifact set includes the
+// `<prefix>.lifecycle.jsonl` timeline that `gcinspect --lifecycle` renders.
 #include <cstdint>
 #include <iostream>
 #include <vector>
@@ -63,6 +73,9 @@ gc::RunSpec make_spec(const gc::ClusterConfig& config, const gc::DcpParams& dcp,
 int main(int argc, char** argv) {
   const gc::CliArgs args(argc, argv);
   gcbench::TraceOut trace_out(args);
+  // --quick: the CI soak lane's cut of the sweep — two loss points, zero
+  // latency, no fail-stop demo.  Same specs, same seeds, just fewer cells.
+  const bool quick = args.has("quick");
 
   const gc::ClusterConfig config = gc::bench_cluster_config();
   const gc::DcpParams dcp = gc::bench_dcp_params();
@@ -73,9 +86,11 @@ int main(int argc, char** argv) {
   const gc::Scenario scenario =
       gc::make_scenario(gc::ScenarioKind::kFlashCrowd, config, 0.8);
 
-  const std::vector<double> loss_values = {0.0,  0.01, 0.05, 0.10,
-                                           0.15, 0.20, 0.25};
-  const std::vector<double> latency_values = {0.0, 5.0};
+  const std::vector<double> loss_values =
+      quick ? std::vector<double>{0.0, 0.10}
+            : std::vector<double>{0.0, 0.01, 0.05, 0.10, 0.15, 0.20, 0.25};
+  const std::vector<double> latency_values =
+      quick ? std::vector<double>{0.0} : std::vector<double>{0.0, 5.0};
 
   gc::TablePrinter table(
       "Fig 15a: command loss x latency — naive DCP vs ack/retry actuation "
@@ -88,6 +103,9 @@ int main(int argc, char** argv) {
       .column("viol", {.precision = 2, .unit = "% jobs"})
       .column("cmd drop", {.precision = 0})
       .column("retries", {.precision = 0})
+      .column("t_ack p50", {.precision = 2, .unit = "s"})
+      .column("t_ack p99", {.precision = 2, .unit = "s"})
+      .column("t_apply p99", {.precision = 2, .unit = "s"})
       .column("SLA");
 
   for (const double latency : latency_values) {
@@ -99,16 +117,29 @@ int main(int argc, char** argv) {
       const std::vector<gc::SimResult> results = gc::run_all(cells);
       for (std::size_t i = 0; i < results.size(); ++i) {
         const gc::SimResult& r = results[i];
-        table.row()
-            .cell(loss * 100.0)
+        auto& row = table.row();
+        row.cell(loss * 100.0)
             .cell(latency)
             .cell(i == 0 ? "naive" : "ack/retry")
             .cell(r.energy.total_j() / 3.6e6)
             .cell(r.mean_response_s * 1e3)
             .cell(r.job_violation_ratio * 100.0)
             .cell(static_cast<long long>(r.commands_dropped))
-            .cell(static_cast<long long>(r.command_retries))
-            .cell(r.sla_met(config.t_ref_s) ? "yes" : "NO");
+            .cell(static_cast<long long>(r.command_retries));
+        // Naive DCP expects no acks, so its ack histogram is empty — the
+        // dashes keep that structural (not measured-zero) gap visible.
+        if (r.lifecycle_ack_hist.count() > 0) {
+          row.cell(r.lifecycle_ack_hist.quantile(0.50))
+              .cell(r.lifecycle_ack_hist.quantile(0.99));
+        } else {
+          row.cell("-").cell("-");
+        }
+        if (r.lifecycle_apply_hist.count() > 0) {
+          row.cell(r.lifecycle_apply_hist.quantile(0.99));
+        } else {
+          row.cell("-");
+        }
+        row.cell(r.sla_met(config.t_ref_s) ? "yes" : "NO");
       }
     }
   }
@@ -119,42 +150,50 @@ int main(int argc, char** argv) {
   // midday peak.  Without safe mode the fleet freezes at its overnight
   // size; with it, the watchdog turns everything on at nominal frequency
   // until the recovered controller's first command lands.
-  gc::TablePrinter demo(
-      "Fig 15b: controller outage across the ramp — watchdog safe mode");
-  demo.column("outage")
-      .column("safe mode")
-      .column("energy", {.precision = 2, .unit = "kWh"})
-      .column("mean T", {.precision = 1, .unit = "ms"})
-      .column("viol", {.precision = 2, .unit = "% jobs"})
-      .column("missed", {.precision = 0, .unit = "ticks"})
-      .column("safe", {.precision = 0, .unit = "s"})
-      .column("SLA");
+  if (!quick) {
+    gc::TablePrinter demo(
+        "Fig 15b: controller outage across the ramp — watchdog safe mode");
+    demo.column("outage")
+        .column("safe mode")
+        .column("energy", {.precision = 2, .unit = "kWh"})
+        .column("mean T", {.precision = 1, .unit = "ms"})
+        .column("viol", {.precision = 2, .unit = "% jobs"})
+        .column("missed", {.precision = 0, .unit = "ticks"})
+        .column("safe", {.precision = 0, .unit = "s"})
+        .column("SLA");
 
-  gc::SimResult traced_result;
-  for (const int variant : {0, 1, 2}) {
-    gc::RunSpec spec = make_spec(config, dcp, /*retry=*/true, /*loss=*/0.0,
-                                 /*latency_s=*/0.0);
-    if (variant > 0) {
-      spec.sim.controller_faults.script = {
-          {scenario.horizon_s * 0.25, scenario.horizon_s * 0.25}};
-      spec.sim.controller_faults.safe_mode = variant == 2;
+    for (const int variant : {0, 1, 2}) {
+      gc::RunSpec spec = make_spec(config, dcp, /*retry=*/true, /*loss=*/0.0,
+                                   /*latency_s=*/0.0);
+      if (variant > 0) {
+        spec.sim.controller_faults.script = {
+            {scenario.horizon_s * 0.25, scenario.horizon_s * 0.25}};
+        spec.sim.controller_faults.safe_mode = variant == 2;
+      }
+      const gc::SimResult result = gc::run_one(scenario, spec);
+      demo.row()
+          .cell(variant == 0 ? "none" : "ramp")
+          .cell(variant == 0 ? "-" : (variant == 2 ? "on" : "off"))
+          .cell(result.energy.total_j() / 3.6e6)
+          .cell(result.mean_response_s * 1e3)
+          .cell(result.job_violation_ratio * 100.0)
+          .cell(static_cast<long long>(result.ticks_missed))
+          .cell(result.safe_mode_time_s)
+          .cell(result.sla_met(config.t_ref_s) ? "yes" : "NO");
     }
-    // The sinks watch the failover run: watchdog trip, safe-mode span and
-    // the recovery handback are all trace instants.
-    if (variant == 2) trace_out.attach(spec.sim);
-    const gc::SimResult result = gc::run_one(scenario, spec);
-    if (variant == 2) traced_result = result;
-    demo.row()
-        .cell(variant == 0 ? "none" : "ramp")
-        .cell(variant == 0 ? "-" : (variant == 2 ? "on" : "off"))
-        .cell(result.energy.total_j() / 3.6e6)
-        .cell(result.mean_response_s * 1e3)
-        .cell(result.job_violation_ratio * 100.0)
-        .cell(static_cast<long long>(result.ticks_missed))
-        .cell(result.safe_mode_time_s)
-        .cell(result.sla_met(config.t_ref_s) ? "yes" : "NO");
+    std::cout << demo;
   }
-  std::cout << demo;
-  trace_out.write(traced_result);
+
+  // The sinks watch a dedicated lossy ack/retry run (10% command/ack loss,
+  // 5 s delivery latency): the regime where the lifecycle timeline is
+  // interesting — retransmissions, channel drops and multi-second
+  // decision→ack gaps all show up in <prefix>.lifecycle.jsonl and the
+  // Chrome trace's async command spans (`gcinspect PREFIX --lifecycle`).
+  if (trace_out.enabled()) {
+    gc::RunSpec spec = make_spec(config, dcp, /*retry=*/true, /*loss=*/0.10,
+                                 /*latency_s=*/5.0);
+    trace_out.attach(spec.sim);
+    trace_out.write(gc::run_one(scenario, spec));
+  }
   return 0;
 }

@@ -202,9 +202,15 @@ struct ShardedCell {
   double events_per_sec = 0.0;
   double speedup = 1.0;     // vs the K = 1 cell at the same M
   double efficiency = 1.0;  // speedup / K
+  // Engine self-profile (ShardProfile): how packed the barrier windows
+  // were and how skewed the per-shard work was.  Imbalance explains a low
+  // efficiency number: barrier waits, not per-event cost.
+  double busy_fraction = 0.0;
+  double imbalance = 0.0;
 };
 
-double sharded_cell_events_per_sec(unsigned k, unsigned m) {
+double sharded_cell_events_per_sec(unsigned k, unsigned m,
+                                   gc::ShardProfile& shard_profile) {
   gc::ClusterConfig config = gc::bench_cluster_config();
   config.max_servers = m;
 
@@ -235,6 +241,7 @@ double sharded_cell_events_per_sec(unsigned k, unsigned m) {
 
   gc::ShardedOptions sharded;
   sharded.num_shards = k;
+  sharded.profile = &shard_profile;
 
   const auto start = Clock::now();
   const gc::SimResult result =
@@ -267,7 +274,10 @@ std::vector<ShardedCell> sharded_grid() {
       ShardedCell cell;
       cell.shards = k;
       cell.servers = m;
-      cell.events_per_sec = sharded_cell_events_per_sec(k, m);
+      gc::ShardProfile shard_profile;
+      cell.events_per_sec = sharded_cell_events_per_sec(k, m, shard_profile);
+      cell.busy_fraction = shard_profile.busy_fraction();
+      cell.imbalance = shard_profile.imbalance();
       if (k == 1) base = cell.events_per_sec;
       cell.speedup = base > 0.0 ? cell.events_per_sec / base : 0.0;
       cell.efficiency = cell.speedup / static_cast<double>(k);
@@ -324,9 +334,11 @@ int main(int argc, char** argv) {
     std::fprintf(out,
                  "    {\"shards\": %u, \"servers\": %u, "
                  "\"events_per_sec\": %.6e, \"speedup\": %.4f, "
-                 "\"efficiency\": %.4f}%s\n",
+                 "\"efficiency\": %.4f, \"busy_fraction\": %.4f, "
+                 "\"imbalance\": %.4f}%s\n",
                  cell.shards, cell.servers, cell.events_per_sec, cell.speedup,
-                 cell.efficiency, i + 1 < grid.size() ? "," : "");
+                 cell.efficiency, cell.busy_fraction, cell.imbalance,
+                 i + 1 < grid.size() ? "," : "");
   }
   std::fprintf(out,
                "  ],\n"

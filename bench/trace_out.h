@@ -5,12 +5,16 @@
 //   <PREFIX>.trace.json   Chrome trace_event JSON (chrome://tracing, Perfetto)
 //   <PREFIX>.audit.jsonl  one decision record per control period
 //   <PREFIX>.audit.csv    the same records as a spreadsheet-friendly table
-//   <PREFIX>.counters.json  the run's counter/gauge snapshot
+//   <PREFIX>.counters.json  the run's counter/gauge snapshot, plus the
+//                           trace sink's own record/drop tallies
+//   <PREFIX>.lifecycle.jsonl  per-command issued->acked->applied timelines
+//                             (gcinspect --lifecycle), when the run has any
 // `--timeseries-out=PREFIX` additionally (or independently) attaches the
 // per-control-period recorder (obs/timeseries.h) and writes
 //   <PREFIX>.timeseries.csv  the columnar per-period record
-//   <PREFIX>.prom            Prometheus text exposition of the counters and
-//                            the run's response-time histogram
+//   <PREFIX>.prom            Prometheus text exposition of the counters,
+//                            the run's response-time histogram and the
+//                            lifecycle per-stage latency histograms
 // Both prefixes may be the same; gcinspect consumes the whole artifact set.
 // All sinks stay strictly observational, so the printed tables are
 // identical with or without the flags.
@@ -22,6 +26,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "cp/lifecycle.h"
 #include "obs/audit.h"
 #include "obs/prometheus.h"
 #include "obs/timeseries.h"
@@ -69,12 +74,27 @@ class TraceOut {
       audit_.write_jsonl(*prefix_ + ".audit.jsonl");
       audit_.write_csv(*prefix_ + ".audit.csv");
       {
+        // The trace sink meters itself into the written snapshot so ring
+        // overflow is visible offline, not only on stderr.
+        gc::CountersSnapshot snap = result.counters;
+        snap.add_counter("obs.trace.records", trace_.size());
+        snap.add_counter("obs.trace.dropped", trace_.dropped());
         std::ofstream out(*prefix_ + ".counters.json");
-        out << result.counters.to_json() << '\n';
+        out << snap.to_json() << '\n';
         if (!out) {
           throw std::runtime_error("trace-out: cannot write " + *prefix_ +
                                    ".counters.json");
         }
+      }
+      if (!result.command_lifecycles.empty()) {
+        std::ofstream out(*prefix_ + ".lifecycle.jsonl");
+        gc::write_lifecycle_jsonl(out, result.command_lifecycles);
+        if (!out) {
+          throw std::runtime_error("trace-out: cannot write " + *prefix_ +
+                                   ".lifecycle.jsonl");
+        }
+        std::cerr << "trace-out: " << *prefix_ << ".lifecycle.jsonl ("
+                  << result.command_lifecycles.size() << " commands)\n";
       }
       std::cerr << "trace-out: " << *prefix_
                 << ".{trace.json,audit.jsonl,audit.csv,"
@@ -106,7 +126,12 @@ class TraceOut {
         std::ofstream out(*ts_prefix_ + ".prom");
         out << gc::to_prometheus_text(
             result.counters,
-            {{"response_time_seconds", &result.response_hist}});
+            {{"response_time_seconds", &result.response_hist},
+             {"cp.lifecycle.ack_latency_seconds", &result.lifecycle_ack_hist},
+             {"cp.lifecycle.apply_latency_seconds",
+              &result.lifecycle_apply_hist},
+             {"cp.lifecycle.e2e_seconds", &result.lifecycle_e2e_hist},
+             {"cp.lifecycle.obs_age_seconds", &result.lifecycle_obs_age_hist}});
         if (!out) {
           throw std::runtime_error("timeseries-out: cannot write " +
                                    *ts_prefix_ + ".prom");

@@ -15,7 +15,10 @@
 # The soak mode records a multi-day fig8 trace, replays it through
 # tools/gcreplay at 1000x — including a kill at the midpoint tick and a
 # checkpoint+WAL restore — and gates zero command-stream drift via
-# gcinspect; the chaos mode drives the wire serve loop through seeded
+# gcinspect; it then runs the quick lossy fig15 sweep and gates the
+# command-lifecycle SLOs (ack p99, retransmit rate, drop attribution)
+# plus the committed metric-name manifest (ci/METRICS_manifest.txt);
+# the chaos mode drives the wire serve loop through seeded
 # fault schedules (drops, duplicates, reordering, corruption, mid-frame
 # truncation, kill/restore) and gates the same drift oracle, plus a
 # forged-snapshot negative test that must fail to load; the coverage mode
@@ -45,6 +48,26 @@ MODE="${1:-all}"
 require_jq() {
   command -v jq >/dev/null 2>&1 \
     || { echo "ci/check.sh: jq is required (apt-get install jq)" >&2; exit 1; }
+}
+
+# Every metric name in ci/METRICS_manifest.txt must exist in the given
+# counters.json (counters and gauges share the namespace).  The manifest is
+# the committed observability contract: renaming cp.lifecycle.* or
+# cp.drop.* silently would strand every dashboard and --check expression,
+# so a rename must touch the manifest in the same diff.
+metrics_manifest_check() {
+  local counters="$1"
+  echo "==> metric-name manifest check (ci/METRICS_manifest.txt)"
+  local missing
+  missing="$(jq -r --rawfile manifest ci/METRICS_manifest.txt '
+      ((.counters // {}) + (.gauges // {})) as $have
+      | $manifest | split("\n")
+      | map(sub("#.*"; "") | gsub("^\\s+|\\s+$"; "") | select(length > 0))
+      | map(select(. as $n | ($have | has($n)) | not))
+      | .[]' "${counters}")"
+  [ -z "${missing}" ] \
+    || { printf 'metrics manifest: missing from %s:\n%s\n' \
+           "${counters}" "${missing}" >&2; exit 1; }
 }
 
 find_clang_tidy() {
@@ -282,7 +305,7 @@ soak_lane() {
         -DGC_BUILD_TESTS=OFF >/dev/null
   echo "==> [soak] build"
   cmake --build "${dir}" -j "${JOBS}" \
-        --target fig8_trace_replay gcreplay gcinspect
+        --target fig8_trace_replay fig15_control_faults gcreplay gcinspect
   local prefix="${dir}/soak"
   echo "==> [soak] record four compressed days (fig8 trace replay)"
   "${dir}/bench/fig8_trace_replay" --days=4 --trace-out="${prefix}" \
@@ -317,6 +340,26 @@ soak_lane() {
   "${dir}/tools/gcreplay" "${dir}/forged" >/dev/null 2>&1 || rc=$?
   [ "${rc}" -eq 1 ] \
     || { echo "soak: forged replay exited ${rc}, expected drift exit 1" >&2; exit 1; }
+  # The lifecycle gate (DESIGN.md §14): the quick lossy fig15 sweep must
+  # produce a per-command timeline the --lifecycle view can reconstruct,
+  # keep decision→ack p99 and the retransmit rate inside generous but
+  # real bounds (ack_timeout 5 s + 5 s RTT + retries stays far below
+  # 60 s unless retransmission breaks), and attribute at least one drop
+  # (the 10% loss point guarantees channel drops at this seed).
+  echo "==> [soak] fig15 quick sweep with lifecycle artifacts"
+  local f15="${dir}/fig15"
+  "${dir}/bench/fig15_control_faults" --quick --trace-out="${f15}" \
+      --timeseries-out="${f15}" >/dev/null
+  [ -s "${f15}.lifecycle.jsonl" ] \
+    || { echo "soak: ${f15}.lifecycle.jsonl missing or empty" >&2; exit 1; }
+  echo "==> [soak] lifecycle gate (gcinspect)"
+  "${dir}/tools/gcinspect" "${f15}" --check \
+      'cp.lifecycle.ack_latency:p99<=60,cp.lifecycle.retransmit_rate<=5,cp.drop.total>=1,cp.lifecycle.issued>=1000'
+  echo "==> [soak] lifecycle view reconstructs the timeline"
+  "${dir}/tools/gcinspect" "${f15}" --lifecycle \
+    | grep -q 'command lifecycles' \
+    || { echo "soak: gcinspect --lifecycle produced no table" >&2; exit 1; }
+  metrics_manifest_check "${f15}.counters.json"
 }
 
 # The chaos lane (DESIGN.md §13.4): replay the recorded day through the
@@ -392,10 +435,10 @@ coverage_lane() {
   echo "==> [coverage] build control-plane suites"
   cmake --build "${dir}" -j "${JOBS}" \
         --target test_control_plane test_replay test_wire test_replay_fuzz \
-                 test_snapshot test_wal test_chaos
+                 test_snapshot test_wal test_chaos test_lifecycle
   echo "==> [coverage] run control-plane suites"
   (cd "${dir}" && ctest --output-on-failure --timeout 120 --no-tests=error \
-       -R 'ControlPlane|Replay|ReplayFuzz|Wire|WireServe|ValidateTimeseries|Snapshot|Wal|Chaos|Scrape')
+       -R 'ControlPlane|Replay|ReplayFuzz|Wire|WireServe|ValidateTimeseries|Snapshot|Wal|Chaos|Scrape|Lifecycle|DropAttribution')
   echo "==> [coverage] aggregate src/cp/ line coverage (gcov)"
   find "${dir}" -name '*.gcda' -print0 \
     | xargs -0 gcov --json-format --stdout > "${dir}/gcov.json" 2>/dev/null

@@ -201,12 +201,33 @@ CountersSnapshot ChaosReport::counters_snapshot() const {
   snap.add_counter("cp.chaos.corrupts", corrupts);
   snap.add_counter("cp.chaos.truncates", truncates);
   snap.add_counter("cp.chaos.skipped_on_tick", skipped_on_tick);
-  snap.add_counter("cp.wire.crc_errors", crc_errors);
   snap.add_counter("cp.drift.mismatches", drift_mismatches);
   snap.add_counter("cp.drift.commands.chaos", commands_chaos);
   snap.add_counter("cp.drift.commands.clean", commands_clean);
+  // Per-(frame type, cause) drop attribution + the serve loop's
+  // accept/reject ledger (includes cp.wire.crc_errors).
+  attribution.counters_into(snap);
+  const CountersSnapshot wire_snap = wire.counters_snapshot();
+  for (const auto& [name, value] : wire_snap.counters) {
+    snap.add_counter(name, value);
+  }
   return snap;
 }
+
+namespace {
+
+// The lifecycle frame class of a wire message, for drop attribution.
+[[nodiscard]] FrameClass frame_class(WireMsgType type) noexcept {
+  switch (type) {
+    case WireMsgType::kTelemetry: return FrameClass::kTelemetry;
+    case WireMsgType::kTick: return FrameClass::kTick;
+    case WireMsgType::kCommand: return FrameClass::kCommand;
+    case WireMsgType::kAck: return FrameClass::kAck;
+  }
+  return FrameClass::kTelemetry;  // unreachable for valid enums
+}
+
+}  // namespace
 
 ChaosReport run_chaos(const std::vector<WireMessage>& inputs,
                       const ControllerFactory& make_controller,
@@ -307,6 +328,8 @@ ChaosReport run_chaos(const std::vector<WireMessage>& inputs,
         switch (*op) {
           case ChaosOp::kDrop:
             ++report.drops;
+            report.attribution.charge(frame_class(inputs[i].type),
+                                      DropCause::kChaosDrop);
             ++i;
             break;
           case ChaosOp::kDup:
@@ -344,6 +367,8 @@ ChaosReport run_chaos(const std::vector<WireMessage>& inputs,
                 static_cast<std::uint8_t>(1 + fault_rng.uniform_below(255)));
             send_all(sv[0], bad);
             ++report.corrupts;
+            report.attribution.charge(frame_class(inputs[i].type),
+                                      DropCause::kChaosCorrupt);
             teardown = true;
             expect_server_error = true;
             break;
@@ -354,6 +379,8 @@ ChaosReport run_chaos(const std::vector<WireMessage>& inputs,
             send_all(sv[0], std::string_view(frame).substr(0, cut));
             ::shutdown(sv[0], SHUT_WR);
             ++report.truncates;
+            report.attribution.charge(frame_class(inputs[i].type),
+                                      DropCause::kChaosTruncate);
             teardown = true;
             expect_server_error = true;
             break;
@@ -395,6 +422,7 @@ ChaosReport run_chaos(const std::vector<WireMessage>& inputs,
   report.commands_clean = clean_cmds.size();
   report.commands_chaos = chaos_cmds.size();
   report.crc_errors = stats.crc_errors;
+  report.wire = stats;
   const std::size_t n = std::max(clean_cmds.size(), chaos_cmds.size());
   for (std::size_t k = 0; k < n; ++k) {
     if (k >= clean_cmds.size()) {

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "cp/control_plane.h"
+#include "cp/lifecycle.h"
 #include "cp/wire.h"
 #include "obs/counters.h"
 
@@ -86,9 +87,18 @@ struct ChaosReport {
   std::uint64_t drift_mismatches = 0;
   // First few divergences, rendered for the failure report.
   std::vector<std::string> mismatch_samples;
+  // Frame-level drop attribution (cp/lifecycle.h): every frame the
+  // schedule consumed — dropped outright, CRC-rejected after a corrupt,
+  // torn down mid-frame after a truncate — charged to (frame type, op).
+  // Invariant: attribution.total() == drops + corrupts + truncates.
+  DropAttribution attribution;
+  // The serve loop's whole-run accept/reject ledger, summed over every
+  // connection episode (cp.wire.accepted.*, crc/decode errors).
+  WireServeStats wire;
 
   [[nodiscard]] bool clean() const noexcept { return drift_mismatches == 0; }
-  // cp.chaos.* + cp.drift.* counters for OUT.counters.json / gcinspect.
+  // cp.chaos.* + cp.drift.* + cp.drop.* + cp.wire.* counters for
+  // OUT.counters.json / gcinspect.
   [[nodiscard]] CountersSnapshot counters_snapshot() const;
 };
 

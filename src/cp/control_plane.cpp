@@ -27,7 +27,9 @@ ControlPlane::ControlPlane(Controller& controller,
       options_(options),
       actuator_((options.validate(), options.actuator), std::move(rng)),
       rate_ewma_(options.rate_ewma_alpha),
-      staleness_(options.staleness) {}
+      staleness_(options.staleness) {
+  lifecycle_.set_expect_acks(options.actuator.enabled);
+}
 
 ControlPlane::ControlPlane(std::unique_ptr<Controller> controller,
                            const ControlPlaneOptions& options, Rng rng)
@@ -40,6 +42,7 @@ ControlPlane::ControlPlane(std::unique_ptr<Controller> controller,
   if (controller_ == nullptr) {
     throw std::invalid_argument("ControlPlane: null controller");
   }
+  lifecycle_.set_expect_acks(options.actuator.enabled);
 }
 
 void ControlPlane::seed_observation(const TelemetryFrame& frame) noexcept {
@@ -100,12 +103,14 @@ ControlPlane::Decision ControlPlane::on_tick(double now, bool long_tick,
                                           era_),
                           /*retransmit=*/false});
     ++commands_issued_;
+    lifecycle_.on_issued(now, d.commands.back().frame, d.ctx.obs_age_s);
   }
   if (d.action.speed) {
     d.commands.push_back(
         {actuator_.issue(now, CommandKind::kSpeed, *d.action.speed, era_),
          /*retransmit=*/false});
     ++commands_issued_;
+    lifecycle_.on_issued(now, d.commands.back().frame, d.ctx.obs_age_s);
   }
   // Collect retransmissions due now.  Polling after issue means a command
   // superseded this very tick never retransmits, and a just-issued command
@@ -115,15 +120,33 @@ ControlPlane::Decision ControlPlane::on_tick(double now, bool long_tick,
   actuator_.poll(now, retry_buf_);
   for (const CommandFrame& cmd : retry_buf_) {
     d.commands.push_back({cmd, /*retransmit=*/true});
+    lifecycle_.on_retransmit(now, cmd);
+  }
+  // A lane left without an outstanding command whose newest tracked
+  // command was never acked just reconciled (retry budget spent).
+  if (actuator_.enabled()) {
+    for (int k = 0; k < kNumCommandKinds; ++k) {
+      const auto kind = static_cast<CommandKind>(k);
+      if (!actuator_.outstanding(kind)) lifecycle_.on_lane_reconciled(now, kind);
+    }
   }
   return d;
 }
 
 void ControlPlane::on_ack(double now, CommandKind kind, std::uint64_t gen) {
+  lifecycle_.on_acked(now, kind, gen);
   actuator_.on_ack(now, kind, gen);
 }
 
+void ControlPlane::on_command_applied(double now, CommandKind kind,
+                                      std::uint64_t gen) {
+  lifecycle_.on_applied(now, kind, gen);
+}
+
 std::string ControlPlane::snapshot() const {
+  // The lifecycle tracker is deliberately NOT serialized: it is a pure
+  // observation of the command stream, and keeping it out of the envelope
+  // preserves the snapshot format byte-for-byte (DESIGN.md §14.3).
   SnapshotWriter w;
   // Controller type tag first: restoring into a facade running a different
   // policy would silently misinterpret every following byte, so restore()
@@ -200,11 +223,13 @@ CountersSnapshot ControlPlane::counters_snapshot() const {
   snap.add_gauge("cp.rate.smoothed", rate_ewma_.value());
   snap.add_gauge("cp.obs_age_s", last_obs_age_s_);
   snap.add_gauge("cp.telemetry.stale", staleness_.stale() ? 1.0 : 0.0);
+  lifecycle_.counters_into(snap);
   return snap;
 }
 
 std::string ControlPlane::prometheus_text() const {
-  return to_prometheus_text(counters_snapshot());
+  return to_prometheus_text(counters_snapshot(),
+                            lifecycle_.prometheus_histograms());
 }
 
 }  // namespace gc

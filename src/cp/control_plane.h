@@ -33,6 +33,7 @@
 #include "control/estimator.h"
 #include "cp/controller.h"
 #include "cp/frames.h"
+#include "cp/lifecycle.h"
 #include "obs/counters.h"
 #include "stats/rng.h"
 
@@ -112,6 +113,21 @@ class ControlPlane {
   // Fleet acknowledgement for (kind, gen); forwarded to the actuator.
   void on_ack(double now, CommandKind kind, std::uint64_t gen);
 
+  // Driver-reported fleet-side application of (kind, gen) — feeds the
+  // lifecycle tracker's decision→apply / end-to-end latency histograms.
+  // Only drivers that can observe the fleet call this (the sim adapter
+  // does; replay and wire drivers cannot see the far side).
+  void on_command_applied(double now, CommandKind kind, std::uint64_t gen);
+
+  // Causal lifecycle tracker (cp/lifecycle.h): per-command state machine,
+  // per-stage latency histograms and drop attribution.  Strictly
+  // observational — excluded from snapshot()/restore(), so recovery and
+  // the goldens are untouched by anything recorded here.
+  [[nodiscard]] LifecycleTracker& lifecycle() noexcept { return lifecycle_; }
+  [[nodiscard]] const LifecycleTracker& lifecycle() const noexcept {
+    return lifecycle_;
+  }
+
   // Controller incarnation stamped into every command.  The driver bumps
   // it when a new controller instance takes over (outage recovery), so the
   // fleet can reject commands planned by a dead incarnation.
@@ -171,6 +187,9 @@ class ControlPlane {
   // obs/prometheus renders the same snapshot for every driver instead of
   // each one hand-picking registry entries.
   [[nodiscard]] CountersSnapshot counters_snapshot() const;
+  // counters_snapshot() plus the lifecycle per-stage latency histograms
+  // rendered as proper Prometheus histogram types (cumulative
+  // `_bucket{le}`/`_sum`/`_count`), not quantile gauges only.
   [[nodiscard]] std::string prometheus_text() const;
 
  private:
@@ -178,6 +197,7 @@ class ControlPlane {
   Controller* controller_;
   ControlPlaneOptions options_;
   CommandActuator actuator_;
+  LifecycleTracker lifecycle_;
   TelemetryFrame latest_;
   EwmaEstimator rate_ewma_;
   StalenessGuard staleness_;

@@ -264,6 +264,17 @@ std::optional<WireMessage> FrameDecoder::next() {
   }
 }
 
+CountersSnapshot WireServeStats::counters_snapshot() const {
+  CountersSnapshot snap;
+  snap.add_counter("cp.wire.accepted.telemetry", telemetry);
+  snap.add_counter("cp.wire.accepted.tick", ticks);
+  snap.add_counter("cp.wire.accepted.ack", acks);
+  snap.add_counter("cp.wire.commands_sent", commands_sent);
+  snap.add_counter("cp.wire.crc_errors", crc_errors);
+  snap.add_counter("cp.wire.decode_errors", decode_errors);
+  return snap;
+}
+
 WireServeStats serve_connection(ControlPlane& cp, int fd) {
   WireServeStats stats;
   serve_connection(cp, fd, stats, /*hooks=*/nullptr);
@@ -283,6 +294,7 @@ void serve_connection(ControlPlane& cp, int fd, WireServeStats& stats,
     }
     if (n == 0) {
       if (decoder.buffered() > 0) {
+        ++stats.decode_errors;
         throw WireError(format("wire: stream ended mid-frame ({} bytes buffered)",
                                decoder.buffered()));
       }
@@ -297,6 +309,10 @@ void serve_connection(ControlPlane& cp, int fd, WireServeStats& stats,
         // Metered before the rethrow poisons this connection: the caller's
         // stats object survives the throw by contract.
         ++stats.crc_errors;
+        throw;
+      } catch (const WireError&) {
+        // Any other malformation (length/type/enum/non-finite payloads).
+        ++stats.decode_errors;
         throw;
       }
       if (!msg) break;
@@ -322,6 +338,7 @@ void serve_connection(ControlPlane& cp, int fd, WireServeStats& stats,
           ++stats.acks;
           break;
         case WireMsgType::kCommand:
+          ++stats.decode_errors;
           throw WireError("wire: command frame arriving controller-ward");
       }
       if (hooks != nullptr && hooks->on_accepted) hooks->on_accepted(*msg);

@@ -53,6 +53,7 @@
 #include <string>
 
 #include "cp/frames.h"
+#include "obs/counters.h"
 
 namespace gc {
 
@@ -155,6 +156,17 @@ struct WireServeStats {
   std::uint64_t acks = 0;
   std::uint64_t commands_sent = 0;  // fresh + retransmissions
   std::uint64_t crc_errors = 0;     // frames rejected by the CRC trailer
+  // Frames rejected for any other malformation (bad length/type/enum/
+  // boolean, non-finite double, mid-frame EOF, a command arriving
+  // controller-ward).  crc_errors and decode_errors are disjoint; together
+  // they are every rejected frame this connection saw.
+  std::uint64_t decode_errors = 0;
+
+  // The serve loop's accept/reject ledger as registry-style counters
+  // (`cp.wire.accepted.<type>`, `cp.wire.commands_sent`,
+  // `cp.wire.crc_errors`, `cp.wire.decode_errors`) for merging into a
+  // run's counter snapshot next to the facade's cp.* namespace.
+  [[nodiscard]] CountersSnapshot counters_snapshot() const;
 };
 
 // Observation points on the serve loop, used by durable transports: the

@@ -1,6 +1,8 @@
 #include "obs/inspect.h"
 
+#include <cctype>
 #include <cmath>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <ostream>
@@ -76,12 +78,10 @@ RunArtifacts RunArtifacts::load(const std::string& prefix) {
 
 std::optional<double> lookup_metric(const RunArtifacts& run,
                                     std::string_view metric) {
-  const std::size_t colon = metric.rfind(':');
-  if (colon != std::string_view::npos) {
-    if (!run.timeseries) return std::nullopt;
-    return column_aggregate(*run.timeseries, metric.substr(0, colon),
-                            metric.substr(colon + 1));
-  }
+  // Full-name counter/gauge match first: quantile gauges like
+  // `cp.lifecycle.ack_latency:p99` carry a literal colon, so the name must
+  // win over the NAME:AGG time-series interpretation.  Only when no
+  // counter or gauge matches does the suffix fall back to an aggregate.
   if (run.counters) {
     for (const auto& [name, value] : run.counters->counters) {
       if (name == metric) return static_cast<double>(value);
@@ -89,6 +89,12 @@ std::optional<double> lookup_metric(const RunArtifacts& run,
     for (const auto& [name, value] : run.counters->gauges) {
       if (name == metric) return value;
     }
+  }
+  const std::size_t colon = metric.rfind(':');
+  if (colon != std::string_view::npos) {
+    if (!run.timeseries) return std::nullopt;
+    return column_aggregate(*run.timeseries, metric.substr(0, colon),
+                            metric.substr(colon + 1));
   }
   if (run.timeseries) {
     return column_aggregate(*run.timeseries, metric, "mean");
@@ -304,6 +310,226 @@ void print_diff(std::ostream& os, const RunArtifacts& a,
     }
     if (table.num_rows() > 0) table.print(os);
   }
+}
+
+// -- Lifecycle view ----------------------------------------------------------
+
+namespace {
+
+// Minimal per-line JSON object scanner for the tracker's export_jsonl
+// format: flat objects whose values are numbers or plain strings.
+struct LifecycleLineParser {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("lifecycle.jsonl: " + why + " at byte " +
+                             std::to_string(pos));
+  }
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+      ++pos;
+    }
+  }
+  [[nodiscard]] char peek() {
+    skip_ws();
+    if (pos >= text.size()) fail("unexpected end of line");
+    return text[pos];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos;
+  }
+  [[nodiscard]] std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos < text.size() && text[pos] != '"') out += text[pos++];
+    if (pos >= text.size()) fail("unterminated string");
+    ++pos;
+    return out;
+  }
+  [[nodiscard]] double parse_number() {
+    skip_ws();
+    const std::size_t start = pos;
+    while (pos < text.size()) {
+      const char d = text[pos];
+      if ((d >= '0' && d <= '9') || d == '-' || d == '+' || d == '.' ||
+          d == 'e' || d == 'E') {
+        ++pos;
+      } else {
+        break;
+      }
+    }
+    if (pos == start) fail("expected a number");
+    return std::strtod(std::string(text.substr(start, pos - start)).c_str(),
+                       nullptr);
+  }
+};
+
+}  // namespace
+
+std::vector<LifecycleRow> parse_lifecycle_jsonl(std::string_view text) {
+  std::vector<LifecycleRow> rows;
+  std::size_t line_start = 0;
+  while (line_start < text.size()) {
+    std::size_t line_end = text.find('\n', line_start);
+    if (line_end == std::string_view::npos) line_end = text.size();
+    const std::string_view line = text.substr(line_start, line_end - line_start);
+    line_start = line_end + 1;
+    bool blank = true;
+    for (const char c : line) {
+      if (std::isspace(static_cast<unsigned char>(c)) == 0) {
+        blank = false;
+        break;
+      }
+    }
+    if (blank) continue;
+    LifecycleLineParser p{line};
+    LifecycleRow r;
+    p.expect('{');
+    bool first = true;
+    while (p.peek() != '}') {
+      if (!first) p.expect(',');
+      first = false;
+      const std::string key = p.parse_string();
+      p.expect(':');
+      if (key == "kind") {
+        r.kind = p.parse_string();
+      } else if (key == "state") {
+        r.state = p.parse_string();
+      } else if (p.peek() == '"') {
+        (void)p.parse_string();  // unknown string key: skip
+      } else {
+        const double v = p.parse_number();
+        if (key == "gen") {
+          r.gen = static_cast<std::uint64_t>(v);
+        } else if (key == "id") {
+          r.id = static_cast<std::uint64_t>(v);
+        } else if (key == "era") {
+          r.era = static_cast<std::uint64_t>(v);
+        } else if (key == "value") {
+          r.value = v;
+        } else if (key == "issued_s") {
+          r.issued_s = v;
+        } else if (key == "obs_age_s") {
+          r.obs_age_s = v;
+        } else if (key == "retransmits") {
+          r.retransmits = static_cast<std::uint64_t>(v);
+        } else if (key == "frame_drops") {
+          r.frame_drops = static_cast<std::uint64_t>(v);
+        } else if (key == "last_sent_s") {
+          r.last_sent_s = v;
+        } else if (key == "acked_s") {
+          r.acked_s = v;
+        } else if (key == "applied_s") {
+          r.applied_s = v;
+        }
+        // Unknown numeric keys fall through: forward compatibility.
+      }
+    }
+    p.expect('}');
+    rows.push_back(std::move(r));
+  }
+  return rows;
+}
+
+std::vector<LifecycleRow> read_lifecycle_jsonl(const std::string& path) {
+  return parse_lifecycle_jsonl(read_text_file(path));
+}
+
+void print_lifecycle(std::ostream& os, const std::string& prefix) {
+  const std::string path = prefix + ".lifecycle.jsonl";
+  if (!std::filesystem::exists(path)) {
+    throw std::runtime_error("no lifecycle artifact at " + path);
+  }
+  const std::vector<LifecycleRow> rows = read_lifecycle_jsonl(path);
+
+  TablePrinter table("command lifecycles");
+  table.column("id", {0, true, ""})
+      .column("kind")
+      .column("gen", {0, true, ""})
+      .column("era", {0, true, ""})
+      .column("value", {3, false, ""})
+      .column("issued_s", {3, false, ""})
+      .column("obs_age_s", {4, false, ""})
+      .column("rtx", {0, true, ""})
+      .column("ack_lat_s", {4, false, ""})
+      .column("apply_lat_s", {4, false, ""})
+      .column("state");
+  for (const LifecycleRow& r : rows) {
+    table.row()
+        .cell(static_cast<long long>(r.id))
+        .cell(r.kind)
+        .cell(static_cast<long long>(r.gen))
+        .cell(static_cast<long long>(r.era))
+        .cell(r.value)
+        .cell(r.issued_s)
+        .cell(r.obs_age_s)
+        .cell(static_cast<long long>(r.retransmits));
+    if (r.acked_s >= 0.0) {
+      table.cell(r.acked_s - r.issued_s);
+    } else {
+      table.cell("-");
+    }
+    if (r.applied_s >= 0.0) {
+      table.cell(r.applied_s - r.issued_s);
+    } else {
+      table.cell("-");
+    }
+    table.cell(r.state);
+  }
+  table.print(os);
+
+  std::uint64_t completed = 0, superseded = 0, reconciled = 0, other = 0;
+  std::uint64_t retransmits = 0, acked = 0, applied = 0;
+  double ack_lat_max = 0.0, apply_lat_max = 0.0, ack_lat_sum = 0.0,
+         apply_lat_sum = 0.0;
+  for (const LifecycleRow& r : rows) {
+    if (r.state == "completed") {
+      ++completed;
+    } else if (r.state == "superseded") {
+      ++superseded;
+    } else if (r.state == "reconciled") {
+      ++reconciled;
+    } else {
+      ++other;
+    }
+    retransmits += r.retransmits;
+    if (r.acked_s >= 0.0) {
+      ++acked;
+      const double lat = r.acked_s - r.issued_s;
+      ack_lat_sum += lat;
+      if (lat > ack_lat_max) ack_lat_max = lat;
+    }
+    if (r.applied_s >= 0.0) {
+      ++applied;
+      const double lat = r.applied_s - r.issued_s;
+      apply_lat_sum += lat;
+      if (lat > apply_lat_max) apply_lat_max = lat;
+    }
+  }
+  TablePrinter summary("lifecycle summary");
+  summary.column("metric").column("value", {4, false, ""});
+  summary.row().cell("commands").cell(static_cast<long long>(rows.size()));
+  summary.row().cell("completed").cell(static_cast<long long>(completed));
+  summary.row().cell("superseded").cell(static_cast<long long>(superseded));
+  summary.row().cell("reconciled").cell(static_cast<long long>(reconciled));
+  if (other > 0) summary.row().cell("other").cell(static_cast<long long>(other));
+  summary.row().cell("acked").cell(static_cast<long long>(acked));
+  summary.row().cell("applied").cell(static_cast<long long>(applied));
+  summary.row().cell("retransmits").cell(static_cast<long long>(retransmits));
+  summary.row().cell("retransmit_rate").cell(
+      rows.empty() ? 0.0
+                   : static_cast<double>(retransmits) /
+                         static_cast<double>(rows.size()));
+  summary.row().cell("ack_latency_mean_s").cell(
+      acked > 0 ? ack_lat_sum / static_cast<double>(acked) : 0.0);
+  summary.row().cell("ack_latency_max_s").cell(ack_lat_max);
+  summary.row().cell("apply_latency_mean_s").cell(
+      applied > 0 ? apply_lat_sum / static_cast<double>(applied) : 0.0);
+  summary.row().cell("apply_latency_max_s").cell(apply_lat_max);
+  summary.print(os);
 }
 
 }  // namespace gc

@@ -18,10 +18,12 @@
 // evaluate_check() is what ci/check.sh gates on via `gcinspect --check`.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "obs/audit.h"
 #include "obs/counters.h"
@@ -78,5 +80,40 @@ void print_summary(std::ostream& os, const RunArtifacts& run);
 // Two-run A/B report: shared counters and key time-series aggregates side
 // by side with absolute and relative deltas.
 void print_diff(std::ostream& os, const RunArtifacts& a, const RunArtifacts& b);
+
+// -- Lifecycle view ----------------------------------------------------------
+//
+// One parsed PREFIX.lifecycle.jsonl record — a command's reconstructed
+// issued -> sent -> retransmitted×N -> acked -> applied timeline as the
+// lifecycle tracker (cp/lifecycle.h) exported it.  Parsed generically
+// (kind/state kept as strings) so the inspector carries no cp/ dependency.
+struct LifecycleRow {
+  std::string kind;             // "target" | "speed"
+  std::uint64_t gen = 0;
+  std::uint64_t id = 0;         // deterministic lifecycle id (gen<<1 | kind)
+  std::uint64_t era = 0;
+  double value = 0.0;
+  double issued_s = 0.0;
+  double obs_age_s = 0.0;       // telemetry age at the issuing decision
+  std::uint64_t retransmits = 0;
+  std::uint64_t frame_drops = 0;
+  double last_sent_s = 0.0;
+  double acked_s = -1.0;        // < 0: never acked
+  double applied_s = -1.0;      // < 0: never applied (or unobservable)
+  std::string state;            // "completed" | "superseded" | "reconciled" | ...
+};
+
+// Parses the tracker's export_jsonl output.  Throws std::runtime_error on
+// unreadable files or malformed lines; unknown keys are ignored.
+[[nodiscard]] std::vector<LifecycleRow> parse_lifecycle_jsonl(
+    std::string_view text);
+[[nodiscard]] std::vector<LifecycleRow> read_lifecycle_jsonl(
+    const std::string& path);
+
+// `gcinspect --lifecycle`: renders PREFIX.lifecycle.jsonl as a per-command
+// timeline table (id, kind, gen, issued, retransmits, ack/apply latencies,
+// terminal state) plus a summary block (counts by state, retransmit rate,
+// latency extremes).  Throws if the artifact is missing.
+void print_lifecycle(std::ostream& os, const std::string& prefix);
 
 }  // namespace gc

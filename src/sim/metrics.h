@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "cp/lifecycle.h"
 #include "obs/counters.h"
 #include "sim/cluster.h"
 #include "sim/job.h"
@@ -171,6 +172,18 @@ struct SimResult {
   // p95_response_s/p99_response_s scalars cannot provide.  Purely
   // observational — excluded from the determinism checksums.
   LogHistogram response_hist;
+  // Control-loop actuation latency distributions from the lifecycle
+  // tracker (cp/lifecycle.h): decision→ack, decision→apply, end-to-end,
+  // and the telemetry age at each issuing decision.  Same contract as
+  // response_hist: observational, checksum-excluded, exactly mergeable.
+  LogHistogram lifecycle_ack_hist;
+  LogHistogram lifecycle_apply_hist;
+  LogHistogram lifecycle_e2e_hist;
+  LogHistogram lifecycle_obs_age_hist;
+  // Every command's reconstructed timeline (issued/retransmits/acked/
+  // applied/terminal state) — the `<prefix>.lifecycle.jsonl` payload that
+  // `gcinspect --lifecycle` renders.
+  std::vector<CommandLifecycle> command_lifecycles;
   std::vector<TimelinePoint> timeline;
 
   // True when the mean-response-time guarantee held over the whole run.

@@ -25,6 +25,7 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -33,6 +34,7 @@
 #include <vector>
 
 #include "control/actuator.h"
+#include "cp/lifecycle.h"
 #include "obs/audit.h"
 #include "obs/counters.h"
 #include "obs/timeseries.h"
@@ -595,6 +597,11 @@ SimResult run_sharded_simulation(const Trace& trace, const Distribution& job_siz
 
   const unsigned num_servers = cluster.num_servers;
   const unsigned num_shards = std::min(sharded.num_shards, num_servers);
+  if (sharded.profile != nullptr) {
+    sharded.profile->shard_busy_s.assign(num_shards, 0.0);
+    sharded.profile->barrier_wall_s = 0.0;
+    sharded.profile->barriers = 0;
+  }
   ThreadPool& pool = sharded.pool != nullptr ? *sharded.pool : global_pool();
   const std::vector<double>& arrivals = trace.timestamps();
 
@@ -610,6 +617,13 @@ SimResult run_sharded_simulation(const Trace& trace, const Distribution& job_siz
   ControlChannel channel(options.channel, control_seed);
   CommandActuator actuator(options.actuator,
                            Rng(control_seed, kActuatorRngStream));
+  // Causal lifecycle tracker (cp/lifecycle.h).  Every transition it records
+  // happens on the orchestrator thread between barriers, so its histograms
+  // and counters are deterministic and K-invariant — the shard-determinism
+  // suite's counters equality across K covers them.
+  LifecycleTracker lifecycle;
+  lifecycle.set_expect_acks(actuator.enabled());
+  lifecycle.set_expect_applies(true);
   // The orchestrator instance only computes the admit probability; the
   // per-arrival draws happen shard-side from per-server streams.
   AdmissionController admission(options.admission, options.t_ref_s,
@@ -807,10 +821,29 @@ SimResult run_sharded_simulation(const Trace& trace, const Distribution& job_siz
         arrivals.begin());
     if (window_m == 0) orphaned_arrivals += hi - lo;
     const std::size_t arrivals_hi = window_m == 0 ? lo : hi;
-    parallel_shards([&](std::size_t k) {
-      shards[k]->advance_to(barrier, arrivals, lo, arrivals_hi, window_m,
-                            window_rank0[k]);
-    });
+    if (ShardProfile* prof = sharded.profile; prof != nullptr) {
+      // Self-profiled path: per-shard busy time is read inside the worker
+      // (each shard writes its own slot — no contention), the wall reading
+      // brackets the whole fan-out-to-last-completion span.  Wall-clock
+      // readings never feed the simulation or SimResult.
+      using clock = std::chrono::steady_clock;
+      const auto wall0 = clock::now();
+      parallel_shards([&](std::size_t k) {
+        const auto t0 = clock::now();
+        shards[k]->advance_to(barrier, arrivals, lo, arrivals_hi, window_m,
+                              window_rank0[k]);
+        prof->shard_busy_s[k] +=
+            std::chrono::duration<double>(clock::now() - t0).count();
+      });
+      prof->barrier_wall_s +=
+          std::chrono::duration<double>(clock::now() - wall0).count();
+      ++prof->barriers;
+    } else {
+      parallel_shards([&](std::size_t k) {
+        shards[k]->advance_to(barrier, arrivals, lo, arrivals_hi, window_m,
+                              window_rank0[k]);
+      });
+    }
     cursor = hi;
     now = barrier;
   };
@@ -839,16 +872,29 @@ SimResult run_sharded_simulation(const Trace& trace, const Distribution& job_siz
   std::uint64_t command_duplicates = 0;
   TimeWeightedAccumulator speed_avg(0.0);
 
+  // Every ack delivery funnels through here so the lifecycle tracker sees
+  // the arrival before the actuator clears the lane.
+  auto deliver_ack = [&](double t, CommandKind kind, std::uint64_t gen) {
+    lifecycle.on_acked(t, kind, gen);
+    actuator.on_ack(t, kind, gen);
+  };
+
   auto send_ack = [&](double t, const Command& cmd) {
     if (!actuator.enabled()) return;
     if (!options.channel.enabled) {
-      actuator.on_ack(t, cmd.kind, cmd.gen);
+      deliver_ack(t, cmd.kind, cmd.gen);
       return;
     }
+    (void)lifecycle.next_frame_id(FrameClass::kAck);
     const auto delay = channel.ack_delay();
-    if (!delay) return;  // dropped; channel counters account for it
+    if (!delay) {
+      // Dropped; channel counters account for the loss, the attribution
+      // matrix charges it to the lossy link.
+      lifecycle.on_frame_dropped(FrameClass::kAck, DropCause::kChannel);
+      return;
+    }
     if (*delay == 0.0) {
-      actuator.on_ack(t, cmd.kind, cmd.gen);
+      deliver_ack(t, cmd.kind, cmd.gen);
     } else {
       orchestrator.schedule(t + *delay, EventType::kAckDeliver,
                             ack_store.put(AckMessage{cmd.kind, cmd.gen}));
@@ -876,6 +922,7 @@ SimResult run_sharded_simulation(const Trace& trace, const Distribution& job_siz
       parallel_shards(
           [&](std::size_t k) { shards[k]->set_speed_all(t, cmd.value); });
     }
+    lifecycle.on_applied(t, cmd.kind, cmd.gen);
     send_ack(t, cmd);
   };
 
@@ -885,7 +932,10 @@ SimResult run_sharded_simulation(const Trace& trace, const Distribution& job_siz
       return;
     }
     const auto delay = channel.command_delay();
-    if (!delay) return;  // dropped
+    if (!delay) {  // dropped
+      lifecycle.on_command_frame_dropped(t, cmd, DropCause::kChannel);
+      return;
+    }
     if (*delay == 0.0) {
       apply_command(t, cmd);
     } else {
@@ -1045,12 +1095,17 @@ SimResult run_sharded_simulation(const Trace& trace, const Distribution& job_siz
     snap.jobs = jobs_total();
     if (!options.channel.enabled) {
       latest = snap;
-    } else if (const auto delay = channel.telemetry_delay()) {
-      if (*delay == 0.0) {
-        accept_telemetry(snap);
+    } else {
+      (void)lifecycle.next_frame_id(FrameClass::kTelemetry);
+      if (const auto delay = channel.telemetry_delay()) {
+        if (*delay == 0.0) {
+          accept_telemetry(snap);
+        } else {
+          orchestrator.schedule(t + *delay, EventType::kTelemetryDeliver,
+                                telemetry_store.put(snap));
+        }
       } else {
-        orchestrator.schedule(t + *delay, EventType::kTelemetryDeliver,
-                              telemetry_store.put(snap));
+        lifecycle.on_frame_dropped(FrameClass::kTelemetry, DropCause::kChannel);
       }
     }
 
@@ -1077,17 +1132,30 @@ SimResult run_sharded_simulation(const Trace& trace, const Distribution& job_siz
         long_tick ? controller.on_long_tick(ctx) : controller.on_short_tick(ctx);
     if (action.active_target) {
       ts_target_sticky = static_cast<double>(*action.active_target);
-      ship_command(t, actuator.issue(t, CommandKind::kTarget,
-                                     static_cast<double>(*action.active_target),
-                                     0));
+      const Command cmd =
+          actuator.issue(t, CommandKind::kTarget,
+                         static_cast<double>(*action.active_target), 0);
+      lifecycle.on_issued(t, cmd, ctx.obs_age_s);
+      ship_command(t, cmd);
     }
     if (action.speed) {
-      ship_command(t, actuator.issue(t, CommandKind::kSpeed, *action.speed, 0));
+      const Command cmd = actuator.issue(t, CommandKind::kSpeed, *action.speed, 0);
+      lifecycle.on_issued(t, cmd, ctx.obs_age_s);
+      ship_command(t, cmd);
     }
     if (actuator.enabled()) {
       retransmit_buffer.clear();
       actuator.poll(t, retransmit_buffer);
-      for (const Command& cmd : retransmit_buffer) ship_command(t, cmd);
+      for (const Command& cmd : retransmit_buffer) {
+        lifecycle.on_retransmit(t, cmd);
+        ship_command(t, cmd);
+      }
+      // A lane with nothing outstanding whose newest tracked command never
+      // got an ack just reconciled (retry budget exhausted).
+      for (int k = 0; k < kNumCommandKinds; ++k) {
+        const auto kind = static_cast<CommandKind>(k);
+        if (!actuator.outstanding(kind)) lifecycle.on_lane_reconciled(t, kind);
+      }
     }
     ++ticks_total;
     if (action.infeasible) ++infeasible_total;
@@ -1313,7 +1381,7 @@ SimResult run_sharded_simulation(const Trace& trace, const Distribution& job_siz
         break;
       case EventType::kAckDeliver: {
         const AckMessage ack = ack_store.take(event->subject);
-        actuator.on_ack(t, ack.kind, ack.gen);
+        deliver_ack(t, ack.kind, ack.gen);
         break;
       }
       default: GC_CHECK(false, "sharded: unexpected orchestrator event type");
@@ -1325,6 +1393,7 @@ SimResult run_sharded_simulation(const Trace& trace, const Distribution& job_siz
   }
 
   parallel_shards([&](std::size_t k) { shards[k]->finalize(end_time); });
+  lifecycle.finalize_all(end_time);
   speed_avg.advance(end_time, commanded_speed);
   if (!measuring) measure_start = end_time;
   const double sim_time = end_time - measure_start;
@@ -1448,6 +1517,11 @@ SimResult run_sharded_simulation(const Trace& trace, const Distribution& job_siz
         reliab_spares_sum / static_cast<double>(reliab_plan_ticks);
   }
   result.response_hist = std::move(response_hist);
+  result.lifecycle_ack_hist = lifecycle.ack_latency();
+  result.lifecycle_apply_hist = lifecycle.apply_latency();
+  result.lifecycle_e2e_hist = lifecycle.e2e_latency();
+  result.lifecycle_obs_age_hist = lifecycle.obs_age();
+  result.command_lifecycles = lifecycle.records();
   result.timeline = std::move(timeline);
 
   // -- counters registry (names mirror run_simulation) ----------------------
@@ -1525,6 +1599,20 @@ SimResult run_sharded_simulation(const Trace& trace, const Distribution& job_siz
     }
   }
   result.counters = registry.snapshot();
+  // Lifecycle tracker counters (cp.lifecycle.*, cp.drop.*): every
+  // transition was recorded on the orchestrator thread between barriers,
+  // so these are identical across K — the shard-determinism suite's
+  // counters equality holds with them merged in.
+  {
+    CountersSnapshot lc;
+    lifecycle.counters_into(lc);
+    for (const auto& [name, value] : lc.counters) {
+      result.counters.add_counter(name, value);
+    }
+    for (const auto& [name, value] : lc.gauges) {
+      result.counters.add_gauge(name, value);
+    }
+  }
   return result;
 }
 

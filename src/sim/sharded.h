@@ -32,6 +32,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "sim/simulation.h"
 #include "stats/distributions.h"
@@ -39,6 +40,52 @@
 #include "workload/trace.h"
 
 namespace gc {
+
+// Wall-clock self-profile of one sharded run: per-shard busy time inside
+// the barrier-to-barrier advances versus the orchestrator's wall time
+// across those advances.  Filled only when ShardedOptions::profile points
+// here, and written *outside* SimResult on purpose — wall-clock readings
+// are machine noise, and SimResult (counters included) must stay a pure,
+// K-invariant function of the inputs.  bench/perf_smoke surfaces the
+// derived gauges (busy fraction, imbalance) in BENCH_core.json.
+struct ShardProfile {
+  // Seconds each shard spent inside Shard::advance_to, indexed by shard.
+  // Resized to the effective shard count by the engine.
+  std::vector<double> shard_busy_s;
+  // Orchestrator wall seconds spent across all advance barriers (issue to
+  // last-shard completion — includes the barrier wait on the slowest
+  // shard) and the number of barriers executed.
+  double barrier_wall_s = 0.0;
+  std::uint64_t barriers = 0;
+
+  [[nodiscard]] double busy_total_s() const noexcept {
+    double sum = 0.0;
+    for (const double b : shard_busy_s) sum += b;
+    return sum;
+  }
+  [[nodiscard]] double busy_max_s() const noexcept {
+    double mx = 0.0;
+    for (const double b : shard_busy_s) mx = b > mx ? b : mx;
+    return mx;
+  }
+  // Fraction of the workers' aggregate barrier budget (K * wall) actually
+  // spent advancing shards; the remainder is barrier wait + fan-out
+  // overhead.  1.0 means perfectly packed.
+  [[nodiscard]] double busy_fraction() const noexcept {
+    const double denom =
+        barrier_wall_s * static_cast<double>(shard_busy_s.size());
+    return denom > 0.0 ? busy_total_s() / denom : 0.0;
+  }
+  // Load imbalance: slowest shard over mean shard busy time, minus 1.
+  // 0 means all shards carried equal work; 1 means the critical shard was
+  // twice the mean (half the fleet idles at every barrier).
+  [[nodiscard]] double imbalance() const noexcept {
+    const double total = busy_total_s();
+    if (shard_busy_s.empty() || total <= 0.0) return 0.0;
+    const double mean = total / static_cast<double>(shard_busy_s.size());
+    return mean > 0.0 ? busy_max_s() / mean - 1.0 : 0.0;
+  }
+};
 
 struct ShardedOptions {
   // Number of shards K (>= 1; clamped to the fleet size).  K = 1 runs the
@@ -48,6 +95,10 @@ struct ShardedOptions {
   // Worker pool for the barrier-to-barrier shard advances; nullptr uses
   // util/thread_pool's process-wide pool.
   ThreadPool* pool = nullptr;
+  // Optional wall-clock self-profile sink (see ShardProfile).  nullptr
+  // skips the timing reads entirely; the simulated output is identical
+  // either way.
+  ShardProfile* profile = nullptr;
 };
 
 // Runs one sharded simulation over a concrete arrival trace.  `job_size`

@@ -108,6 +108,16 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
   // Commands take the generation-stamped path whenever the channel or the
   // ack/retry protocol is on; otherwise they apply in place.
   const bool cmd_path = chan_on || options.actuator.enabled;
+  // Lifecycle tracker wiring (cp/lifecycle.h): this driver can see the
+  // fleet, so it reports command applies back, and it lends the facade the
+  // run's trace sink for per-command async spans.  Re-applied after every
+  // facade rebuild — a crashed controller's in-memory observability dies
+  // with it (the restart itself shows up as lifecycle late_events).
+  const auto configure_lifecycle = [&]() {
+    cp.lifecycle().set_trace(trace);
+    cp.lifecycle().set_expect_applies(true);
+  };
+  configure_lifecycle();
 
   const ControllerFaultOptions& cf = options.controller_faults;
   cf.validate();
@@ -364,6 +374,9 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
   }
 
   auto ship_telemetry = [&](double t, const TelemetryFrame& snap) {
+    // Telemetry lifecycle id: send-site monotone sequence (DESIGN.md §14.1).
+    const std::uint64_t frame_id =
+        cp.lifecycle().next_frame_id(FrameClass::kTelemetry);
     if (!chan_on) {
       cp.accept_telemetry(snap);
       return;
@@ -378,12 +391,16 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
         cp.accept_telemetry(snap);
       }
     } else {
-      trace_instant(trace, t, "channel", "telemetry-drop");
+      cp.lifecycle().on_frame_dropped(FrameClass::kTelemetry,
+                                      DropCause::kChannel);
+      trace_instant1(trace, t, "channel", "telemetry-drop", "id",
+                     static_cast<double>(frame_id));
     }
   };
 
   auto send_ack = [&](double t, const Command& cmd) {
     if (!cp.actuator().enabled()) return;  // fire-and-forget: no ack protocol
+    const std::uint64_t frame_id = cp.lifecycle().next_frame_id(FrameClass::kAck);
     if (!chan_on) {
       cp.on_ack(t, cmd.kind, cmd.gen);
       return;
@@ -396,7 +413,9 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
         cp.on_ack(t, cmd.kind, cmd.gen);
       }
     } else {
-      trace_instant(trace, t, "channel", "ack-drop");
+      cp.lifecycle().on_frame_dropped(FrameClass::kAck, DropCause::kChannel);
+      trace_instant1(trace, t, "channel", "ack-drop", "id",
+                     static_cast<double>(frame_id));
     }
   };
 
@@ -433,6 +452,9 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
     } else {
       cluster.set_all_speeds(t, cmd.value);
     }
+    // Fleet-side apply observed: closes the decision→apply stage of the
+    // command's lifecycle (before the ack ships, matching real causality).
+    cp.on_command_applied(t, cmd.kind, cmd.gen);
     send_ack(t, cmd);
   };
 
@@ -451,7 +473,9 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
         apply_command(t, cmd);
       }
     } else {
-      trace_instant(trace, t, "channel", "command-drop");
+      cp.lifecycle().on_command_frame_dropped(t, cmd, DropCause::kChannel);
+      trace_instant1(trace, t, "channel", "command-drop", "id",
+                     static_cast<double>(command_lifecycle_id(cmd.kind, cmd.gen)));
     }
   };
 
@@ -464,6 +488,12 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
       // ends safe mode (relevant when only controller faults are on).
       if (in_safe_mode) exit_safe_mode(t);
       apply_action(cluster, t, decision.action);
+      // The whole action applied in place: report each freshly stamped
+      // command as applied so even fire-and-forget runs carry complete
+      // issued→applied lifecycle timelines (latency 0 by construction).
+      for (const ControlPlane::Outbound& out : decision.commands) {
+        if (!out.retransmit) cp.on_command_applied(t, out.frame.kind, out.frame.gen);
+      }
       return;
     }
     for (const ControlPlane::Outbound& out : decision.commands) {
@@ -803,6 +833,7 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
               cp_box.emplace(controller, cp_options,
                              Rng(control_seed, /*stream=*/14));
               cp.restore(snap);
+              configure_lifecycle();
               break;
             }
             case ControllerRecoveryMode::kColdRestart: {
@@ -816,6 +847,7 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
                              Rng(control_seed, /*stream=*/14));
               cp.restore(pristine_snapshot);
               while (cp.era() < prev_era) cp.bump_era();
+              configure_lifecycle();
               break;
             }
           }
@@ -1053,6 +1085,15 @@ SimResult run_simulation(Workload& workload, const ClusterOptions& cluster_optio
     }
   }
   result.counters = registry.snapshot();
+  // Close every still-open lifecycle record and export the per-stage
+  // latency histograms + per-command timelines.  Like response_hist, these
+  // are purely observational and excluded from the determinism checksums.
+  cp.lifecycle().finalize_all(now);
+  result.lifecycle_ack_hist = cp.lifecycle().ack_latency();
+  result.lifecycle_apply_hist = cp.lifecycle().apply_latency();
+  result.lifecycle_e2e_hist = cp.lifecycle().e2e_latency();
+  result.lifecycle_obs_age_hist = cp.lifecycle().obs_age();
+  result.command_lifecycles = cp.lifecycle().records();
   // The facade keeps its own cp.* instruments (it has no registry — the
   // other drivers surface them through gcreplay); merge them so a sim run
   // exposes the same namespace.  Goldens exclude counters, so this is

@@ -157,6 +157,66 @@ TEST(Chaos, ReportRendersCounters) {
   EXPECT_EQ(value_of("cp.drift.mismatches"), 0u);
 }
 
+TEST(Chaos, AttributesEveryConsumedFrameToItsOp) {
+  const Rig rig;
+  const ChaosReport report =
+      rig.run("drop@10,dup@20,reorder@30,corrupt@41,truncate@53");
+  // The sum invariant: every frame an op consumed is charged exactly once,
+  // so attribution.total() equals the consuming ops (dup/reorder/kill eat
+  // nothing).
+  EXPECT_EQ(report.attribution.total(),
+            report.drops + report.corrupts + report.truncates);
+  // Index 10 is telemetry (even); 41/53 are ticks (odd) torn by
+  // corrupt/truncate: check the per-cause cells by name.
+  const CountersSnapshot snap = report.counters_snapshot();
+  auto value_of = [&](const std::string& name) -> std::uint64_t {
+    for (const auto& [key, value] : snap.counters) {
+      if (key == name) return value;
+    }
+    ADD_FAILURE() << "missing counter " << name;
+    return ~0ull;
+  };
+  EXPECT_EQ(value_of("cp.drop.total"), report.attribution.total());
+  EXPECT_EQ(value_of("cp.drop.telemetry.chaos_drop"), 1u);
+  std::uint64_t sum = 0;
+  for (const auto& [key, value] : snap.counters) {
+    if (key.rfind("cp.drop.", 0) == 0 && key != "cp.drop.total") sum += value;
+  }
+  EXPECT_EQ(sum, report.attribution.total());
+}
+
+TEST(Chaos, DupAndReorderPreserveLifecycleDedup) {
+  const Rig rig;
+  // Duplicated/reordered telemetry exercises the newest-wins dedup in the
+  // facade: (gen, kind) command identity must keep the chaos stream's
+  // command sequence bit-identical to the clean oracle — same generations,
+  // same order — and nothing gets charged to attribution (nothing is
+  // consumed, only repeated or swapped).
+  const ChaosReport report = rig.run("dup@10,dup@30,reorder@50");
+  EXPECT_EQ(report.dups, 2u);
+  EXPECT_EQ(report.reorders, 1u);
+  EXPECT_TRUE(report.clean()) << report.drift_mismatches << " mismatches";
+  EXPECT_EQ(report.attribution.total(), 0u);
+}
+
+TEST(Chaos, WireLedgerLandsInTheSnapshot) {
+  const Rig rig;
+  const ChaosReport report = rig.run("corrupt@41");
+  EXPECT_EQ(report.wire.crc_errors, 1u);
+  const CountersSnapshot snap = report.counters_snapshot();
+  auto value_of = [&](const std::string& name) -> std::uint64_t {
+    for (const auto& [key, value] : snap.counters) {
+      if (key == name) return value;
+    }
+    ADD_FAILURE() << "missing counter " << name;
+    return ~0ull;
+  };
+  EXPECT_EQ(value_of("cp.wire.crc_errors"), 1u);
+  EXPECT_GT(value_of("cp.wire.accepted.telemetry"), 0u);
+  EXPECT_GT(value_of("cp.wire.accepted.tick"), 0u);
+  EXPECT_GT(value_of("cp.wire.commands_sent"), 0u);
+}
+
 TEST(Chaos, RejectsEventIndexPastTheInputs) {
   const Rig rig;
   ChaosOptions chaos;

@@ -115,6 +115,56 @@ TEST_F(InspectTest, LookupResolvesCountersGaugesAndColumns) {
   EXPECT_EQ(lookup_metric(run, "observed_rate:median"), std::nullopt);
 }
 
+TEST_F(InspectTest, LookupPrefersTheLiteralNameOverTheAggregateSplit) {
+  // The lifecycle quantile gauges carry a colon in their literal name
+  // (cp.lifecycle.ack_latency:p99): a full-name match must win before the
+  // NAME:AGG timeseries fallback tries to split on it.
+  const std::string pfx = prefix("colon");
+  CountersSnapshot snapshot;
+  snapshot.add_gauge("cp.lifecycle.ack_latency:p99", 23.5);
+  snapshot.add_gauge("cp.lifecycle.retransmit_rate", 0.25);
+  std::ofstream(pfx + ".counters.json") << snapshot.to_json() << '\n';
+  const RunArtifacts run = RunArtifacts::load(pfx);
+  EXPECT_EQ(lookup_metric(run, "cp.lifecycle.ack_latency:p99"), 23.5);
+  EXPECT_EQ(lookup_metric(run, "cp.lifecycle.retransmit_rate"), 0.25);
+}
+
+TEST_F(InspectTest, ParsesLifecycleJsonlAndPrintsTheView) {
+  const std::string pfx = prefix("lifecycle");
+  std::ofstream(pfx + ".lifecycle.jsonl")
+      << "{\"kind\":\"target\",\"gen\":1,\"id\":2,\"era\":0,\"value\":16,"
+         "\"issued_s\":10,\"obs_age_s\":0.5,\"retransmits\":2,"
+         "\"frame_drops\":1,\"last_sent_s\":20,\"acked_s\":21,"
+         "\"applied_s\":20.5,\"state\":\"completed\"}\n"
+         "{\"kind\":\"speed\",\"gen\":1,\"id\":3,\"era\":0,\"value\":0.75,"
+         "\"issued_s\":10,\"obs_age_s\":0,\"retransmits\":0,"
+         "\"frame_drops\":0,\"last_sent_s\":10,\"acked_s\":-1,"
+         "\"applied_s\":-1,\"state\":\"in-flight\"}\n";
+  const std::vector<LifecycleRow> rows =
+      read_lifecycle_jsonl(pfx + ".lifecycle.jsonl");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].kind, "target");
+  EXPECT_EQ(rows[0].id, 2u);
+  EXPECT_EQ(rows[0].retransmits, 2u);
+  EXPECT_DOUBLE_EQ(rows[0].acked_s, 21.0);
+  EXPECT_EQ(rows[1].state, "in-flight");
+  EXPECT_DOUBLE_EQ(rows[1].acked_s, -1.0);
+
+  std::ostringstream os;
+  print_lifecycle(os, pfx);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("command lifecycles"), std::string::npos);
+  EXPECT_NE(text.find("lifecycle summary"), std::string::npos);
+  EXPECT_NE(text.find("completed"), std::string::npos);
+  EXPECT_NE(text.find("in-flight"), std::string::npos);
+}
+
+TEST_F(InspectTest, MalformedLifecycleJsonlThrows) {
+  EXPECT_THROW((void)parse_lifecycle_jsonl("{\"kind\":\"target\",}"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_lifecycle_jsonl("not json"), std::runtime_error);
+}
+
 TEST_F(InspectTest, ParseCheckCoversTheFourOperators) {
   const MetricCheck le = parse_check("win_p95_t_s:max<=2.5");
   EXPECT_EQ(le.metric, "win_p95_t_s:max");

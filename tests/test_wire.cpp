@@ -383,6 +383,94 @@ TEST(WireServe, CorruptFrameCountsACrcErrorBeforeThrowing) {
   EXPECT_EQ(stats.crc_errors, 1u);
 }
 
+TEST(WireServe, LegacyNoCrcStreamDrivesTheLifecycleTracker) {
+  // The pre-CRC decode path must stay a first-class citizen: a stream of
+  // legacy (trailerless) frames drives the facade, and the lifecycle
+  // tracker derives command ids from (gen, kind) exactly as it does for
+  // checksummed traffic — identity lives in the frame, not the framing.
+  ScriptedController controller;
+  controller.next.active_target = 3;
+  controller.next.speed = 0.5;
+  ControlPlaneOptions options;
+  options.actuator.enabled = true;
+  options.actuator.ack_timeout_s = 5.0;
+  ControlPlane cp(controller, options, Rng(7, 14));
+
+  SocketPair pair;
+  std::string buf;
+  append_telemetry_frame(buf, sample_telemetry(), WireCrc::kNone);
+  append_tick_frame(buf, TickMsg{130.0, true, false}, WireCrc::kNone);
+  append_ack_frame(buf, AckWireMsg{131.0, CommandKind::kTarget, 1},
+                   WireCrc::kNone);
+  pair.send(buf);
+  pair.close_peer();
+  const WireServeStats stats = serve_connection(cp, pair.fds[0]);
+  EXPECT_EQ(stats.telemetry, 1u);
+  EXPECT_EQ(stats.ticks, 1u);
+  EXPECT_EQ(stats.acks, 1u);
+  EXPECT_EQ(stats.crc_errors, 0u);
+  EXPECT_EQ(stats.decode_errors, 0u);
+  EXPECT_EQ(cp.lifecycle().issued(), 2u);
+  EXPECT_EQ(cp.lifecycle().acked(), 1u);
+  const auto records = cp.lifecycle().records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].id(), command_lifecycle_id(records[0].kind,
+                                                  records[0].gen));
+}
+
+TEST(WireServe, StatsRenderAsCounters) {
+  WireServeStats stats;
+  stats.telemetry = 3;
+  stats.ticks = 2;
+  stats.acks = 1;
+  stats.commands_sent = 4;
+  stats.crc_errors = 5;
+  stats.decode_errors = 6;
+  const CountersSnapshot snap = stats.counters_snapshot();
+  auto value_of = [&](const std::string& name) -> std::uint64_t {
+    for (const auto& [key, value] : snap.counters) {
+      if (key == name) return value;
+    }
+    ADD_FAILURE() << "missing counter " << name;
+    return ~0ull;
+  };
+  EXPECT_EQ(value_of("cp.wire.accepted.telemetry"), 3u);
+  EXPECT_EQ(value_of("cp.wire.accepted.tick"), 2u);
+  EXPECT_EQ(value_of("cp.wire.accepted.ack"), 1u);
+  EXPECT_EQ(value_of("cp.wire.commands_sent"), 4u);
+  EXPECT_EQ(value_of("cp.wire.crc_errors"), 5u);
+  EXPECT_EQ(value_of("cp.wire.decode_errors"), 6u);
+}
+
+TEST(WireServe, MidFrameEofMetersADecodeErrorNotACrcError) {
+  ScriptedController controller;
+  ControlPlane cp(controller, ControlPlaneOptions{}, Rng(7, 14));
+  SocketPair pair;
+  std::string buf;
+  append_tick_frame(buf, TickMsg{10.0, false, false});
+  append_telemetry_frame(buf, sample_telemetry());
+  pair.send(buf.substr(0, buf.size() - 6));  // cut inside the telemetry
+  pair.close_peer();
+  WireServeStats stats;
+  EXPECT_THROW(serve_connection(cp, pair.fds[0], stats, nullptr), WireError);
+  EXPECT_EQ(stats.ticks, 1u);
+  EXPECT_EQ(stats.decode_errors, 1u);
+  EXPECT_EQ(stats.crc_errors, 0u);
+}
+
+TEST(WireServe, InboundCommandMetersADecodeError) {
+  ScriptedController controller;
+  ControlPlane cp(controller, ControlPlaneOptions{}, Rng(7, 14));
+  SocketPair pair;
+  std::string buf;
+  append_command_frame(buf, CommandFrame{CommandKind::kTarget, 1.0, 1, 0});
+  pair.send(buf);
+  pair.close_peer();
+  WireServeStats stats;
+  EXPECT_THROW(serve_connection(cp, pair.fds[0], stats, nullptr), WireError);
+  EXPECT_EQ(stats.decode_errors, 1u);
+}
+
 TEST(WireServe, HooksSeeEveryAcceptedMessage) {
   ScriptedController controller;
   ControlPlane cp(controller, ControlPlaneOptions{}, Rng(7, 14));

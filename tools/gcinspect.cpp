@@ -8,6 +8,8 @@
 //   gcinspect PREFIX                       one-run summary
 //   gcinspect PREFIX_A PREFIX_B            A/B diff of two runs
 //   gcinspect PREFIX --check 'M<=B' ...    gate metrics (exit 1 on failure)
+//   gcinspect PREFIX --lifecycle           per-command timeline view from
+//                                          PREFIX.lifecycle.jsonl
 //
 // Metric syntax for --check: a counter/gauge name (`chan.command.dropped`),
 // or a time-series column with an aggregate (`win_p95_t_s:max`, aggregates
@@ -17,6 +19,7 @@
 #include <cstdio>
 #include <exception>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -27,9 +30,12 @@ namespace {
 
 void usage() {
   std::cerr
-      << "usage: gcinspect PREFIX [PREFIX_B] [--check METRIC(<=|>=|<|>)BOUND]...\n"
+      << "usage: gcinspect PREFIX [PREFIX_B] [--check METRIC(<=|>=|<|>)BOUND]..."
+         " [--lifecycle]\n"
          "       loads PREFIX.counters.json / PREFIX.audit.jsonl / "
-         "PREFIX.timeseries.csv\n";
+         "PREFIX.timeseries.csv\n"
+         "       --lifecycle renders PREFIX.lifecycle.jsonl as per-command "
+         "timelines\n";
 }
 
 }  // namespace
@@ -37,7 +43,8 @@ void usage() {
 int main(int argc, char** argv) {
   try {
     const gc::CliArgs args(argc, argv);
-    for (const std::string& flag : args.unknown_flags({"check", "help"})) {
+    for (const std::string& flag :
+         args.unknown_flags({"check", "help", "lifecycle"})) {
       std::cerr << "gcinspect: unknown flag --" << flag << "\n";
       usage();
       return 2;
@@ -48,7 +55,13 @@ int main(int argc, char** argv) {
       return args.has("help") ? 0 : 2;
     }
 
-    const gc::RunArtifacts run = gc::RunArtifacts::load(args.positional()[0]);
+    // Loaded on demand: the --lifecycle view reads its own artifact, so a
+    // prefix holding only a .lifecycle.jsonl is still inspectable.
+    std::optional<gc::RunArtifacts> run;
+    const auto load_run = [&]() -> const gc::RunArtifacts& {
+      if (!run) run = gc::RunArtifacts::load(args.positional()[0]);
+      return *run;
+    };
 
     // --check gates run against the first prefix; they compose with the
     // summary/diff output (checks print last).
@@ -68,16 +81,19 @@ int main(int argc, char** argv) {
       }
     }
 
+    const bool lifecycle = args.has("lifecycle");
+    if (lifecycle) gc::print_lifecycle(std::cout, args.positional()[0]);
+
     if (args.positional().size() == 2) {
       const gc::RunArtifacts run_b = gc::RunArtifacts::load(args.positional()[1]);
-      gc::print_diff(std::cout, run, run_b);
-    } else if (checks.empty()) {
-      gc::print_summary(std::cout, run);
+      gc::print_diff(std::cout, load_run(), run_b);
+    } else if (checks.empty() && !lifecycle) {
+      gc::print_summary(std::cout, load_run());
     }
 
     bool all_passed = true;
     for (const gc::MetricCheck& check : checks) {
-      const gc::CheckResult result = gc::evaluate_check(run, check);
+      const gc::CheckResult result = gc::evaluate_check(load_run(), check);
       std::printf("check %s%s%.17g: %s (value %.6g)\n", check.metric.c_str(),
                   check.upper ? (check.strict ? "<" : "<=")
                               : (check.strict ? ">" : ">="),

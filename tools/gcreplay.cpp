@@ -182,8 +182,11 @@ void scrape_once(const std::string& path, const std::string& body) {
   }
 }
 
-// Writes OUT.counters.json / OUT.prom for `gcinspect --check`.
-void write_out(const std::string& out, const gc::CountersSnapshot& snap) {
+// Writes OUT.counters.json / OUT.prom for `gcinspect --check`.  `hists`
+// (e.g. the facade's lifecycle latency histograms) render as proper
+// Prometheus histogram types in the .prom exposition.
+void write_out(const std::string& out, const gc::CountersSnapshot& snap,
+               const std::vector<gc::PrometheusHistogram>& hists = {}) {
   {
     std::ofstream f(out + ".counters.json");
     f << snap.to_json() << '\n';
@@ -194,7 +197,7 @@ void write_out(const std::string& out, const gc::CountersSnapshot& snap) {
   }
   {
     std::ofstream f(out + ".prom");
-    f << gc::to_prometheus_text(snap);
+    f << gc::to_prometheus_text(snap, hists);
     if (!f) throw std::runtime_error(gc::format("cannot write {}.prom", out));
   }
   std::cerr << "gcreplay: wrote " << out << ".{counters.json,prom}\n";
@@ -433,26 +436,41 @@ int main(int argc, char** argv) {
       }
     }
 
-    // The drift verdict rides the cp.* snapshot so `gcinspect OUT --check
-    // 'cp.drift.mismatches<=0'` gates it like any other run metric.
-    if (const auto out = args.get("out")) {
-      if (out->empty()) {
-        std::cerr << "gcreplay: --out needs a file prefix\n";
-        return 2;
-      }
-      write_out(*out, engine.counters_snapshot());
-    }
-
+    // Serve before writing artifacts: the wire episode's accept/reject
+    // ledger (cp.wire.*) then lands in OUT.counters.json too.
+    std::optional<gc::WireServeStats> served;
     if (const auto sock = args.get("serve")) {
       if (sock->empty()) {
         std::cerr << "gcreplay: --serve needs a socket path\n";
         return 2;
       }
-      const gc::WireServeStats ws = serve_once(*cp, *sock);
+      served = serve_once(*cp, *sock);
       std::cout << gc::format(
           "served {} telemetry / {} ticks / {} acks, sent {} commands "
-          "({} crc rejections)\n",
-          ws.telemetry, ws.ticks, ws.acks, ws.commands_sent, ws.crc_errors);
+          "({} crc rejections, {} decode errors)\n",
+          served->telemetry, served->ticks, served->acks,
+          served->commands_sent, served->crc_errors, served->decode_errors);
+    }
+
+    // The drift verdict rides the cp.* snapshot so `gcinspect OUT --check
+    // 'cp.drift.mismatches<=0'` gates it like any other run metric.  The
+    // facade's lifecycle histograms go to the .prom as histogram types.
+    const auto full_snapshot = [&]() {
+      gc::CountersSnapshot snap = engine.counters_snapshot();
+      if (served) {
+        const gc::CountersSnapshot ws = served->counters_snapshot();
+        for (const auto& [name, value] : ws.counters) {
+          snap.add_counter(name, value);
+        }
+      }
+      return snap;
+    };
+    if (const auto out = args.get("out")) {
+      if (out->empty()) {
+        std::cerr << "gcreplay: --out needs a file prefix\n";
+        return 2;
+      }
+      write_out(*out, full_snapshot(), cp->lifecycle().prometheus_histograms());
     }
 
     if (const auto prom = args.get("prom")) {
@@ -460,7 +478,9 @@ int main(int argc, char** argv) {
         std::cerr << "gcreplay: --prom needs a socket path\n";
         return 2;
       }
-      scrape_once(*prom, gc::to_prometheus_text(engine.counters_snapshot()));
+      scrape_once(*prom,
+                  gc::to_prometheus_text(full_snapshot(),
+                                         cp->lifecycle().prometheus_histograms()));
     }
 
     return stats.clean() ? 0 : 1;
